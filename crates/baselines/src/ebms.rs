@@ -1,0 +1,483 @@
+//! Event-based mean shift (EBMS) cluster tracker — Delbrück & Lang 2013.
+//!
+//! The fully event-based baseline of §II-C. Clusters live in continuous
+//! image coordinates; every incoming event is assigned to the nearest
+//! cluster whose catchment rectangle contains it, pulling the cluster
+//! centre toward the event (the mean-shift step). Events with no catching
+//! cluster seed a new one. Clusters decay when starved, merge when they
+//! overlap (the paper's `gamma_merge ≈ 0.1` per frame), and estimate
+//! velocity by least-squares regression over their last 10 recorded
+//! positions — exactly the bookkeeping Eq. 8 charges for:
+//!
+//! ```text
+//! C_EBMS = N_F [ 9 CL/2 + (169 + 16 gamma_merge) CL + 11 ]
+//! M_EBMS = 408 CL_max + 56    [bits]
+//! ```
+
+use ebbiot_events::{Event, OpsCounter, SensorGeometry, Timestamp};
+use ebbiot_frame::BoundingBox;
+
+/// EBMS configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EbmsConfig {
+    /// Maximum simultaneous clusters (paper: `CL_max = 8`).
+    pub max_clusters: usize,
+    /// Cluster catchment half-width in x (pixels).
+    pub radius_x: f32,
+    /// Cluster catchment half-height in y (pixels).
+    pub radius_y: f32,
+    /// Mean-shift mixing factor: fraction of the centre-to-event distance
+    /// the centre moves per assigned event.
+    pub mixing: f32,
+    /// A cluster is starved (and culled) after this many microseconds
+    /// without events.
+    pub lifetime_us: u64,
+    /// Events needed before a cluster is *visible* (reported).
+    pub support_events: u32,
+    /// Number of past positions used for least-squares velocity
+    /// estimation (paper: 10).
+    pub history: usize,
+    /// Minimum time between recorded history positions (microseconds).
+    pub history_stride_us: u64,
+}
+
+impl EbmsConfig {
+    /// The paper's configuration.
+    #[must_use]
+    pub fn paper_default() -> Self {
+        Self {
+            max_clusters: 8,
+            radius_x: 18.0,
+            radius_y: 11.0,
+            mixing: 0.05,
+            lifetime_us: 120_000,
+            support_events: 20,
+            history: 10,
+            history_stride_us: 10_000,
+        }
+    }
+}
+
+/// One mean-shift cluster.
+#[derive(Debug, Clone)]
+struct Cluster {
+    id: u64,
+    cx: f32,
+    cy: f32,
+    events: u32,
+    last_event_t: Timestamp,
+    /// Ring of (t, cx, cy) samples for velocity regression.
+    positions: Vec<(Timestamp, f32, f32)>,
+    last_history_t: Timestamp,
+    vx: f32,
+    vy: f32,
+}
+
+/// A reported (visible) cluster.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EbmsOutput {
+    /// Stable cluster identity.
+    pub id: u64,
+    /// The cluster's catchment box (fixed extents — a structural
+    /// limitation vs. EBBIOT's adaptive boxes).
+    pub bbox: BoundingBox,
+    /// Velocity estimate in pixels/second.
+    pub velocity: (f32, f32),
+}
+
+/// The EBMS tracker.
+#[derive(Debug, Clone)]
+pub struct EbmsTracker {
+    config: EbmsConfig,
+    frame: BoundingBox,
+    clusters: Vec<Cluster>,
+    next_id: u64,
+    ops: OpsCounter,
+}
+
+impl EbmsTracker {
+    /// Creates the tracker.
+    ///
+    /// # Panics
+    ///
+    /// Panics on zero capacity or non-positive radii.
+    #[must_use]
+    pub fn new(geometry: SensorGeometry, config: EbmsConfig) -> Self {
+        assert!(config.max_clusters > 0, "cluster pool must be non-empty");
+        assert!(config.radius_x > 0.0 && config.radius_y > 0.0, "radii must be positive");
+        Self {
+            config,
+            frame: BoundingBox::new(
+                0.0,
+                0.0,
+                f32::from(geometry.width()),
+                f32::from(geometry.height()),
+            ),
+            clusters: Vec::new(),
+            next_id: 1,
+            ops: OpsCounter::new(),
+        }
+    }
+
+    /// Live cluster count (the paper's `CL`).
+    #[must_use]
+    pub fn active_count(&self) -> usize {
+        self.clusters.len()
+    }
+
+    /// Runtime op counter.
+    #[must_use]
+    pub const fn ops(&self) -> &OpsCounter {
+        &self.ops
+    }
+
+    /// Resets the op counter.
+    pub fn reset_ops(&mut self) {
+        self.ops.reset();
+    }
+
+    /// Clears all clusters.
+    pub fn reset(&mut self) {
+        self.clusters.clear();
+        self.next_id = 1;
+    }
+
+    /// Processes one (already noise-filtered) event.
+    pub fn process_event(&mut self, event: &Event) {
+        let ex = f32::from(event.x) + 0.5;
+        let ey = f32::from(event.y) + 0.5;
+
+        // Find the nearest catching cluster.
+        let mut best: Option<(f32, usize)> = None;
+        for (i, c) in self.clusters.iter().enumerate() {
+            self.ops.compare(4);
+            self.ops.add(2);
+            let dx = (ex - c.cx).abs();
+            let dy = (ey - c.cy).abs();
+            if dx <= self.config.radius_x && dy <= self.config.radius_y {
+                let d = dx * dx + dy * dy;
+                self.ops.multiply(2);
+                if best.is_none_or(|(bd, _)| d < bd) {
+                    best = Some((d, i));
+                }
+            }
+        }
+
+        match best {
+            Some((_, i)) => {
+                let mix = self.config.mixing;
+                let stride = self.config.history_stride_us;
+                let hist_len = self.config.history;
+                let c = &mut self.clusters[i];
+                c.cx += mix * (ex - c.cx);
+                c.cy += mix * (ey - c.cy);
+                c.events += 1;
+                c.last_event_t = event.t;
+                self.ops.multiply(2);
+                self.ops.add(4);
+                self.ops.write(2);
+                if event.t.saturating_sub(c.last_history_t) >= stride || c.positions.is_empty() {
+                    if c.positions.len() == hist_len {
+                        c.positions.remove(0);
+                    }
+                    c.positions.push((event.t, c.cx, c.cy));
+                    c.last_history_t = event.t;
+                    self.ops.write(3);
+                    let (vx, vy) = regress_velocity(&c.positions, &mut self.ops);
+                    c.vx = vx;
+                    c.vy = vy;
+                }
+            }
+            None => {
+                self.ops.compare(1);
+                if self.clusters.len() < self.config.max_clusters {
+                    self.clusters.push(Cluster {
+                        id: self.next_id,
+                        cx: ex,
+                        cy: ey,
+                        events: 1,
+                        last_event_t: event.t,
+                        positions: vec![(event.t, ex, ey)],
+                        last_history_t: event.t,
+                        vx: 0.0,
+                        vy: 0.0,
+                    });
+                    self.next_id += 1;
+                    self.ops.write(6);
+                }
+            }
+        }
+    }
+
+    /// Periodic maintenance, run once per frame boundary: cull starved
+    /// clusters and merge overlapping ones.
+    pub fn maintain(&mut self, now: Timestamp) {
+        // Cull starved clusters.
+        let lifetime = self.config.lifetime_us;
+        self.ops.compare(self.clusters.len() as u64);
+        self.clusters.retain(|c| now.saturating_sub(c.last_event_t) <= lifetime);
+
+        // Merge pairwise-overlapping clusters (keep the better-supported).
+        let rx = self.config.radius_x;
+        let ry = self.config.radius_y;
+        let mut i = 0;
+        while i < self.clusters.len() {
+            let mut j = i + 1;
+            while j < self.clusters.len() {
+                self.ops.compare(4);
+                let dx = (self.clusters[i].cx - self.clusters[j].cx).abs();
+                let dy = (self.clusters[i].cy - self.clusters[j].cy).abs();
+                if dx < rx && dy < ry {
+                    // 16 ops of merge bookkeeping (Eq. 8's gamma_merge term).
+                    self.ops.add(16);
+                    // The better-supported cluster's state survives at slot
+                    // i; slot j is freed either way.
+                    let keep = if self.clusters[i].events >= self.clusters[j].events {
+                        i
+                    } else {
+                        j
+                    };
+                    let merged_events = self.clusters[i].events + self.clusters[j].events;
+                    let kc = self.clusters[keep].clone();
+                    self.clusters[i] = Cluster { events: merged_events, ..kc };
+                    self.clusters.remove(j);
+                    // After a merge restart the inner scan.
+                    j = i + 1;
+                    continue;
+                }
+                j += 1;
+            }
+            i += 1;
+        }
+    }
+
+    /// Currently visible clusters.
+    #[must_use]
+    pub fn visible(&self) -> Vec<EbmsOutput> {
+        self.clusters
+            .iter()
+            .filter(|c| c.events >= self.config.support_events)
+            .map(|c| {
+                let bbox = BoundingBox::new(
+                    c.cx - self.config.radius_x,
+                    c.cy - self.config.radius_y,
+                    2.0 * self.config.radius_x,
+                    2.0 * self.config.radius_y,
+                )
+                .clipped_to(self.frame.w, self.frame.h);
+                EbmsOutput { id: c.id, bbox, velocity: (c.vx, c.vy) }
+            })
+            .filter(|o| !o.bbox.is_empty())
+            .collect()
+    }
+
+    /// Memory footprint in bits per Eq. 8: `408 * CL_max + 56`.
+    #[must_use]
+    pub fn memory_bits(&self) -> u64 {
+        408 * self.config.max_clusters as u64 + 56
+    }
+}
+
+/// Least-squares linear regression of position on time, in pixels/second.
+fn regress_velocity(
+    positions: &[(Timestamp, f32, f32)],
+    ops: &mut OpsCounter,
+) -> (f32, f32) {
+    let n = positions.len();
+    if n < 2 {
+        return (0.0, 0.0);
+    }
+    let t0 = positions[0].0;
+    let mut st = 0.0f64;
+    let mut stt = 0.0f64;
+    let mut sx = 0.0f64;
+    let mut sy = 0.0f64;
+    let mut stx = 0.0f64;
+    let mut sty = 0.0f64;
+    for &(t, x, y) in positions {
+        let ts = (t - t0) as f64 / 1e6;
+        st += ts;
+        stt += ts * ts;
+        sx += f64::from(x);
+        sy += f64::from(y);
+        stx += ts * f64::from(x);
+        sty += ts * f64::from(y);
+        ops.add(6);
+        ops.multiply(3);
+    }
+    let nf = n as f64;
+    let denom = nf * stt - st * st;
+    ops.multiply(4);
+    ops.add(2);
+    if denom.abs() < 1e-12 {
+        return (0.0, 0.0);
+    }
+    let vx = (nf * stx - st * sx) / denom;
+    let vy = (nf * sty - st * sy) / denom;
+    (vx as f32, vy as f32)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tracker() -> EbmsTracker {
+        EbmsTracker::new(SensorGeometry::davis240(), EbmsConfig::paper_default())
+    }
+
+    /// Feeds a burst of events around a centre.
+    fn feed_blob(t: &mut EbmsTracker, cx: u16, cy: u16, t0: Timestamp, count: u32) {
+        for k in 0..count {
+            let dx = (k % 7) as i32 - 3;
+            let dy = (k % 5) as i32 - 2;
+            let x = (i32::from(cx) + dx).clamp(0, 239) as u16;
+            let y = (i32::from(cy) + dy).clamp(0, 179) as u16;
+            t.process_event(&Event::on(x, y, t0 + u64::from(k) * 50));
+        }
+    }
+
+    #[test]
+    fn first_event_seeds_invisible_cluster() {
+        let mut t = tracker();
+        t.process_event(&Event::on(100, 90, 0));
+        assert_eq!(t.active_count(), 1);
+        assert!(t.visible().is_empty(), "below support threshold");
+    }
+
+    #[test]
+    fn supported_cluster_becomes_visible() {
+        let mut t = tracker();
+        feed_blob(&mut t, 100, 90, 0, 30);
+        let vis = t.visible();
+        assert_eq!(vis.len(), 1);
+        let (cx, cy) = vis[0].bbox.center();
+        assert!((cx - 100.5).abs() < 4.0, "centre x {cx}");
+        assert!((cy - 90.5).abs() < 4.0);
+    }
+
+    #[test]
+    fn cluster_follows_moving_blob() {
+        let mut t = tracker();
+        // Blob moving right at ~60 px/s: 3 px per 50 ms burst.
+        for step in 0..20u32 {
+            let cx = 60 + step * 3;
+            feed_blob(&mut t, cx as u16, 90, u64::from(step) * 50_000, 25);
+            t.maintain(u64::from(step + 1) * 50_000);
+        }
+        let vis = t.visible();
+        assert_eq!(vis.len(), 1, "one cluster follows, got {}", vis.len());
+        let (cx, _) = vis[0].bbox.center();
+        assert!((cx - 117.5).abs() < 8.0, "tracking the blob at ~117, got {cx}");
+        // Velocity regression sees ~60 px/s.
+        assert!((vis[0].velocity.0 - 60.0).abs() < 20.0, "vx {}", vis[0].velocity.0);
+    }
+
+    #[test]
+    fn starved_cluster_is_culled() {
+        let mut t = tracker();
+        feed_blob(&mut t, 100, 90, 0, 30);
+        assert_eq!(t.active_count(), 1);
+        t.maintain(1_000_000); // 1 s of silence >> 120 ms lifetime
+        assert_eq!(t.active_count(), 0);
+    }
+
+    #[test]
+    fn distant_events_seed_separate_clusters() {
+        let mut t = tracker();
+        feed_blob(&mut t, 50, 60, 0, 25);
+        feed_blob(&mut t, 180, 120, 0, 25);
+        assert_eq!(t.active_count(), 2);
+        assert_eq!(t.visible().len(), 2);
+    }
+
+    #[test]
+    fn overlapping_clusters_merge_on_maintenance() {
+        let mut t = tracker();
+        feed_blob(&mut t, 100, 90, 0, 25);
+        feed_blob(&mut t, 126, 90, 0, 25); // 26 px apart: separate catchments
+        assert_eq!(t.active_count(), 2);
+        // Drift them together: feed between the two.
+        for k in 0..60u32 {
+            t.process_event(&Event::on(113, 90, 2_000 + u64::from(k) * 30));
+        }
+        t.maintain(5_000);
+        assert_eq!(t.active_count(), 1, "overlapping clusters merged");
+    }
+
+    #[test]
+    fn capacity_is_bounded() {
+        let mut t = tracker();
+        for k in 0..12u32 {
+            let x = (10 + k * 19) as u16;
+            t.process_event(&Event::on(x, (10 + (k % 4) * 40) as u16, u64::from(k)));
+        }
+        assert!(t.active_count() <= 8);
+    }
+
+    #[test]
+    fn large_bus_fragments_into_multiple_clusters() {
+        // An 85-px-long event silhouette exceeds the 36-px catchment: EBMS
+        // fragments (the failure EBBIOT's coarse histograms avoid).
+        let mut t = tracker();
+        for k in 0..400u32 {
+            let x = 60 + (k % 85) as u16;
+            let y = 80 + (k % 30) as u16;
+            t.process_event(&Event::on(x, y, u64::from(k) * 40));
+        }
+        t.maintain(16_000);
+        assert!(t.active_count() >= 2, "bus split into {} clusters", t.active_count());
+    }
+
+    #[test]
+    fn velocity_regression_on_synthetic_line() {
+        let mut ops = OpsCounter::new();
+        // x = 10 + 50 t, y = 5 - 20 t.
+        let positions: Vec<(Timestamp, f32, f32)> = (0..10)
+            .map(|k| {
+                let t = k as f64 * 0.01;
+                ((t * 1e6) as u64, (10.0 + 50.0 * t) as f32, (5.0 - 20.0 * t) as f32)
+            })
+            .collect();
+        let (vx, vy) = regress_velocity(&positions, &mut ops);
+        assert!((vx - 50.0).abs() < 1.0);
+        assert!((vy + 20.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn velocity_of_single_point_is_zero() {
+        let mut ops = OpsCounter::new();
+        assert_eq!(regress_velocity(&[(0, 1.0, 2.0)], &mut ops), (0.0, 0.0));
+    }
+
+    #[test]
+    fn memory_matches_eq8() {
+        let t = tracker();
+        assert_eq!(t.memory_bits(), 408 * 8 + 56);
+        // = 3320 bits ≈ the paper's "3.32 kb" (the paper's kB figure
+        // reads the bit total as kilobits).
+    }
+
+    #[test]
+    fn ops_scale_with_cluster_count() {
+        let mut t = tracker();
+        feed_blob(&mut t, 50, 60, 0, 25);
+        feed_blob(&mut t, 180, 120, 0, 25);
+        t.reset_ops();
+        t.process_event(&Event::on(50, 60, 10_000));
+        let two_cluster_ops = t.ops().total();
+        t.reset();
+        t.reset_ops();
+        t.process_event(&Event::on(50, 60, 0));
+        let empty_ops = t.ops().total();
+        assert!(two_cluster_ops > empty_ops, "{two_cluster_ops} vs {empty_ops}");
+    }
+
+    #[test]
+    fn reset_clears_clusters() {
+        let mut t = tracker();
+        feed_blob(&mut t, 100, 90, 0, 30);
+        t.reset();
+        assert_eq!(t.active_count(), 0);
+        assert!(t.visible().is_empty());
+    }
+}

@@ -1,0 +1,26 @@
+//! Baseline trackers the EBBIOT paper compares against.
+//!
+//! * [`kalman`] — the Kalman-filter tracker of Lin, Ramesh & Xiang (2015)
+//!   as configured in §II-C: constant-velocity motion model over track
+//!   centroids, fed by the same EBBI + RPN proposals as EBBIOT. Cost
+//!   model: Eq. 7 (`C_KF = 1200` for `NT = 2`, `M_KF ≈ 1.1 kB`).
+//! * [`ebms`] — event-based mean shift (Delbrück & Lang 2013): cluster
+//!   trackers updated per event, running behind the NN-filter in a fully
+//!   event-based pipeline. Cost model: Eq. 8 (`C_EBMS = 252 k ops/frame`,
+//!   `M_EBMS = 3.32 kB` for `CL_max = 8`).
+//! * [`pipelines`] — the composed baselines used in Figs. 4 and 5:
+//!   [`pipelines::EbbiKfPipeline`] (EBBI + median + RPN + KF) and
+//!   [`pipelines::NnEbmsPipeline`] (NN-filt + EBMS), both emitting the
+//!   same [`ebbiot_core::FrameResult`] shape as the EBBIOT pipeline so
+//!   the evaluator treats all three trackers identically.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ebms;
+pub mod kalman;
+pub mod pipelines;
+
+pub use ebms::{EbmsConfig, EbmsTracker};
+pub use kalman::{KalmanConfig, KalmanTracker};
+pub use pipelines::{EbbiKfPipeline, NnEbmsPipeline};

@@ -1,0 +1,292 @@
+//! Composed baseline pipelines, emitting the same output shape as the
+//! EBBIOT pipeline so the evaluator treats all trackers identically.
+
+use ebbiot_core::{
+    pipeline::{FrameResult, TrackBox},
+    rpn::RegionProposalNetwork,
+    EbbiotConfig,
+};
+use ebbiot_events::{stream::FrameWindows, Event, Micros, OpsCounter};
+use ebbiot_filters::{EventFilter, NnFilter};
+use ebbiot_frame::{EbbiAccumulator, MedianFilter};
+
+use crate::{
+    ebms::{EbmsConfig, EbmsTracker},
+    kalman::{KalmanConfig, KalmanTracker},
+};
+
+/// EBBI + median + RPN front-end with a Kalman-filter tracker back-end —
+/// the "EBBI+KF" system of Figs. 4 and 5.
+#[derive(Debug, Clone)]
+pub struct EbbiKfPipeline {
+    config: EbbiotConfig,
+    accumulator: EbbiAccumulator,
+    median: MedianFilter,
+    rpn: RegionProposalNetwork,
+    tracker: KalmanTracker,
+    roe_ops: OpsCounter,
+    next_index: usize,
+}
+
+impl EbbiKfPipeline {
+    /// Builds the pipeline; the front-end configuration is shared with
+    /// EBBIOT (same `EbbiotConfig`), only the tracker differs.
+    #[must_use]
+    pub fn new(config: EbbiotConfig, kf: KalmanConfig) -> Self {
+        Self {
+            accumulator: EbbiAccumulator::new(config.geometry),
+            median: MedianFilter::new(config.median_patch),
+            rpn: RegionProposalNetwork::new(config.rpn),
+            tracker: KalmanTracker::new(config.geometry, kf),
+            roe_ops: OpsCounter::new(),
+            next_index: 0,
+            config,
+        }
+    }
+
+    /// Processes one frame of events.
+    pub fn process_frame(&mut self, events: &[Event]) -> FrameResult {
+        let index = self.next_index;
+        self.next_index += 1;
+        self.accumulator.accumulate_all(events);
+        let num_events = self.accumulator.events_seen() as usize;
+        let ebbi = self.accumulator.readout();
+        let filtered = self.median.apply(&ebbi);
+        let raw = self.rpn.propose(&filtered);
+        let proposals = self.config.roe.filter(&raw, &mut self.roe_ops);
+        let outputs = self.tracker.step(&proposals);
+        FrameResult {
+            index,
+            t_start: index as u64 * self.config.frame_us,
+            duration: self.config.frame_us,
+            tracks: outputs
+                .into_iter()
+                .map(|o| TrackBox {
+                    track_id: o.id,
+                    bbox: o.bbox,
+                    velocity: o.velocity,
+                    occluded: false,
+                })
+                .collect(),
+            num_proposals: proposals.len(),
+            num_events,
+        }
+    }
+
+    /// Processes a whole recording.
+    pub fn process_recording(&mut self, events: &[Event], span_us: Micros) -> Vec<FrameResult> {
+        FrameWindows::with_span(events, self.config.frame_us, span_us)
+            .map(|w| self.process_frame(w.events))
+            .collect()
+    }
+
+    /// The Kalman tracker (for op/memory introspection).
+    #[must_use]
+    pub const fn tracker(&self) -> &KalmanTracker {
+        &self.tracker
+    }
+}
+
+/// NN-filter + EBMS — the fully event-based baseline of Figs. 4 and 5.
+#[derive(Debug, Clone)]
+pub struct NnEbmsPipeline {
+    frame_us: Micros,
+    filter: NnFilter,
+    tracker: EbmsTracker,
+    next_index: usize,
+    events_kept: u64,
+    events_seen: u64,
+}
+
+impl NnEbmsPipeline {
+    /// Builds the pipeline.
+    #[must_use]
+    pub fn new(
+        geometry: ebbiot_events::SensorGeometry,
+        frame_us: Micros,
+        ebms: EbmsConfig,
+    ) -> Self {
+        Self {
+            frame_us,
+            filter: NnFilter::paper_default(geometry),
+            tracker: EbmsTracker::new(geometry, ebms),
+            next_index: 0,
+            events_kept: 0,
+            events_seen: 0,
+        }
+    }
+
+    /// Processes one frame's worth of events through the event-domain
+    /// pipeline, sampling tracker output at the frame boundary (the same
+    /// instants the evaluator samples ground truth).
+    pub fn process_frame(&mut self, events: &[Event]) -> FrameResult {
+        let index = self.next_index;
+        self.next_index += 1;
+        for e in events {
+            self.events_seen += 1;
+            if self.filter.keep(e) {
+                self.events_kept += 1;
+                self.tracker.process_event(e);
+            }
+        }
+        let t_end = (index as u64 + 1) * self.frame_us;
+        self.tracker.maintain(t_end);
+        let visible = self.tracker.visible();
+        FrameResult {
+            index,
+            t_start: index as u64 * self.frame_us,
+            duration: self.frame_us,
+            tracks: visible
+                .into_iter()
+                .map(|o| TrackBox {
+                    track_id: o.id,
+                    bbox: o.bbox,
+                    // EBMS velocities are px/s; normalize to px/frame like
+                    // the other trackers.
+                    velocity: (
+                        o.velocity.0 * self.frame_us as f32 / 1e6,
+                        o.velocity.1 * self.frame_us as f32 / 1e6,
+                    ),
+                    occluded: false,
+                })
+                .collect(),
+            num_proposals: 0,
+            num_events: events.len(),
+        }
+    }
+
+    /// Processes a whole recording.
+    pub fn process_recording(&mut self, events: &[Event], span_us: Micros) -> Vec<FrameResult> {
+        FrameWindows::with_span(events, self.frame_us, span_us)
+            .map(|w| self.process_frame(w.events))
+            .collect()
+    }
+
+    /// Fraction of events the NN-filter kept (diagnostic; the paper's
+    /// `N_F ≈ 650` per frame is the kept count).
+    #[must_use]
+    pub fn keep_fraction(&self) -> f64 {
+        if self.events_seen == 0 {
+            0.0
+        } else {
+            self.events_kept as f64 / self.events_seen as f64
+        }
+    }
+
+    /// Mean kept (filtered) events per frame — the paper's `N_F`.
+    #[must_use]
+    pub fn filtered_events_per_frame(&self) -> f64 {
+        if self.next_index == 0 {
+            0.0
+        } else {
+            self.events_kept as f64 / self.next_index as f64
+        }
+    }
+
+    /// The EBMS tracker (introspection).
+    #[must_use]
+    pub const fn tracker(&self) -> &EbmsTracker {
+        &self.tracker
+    }
+
+    /// The NN-filter (introspection).
+    #[must_use]
+    pub const fn filter(&self) -> &NnFilter {
+        &self.filter
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ebbiot_events::SensorGeometry;
+
+    fn geometry() -> SensorGeometry {
+        SensorGeometry::davis240()
+    }
+
+    /// A dense moving block across `frames` frames of 66 ms.
+    fn moving_block_events(frames: usize) -> Vec<Event> {
+        let mut events = Vec::new();
+        for f in 0..frames {
+            let x0 = 50 + f as u16 * 3;
+            let t0 = f as u64 * 66_000;
+            for dy in 0..15u16 {
+                for dx in 0..30u16 {
+                    events.push(Event::on(
+                        x0 + dx,
+                        90 + dy,
+                        t0 + u64::from(dy * 30 + dx) * 20,
+                    ));
+                }
+            }
+        }
+        ebbiot_events::stream::sort_by_time(&mut events);
+        events
+    }
+
+    #[test]
+    fn kf_pipeline_tracks_moving_block() {
+        let cfg = EbbiotConfig::paper_default(geometry());
+        let mut p = EbbiKfPipeline::new(cfg, KalmanConfig::paper_default());
+        let events = moving_block_events(6);
+        let results = p.process_recording(&events, 6 * 66_000);
+        assert_eq!(results.len(), 6);
+        let last = results.last().unwrap();
+        assert_eq!(last.tracks.len(), 1);
+        let (cx, cy) = last.tracks[0].bbox.center();
+        assert!((cx - 80.0).abs() < 10.0, "cx {cx}");
+        assert!((cy - 97.5).abs() < 5.0, "cy {cy}");
+    }
+
+    #[test]
+    fn ebms_pipeline_tracks_moving_block() {
+        let mut p = NnEbmsPipeline::new(geometry(), 66_000, EbmsConfig::paper_default());
+        let events = moving_block_events(6);
+        let results = p.process_recording(&events, 6 * 66_000);
+        let last = results.last().unwrap();
+        assert!(!last.tracks.is_empty(), "EBMS found the object");
+        // At least one cluster near the block.
+        let near = last.tracks.iter().any(|t| {
+            let (cx, cy) = t.bbox.center();
+            (cx - 80.0).abs() < 25.0 && (cy - 97.5).abs() < 15.0
+        });
+        assert!(near);
+    }
+
+    #[test]
+    fn nn_filter_removes_isolated_noise_before_ebms() {
+        let mut p = NnEbmsPipeline::new(geometry(), 66_000, EbmsConfig::paper_default());
+        // Sparse isolated events: nothing should pass the NN filter.
+        let events: Vec<Event> =
+            (0..50).map(|k| Event::on((k * 4) % 240, (k * 7) % 180, u64::from(k) * 1_000)).collect();
+        let results = p.process_recording(&events, 66_000);
+        assert!(results[0].tracks.is_empty());
+        assert!(p.keep_fraction() < 0.2, "kept {}", p.keep_fraction());
+    }
+
+    #[test]
+    fn frame_results_align_across_pipelines() {
+        let events = moving_block_events(3);
+        let cfg = EbbiotConfig::paper_default(geometry());
+        let mut kf = EbbiKfPipeline::new(cfg, KalmanConfig::paper_default());
+        let mut ebms = NnEbmsPipeline::new(geometry(), 66_000, EbmsConfig::paper_default());
+        let rk = kf.process_recording(&events, 3 * 66_000);
+        let re = ebms.process_recording(&events, 3 * 66_000);
+        assert_eq!(rk.len(), re.len());
+        for (a, b) in rk.iter().zip(&re) {
+            assert_eq!(a.index, b.index);
+            assert_eq!(a.t_start, b.t_start);
+        }
+    }
+
+    #[test]
+    fn filtered_events_per_frame_statistic() {
+        let mut p = NnEbmsPipeline::new(geometry(), 66_000, EbmsConfig::paper_default());
+        let events = moving_block_events(4);
+        let _ = p.process_recording(&events, 4 * 66_000);
+        // The dense block mostly passes the NN filter.
+        assert!(p.filtered_events_per_frame() > 200.0);
+        assert!(p.keep_fraction() > 0.6);
+    }
+}

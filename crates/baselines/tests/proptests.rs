@@ -1,0 +1,120 @@
+//! Property-based tests for the baseline trackers.
+
+use ebbiot_baselines::{EbmsConfig, EbmsTracker, KalmanConfig, KalmanTracker};
+use ebbiot_events::{Event, SensorGeometry};
+use ebbiot_frame::BoundingBox;
+use proptest::prelude::*;
+
+const W: u16 = 240;
+const H: u16 = 180;
+
+fn geometry() -> SensorGeometry {
+    SensorGeometry::new(W, H)
+}
+
+fn arb_proposals() -> impl Strategy<Value = Vec<BoundingBox>> {
+    proptest::collection::vec(
+        (0.0f32..200.0, 0.0f32..150.0, 8.0f32..60.0, 6.0f32..25.0),
+        0..6,
+    )
+    .prop_map(|specs| {
+        specs.into_iter().map(|(x, y, w, h)| BoundingBox::new(x, y, w, h)).collect()
+    })
+}
+
+fn arb_events() -> impl Strategy<Value = Vec<Event>> {
+    proptest::collection::vec((0u64..500_000, 0..W, 0..H), 0..400).prop_map(|specs| {
+        let mut events: Vec<Event> =
+            specs.into_iter().map(|(t, x, y)| Event::on(x, y, t)).collect();
+        events.sort_unstable();
+        events
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn kalman_tracks_stay_bounded_and_finite(
+        frames in proptest::collection::vec(arb_proposals(), 1..12)
+    ) {
+        let mut tracker = KalmanTracker::new(geometry(), KalmanConfig::paper_default());
+        for proposals in &frames {
+            for out in tracker.step(proposals) {
+                prop_assert!(out.bbox.x >= 0.0 && out.bbox.y >= 0.0);
+                prop_assert!(out.bbox.x_max() <= f32::from(W) + 1e-3);
+                prop_assert!(out.bbox.y_max() <= f32::from(H) + 1e-3);
+                prop_assert!(out.velocity.0.is_finite() && out.velocity.1.is_finite());
+            }
+            prop_assert!(tracker.active_count() <= 8);
+        }
+    }
+
+    #[test]
+    fn kalman_is_deterministic(frames in proptest::collection::vec(arb_proposals(), 1..8)) {
+        let run = || {
+            let mut t = KalmanTracker::new(geometry(), KalmanConfig::paper_default());
+            frames.iter().map(|p| t.step(p)).collect::<Vec<_>>()
+        };
+        prop_assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn kalman_pool_drains_without_measurements(proposals in arb_proposals()) {
+        let mut tracker = KalmanTracker::new(geometry(), KalmanConfig::paper_default());
+        let _ = tracker.step(&proposals);
+        for _ in 0..30 {
+            let _ = tracker.step(&[]);
+        }
+        // Tracks die from the miss budget or by predicting off-frame.
+        prop_assert_eq!(tracker.active_count(), 0);
+    }
+
+    #[test]
+    fn ebms_cluster_count_is_bounded(events in arb_events()) {
+        let mut tracker = EbmsTracker::new(geometry(), EbmsConfig::paper_default());
+        for e in &events {
+            tracker.process_event(e);
+            prop_assert!(tracker.active_count() <= 8);
+        }
+    }
+
+    #[test]
+    fn ebms_visible_boxes_are_inside_frame(events in arb_events()) {
+        let mut tracker = EbmsTracker::new(geometry(), EbmsConfig::paper_default());
+        for e in &events {
+            tracker.process_event(e);
+        }
+        tracker.maintain(500_000);
+        for out in tracker.visible() {
+            prop_assert!(out.bbox.x >= 0.0 && out.bbox.y >= 0.0);
+            prop_assert!(out.bbox.x_max() <= f32::from(W) + 1e-3);
+            prop_assert!(out.bbox.y_max() <= f32::from(H) + 1e-3);
+        }
+    }
+
+    #[test]
+    fn ebms_maintain_is_idempotent_in_quiet_periods(events in arb_events()) {
+        let mut a = EbmsTracker::new(geometry(), EbmsConfig::paper_default());
+        let mut b = EbmsTracker::new(geometry(), EbmsConfig::paper_default());
+        for e in &events {
+            a.process_event(e);
+            b.process_event(e);
+        }
+        a.maintain(600_000);
+        b.maintain(600_000);
+        b.maintain(600_000); // double maintain must change nothing
+        prop_assert_eq!(a.visible(), b.visible());
+        prop_assert_eq!(a.active_count(), b.active_count());
+    }
+
+    #[test]
+    fn ebms_total_starvation_clears_all_clusters(events in arb_events()) {
+        let mut tracker = EbmsTracker::new(geometry(), EbmsConfig::paper_default());
+        for e in &events {
+            tracker.process_event(e);
+        }
+        tracker.maintain(u64::MAX / 2);
+        prop_assert_eq!(tracker.active_count(), 0);
+    }
+}

@@ -1,0 +1,52 @@
+//! End-to-end pipeline benches backing Fig. 4's trackers: EBBIOT,
+//! EBBI+KF, and NN-filt+EBMS over the same 2-second LT4 recording.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use ebbiot_baselines::{EbbiKfPipeline, EbmsConfig, KalmanConfig, NnEbmsPipeline};
+use ebbiot_core::{EbbiotConfig, EbbiotPipeline};
+use ebbiot_sim::{DatasetPreset, SimulatedRecording};
+use std::hint::black_box;
+
+fn recording() -> SimulatedRecording {
+    DatasetPreset::Lt4.config().with_duration_s(2.0).generate(42)
+}
+
+fn bench_pipelines(c: &mut Criterion) {
+    let rec = recording();
+    let mut group = c.benchmark_group("fig4_pipelines");
+    group.throughput(Throughput::Elements(rec.events.len() as u64));
+
+    group.bench_function("ebbiot_2s_lt4", |b| {
+        b.iter_batched(
+            || EbbiotPipeline::new(EbbiotConfig::paper_default(rec.geometry)),
+            |mut p| black_box(p.process_recording(&rec.events, rec.duration_us)),
+            BatchSize::SmallInput,
+        );
+    });
+
+    group.bench_function("ebbi_kf_2s_lt4", |b| {
+        b.iter_batched(
+            || {
+                EbbiKfPipeline::new(
+                    EbbiotConfig::paper_default(rec.geometry),
+                    KalmanConfig::paper_default(),
+                )
+            },
+            |mut p| black_box(p.process_recording(&rec.events, rec.duration_us)),
+            BatchSize::SmallInput,
+        );
+    });
+
+    group.bench_function("nn_ebms_2s_lt4", |b| {
+        b.iter_batched(
+            || NnEbmsPipeline::new(rec.geometry, rec.frame_us, EbmsConfig::paper_default()),
+            |mut p| black_box(p.process_recording(&rec.events, rec.duration_us)),
+            BatchSize::SmallInput,
+        );
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_pipelines);
+criterion_main!(benches);

@@ -1,0 +1,188 @@
+//! Shared harness utilities for the experiment binaries and benches.
+//!
+//! Each `exp_*` binary in `src/bin/` regenerates one table or figure of
+//! the paper (see DESIGN.md's per-experiment index). This library holds
+//! the glue: running each tracker pipeline over a simulated recording and
+//! extracting per-frame box lists in the shape the evaluator wants.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use ebbiot_baselines::{EbbiKfPipeline, EbmsConfig, KalmanConfig, NnEbmsPipeline};
+use ebbiot_core::{EbbiotConfig, EbbiotPipeline, RegionOfExclusion};
+use ebbiot_eval::{sweep_thresholds, RecordingEval};
+use ebbiot_frame::BoundingBox;
+use ebbiot_sim::{DatasetPreset, SimulatedRecording};
+
+/// Per-frame tracker boxes, the evaluator's input shape.
+pub type FrameBoxes = Vec<Vec<BoundingBox>>;
+
+/// Builds the EBBIOT configuration for a recording, deriving the ROE from
+/// the preset's flicker distractors (the paper's manually drawn ROE; our
+/// "manual" knowledge comes from the preset definition, not from the
+/// events).
+#[must_use]
+pub fn ebbiot_config_for(preset: DatasetPreset, rec: &SimulatedRecording) -> EbbiotConfig {
+    let roe_boxes: Vec<BoundingBox> = preset
+        .config()
+        .flickers
+        .iter()
+        .map(|f| {
+            let b = f.region;
+            // One RPN cell of margin so cell-aligned proposals of the
+            // flicker are reliably caught.
+            BoundingBox::new(
+                f32::from(b.x_min) - 6.0,
+                f32::from(b.y_min) - 3.0,
+                f32::from(b.width()) + 12.0,
+                f32::from(b.height()) + 6.0,
+            )
+        })
+        .collect();
+    EbbiotConfig::paper_default(rec.geometry).with_roe(RegionOfExclusion::new(roe_boxes))
+}
+
+/// Runs the EBBIOT pipeline over a recording, returning per-frame boxes.
+#[must_use]
+pub fn run_ebbiot(preset: DatasetPreset, rec: &SimulatedRecording) -> FrameBoxes {
+    let mut pipeline = EbbiotPipeline::new(ebbiot_config_for(preset, rec));
+    pipeline
+        .process_recording(&rec.events, rec.duration_us)
+        .into_iter()
+        .map(|f| f.tracks.into_iter().map(|t| t.bbox).collect())
+        .collect()
+}
+
+/// Runs the EBBI + Kalman-filter baseline.
+#[must_use]
+pub fn run_ebbi_kf(preset: DatasetPreset, rec: &SimulatedRecording) -> FrameBoxes {
+    let mut pipeline =
+        EbbiKfPipeline::new(ebbiot_config_for(preset, rec), KalmanConfig::paper_default());
+    pipeline
+        .process_recording(&rec.events, rec.duration_us)
+        .into_iter()
+        .map(|f| f.tracks.into_iter().map(|t| t.bbox).collect())
+        .collect()
+}
+
+/// Runs the NN-filt + EBMS baseline.
+#[must_use]
+pub fn run_nn_ebms(rec: &SimulatedRecording) -> FrameBoxes {
+    let mut pipeline =
+        NnEbmsPipeline::new(rec.geometry, rec.frame_us, EbmsConfig::paper_default());
+    pipeline
+        .process_recording(&rec.events, rec.duration_us)
+        .into_iter()
+        .map(|f| f.tracks.into_iter().map(|t| t.bbox).collect())
+        .collect()
+}
+
+/// Extracts per-frame ground-truth boxes from a recording.
+#[must_use]
+pub fn gt_boxes(rec: &SimulatedRecording) -> FrameBoxes {
+    rec.ground_truth
+        .iter()
+        .map(|f| f.boxes.iter().map(|b| b.bbox).collect())
+        .collect()
+}
+
+/// Evaluates one tracker output against a recording's ground truth over
+/// the Fig. 4 threshold grid.
+#[must_use]
+pub fn fig4_sweep(rec: &SimulatedRecording, predictions: &FrameBoxes) -> Vec<RecordingEval> {
+    sweep_thresholds(&gt_boxes(rec), predictions, &ebbiot_eval::sweep::fig4_thresholds())
+}
+
+/// Parses `--seconds <f>`, `--seed <u>` and `--full` from argv, returning
+/// `(seconds_override, seed, full)`.
+#[must_use]
+pub fn parse_harness_args(args: &[String]) -> (Option<f64>, u64, bool) {
+    let mut seconds = None;
+    let mut seed = 42;
+    let mut full = false;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--seconds" => {
+                seconds = it.next().and_then(|v| v.parse().ok());
+            }
+            "--seed" => {
+                if let Some(v) = it.next().and_then(|v| v.parse().ok()) {
+                    seed = v;
+                }
+            }
+            "--full" => full = true,
+            _ => {}
+        }
+    }
+    (seconds, seed, full)
+}
+
+/// Generates a recording for a preset honouring harness args: `--full`
+/// restores Table I durations, `--seconds` overrides, default is the
+/// preset's 1/10-scaled duration capped at `default_cap_s` for quick runs.
+#[must_use]
+pub fn generate_for_harness(
+    preset: DatasetPreset,
+    seconds: Option<f64>,
+    seed: u64,
+    full: bool,
+    default_cap_s: f64,
+) -> SimulatedRecording {
+    let cfg = preset.config();
+    let cfg = if full {
+        cfg.with_full_duration(preset)
+    } else if let Some(s) = seconds {
+        cfg.with_duration_s(s)
+    } else {
+        let scaled_s = cfg.duration_us as f64 / 1e6;
+        cfg.with_duration_s(scaled_s.min(default_cap_s))
+    };
+    cfg.generate(seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arg_parsing_defaults_and_overrides() {
+        let (s, seed, full) = parse_harness_args(&[]);
+        assert_eq!((s, seed, full), (None, 42, false));
+        let args: Vec<String> =
+            ["--seconds", "12.5", "--seed", "7", "--full"].iter().map(|s| s.to_string()).collect();
+        let (s, seed, full) = parse_harness_args(&args);
+        assert_eq!(s, Some(12.5));
+        assert_eq!(seed, 7);
+        assert!(full);
+    }
+
+    #[test]
+    fn harness_generation_respects_cap() {
+        let rec = generate_for_harness(DatasetPreset::Lt4, None, 1, false, 2.0);
+        assert_eq!(rec.duration_us, 2_000_000);
+        let rec = generate_for_harness(DatasetPreset::Lt4, Some(1.0), 1, false, 2.0);
+        assert_eq!(rec.duration_us, 1_000_000);
+    }
+
+    #[test]
+    fn pipelines_produce_frame_aligned_outputs() {
+        let rec = generate_for_harness(DatasetPreset::Lt4, Some(2.0), 3, false, 2.0);
+        let gt = gt_boxes(&rec);
+        let eb = run_ebbiot(DatasetPreset::Lt4, &rec);
+        let kf = run_ebbi_kf(DatasetPreset::Lt4, &rec);
+        let ms = run_nn_ebms(&rec);
+        assert_eq!(gt.len(), eb.len());
+        assert_eq!(gt.len(), kf.len());
+        assert_eq!(gt.len(), ms.len());
+    }
+
+    #[test]
+    fn roe_covers_eng_flicker() {
+        let rec = generate_for_harness(DatasetPreset::Eng, Some(1.0), 3, false, 1.0);
+        let cfg = ebbiot_config_for(DatasetPreset::Eng, &rec);
+        assert_eq!(cfg.roe.regions().len(), 1);
+        let r = cfg.roe.regions()[0];
+        assert!(r.x < 4.0 && r.x_max() > 44.0);
+    }
+}

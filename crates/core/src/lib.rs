@@ -1,0 +1,53 @@
+//! EBBIOT — the paper's contribution.
+//!
+//! This crate implements the three blocks of Fig. 1 on top of the frame
+//! substrate, plus the system-level models the paper argues from:
+//!
+//! * [`rpn`] — the event-density region-proposal network (§II-B):
+//!   downsample the denoised EBBI, project X/Y histograms, extract
+//!   above-threshold runs, intersect them into boxes, validate.
+//! * [`tracker`] — the overlap-based tracker (OT, §II-C): up to `NT = 8`
+//!   constant-velocity box trackers with overlap matching, fragmentation
+//!   merging, and 2-step look-ahead occlusion handling.
+//! * [`roe`] — the region of exclusion masking distractors like trees.
+//! * [`pipeline`] — the end-to-end EBBIOT pipeline: events → EBBI →
+//!   median → RPN → ROE → OT, with per-block op counters.
+//! * [`duty_cycle`] — the interrupt-driven sensing model of Fig. 2
+//!   (processor sleeps between `tF` interrupts; the sensor is the memory).
+//! * [`two_timescale`] — the conclusion's future-work extension: a second
+//!   long-exposure frame stream for slow, small objects (humans).
+//!
+//! # Example
+//!
+//! ```
+//! use ebbiot_core::{EbbiotConfig, EbbiotPipeline};
+//! use ebbiot_events::{Event, SensorGeometry};
+//!
+//! let config = EbbiotConfig::paper_default(SensorGeometry::davis240());
+//! let mut pipeline = EbbiotPipeline::new(config);
+//! // A tight cluster of events: one region proposal, one (provisional) track.
+//! let events: Vec<Event> = (0..200)
+//!     .map(|i| Event::on(60 + (i % 20) as u16, 80 + (i / 20) as u16, i))
+//!     .collect();
+//! let result = pipeline.process_frame(&events);
+//! assert_eq!(result.index, 0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod duty_cycle;
+pub mod pipeline;
+pub mod roe;
+pub mod rpn;
+pub mod tracker;
+pub mod two_timescale;
+
+pub use config::EbbiotConfig;
+pub use duty_cycle::{DutyCycleModel, DutyCycleReport, ProcessorModel};
+pub use pipeline::{EbbiotPipeline, FrameResult, TrackBox};
+pub use roe::RegionOfExclusion;
+pub use rpn::{RegionProposalNetwork, RpnMode};
+pub use tracker::{OtConfig, OverlapTracker, Track};
+pub use two_timescale::{TwoTimescaleConfig, TwoTimescalePipeline};

@@ -1,0 +1,462 @@
+//! Event-density region-proposal network (§II-B).
+//!
+//! Pipeline per frame: downsample the denoised EBBI by `(s1, s2)` (Eq. 3),
+//! project `H_X` and `H_Y` (Eq. 4), find contiguous runs at or above a
+//! threshold (the paper sets it to 1), and propose the Cartesian
+//! intersections of X-runs and Y-runs as regions. When multiple runs exist
+//! on *both* axes, the product contains false intersections; the paper
+//! prescribes "a check ... in the original image to see if there are any
+//! valid pixels in that region" — we check the downsampled count image,
+//! which contains exactly the same information at `1/(s1*s2)` the cost.
+//!
+//! [`RpnMode::ConnectedComponents`] implements the paper's stated future
+//! work (a general CCA-based proposer, for scenes that are not side views)
+//! on the same interface.
+
+use ebbiot_events::OpsCounter;
+use ebbiot_frame::{
+    cca::{connected_components, Connectivity},
+    histogram::{Axis, Histogram},
+    BinaryImage, BoundingBox, CountImage,
+};
+
+/// Which proposal algorithm to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RpnMode {
+    /// The paper's histogram intersection method (fast, side-view scenes).
+    Histogram,
+    /// 2-D connected components on the downsampled image — the paper's
+    /// future-work generalization.
+    ConnectedComponents,
+}
+
+/// Configuration of the region proposer.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RpnConfig {
+    /// X downsampling factor `s1` (paper: 6).
+    pub s1: u16,
+    /// Y downsampling factor `s2` (paper: 3).
+    pub s2: u16,
+    /// Histogram run threshold (paper: 1).
+    pub threshold: u32,
+    /// Proposal algorithm.
+    pub mode: RpnMode,
+    /// Minimum proposal area in full-resolution pixels; smaller proposals
+    /// are dropped (surviving noise clusters). The paper relies on the
+    /// median filter alone; a small floor makes the reproduction robust to
+    /// heavier simulated noise without changing behaviour on real regions.
+    pub min_area: f32,
+    /// **Extension (off in the paper configuration):** tighten each
+    /// proposal to the bounding box of the actual set pixels inside it.
+    /// Cell-aligned proposals overshoot small objects by up to
+    /// `s1 - 1` x `s2 - 1` pixels; the paper already prescribes reading
+    /// the original image inside candidate regions (the false-intersection
+    /// check), and this pass reuses exactly that access pattern at a cost
+    /// proportional to the proposed area.
+    ///
+    /// Reproduction finding: with refinement on, both EBBIOT's overlap
+    /// tracker and the Kalman baseline improve substantially *and
+    /// converge* — most of the OT-vs-KF gap in Fig. 4 is attributable to
+    /// cell-aligned proposal slack that the OT's full-box matching
+    /// tolerates better than the KF's centroid gating.
+    pub refine_boxes: bool,
+}
+
+impl RpnConfig {
+    /// The paper's parameters: `s1 = 6`, `s2 = 3`, threshold 1, histogram
+    /// mode, cell-aligned (unrefined) proposals.
+    #[must_use]
+    pub fn paper_default() -> Self {
+        Self {
+            s1: 6,
+            s2: 3,
+            threshold: 1,
+            mode: RpnMode::Histogram,
+            min_area: 40.0,
+            refine_boxes: false,
+        }
+    }
+
+    /// The paper configuration plus the box-refinement extension.
+    #[must_use]
+    pub fn refined() -> Self {
+        Self { refine_boxes: true, ..Self::paper_default() }
+    }
+}
+
+/// The region-proposal network.
+#[derive(Debug, Clone)]
+pub struct RegionProposalNetwork {
+    config: RpnConfig,
+    ops: OpsCounter,
+}
+
+impl RegionProposalNetwork {
+    /// Creates an RPN.
+    ///
+    /// # Panics
+    ///
+    /// Panics when a scale factor or the threshold is zero.
+    #[must_use]
+    pub fn new(config: RpnConfig) -> Self {
+        assert!(config.s1 > 0 && config.s2 > 0, "scale factors must be non-zero");
+        assert!(config.threshold > 0, "threshold must be non-zero");
+        Self { config, ops: OpsCounter::new() }
+    }
+
+    /// The configuration.
+    #[must_use]
+    pub const fn config(&self) -> &RpnConfig {
+        &self.config
+    }
+
+    /// Proposes regions for one denoised EBBI.
+    #[must_use]
+    pub fn propose(&mut self, image: &BinaryImage) -> Vec<BoundingBox> {
+        let scaled = CountImage::downsample(image, self.config.s1, self.config.s2, &mut self.ops);
+        let proposals = match self.config.mode {
+            RpnMode::Histogram => self.propose_histogram(&scaled),
+            RpnMode::ConnectedComponents => self.propose_cca(&scaled),
+        };
+        self.refine_all(image, proposals)
+    }
+
+    /// Proposes regions and also returns the intermediate downsampled
+    /// image and histograms (for visualization, e.g. regenerating Fig. 3).
+    pub fn propose_with_intermediates(
+        &mut self,
+        image: &BinaryImage,
+    ) -> (Vec<BoundingBox>, CountImage, Histogram, Histogram) {
+        let scaled = CountImage::downsample(image, self.config.s1, self.config.s2, &mut self.ops);
+        let hx = Histogram::project(&scaled, Axis::X, &mut self.ops);
+        let hy = Histogram::project(&scaled, Axis::Y, &mut self.ops);
+        let proposals = self.intersect_runs(&scaled, &hx, &hy);
+        let proposals = self.refine_all(image, proposals);
+        (proposals, scaled, hx, hy)
+    }
+
+    /// Tightens cell-aligned proposals to the bounding box of the set
+    /// pixels inside them (when [`RpnConfig::refine_boxes`] is on).
+    fn refine_all(
+        &mut self,
+        image: &BinaryImage,
+        proposals: Vec<BoundingBox>,
+    ) -> Vec<BoundingBox> {
+        if !self.config.refine_boxes {
+            return proposals;
+        }
+        let min_area = self.config.min_area;
+        proposals
+            .into_iter()
+            .filter_map(|b| self.refine(image, &b))
+            .filter(|b| b.area() >= min_area)
+            .collect()
+    }
+
+    /// Bounding box of set pixels inside the proposal, or `None` when the
+    /// region is actually empty.
+    fn refine(&mut self, image: &BinaryImage, b: &BoundingBox) -> Option<BoundingBox> {
+        let x0 = b.x.max(0.0) as u16;
+        let y0 = b.y.max(0.0) as u16;
+        let x1 = (b.x_max().ceil().max(0.0) as u16).min(image.width());
+        let y1 = (b.y_max().ceil().max(0.0) as u16).min(image.height());
+        let mut min_x = u16::MAX;
+        let mut min_y = u16::MAX;
+        let mut max_x = 0u16;
+        let mut max_y = 0u16;
+        let mut any = false;
+        for y in y0..y1 {
+            for x in x0..x1 {
+                self.ops.compare(1);
+                if image.get(x, y) {
+                    any = true;
+                    min_x = min_x.min(x);
+                    min_y = min_y.min(y);
+                    max_x = max_x.max(x);
+                    max_y = max_y.max(y);
+                }
+            }
+        }
+        if !any {
+            return None;
+        }
+        Some(BoundingBox::from_corners(
+            f32::from(min_x),
+            f32::from(min_y),
+            f32::from(max_x) + 1.0,
+            f32::from(max_y) + 1.0,
+        ))
+    }
+
+    fn propose_histogram(&mut self, scaled: &CountImage) -> Vec<BoundingBox> {
+        let hx = Histogram::project(scaled, Axis::X, &mut self.ops);
+        let hy = Histogram::project(scaled, Axis::Y, &mut self.ops);
+        self.intersect_runs(scaled, &hx, &hy)
+    }
+
+    fn intersect_runs(
+        &mut self,
+        scaled: &CountImage,
+        hx: &Histogram,
+        hy: &Histogram,
+    ) -> Vec<BoundingBox> {
+        let x_runs = hx.runs_at_least(self.config.threshold, &mut self.ops);
+        let y_runs = hy.runs_at_least(self.config.threshold, &mut self.ops);
+        let ambiguous = x_runs.len() > 1 && y_runs.len() > 1;
+        let mut proposals = Vec::with_capacity(x_runs.len() * y_runs.len());
+        for rx in &x_runs {
+            for ry in &y_runs {
+                // False intersections only arise when both axes have
+                // multiple runs; validate those against the count image.
+                if ambiguous {
+                    self.ops.compare(1);
+                    if !scaled.any_nonzero_in(
+                        rx.start as u16,
+                        rx.end as u16,
+                        ry.start as u16,
+                        ry.end as u16,
+                    ) {
+                        continue;
+                    }
+                }
+                let bbox = self.cells_to_box(
+                    rx.start as u16,
+                    rx.end as u16,
+                    ry.start as u16,
+                    ry.end as u16,
+                );
+                self.ops.compare(1);
+                if bbox.area() >= self.config.min_area {
+                    proposals.push(bbox);
+                }
+            }
+        }
+        proposals
+    }
+
+    fn propose_cca(&mut self, scaled: &CountImage) -> Vec<BoundingBox> {
+        // Binarize the count image at the threshold, then label.
+        let geom = ebbiot_events::SensorGeometry::new(
+            scaled.width().max(1),
+            scaled.height().max(1),
+        );
+        let mut binary = BinaryImage::new(geom);
+        for j in 0..scaled.height() {
+            for i in 0..scaled.width() {
+                self.ops.compare(1);
+                if scaled.get(i, j) >= self.config.threshold {
+                    binary.set(i, j, true);
+                    self.ops.write(1);
+                }
+            }
+        }
+        let comps = connected_components(&binary, Connectivity::Eight, &mut self.ops);
+        comps
+            .into_iter()
+            .map(|c| {
+                self.cells_to_box(c.bbox.x_min, c.bbox.x_max, c.bbox.y_min, c.bbox.y_max)
+            })
+            .filter(|b| b.area() >= self.config.min_area)
+            .collect()
+    }
+
+    /// Converts a half-open cell rectangle back to full-resolution pixels.
+    fn cells_to_box(&self, i_min: u16, i_max: u16, j_min: u16, j_max: u16) -> BoundingBox {
+        BoundingBox::new(
+            f32::from(i_min) * f32::from(self.config.s1),
+            f32::from(j_min) * f32::from(self.config.s2),
+            f32::from(i_max - i_min) * f32::from(self.config.s1),
+            f32::from(j_max - j_min) * f32::from(self.config.s2),
+        )
+    }
+
+    /// Runtime op counter.
+    #[must_use]
+    pub const fn ops(&self) -> &OpsCounter {
+        &self.ops
+    }
+
+    /// Resets the op counter.
+    pub fn reset_ops(&mut self) {
+        self.ops.reset();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ebbiot_events::SensorGeometry;
+    use ebbiot_frame::PixelBox;
+
+    fn davis_image() -> BinaryImage {
+        BinaryImage::new(SensorGeometry::davis240())
+    }
+
+    fn rpn() -> RegionProposalNetwork {
+        RegionProposalNetwork::new(RpnConfig::paper_default())
+    }
+
+    #[test]
+    fn empty_image_proposes_nothing() {
+        let img = davis_image();
+        assert!(rpn().propose(&img).is_empty());
+    }
+
+    #[test]
+    fn paper_default_proposals_are_cell_aligned() {
+        let mut img = davis_image();
+        img.fill_box(&PixelBox::new(61, 91, 99, 107));
+        let proposals = rpn().propose(&img);
+        assert_eq!(proposals.len(), 1);
+        let p = &proposals[0];
+        assert!(p.x % 6.0 == 0.0 && p.y % 3.0 == 0.0, "cell aligned");
+        assert!(p.x <= 61.0 && p.x_max() >= 99.0);
+        assert!(p.w <= 38.0 + 12.0 + 1.0, "at most one cell of slack per side");
+    }
+
+    #[test]
+    fn refined_mode_proposes_the_tight_box() {
+        let mut img = davis_image();
+        img.fill_box(&PixelBox::new(60, 90, 100, 108)); // a car silhouette
+        let mut r = RegionProposalNetwork::new(RpnConfig::refined());
+        let proposals = r.propose(&img);
+        assert_eq!(proposals.len(), 1);
+        // With refinement on, the proposal is exactly the blob's box.
+        assert_eq!(proposals[0], BoundingBox::new(60.0, 90.0, 40.0, 18.0));
+    }
+
+    #[test]
+    fn refined_mode_drops_regions_that_shrink_below_min_area() {
+        // A 5x5 blob: the cell-aligned proposal is 6x6 >= 40 px^2, but the
+        // refined tight box is 25 px^2 < 40 and is dropped.
+        let mut img = davis_image();
+        img.fill_box(&PixelBox::new(100, 99, 105, 104));
+        assert_eq!(rpn().propose(&img).len(), 1, "cell-aligned keeps it");
+        let mut r = RegionProposalNetwork::new(RpnConfig::refined());
+        assert!(r.propose(&img).is_empty(), "refined drops it");
+    }
+
+    #[test]
+    fn fragmented_vehicle_merges_into_one_proposal() {
+        // Fig. 3's car: front and rear event clusters, quiet interior.
+        // Gap of 4 px < s1 = 6 merges in the downsampled histogram.
+        let mut img = davis_image();
+        img.fill_box(&PixelBox::new(60, 90, 64, 108)); // rear edge cluster
+        img.fill_box(&PixelBox::new(68, 90, 72, 108)); // front edge cluster
+        let proposals = rpn().propose(&img);
+        assert_eq!(proposals.len(), 1, "mini-regions merged by coarse histogram");
+    }
+
+    #[test]
+    fn distant_objects_stay_separate() {
+        let mut img = davis_image();
+        img.fill_box(&PixelBox::new(30, 90, 60, 105));
+        img.fill_box(&PixelBox::new(150, 90, 190, 105));
+        let proposals = rpn().propose(&img);
+        assert_eq!(proposals.len(), 2);
+    }
+
+    #[test]
+    fn false_intersections_are_pruned() {
+        // Two blobs at diagonal corners: 2 X-runs x 2 Y-runs = 4 candidate
+        // intersections, but only 2 contain pixels.
+        let mut img = davis_image();
+        img.fill_box(&PixelBox::new(30, 30, 60, 45));
+        img.fill_box(&PixelBox::new(150, 120, 190, 140));
+        let proposals = rpn().propose(&img);
+        assert_eq!(proposals.len(), 2, "diagonal ghosts removed");
+    }
+
+    #[test]
+    fn cca_mode_no_false_intersections_by_construction() {
+        let mut img = davis_image();
+        img.fill_box(&PixelBox::new(30, 30, 60, 45));
+        img.fill_box(&PixelBox::new(150, 120, 190, 140));
+        let mut r = RegionProposalNetwork::new(RpnConfig {
+            mode: RpnMode::ConnectedComponents,
+            ..RpnConfig::paper_default()
+        });
+        let proposals = r.propose(&img);
+        assert_eq!(proposals.len(), 2);
+    }
+
+    #[test]
+    fn cca_mode_separates_objects_sharing_both_axis_bands() {
+        // An L-shaped configuration where histogram mode over-merges:
+        // three blobs forming an L share X and Y runs.
+        let mut img = davis_image();
+        img.fill_box(&PixelBox::new(30, 30, 60, 45));
+        img.fill_box(&PixelBox::new(30, 120, 60, 135));
+        img.fill_box(&PixelBox::new(150, 30, 190, 45));
+        let mut hist = rpn();
+        let hist_props = hist.propose(&img);
+        // Histogram mode proposes the 2x2 product minus the empty corner = 3.
+        assert_eq!(hist_props.len(), 3);
+        let mut cca = RegionProposalNetwork::new(RpnConfig {
+            mode: RpnMode::ConnectedComponents,
+            ..RpnConfig::paper_default()
+        });
+        assert_eq!(cca.propose(&img).len(), 3, "CCA also finds exactly the 3 blobs");
+    }
+
+    #[test]
+    fn min_area_floor_drops_specks() {
+        let mut img = davis_image();
+        img.fill_box(&PixelBox::new(100, 100, 102, 102)); // 2x2 speck
+        let proposals = rpn().propose(&img);
+        assert!(proposals.is_empty(), "6x3 px cell-proposal below 40 px^2 floor");
+    }
+
+    #[test]
+    fn threshold_above_one_requires_denser_cells() {
+        let mut img = davis_image();
+        // A single pixel per cell along a line: each downsampled cell
+        // holds exactly 1.
+        for i in 0..8u16 {
+            img.set(60 + i * 6, 90, true);
+        }
+        let mut strict = RegionProposalNetwork::new(RpnConfig {
+            threshold: 2,
+            ..RpnConfig::paper_default()
+        });
+        assert!(strict.propose(&img).is_empty());
+        let mut loose = rpn();
+        assert_eq!(loose.propose(&img).len(), 1);
+    }
+
+    #[test]
+    fn ops_are_dominated_by_downsampling() {
+        let mut img = davis_image();
+        img.fill_box(&PixelBox::new(60, 90, 100, 108));
+        let mut r = rpn();
+        let _ = r.propose(&img);
+        // Eq. 5: C_RPN ≈ A*B + 2*A*B/(s1*s2) = 43_200 + 4_800 = 48_000
+        // (the in-text 45.6 k uses a slightly different bookkeeping).
+        let additions = r.ops().additions;
+        assert!(additions >= 43_200, "downsample charge present: {additions}");
+        assert!(r.ops().total() < 60_000, "total stays near Eq. 5's 45.6 k");
+    }
+
+    #[test]
+    fn proposals_never_exceed_frame() {
+        let mut img = davis_image();
+        img.fill_box(&PixelBox::new(228, 168, 240, 180)); // bottom-right corner
+        let proposals = rpn().propose(&img);
+        assert_eq!(proposals.len(), 1);
+        let p = &proposals[0];
+        assert!(p.x_max() <= 240.0 && p.y_max() <= 180.0);
+    }
+
+    #[test]
+    fn intermediates_expose_histograms_for_fig3() {
+        let mut img = davis_image();
+        img.fill_box(&PixelBox::new(60, 90, 100, 108));
+        let mut r = rpn();
+        let (proposals, scaled, hx, hy) = r.propose_with_intermediates(&img);
+        assert_eq!(proposals.len(), 1);
+        assert_eq!(scaled.width(), 40);
+        assert_eq!(hx.len(), 40);
+        assert_eq!(hy.len(), 60);
+        assert!(hx.total() > 0);
+    }
+}

@@ -1,0 +1,259 @@
+//! Two-timescale extension (the paper's conclusion).
+//!
+//! "We have not tracked slow and small objects like humans — this can be
+//! done by a two time scale approach where a second frame is generated
+//! with longer exposure times to capture activity of humans."
+//!
+//! [`TwoTimescalePipeline`] runs the standard fast pipeline at `tF` and a
+//! second EBBIOT instance whose EBBI integrates the last `slow_factor`
+//! fast frames, re-evaluated every `slow_stride` fast frames (a *sliding*
+//! long exposure). Slow movers that leave only a pixel-wide strip per fast
+//! frame accumulate a solid silhouette over the long exposure; the sliding
+//! stride keeps consecutive slow frames overlapping, which the overlap
+//! tracker's matching rule requires. Fast-tracker boxes suppress duplicate
+//! slow-tracker boxes covering the same object.
+
+use std::collections::VecDeque;
+
+use ebbiot_events::{Event, Micros};
+
+use crate::{
+    config::EbbiotConfig,
+    pipeline::{EbbiotPipeline, FrameResult, TrackBox},
+};
+
+/// Configuration of the two-timescale extension.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TwoTimescaleConfig {
+    /// The fast (vehicle) pipeline configuration.
+    pub fast: EbbiotConfig,
+    /// How many fast frames one slow exposure spans (e.g. 8 -> 528 ms for
+    /// the paper's 66 ms `tF`).
+    pub slow_factor: usize,
+    /// How many fast frames between slow re-evaluations. Must not exceed
+    /// `slow_factor`; values below it give overlapping (sliding)
+    /// exposures.
+    pub slow_stride: usize,
+    /// IoU above which a slow track duplicating a fast track is dropped.
+    pub dedup_iou: f32,
+}
+
+impl TwoTimescaleConfig {
+    /// Default: 8x exposure sliding by 4 fast frames, dedup at IoU 0.3.
+    #[must_use]
+    pub fn paper_extension(fast: EbbiotConfig) -> Self {
+        Self { fast, slow_factor: 8, slow_stride: 4, dedup_iou: 0.3 }
+    }
+}
+
+/// Combined fast/slow tracking output for one fast frame.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TwoTimescaleResult {
+    /// The fast pipeline's result for this frame.
+    pub fast: FrameResult,
+    /// Slow-timescale tracks (updated every `slow_stride` frames, held in
+    /// between), deduplicated against fast tracks.
+    pub slow_tracks: Vec<TrackBox>,
+}
+
+/// The two-timescale pipeline.
+#[derive(Debug, Clone)]
+pub struct TwoTimescalePipeline {
+    config: TwoTimescaleConfig,
+    fast: EbbiotPipeline,
+    slow: EbbiotPipeline,
+    /// Ring of the last `slow_factor` fast windows' events.
+    recent_windows: VecDeque<Vec<Event>>,
+    frames_since_slow: usize,
+    held_slow_tracks: Vec<TrackBox>,
+}
+
+impl TwoTimescalePipeline {
+    /// Builds the combined pipeline.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `slow_factor` or `slow_stride` is zero, or the stride
+    /// exceeds the factor.
+    #[must_use]
+    pub fn new(config: TwoTimescaleConfig) -> Self {
+        assert!(config.slow_factor > 0, "slow factor must be non-zero");
+        assert!(
+            config.slow_stride > 0 && config.slow_stride <= config.slow_factor,
+            "slow stride must be in 1..=slow_factor"
+        );
+        let mut slow_cfg = config.fast.clone();
+        slow_cfg.frame_us = config.fast.frame_us * config.slow_stride as Micros;
+        // Slow objects are small: accept smaller proposals.
+        slow_cfg.rpn.min_area = (slow_cfg.rpn.min_area / 2.0).max(1.0);
+        Self {
+            fast: EbbiotPipeline::new(config.fast.clone()),
+            slow: EbbiotPipeline::new(slow_cfg),
+            recent_windows: VecDeque::with_capacity(config.slow_factor),
+            frames_since_slow: 0,
+            held_slow_tracks: Vec::new(),
+            config,
+        }
+    }
+
+    /// The slow exposure length in microseconds.
+    #[must_use]
+    pub fn slow_frame_us(&self) -> Micros {
+        self.config.fast.frame_us * self.config.slow_factor as Micros
+    }
+
+    /// Processes one fast frame of events.
+    pub fn process_frame(&mut self, events: &[Event]) -> TwoTimescaleResult {
+        let fast_result = self.fast.process_frame(events);
+        if self.recent_windows.len() == self.config.slow_factor {
+            self.recent_windows.pop_front();
+        }
+        self.recent_windows.push_back(events.to_vec());
+        self.frames_since_slow += 1;
+        if self.frames_since_slow >= self.config.slow_stride
+            && self.recent_windows.len() >= self.config.slow_factor.min(2)
+        {
+            let exposure: Vec<Event> =
+                self.recent_windows.iter().flat_map(|w| w.iter().copied()).collect();
+            let slow_result = self.slow.process_frame(&exposure);
+            self.held_slow_tracks = slow_result.tracks;
+            self.frames_since_slow = 0;
+        }
+        let slow_tracks = self.dedup(&fast_result.tracks);
+        TwoTimescaleResult { fast: fast_result, slow_tracks }
+    }
+
+    /// Drops held slow tracks that duplicate a fast track.
+    fn dedup(&self, fast_tracks: &[TrackBox]) -> Vec<TrackBox> {
+        self.held_slow_tracks
+            .iter()
+            .filter(|s| {
+                !fast_tracks.iter().any(|f| f.bbox.iou(&s.bbox) > self.config.dedup_iou)
+            })
+            .cloned()
+            .collect()
+    }
+
+    /// Access to the underlying fast pipeline (ops, statistics).
+    #[must_use]
+    pub const fn fast_pipeline(&self) -> &EbbiotPipeline {
+        &self.fast
+    }
+
+    /// Access to the underlying slow pipeline.
+    #[must_use]
+    pub const fn slow_pipeline(&self) -> &EbbiotPipeline {
+        &self.slow
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ebbiot_events::SensorGeometry;
+
+    fn config() -> TwoTimescaleConfig {
+        TwoTimescaleConfig::paper_extension(EbbiotConfig::paper_default(
+            SensorGeometry::davis240(),
+        ))
+    }
+
+    /// A slow walker: per fast frame it only paints a 1-px-wide strip
+    /// (leading edge), which the 3x3 median erases (max patch count 3),
+    /// but which accumulates into a solid silhouette over 8 frames.
+    fn walker_strip(frame: usize) -> Vec<Event> {
+        let x0 = 100 + frame as u16; // ~1 px/frame drift of the strip
+        let t0 = frame as u64 * 66_000;
+        (0..16u16).map(|dy| Event::on(x0, 80 + dy, t0 + u64::from(dy))).collect()
+    }
+
+    #[test]
+    fn slow_frame_duration_is_multiplied() {
+        let p = TwoTimescalePipeline::new(config());
+        assert_eq!(p.slow_frame_us(), 528_000);
+    }
+
+    #[test]
+    fn walker_invisible_to_fast_pipeline_alone() {
+        let mut p = TwoTimescalePipeline::new(config());
+        for k in 0..16 {
+            let r = p.process_frame(&walker_strip(k));
+            assert!(r.fast.tracks.is_empty(), "1x16 strip erased by the fast median");
+        }
+    }
+
+    #[test]
+    fn walker_tracked_at_slow_timescale() {
+        let mut p = TwoTimescalePipeline::new(config());
+        let mut frames_with_slow_track = 0;
+        for k in 0..48 {
+            let r = p.process_frame(&walker_strip(k));
+            if !r.slow_tracks.is_empty() {
+                frames_with_slow_track += 1;
+                let b = &r.slow_tracks[0].bbox;
+                assert!(b.x >= 90.0 && b.x_max() <= 160.0, "covers the walker, got {b}");
+            }
+        }
+        assert!(
+            frames_with_slow_track >= 16,
+            "slow exposure accumulates the walker, got {frames_with_slow_track} frames"
+        );
+    }
+
+    #[test]
+    fn slow_tracks_update_at_the_stride() {
+        let mut p = TwoTimescalePipeline::new(config());
+        let mut changes = 0;
+        let mut prev: Option<Vec<TrackBox>> = None;
+        for k in 0..24 {
+            let r = p.process_frame(&walker_strip(k));
+            if let Some(prev_tracks) = &prev {
+                if *prev_tracks != r.slow_tracks {
+                    changes += 1;
+                }
+            }
+            prev = Some(r.slow_tracks);
+        }
+        // 24 frames / stride 4 = 6 slow updates at most.
+        assert!(changes <= 7, "slow output held between strides, changed {changes} times");
+    }
+
+    #[test]
+    fn fast_tracks_suppress_duplicate_slow_tracks() {
+        let mut p = TwoTimescalePipeline::new(config());
+        // A solid fast-moving block: tracked by the fast pipeline AND
+        // visible to the slow one.
+        for k in 0..17 {
+            let x0 = 60 + k as u16 * 3;
+            let mut events = Vec::new();
+            for dy in 0..15u16 {
+                for dx in 0..30u16 {
+                    events.push(Event::on(x0 + dx, 90 + dy, k as u64 * 66_000 + u64::from(dy)));
+                }
+            }
+            let r = p.process_frame(&events);
+            if !r.fast.tracks.is_empty() {
+                // Any slow track must not duplicate the fast one.
+                for s in &r.slow_tracks {
+                    assert!(s.bbox.iou(&r.fast.tracks[0].bbox) <= 0.3);
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "slow factor")]
+    fn zero_slow_factor_panics() {
+        let mut c = config();
+        c.slow_factor = 0;
+        let _ = TwoTimescalePipeline::new(c);
+    }
+
+    #[test]
+    #[should_panic(expected = "stride")]
+    fn oversized_stride_panics() {
+        let mut c = config();
+        c.slow_stride = c.slow_factor + 1;
+        let _ = TwoTimescalePipeline::new(c);
+    }
+}

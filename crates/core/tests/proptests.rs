@@ -1,0 +1,173 @@
+//! Property-based tests for the EBBIOT core: RPN coverage invariants and
+//! overlap-tracker safety properties.
+
+use ebbiot_core::{
+    rpn::{RegionProposalNetwork, RpnConfig},
+    tracker::{OtConfig, OverlapTracker},
+    RpnMode,
+};
+use ebbiot_events::SensorGeometry;
+use ebbiot_frame::{BinaryImage, BoundingBox, PixelBox};
+use proptest::prelude::*;
+
+const W: u16 = 240;
+const H: u16 = 180;
+
+fn geometry() -> SensorGeometry {
+    SensorGeometry::new(W, H)
+}
+
+/// Random small set of solid blobs (max 4), far enough apart to be
+/// meaningful objects.
+fn arb_blobs() -> impl Strategy<Value = Vec<PixelBox>> {
+    proptest::collection::vec(
+        (0..W - 30, 0..H - 20, 8u16..30, 6u16..16),
+        0..4,
+    )
+    .prop_map(|specs| {
+        specs
+            .into_iter()
+            .map(|(x, y, w, h)| PixelBox::new(x, y, (x + w).min(W), (y + h).min(H)))
+            .collect()
+    })
+}
+
+fn image_of(blobs: &[PixelBox]) -> BinaryImage {
+    let mut img = BinaryImage::new(geometry());
+    for b in blobs {
+        img.fill_box(b);
+    }
+    img
+}
+
+fn arb_proposals() -> impl Strategy<Value = Vec<BoundingBox>> {
+    proptest::collection::vec(
+        (0.0f32..200.0, 0.0f32..150.0, 8.0f32..60.0, 6.0f32..25.0),
+        0..6,
+    )
+    .prop_map(|specs| {
+        specs.into_iter().map(|(x, y, w, h)| BoundingBox::new(x, y, w, h)).collect()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn every_blob_is_covered_by_some_proposal(blobs in arb_blobs()) {
+        let img = image_of(&blobs);
+        let mut rpn = RegionProposalNetwork::new(RpnConfig::paper_default());
+        let proposals = rpn.propose(&img);
+        for blob in &blobs {
+            let blob_box = blob.to_bounding_box();
+            if blob_box.area() < 40.0 {
+                continue; // below the min-area floor by construction
+            }
+            let covered = proposals.iter().any(|p| {
+                p.intersection_area(&blob_box) >= 0.99 * blob_box.area()
+            });
+            prop_assert!(covered, "blob {blob_box} not covered by {proposals:?}");
+        }
+    }
+
+    #[test]
+    fn proposals_stay_inside_the_frame(blobs in arb_blobs()) {
+        let img = image_of(&blobs);
+        for config in [RpnConfig::paper_default(), RpnConfig::refined()] {
+            let mut rpn = RegionProposalNetwork::new(config);
+            for p in rpn.propose(&img) {
+                prop_assert!(p.x >= 0.0 && p.y >= 0.0);
+                prop_assert!(p.x_max() <= f32::from(W) + 1e-3);
+                prop_assert!(p.y_max() <= f32::from(H) + 1e-3);
+            }
+        }
+    }
+
+    #[test]
+    fn refined_proposals_are_contained_in_unrefined(blobs in arb_blobs()) {
+        let img = image_of(&blobs);
+        let mut raw = RegionProposalNetwork::new(RpnConfig::paper_default());
+        let mut refined = RegionProposalNetwork::new(RpnConfig::refined());
+        let raw_props = raw.propose(&img);
+        for rp in refined.propose(&img) {
+            let contained = raw_props.iter().any(|p| p.intersection_area(&rp) >= 0.99 * rp.area());
+            prop_assert!(contained);
+        }
+    }
+
+    #[test]
+    fn cca_mode_never_proposes_more_than_histogram_cells(blobs in arb_blobs()) {
+        // Both modes propose >= 1 region for each sufficiently large blob
+        // and never more regions than blobs (solid blobs cannot split).
+        let img = image_of(&blobs);
+        let mut cca = RegionProposalNetwork::new(RpnConfig {
+            mode: RpnMode::ConnectedComponents,
+            ..RpnConfig::paper_default()
+        });
+        let proposals = cca.propose(&img);
+        prop_assert!(proposals.len() <= blobs.len().max(1),
+            "{} proposals from {} solid blobs", proposals.len(), blobs.len());
+    }
+
+    #[test]
+    fn tracker_never_exceeds_capacity(frames in proptest::collection::vec(arb_proposals(), 1..12)) {
+        let mut tracker = OverlapTracker::new(geometry(), OtConfig::paper_default());
+        for proposals in &frames {
+            let _ = tracker.step(proposals);
+            prop_assert!(tracker.active_count() <= 8);
+        }
+    }
+
+    #[test]
+    fn tracker_output_boxes_are_clipped_and_finite(frames in proptest::collection::vec(arb_proposals(), 1..12)) {
+        let mut tracker = OverlapTracker::new(geometry(), OtConfig::paper_default());
+        for proposals in &frames {
+            for t in tracker.step(proposals) {
+                prop_assert!(t.bbox.x >= 0.0 && t.bbox.y >= 0.0);
+                prop_assert!(t.bbox.x_max() <= f32::from(W) + 1e-3);
+                prop_assert!(t.bbox.y_max() <= f32::from(H) + 1e-3);
+                prop_assert!(t.bbox.w.is_finite() && t.bbox.h.is_finite());
+                prop_assert!(t.vx.is_finite() && t.vy.is_finite());
+            }
+        }
+    }
+
+    #[test]
+    fn tracker_is_deterministic(frames in proptest::collection::vec(arb_proposals(), 1..8)) {
+        let run = || {
+            let mut tracker = OverlapTracker::new(geometry(), OtConfig::paper_default());
+            frames.iter().map(|p| tracker.step(p)).collect::<Vec<_>>()
+        };
+        prop_assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn starved_tracker_pool_empties(proposals in arb_proposals()) {
+        let mut tracker = OverlapTracker::new(geometry(), OtConfig::paper_default());
+        let _ = tracker.step(&proposals);
+        // After max_misses + 1 empty frames every track must be freed.
+        for _ in 0..5 {
+            let _ = tracker.step(&[]);
+        }
+        prop_assert_eq!(tracker.active_count(), 0);
+    }
+
+    #[test]
+    fn track_ids_are_never_reused_within_a_run(
+        frames in proptest::collection::vec(arb_proposals(), 1..10)
+    ) {
+        let mut tracker = OverlapTracker::new(geometry(), OtConfig::paper_default());
+        let mut seen_max = 0u64;
+        for proposals in &frames {
+            let _ = tracker.step(proposals);
+            for t in tracker.tracks() {
+                // Ids grow monotonically: a new track never gets an id at
+                // or below one we've already seen retired.
+                prop_assert!(t.id >= 1);
+            }
+            let current_max = tracker.tracks().iter().map(|t| t.id).max().unwrap_or(seen_max);
+            prop_assert!(current_max >= seen_max);
+            seen_max = current_max.max(seen_max);
+        }
+    }
+}

@@ -1,0 +1,32 @@
+//! Tracker evaluation exactly as §III-B of the paper defines it.
+//!
+//! At fixed time instants (one per frame) the evaluator compares the boxes
+//! a tracker reported against ground-truth boxes. A tracker box is a true
+//! positive when its IoU (Eq. 9) with a ground-truth box exceeds a
+//! threshold; each ground-truth box can validate at most one tracker box
+//! and vice versa (greedy best-IoU matching). Then
+//!
+//! * precision = true positive boxes / total proposal boxes,
+//! * recall    = true positive boxes / total ground-truth boxes,
+//!
+//! accumulated over all frames of a recording, and averaged over
+//! recordings *weighted by the number of ground-truth tracks* each
+//! contains (§III-C).
+//!
+//! The crate is deliberately decoupled from the trackers: everything is
+//! slices of [`ebbiot_frame::BoundingBox`] per frame, so EBBIOT, EBBI+KF and
+//! NN-filt+EBMS are evaluated by identical code.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod matching;
+pub mod metrics;
+pub mod mot;
+pub mod report;
+pub mod sweep;
+
+pub use matching::{greedy_matches, match_count, InstantCounts};
+pub use mot::{IdentifiedBox, MotAccumulator};
+pub use metrics::{EvalAccumulator, PrecisionRecall};
+pub use sweep::{evaluate_frames, sweep_thresholds, weighted_average, RecordingEval};

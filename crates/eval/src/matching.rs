@@ -1,0 +1,168 @@
+//! Greedy IoU matching between ground truth and tracker boxes.
+
+use ebbiot_frame::BoundingBox;
+
+/// Counts for one evaluation instant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct InstantCounts {
+    /// Tracker boxes validated by a ground-truth box (IoU above the
+    /// threshold).
+    pub true_positives: usize,
+    /// Total tracker boxes reported.
+    pub proposals: usize,
+    /// Total ground-truth boxes present.
+    pub ground_truths: usize,
+}
+
+impl InstantCounts {
+    /// Sums counts (for accumulation over frames).
+    pub fn absorb(&mut self, other: InstantCounts) {
+        self.true_positives += other.true_positives;
+        self.proposals += other.proposals;
+        self.ground_truths += other.ground_truths;
+    }
+}
+
+/// Computes the greedy best-IoU matching between ground-truth and tracker
+/// boxes: all candidate pairs above the threshold, sorted by IoU
+/// descending, claimed one-to-one.
+///
+/// Returns `(gt_index, pred_index, iou)` triples.
+#[must_use]
+pub fn greedy_matches(
+    ground_truth: &[BoundingBox],
+    predictions: &[BoundingBox],
+    iou_threshold: f32,
+) -> Vec<(usize, usize, f32)> {
+    let mut candidates: Vec<(usize, usize, f32)> = Vec::new();
+    for (g, gt) in ground_truth.iter().enumerate() {
+        for (p, pred) in predictions.iter().enumerate() {
+            let iou = gt.iou(pred);
+            if iou > iou_threshold {
+                candidates.push((g, p, iou));
+            }
+        }
+    }
+    candidates.sort_by(|a, b| b.2.partial_cmp(&a.2).expect("IoU values are finite"));
+    let mut gt_used = vec![false; ground_truth.len()];
+    let mut pred_used = vec![false; predictions.len()];
+    let mut matches = Vec::new();
+    for (g, p, iou) in candidates {
+        if gt_used[g] || pred_used[p] {
+            continue;
+        }
+        gt_used[g] = true;
+        pred_used[p] = true;
+        matches.push((g, p, iou));
+    }
+    matches
+}
+
+/// Counts true positives at one instant.
+#[must_use]
+pub fn match_count(
+    ground_truth: &[BoundingBox],
+    predictions: &[BoundingBox],
+    iou_threshold: f32,
+) -> InstantCounts {
+    InstantCounts {
+        true_positives: greedy_matches(ground_truth, predictions, iou_threshold).len(),
+        proposals: predictions.len(),
+        ground_truths: ground_truth.len(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bb(x: f32, y: f32, w: f32, h: f32) -> BoundingBox {
+        BoundingBox::new(x, y, w, h)
+    }
+
+    #[test]
+    fn perfect_match_is_tp() {
+        let gt = vec![bb(10.0, 10.0, 20.0, 20.0)];
+        let pred = vec![bb(10.0, 10.0, 20.0, 20.0)];
+        let c = match_count(&gt, &pred, 0.5);
+        assert_eq!(c.true_positives, 1);
+        assert_eq!(c.proposals, 1);
+        assert_eq!(c.ground_truths, 1);
+    }
+
+    #[test]
+    fn below_threshold_is_not_matched() {
+        let gt = vec![bb(0.0, 0.0, 10.0, 10.0)];
+        let pred = vec![bb(8.0, 8.0, 10.0, 10.0)]; // IoU = 4/196 ≈ 0.02
+        assert_eq!(match_count(&gt, &pred, 0.5).true_positives, 0);
+    }
+
+    #[test]
+    fn threshold_is_strict_greater() {
+        let gt = vec![bb(0.0, 0.0, 10.0, 10.0)];
+        let pred = vec![bb(0.0, 0.0, 10.0, 10.0)];
+        // IoU = 1.0 > 1.0 is false.
+        assert_eq!(match_count(&gt, &pred, 1.0).true_positives, 0);
+    }
+
+    #[test]
+    fn one_to_one_matching_no_double_counting() {
+        // Two predictions on one ground truth: only one TP.
+        let gt = vec![bb(0.0, 0.0, 20.0, 20.0)];
+        let pred = vec![bb(0.0, 0.0, 20.0, 20.0), bb(1.0, 1.0, 20.0, 20.0)];
+        let c = match_count(&gt, &pred, 0.3);
+        assert_eq!(c.true_positives, 1);
+        assert_eq!(c.proposals, 2);
+    }
+
+    #[test]
+    fn greedy_prefers_higher_iou() {
+        let gt = vec![bb(0.0, 0.0, 20.0, 20.0)];
+        let exact = bb(0.0, 0.0, 20.0, 20.0);
+        let offset = bb(5.0, 0.0, 20.0, 20.0);
+        let matches = greedy_matches(&gt, &[offset, exact], 0.3);
+        assert_eq!(matches.len(), 1);
+        assert_eq!(matches[0].1, 1, "the exact prediction wins");
+        assert!((matches[0].2 - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn two_objects_two_matches() {
+        let gt = vec![bb(0.0, 0.0, 20.0, 20.0), bb(100.0, 100.0, 30.0, 15.0)];
+        let pred = vec![bb(99.0, 100.0, 30.0, 15.0), bb(1.0, 0.0, 20.0, 20.0)];
+        let matches = greedy_matches(&gt, &pred, 0.5);
+        assert_eq!(matches.len(), 2);
+        // Cross-assignment: gt0 <-> pred1, gt1 <-> pred0.
+        assert!(matches.contains(&(1, 0, gt[1].iou(&pred[0]))));
+    }
+
+    #[test]
+    fn empty_inputs() {
+        assert_eq!(match_count(&[], &[], 0.5), InstantCounts::default());
+        let gt = vec![bb(0.0, 0.0, 10.0, 10.0)];
+        let c = match_count(&gt, &[], 0.5);
+        assert_eq!(c.ground_truths, 1);
+        assert_eq!(c.proposals, 0);
+        let c = match_count(&[], &gt, 0.5);
+        assert_eq!(c.proposals, 1);
+        assert_eq!(c.ground_truths, 0);
+    }
+
+    #[test]
+    fn absorb_sums_counts() {
+        let mut a = InstantCounts { true_positives: 1, proposals: 2, ground_truths: 3 };
+        a.absorb(InstantCounts { true_positives: 4, proposals: 5, ground_truths: 6 });
+        assert_eq!(a, InstantCounts { true_positives: 5, proposals: 7, ground_truths: 9 });
+    }
+
+    #[test]
+    fn ambiguous_scene_resolves_consistently() {
+        // Two overlapping ground truths and one prediction between them:
+        // exactly one TP, assigned to the higher-IoU gt.
+        let gt = vec![bb(0.0, 0.0, 20.0, 20.0), bb(10.0, 0.0, 20.0, 20.0)];
+        let pred = vec![bb(9.0, 0.0, 20.0, 20.0)];
+        let matches = greedy_matches(&gt, &pred, 0.2);
+        assert_eq!(matches.len(), 1);
+        assert_eq!(matches[0].0, 1, "nearer gt wins");
+    }
+}

@@ -1,0 +1,150 @@
+//! Precision/recall accumulation.
+
+use crate::matching::InstantCounts;
+
+/// A precision/recall pair.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PrecisionRecall {
+    /// True positives / proposals (1.0 when no proposals were made —
+    /// an empty tracker makes no false claims).
+    pub precision: f64,
+    /// True positives / ground truths (1.0 when there was nothing to
+    /// find).
+    pub recall: f64,
+}
+
+impl PrecisionRecall {
+    /// Harmonic mean of precision and recall.
+    #[must_use]
+    pub fn f1(&self) -> f64 {
+        if self.precision + self.recall <= 0.0 {
+            0.0
+        } else {
+            2.0 * self.precision * self.recall / (self.precision + self.recall)
+        }
+    }
+}
+
+/// Accumulates instant counts into recording-level precision/recall.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct EvalAccumulator {
+    counts: InstantCounts,
+    frames: usize,
+}
+
+impl EvalAccumulator {
+    /// A fresh accumulator.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds one instant's counts.
+    pub fn add(&mut self, counts: InstantCounts) {
+        self.counts.absorb(counts);
+        self.frames += 1;
+    }
+
+    /// Accumulated raw counts.
+    #[must_use]
+    pub const fn counts(&self) -> InstantCounts {
+        self.counts
+    }
+
+    /// Number of instants accumulated.
+    #[must_use]
+    pub const fn frames(&self) -> usize {
+        self.frames
+    }
+
+    /// Precision over everything accumulated so far.
+    #[must_use]
+    pub fn precision(&self) -> f64 {
+        if self.counts.proposals == 0 {
+            1.0
+        } else {
+            self.counts.true_positives as f64 / self.counts.proposals as f64
+        }
+    }
+
+    /// Recall over everything accumulated so far.
+    #[must_use]
+    pub fn recall(&self) -> f64 {
+        if self.counts.ground_truths == 0 {
+            1.0
+        } else {
+            self.counts.true_positives as f64 / self.counts.ground_truths as f64
+        }
+    }
+
+    /// Both metrics.
+    #[must_use]
+    pub fn precision_recall(&self) -> PrecisionRecall {
+        PrecisionRecall { precision: self.precision(), recall: self.recall() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn counts(tp: usize, props: usize, gts: usize) -> InstantCounts {
+        InstantCounts { true_positives: tp, proposals: props, ground_truths: gts }
+    }
+
+    #[test]
+    fn empty_accumulator_is_perfect() {
+        let acc = EvalAccumulator::new();
+        assert_eq!(acc.precision(), 1.0);
+        assert_eq!(acc.recall(), 1.0);
+        assert_eq!(acc.frames(), 0);
+    }
+
+    #[test]
+    fn accumulation_is_count_wise_not_frame_wise() {
+        // One frame with 1/1 and another with 0/3 gives 1/4 precision,
+        // not the 0.5 a frame-wise average would give — the paper
+        // computes "over all the frames of the video" on totals.
+        let mut acc = EvalAccumulator::new();
+        acc.add(counts(1, 1, 1));
+        acc.add(counts(0, 3, 1));
+        assert!((acc.precision() - 0.25).abs() < 1e-12);
+        assert!((acc.recall() - 0.5).abs() < 1e-12);
+        assert_eq!(acc.frames(), 2);
+    }
+
+    #[test]
+    fn perfect_tracking_scores_one() {
+        let mut acc = EvalAccumulator::new();
+        for _ in 0..10 {
+            acc.add(counts(2, 2, 2));
+        }
+        assert_eq!(acc.precision(), 1.0);
+        assert_eq!(acc.recall(), 1.0);
+        assert_eq!(acc.precision_recall().f1(), 1.0);
+    }
+
+    #[test]
+    fn false_positives_hit_precision_only() {
+        let mut acc = EvalAccumulator::new();
+        acc.add(counts(2, 4, 2));
+        assert_eq!(acc.precision(), 0.5);
+        assert_eq!(acc.recall(), 1.0);
+    }
+
+    #[test]
+    fn misses_hit_recall_only() {
+        let mut acc = EvalAccumulator::new();
+        acc.add(counts(2, 2, 4));
+        assert_eq!(acc.precision(), 1.0);
+        assert_eq!(acc.recall(), 0.5);
+    }
+
+    #[test]
+    fn f1_is_harmonic_mean() {
+        let pr = PrecisionRecall { precision: 1.0, recall: 0.5 };
+        assert!((pr.f1() - 2.0 / 3.0).abs() < 1e-12);
+        let zero = PrecisionRecall { precision: 0.0, recall: 0.0 };
+        assert_eq!(zero.f1(), 0.0);
+    }
+}

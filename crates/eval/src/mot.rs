@@ -1,0 +1,253 @@
+//! Identity-aware tracking metrics (CLEAR-MOT style).
+//!
+//! The paper evaluates detection-style precision/recall per frame; a
+//! tracking library also needs identity metrics: how often the tracker
+//! misses, hallucinates, or — critically for the OT's occlusion handling —
+//! swaps identities. This module implements the standard CLEAR-MOT
+//! accumulator: per frame, ground-truth boxes are greedily matched to
+//! tracker boxes by IoU; MOTA aggregates misses, false positives and
+//! identity switches.
+
+use std::collections::HashMap;
+
+use ebbiot_frame::BoundingBox;
+
+use crate::matching::greedy_matches;
+
+/// A box with a stable identity (ground-truth object id or track id).
+#[derive(Debug, Clone, PartialEq)]
+pub struct IdentifiedBox {
+    /// Stable identifier.
+    pub id: u64,
+    /// The box.
+    pub bbox: BoundingBox,
+}
+
+impl IdentifiedBox {
+    /// Convenience constructor.
+    #[must_use]
+    pub fn new(id: u64, bbox: BoundingBox) -> Self {
+        Self { id, bbox }
+    }
+}
+
+/// CLEAR-MOT accumulator.
+#[derive(Debug, Clone, Default)]
+pub struct MotAccumulator {
+    /// Last matched track id per ground-truth id.
+    last_match: HashMap<u64, u64>,
+    /// Whether the ground truth was matched in the previous frame it
+    /// appeared (for fragmentation counting).
+    was_matched: HashMap<u64, bool>,
+    misses: u64,
+    false_positives: u64,
+    id_switches: u64,
+    fragmentations: u64,
+    total_gt: u64,
+    matched: u64,
+    iou_sum: f64,
+    frames: u64,
+}
+
+impl MotAccumulator {
+    /// A fresh accumulator.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds one frame of identified ground truth and tracker output.
+    pub fn add_frame(
+        &mut self,
+        ground_truth: &[IdentifiedBox],
+        predictions: &[IdentifiedBox],
+        iou_threshold: f32,
+    ) {
+        self.frames += 1;
+        self.total_gt += ground_truth.len() as u64;
+
+        let gt_boxes: Vec<BoundingBox> = ground_truth.iter().map(|b| b.bbox).collect();
+        let pred_boxes: Vec<BoundingBox> = predictions.iter().map(|b| b.bbox).collect();
+        let matches = greedy_matches(&gt_boxes, &pred_boxes, iou_threshold);
+
+        let mut gt_matched = vec![false; ground_truth.len()];
+        let mut pred_matched = vec![false; predictions.len()];
+        for (g, p, iou) in matches {
+            gt_matched[g] = true;
+            pred_matched[p] = true;
+            self.matched += 1;
+            self.iou_sum += f64::from(iou);
+            let gt_id = ground_truth[g].id;
+            let track_id = predictions[p].id;
+            if let Some(&prev) = self.last_match.get(&gt_id) {
+                if prev != track_id {
+                    self.id_switches += 1;
+                }
+            }
+            self.last_match.insert(gt_id, track_id);
+        }
+
+        for (g, gt) in ground_truth.iter().enumerate() {
+            let now = gt_matched[g];
+            if let Some(&before) = self.was_matched.get(&gt.id) {
+                if before && !now {
+                    self.fragmentations += 1;
+                }
+            }
+            self.was_matched.insert(gt.id, now);
+            if !now {
+                self.misses += 1;
+            }
+        }
+        self.false_positives += pred_matched.iter().filter(|&&m| !m).count() as u64;
+    }
+
+    /// Misses (ground truths with no matching tracker box).
+    #[must_use]
+    pub const fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// False positives (tracker boxes matching nothing).
+    #[must_use]
+    pub const fn false_positives(&self) -> u64 {
+        self.false_positives
+    }
+
+    /// Identity switches (a ground truth re-matched to a different track).
+    #[must_use]
+    pub const fn id_switches(&self) -> u64 {
+        self.id_switches
+    }
+
+    /// Fragmentations (matched -> unmatched transitions of a ground truth).
+    #[must_use]
+    pub const fn fragmentations(&self) -> u64 {
+        self.fragmentations
+    }
+
+    /// Total ground-truth boxes seen.
+    #[must_use]
+    pub const fn total_ground_truths(&self) -> u64 {
+        self.total_gt
+    }
+
+    /// Multiple-object tracking accuracy:
+    /// `1 - (misses + false positives + id switches) / total ground truths`.
+    /// Can be negative; 1.0 for no errors at all. Returns 1.0 when no ground
+    /// truth was ever present and no errors occurred.
+    #[must_use]
+    pub fn mota(&self) -> f64 {
+        let errors = self.misses + self.false_positives + self.id_switches;
+        if self.total_gt == 0 {
+            return if errors == 0 { 1.0 } else { f64::NEG_INFINITY };
+        }
+        1.0 - errors as f64 / self.total_gt as f64
+    }
+
+    /// Multiple-object tracking precision: mean IoU of matched pairs.
+    #[must_use]
+    pub fn motp(&self) -> f64 {
+        if self.matched == 0 {
+            0.0
+        } else {
+            self.iou_sum / self.matched as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bb(x: f32, y: f32, w: f32, h: f32) -> BoundingBox {
+        BoundingBox::new(x, y, w, h)
+    }
+
+    fn ib(id: u64, x: f32) -> IdentifiedBox {
+        IdentifiedBox::new(id, bb(x, 10.0, 20.0, 20.0))
+    }
+
+    #[test]
+    fn perfect_tracking_has_mota_one() {
+        let mut acc = MotAccumulator::new();
+        for k in 0..10 {
+            let x = k as f32 * 3.0;
+            acc.add_frame(&[ib(1, x)], &[ib(100, x)], 0.5);
+        }
+        assert_eq!(acc.mota(), 1.0);
+        assert!(acc.motp() > 0.99);
+        assert_eq!(acc.id_switches(), 0);
+        assert_eq!(acc.fragmentations(), 0);
+    }
+
+    #[test]
+    fn misses_lower_mota() {
+        let mut acc = MotAccumulator::new();
+        acc.add_frame(&[ib(1, 0.0)], &[], 0.5);
+        acc.add_frame(&[ib(1, 3.0)], &[ib(100, 3.0)], 0.5);
+        assert_eq!(acc.misses(), 1);
+        assert!((acc.mota() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn false_positives_lower_mota() {
+        let mut acc = MotAccumulator::new();
+        acc.add_frame(&[ib(1, 0.0)], &[ib(100, 0.0), ib(101, 150.0)], 0.5);
+        assert_eq!(acc.false_positives(), 1);
+        assert_eq!(acc.mota(), 0.0);
+    }
+
+    #[test]
+    fn id_switch_is_detected() {
+        let mut acc = MotAccumulator::new();
+        acc.add_frame(&[ib(1, 0.0)], &[ib(100, 0.0)], 0.5);
+        acc.add_frame(&[ib(1, 3.0)], &[ib(200, 3.0)], 0.5); // new track id!
+        assert_eq!(acc.id_switches(), 1);
+        assert!((acc.mota() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn identity_survives_a_gap_without_switch() {
+        let mut acc = MotAccumulator::new();
+        acc.add_frame(&[ib(1, 0.0)], &[ib(100, 0.0)], 0.5);
+        acc.add_frame(&[ib(1, 3.0)], &[], 0.5); // dropout (miss + fragmentation)
+        acc.add_frame(&[ib(1, 6.0)], &[ib(100, 6.0)], 0.5); // same id resumes
+        assert_eq!(acc.id_switches(), 0);
+        assert_eq!(acc.fragmentations(), 1);
+        assert_eq!(acc.misses(), 1);
+    }
+
+    #[test]
+    fn two_objects_crossing_with_swapped_ids() {
+        let mut acc = MotAccumulator::new();
+        // Frame 1: gt1 <- t100, gt2 <- t200.
+        acc.add_frame(&[ib(1, 0.0), ib(2, 100.0)], &[ib(100, 0.0), ib(200, 100.0)], 0.5);
+        // Frame 2: tracker swapped its outputs.
+        acc.add_frame(&[ib(1, 3.0), ib(2, 97.0)], &[ib(200, 3.0), ib(100, 97.0)], 0.5);
+        assert_eq!(acc.id_switches(), 2);
+    }
+
+    #[test]
+    fn empty_everything_is_perfect() {
+        let mut acc = MotAccumulator::new();
+        acc.add_frame(&[], &[], 0.5);
+        assert_eq!(acc.mota(), 1.0);
+    }
+
+    #[test]
+    fn hallucination_with_no_gt_is_negative_infinity() {
+        let mut acc = MotAccumulator::new();
+        acc.add_frame(&[], &[ib(100, 0.0)], 0.5);
+        assert_eq!(acc.mota(), f64::NEG_INFINITY);
+    }
+
+    #[test]
+    fn motp_reflects_localization_quality() {
+        let mut tight = MotAccumulator::new();
+        tight.add_frame(&[ib(1, 0.0)], &[ib(100, 0.0)], 0.1);
+        let mut loose = MotAccumulator::new();
+        loose.add_frame(&[ib(1, 0.0)], &[ib(100, 5.0)], 0.1);
+        assert!(tight.motp() > loose.motp());
+    }
+}

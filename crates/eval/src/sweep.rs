@@ -1,0 +1,184 @@
+//! Recording-level evaluation, threshold sweeps (Fig. 4) and the
+//! track-weighted multi-recording average (§III-C).
+
+use ebbiot_frame::BoundingBox;
+
+use crate::{
+    matching::match_count,
+    metrics::{EvalAccumulator, PrecisionRecall},
+};
+
+/// Evaluation result of one tracker on one recording at one threshold.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RecordingEval {
+    /// The IoU threshold used.
+    pub iou_threshold: f32,
+    /// Precision and recall over all frames.
+    pub pr: PrecisionRecall,
+    /// Total true positives.
+    pub true_positives: usize,
+    /// Total tracker boxes.
+    pub proposals: usize,
+    /// Total ground-truth boxes.
+    pub ground_truths: usize,
+}
+
+/// Evaluates per-frame prediction boxes against per-frame ground truth.
+///
+/// `ground_truth` and `predictions` are parallel: entry `k` holds the
+/// boxes at instant `k`. When lengths differ, the shorter list is treated
+/// as having empty frames beyond its end (a tracker that stopped early
+/// simply misses everything after).
+#[must_use]
+pub fn evaluate_frames(
+    ground_truth: &[Vec<BoundingBox>],
+    predictions: &[Vec<BoundingBox>],
+    iou_threshold: f32,
+) -> RecordingEval {
+    let frames = ground_truth.len().max(predictions.len());
+    let empty: Vec<BoundingBox> = Vec::new();
+    let mut acc = EvalAccumulator::new();
+    for k in 0..frames {
+        let gt = ground_truth.get(k).unwrap_or(&empty);
+        let pred = predictions.get(k).unwrap_or(&empty);
+        acc.add(match_count(gt, pred, iou_threshold));
+    }
+    let counts = acc.counts();
+    RecordingEval {
+        iou_threshold,
+        pr: acc.precision_recall(),
+        true_positives: counts.true_positives,
+        proposals: counts.proposals,
+        ground_truths: counts.ground_truths,
+    }
+}
+
+/// Sweeps IoU thresholds (Fig. 4's x-axis).
+#[must_use]
+pub fn sweep_thresholds(
+    ground_truth: &[Vec<BoundingBox>],
+    predictions: &[Vec<BoundingBox>],
+    thresholds: &[f32],
+) -> Vec<RecordingEval> {
+    thresholds
+        .iter()
+        .map(|&t| evaluate_frames(ground_truth, predictions, t))
+        .collect()
+}
+
+/// The paper's standard threshold grid for Fig. 4.
+#[must_use]
+pub fn fig4_thresholds() -> Vec<f32> {
+    vec![0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7]
+}
+
+/// Weighted average of per-recording precision/recall, "where the weights
+/// correspond to the number of ground truth tracks present in a given
+/// recording" (§III-C).
+///
+/// # Panics
+///
+/// Panics when the total weight is zero.
+#[must_use]
+pub fn weighted_average(evals_and_weights: &[(PrecisionRecall, usize)]) -> PrecisionRecall {
+    let total: usize = evals_and_weights.iter().map(|&(_, w)| w).sum();
+    assert!(total > 0, "total weight must be positive");
+    let mut precision = 0.0;
+    let mut recall = 0.0;
+    for &(pr, w) in evals_and_weights {
+        let frac = w as f64 / total as f64;
+        precision += pr.precision * frac;
+        recall += pr.recall * frac;
+    }
+    PrecisionRecall { precision, recall }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bb(x: f32, y: f32, w: f32, h: f32) -> BoundingBox {
+        BoundingBox::new(x, y, w, h)
+    }
+
+    #[test]
+    fn perfect_tracker_scores_one_everywhere() {
+        let gt = vec![vec![bb(0.0, 0.0, 10.0, 10.0)], vec![bb(5.0, 0.0, 10.0, 10.0)]];
+        let evals = sweep_thresholds(&gt, &gt, &fig4_thresholds());
+        for e in evals {
+            assert_eq!(e.pr.precision, 1.0);
+            assert_eq!(e.pr.recall, 1.0);
+        }
+    }
+
+    #[test]
+    fn noisy_tracker_degrades_with_threshold() {
+        // Predictions offset by 4 px on a 10 px box: IoU = 60/140 ≈ 0.43.
+        let gt: Vec<Vec<BoundingBox>> =
+            (0..10).map(|k| vec![bb(k as f32, 0.0, 10.0, 10.0)]).collect();
+        let pred: Vec<Vec<BoundingBox>> =
+            (0..10).map(|k| vec![bb(k as f32 + 4.0, 0.0, 10.0, 10.0)]).collect();
+        let evals = sweep_thresholds(&gt, &pred, &[0.3, 0.5, 0.7]);
+        assert_eq!(evals[0].pr.recall, 1.0, "IoU 0.43 passes 0.3");
+        assert_eq!(evals[1].pr.recall, 0.0, "fails 0.5");
+        assert_eq!(evals[2].pr.recall, 0.0);
+    }
+
+    #[test]
+    fn precision_and_recall_diverge_with_spurious_boxes() {
+        let gt = vec![vec![bb(0.0, 0.0, 10.0, 10.0)]];
+        let pred = vec![vec![bb(0.0, 0.0, 10.0, 10.0), bb(100.0, 100.0, 10.0, 10.0)]];
+        let e = evaluate_frames(&gt, &pred, 0.5);
+        assert_eq!(e.pr.recall, 1.0);
+        assert!((e.pr.precision - 0.5).abs() < 1e-12);
+        assert_eq!(e.true_positives, 1);
+        assert_eq!(e.proposals, 2);
+    }
+
+    #[test]
+    fn length_mismatch_pads_with_empty_frames() {
+        let gt = vec![vec![bb(0.0, 0.0, 10.0, 10.0)]; 4];
+        let pred = vec![vec![bb(0.0, 0.0, 10.0, 10.0)]; 2];
+        let e = evaluate_frames(&gt, &pred, 0.5);
+        assert_eq!(e.ground_truths, 4);
+        assert_eq!(e.proposals, 2);
+        assert!((e.pr.recall - 0.5).abs() < 1e-12);
+        // Reverse: tracker hallucinates after ground truth ends.
+        let e = evaluate_frames(&pred, &gt, 0.5);
+        assert_eq!(e.proposals, 4);
+        assert!((e.pr.precision - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn weighted_average_weights_by_tracks() {
+        // Recording A: P=1.0, R=1.0 with 30 tracks. B: P=0.5, R=0.0 with
+        // 10 tracks.
+        let avg = weighted_average(&[
+            (PrecisionRecall { precision: 1.0, recall: 1.0 }, 30),
+            (PrecisionRecall { precision: 0.5, recall: 0.0 }, 10),
+        ]);
+        assert!((avg.precision - 0.875).abs() < 1e-12);
+        assert!((avg.recall - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn weighted_average_of_one_is_identity() {
+        let pr = PrecisionRecall { precision: 0.7, recall: 0.6 };
+        let avg = weighted_average(&[(pr, 5)]);
+        assert_eq!(avg, pr);
+    }
+
+    #[test]
+    #[should_panic(expected = "weight")]
+    fn zero_total_weight_panics() {
+        let _ = weighted_average(&[(PrecisionRecall { precision: 1.0, recall: 1.0 }, 0)]);
+    }
+
+    #[test]
+    fn fig4_grid_matches_paper_range() {
+        let t = fig4_thresholds();
+        assert_eq!(t.len(), 7);
+        assert_eq!(t[0], 0.1);
+        assert_eq!(*t.last().unwrap(), 0.7);
+    }
+}

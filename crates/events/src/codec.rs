@@ -1,0 +1,349 @@
+//! Recording codecs: a compact binary AER format and a text format.
+//!
+//! The binary format is a simplified address-event representation (AER)
+//! suitable for storing simulated recordings:
+//!
+//! ```text
+//! magic   [u8; 4]  = b"EAER"
+//! version u16 LE   = 1
+//! width   u16 LE
+//! height  u16 LE
+//! count   u64 LE
+//! events  count x { t: u64 LE, x: u16 LE, y: u16 LE, polarity: u8, pad: u8 }
+//! ```
+//!
+//! Events must be written time-ordered; the decoder validates ordering,
+//! bounds and the header. The text format is one `t x y p` line per event
+//! (`p` is `1`/`-1`), handy for debugging and diffing.
+
+use crate::{Event, Polarity, SensorGeometry};
+
+/// Magic bytes identifying the binary format.
+pub const MAGIC: [u8; 4] = *b"EAER";
+/// Current binary format version.
+pub const VERSION: u16 = 1;
+/// Size in bytes of one encoded event record.
+pub const EVENT_RECORD_BYTES: usize = 14;
+/// Size in bytes of the header (4 magic + 2 version + 2 width + 2 height + 8 count).
+pub const HEADER_BYTES: usize = 18;
+
+/// Errors from decoding a recording.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CodecError {
+    /// Input shorter than a full header.
+    TruncatedHeader,
+    /// Header magic did not match [`MAGIC`].
+    BadMagic([u8; 4]),
+    /// Unsupported format version.
+    UnsupportedVersion(u16),
+    /// Declared event count does not match the payload size.
+    TruncatedPayload {
+        /// Events declared in the header.
+        declared: u64,
+        /// Events actually present.
+        available: u64,
+    },
+    /// An event lies outside the declared geometry.
+    OutOfBounds {
+        /// Index of the offending event.
+        index: usize,
+        /// The offending coordinates.
+        x: u16,
+        /// The offending coordinates.
+        y: u16,
+    },
+    /// Events are not in non-decreasing timestamp order.
+    NotTimeOrdered {
+        /// Index of the first out-of-order event.
+        index: usize,
+    },
+    /// A text line could not be parsed.
+    BadTextLine {
+        /// 1-based line number.
+        line: usize,
+    },
+}
+
+impl core::fmt::Display for CodecError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            CodecError::TruncatedHeader => write!(f, "input shorter than header"),
+            CodecError::BadMagic(m) => write!(f, "bad magic bytes {m:?}"),
+            CodecError::UnsupportedVersion(v) => write!(f, "unsupported version {v}"),
+            CodecError::TruncatedPayload { declared, available } => {
+                write!(f, "header declares {declared} events but payload has {available}")
+            }
+            CodecError::OutOfBounds { index, x, y } => {
+                write!(f, "event {index} at ({x}, {y}) outside sensor array")
+            }
+            CodecError::NotTimeOrdered { index } => {
+                write!(f, "event {index} breaks timestamp ordering")
+            }
+            CodecError::BadTextLine { line } => write!(f, "unparseable text at line {line}"),
+        }
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+/// A decoded recording: geometry plus time-ordered events.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Recording {
+    /// Sensor geometry the events were recorded on.
+    pub geometry: SensorGeometry,
+    /// Time-ordered events.
+    pub events: Vec<Event>,
+}
+
+/// Encodes a recording into the binary AER format.
+///
+/// # Panics
+///
+/// Panics if `events` is not time-ordered or contains out-of-bounds
+/// pixels — encoding invalid recordings is a programming error.
+#[must_use]
+pub fn encode_binary(geometry: SensorGeometry, events: &[Event]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(HEADER_BYTES + events.len() * EVENT_RECORD_BYTES);
+    out.extend_from_slice(&MAGIC);
+    out.extend_from_slice(&VERSION.to_le_bytes());
+    out.extend_from_slice(&geometry.width().to_le_bytes());
+    out.extend_from_slice(&geometry.height().to_le_bytes());
+    out.extend_from_slice(&(events.len() as u64).to_le_bytes());
+    let mut prev_t = 0u64;
+    for e in events {
+        assert!(e.t >= prev_t, "events must be time-ordered");
+        assert!(geometry.contains_event(e), "event outside sensor array");
+        prev_t = e.t;
+        out.extend_from_slice(&e.t.to_le_bytes());
+        out.extend_from_slice(&e.x.to_le_bytes());
+        out.extend_from_slice(&e.y.to_le_bytes());
+        out.push(e.polarity.bit());
+        out.push(0); // padding for 2-byte alignment of the next record
+    }
+    out
+}
+
+/// Decodes a binary AER recording, validating header, bounds and ordering.
+///
+/// # Errors
+///
+/// Returns a [`CodecError`] describing the first problem found.
+pub fn decode_binary(bytes: &[u8]) -> Result<Recording, CodecError> {
+    if bytes.len() < HEADER_BYTES {
+        return Err(CodecError::TruncatedHeader);
+    }
+    let magic: [u8; 4] = bytes[0..4].try_into().expect("slice length 4");
+    if magic != MAGIC {
+        return Err(CodecError::BadMagic(magic));
+    }
+    let version = u16::from_le_bytes(bytes[4..6].try_into().expect("len 2"));
+    if version != VERSION {
+        return Err(CodecError::UnsupportedVersion(version));
+    }
+    let width = u16::from_le_bytes(bytes[6..8].try_into().expect("len 2"));
+    let height = u16::from_le_bytes(bytes[8..10].try_into().expect("len 2"));
+    let declared = u64::from_le_bytes(bytes[10..18].try_into().expect("len 8"));
+    let payload = &bytes[HEADER_BYTES..];
+    let available = (payload.len() / EVENT_RECORD_BYTES) as u64;
+    if available < declared || payload.len() % EVENT_RECORD_BYTES != 0 {
+        return Err(CodecError::TruncatedPayload { declared, available });
+    }
+    let geometry = SensorGeometry::new(width, height);
+    let mut events = Vec::with_capacity(declared as usize);
+    let mut prev_t = 0u64;
+    for (index, rec) in payload.chunks_exact(EVENT_RECORD_BYTES).take(declared as usize).enumerate() {
+        let t = u64::from_le_bytes(rec[0..8].try_into().expect("len 8"));
+        let x = u16::from_le_bytes(rec[8..10].try_into().expect("len 2"));
+        let y = u16::from_le_bytes(rec[10..12].try_into().expect("len 2"));
+        let polarity = Polarity::from_bit(rec[12]);
+        if !geometry.contains(x, y) {
+            return Err(CodecError::OutOfBounds { index, x, y });
+        }
+        if t < prev_t {
+            return Err(CodecError::NotTimeOrdered { index });
+        }
+        prev_t = t;
+        events.push(Event::new(x, y, t, polarity));
+    }
+    Ok(Recording { geometry, events })
+}
+
+/// Encodes events as text, one `t x y p` line per event.
+#[must_use]
+pub fn encode_text(events: &[Event]) -> String {
+    use core::fmt::Write as _;
+    let mut out = String::with_capacity(events.len() * 16);
+    for e in events {
+        writeln!(out, "{} {} {} {}", e.t, e.x, e.y, e.polarity.sign()).expect("writing to String");
+    }
+    out
+}
+
+/// Decodes the text format produced by [`encode_text`].
+///
+/// Blank lines and lines starting with `#` are skipped.
+///
+/// # Errors
+///
+/// Returns [`CodecError::BadTextLine`] with the 1-based line number of the
+/// first malformed line.
+pub fn decode_text(text: &str) -> Result<Vec<Event>, CodecError> {
+    let mut events = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        let parse = |s: Option<&str>| s.and_then(|v| v.parse::<i64>().ok());
+        let (t, x, y, p) = match (
+            parse(parts.next()),
+            parse(parts.next()),
+            parse(parts.next()),
+            parse(parts.next()),
+        ) {
+            (Some(t), Some(x), Some(y), Some(p))
+                if t >= 0
+                    && (0..=i64::from(u16::MAX)).contains(&x)
+                    && (0..=i64::from(u16::MAX)).contains(&y)
+                    && (p == 1 || p == -1)
+                    && parts.next().is_none() =>
+            {
+                (t as u64, x as u16, y as u16, p)
+            }
+            _ => return Err(CodecError::BadTextLine { line: i + 1 }),
+        };
+        let polarity = if p == 1 { Polarity::On } else { Polarity::Off };
+        events.push(Event::new(x, y, t, polarity));
+    }
+    Ok(events)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_events() -> Vec<Event> {
+        vec![
+            Event::on(0, 0, 0),
+            Event::off(239, 179, 50),
+            Event::on(120, 90, 50),
+            Event::on(10, 10, 1_000_000),
+        ]
+    }
+
+    #[test]
+    fn binary_round_trip_preserves_everything() {
+        let geom = SensorGeometry::davis240();
+        let mut events = sample_events();
+        crate::stream::sort_by_time(&mut events);
+        let bytes = encode_binary(geom, &events);
+        let rec = decode_binary(&bytes).unwrap();
+        assert_eq!(rec.geometry, geom);
+        assert_eq!(rec.events, events);
+    }
+
+    #[test]
+    fn binary_empty_recording_round_trips() {
+        let geom = SensorGeometry::new(10, 10);
+        let bytes = encode_binary(geom, &[]);
+        assert_eq!(bytes.len(), HEADER_BYTES);
+        let rec = decode_binary(&bytes).unwrap();
+        assert!(rec.events.is_empty());
+        assert_eq!(rec.geometry, geom);
+    }
+
+    #[test]
+    fn decode_rejects_short_input() {
+        assert_eq!(decode_binary(&[1, 2, 3]), Err(CodecError::TruncatedHeader));
+    }
+
+    #[test]
+    fn decode_rejects_bad_magic() {
+        let mut bytes = encode_binary(SensorGeometry::new(4, 4), &[]);
+        bytes[0] = b'X';
+        assert!(matches!(decode_binary(&bytes), Err(CodecError::BadMagic(_))));
+    }
+
+    #[test]
+    fn decode_rejects_bad_version() {
+        let mut bytes = encode_binary(SensorGeometry::new(4, 4), &[]);
+        bytes[4] = 99;
+        assert_eq!(decode_binary(&bytes), Err(CodecError::UnsupportedVersion(99)));
+    }
+
+    #[test]
+    fn decode_rejects_truncated_payload() {
+        let geom = SensorGeometry::new(4, 4);
+        let mut bytes = encode_binary(geom, &[Event::on(1, 1, 5)]);
+        bytes.truncate(bytes.len() - 1);
+        assert!(matches!(decode_binary(&bytes), Err(CodecError::TruncatedPayload { .. })));
+    }
+
+    #[test]
+    fn decode_rejects_out_of_bounds_event() {
+        // Encode on a large array, decode claiming a smaller one by patching
+        // the header dimensions.
+        let mut bytes = encode_binary(SensorGeometry::new(100, 100), &[Event::on(50, 50, 1)]);
+        bytes[6..8].copy_from_slice(&10u16.to_le_bytes());
+        bytes[8..10].copy_from_slice(&10u16.to_le_bytes());
+        assert!(matches!(
+            decode_binary(&bytes),
+            Err(CodecError::OutOfBounds { index: 0, x: 50, y: 50 })
+        ));
+    }
+
+    #[test]
+    fn decode_rejects_time_disorder() {
+        let geom = SensorGeometry::new(4, 4);
+        let mut bytes = encode_binary(geom, &[Event::on(0, 0, 10), Event::on(0, 0, 20)]);
+        // Patch the second record's timestamp to 5 (< 10).
+        let off = HEADER_BYTES + EVENT_RECORD_BYTES;
+        bytes[off..off + 8].copy_from_slice(&5u64.to_le_bytes());
+        assert_eq!(decode_binary(&bytes), Err(CodecError::NotTimeOrdered { index: 1 }));
+    }
+
+    #[test]
+    #[should_panic(expected = "time-ordered")]
+    fn encode_panics_on_disorder() {
+        let geom = SensorGeometry::new(4, 4);
+        let _ = encode_binary(geom, &[Event::on(0, 0, 10), Event::on(0, 0, 5)]);
+    }
+
+    #[test]
+    fn text_round_trip() {
+        let events = sample_events();
+        let text = encode_text(&events);
+        let decoded = decode_text(&text).unwrap();
+        assert_eq!(decoded, events);
+    }
+
+    #[test]
+    fn text_skips_comments_and_blank_lines() {
+        let text = "# header comment\n\n100 5 6 1\n\n# mid comment\n200 7 8 -1\n";
+        let decoded = decode_text(text).unwrap();
+        assert_eq!(decoded.len(), 2);
+        assert_eq!(decoded[0], Event::on(5, 6, 100));
+        assert_eq!(decoded[1], Event::off(7, 8, 200));
+    }
+
+    #[test]
+    fn text_reports_bad_line_numbers() {
+        let text = "100 5 6 1\nnot an event\n";
+        assert_eq!(decode_text(text), Err(CodecError::BadTextLine { line: 2 }));
+    }
+
+    #[test]
+    fn text_rejects_bad_polarity_and_extra_fields() {
+        assert!(decode_text("100 5 6 2").is_err());
+        assert!(decode_text("100 5 6 1 9").is_err());
+        assert!(decode_text("100 5 6").is_err());
+    }
+
+    #[test]
+    fn record_size_constants_are_consistent() {
+        let geom = SensorGeometry::new(4, 4);
+        let bytes = encode_binary(geom, &[Event::on(0, 0, 0)]);
+        assert_eq!(bytes.len(), HEADER_BYTES + EVENT_RECORD_BYTES);
+    }
+}

@@ -1,0 +1,139 @@
+//! Primitive-operation counters.
+//!
+//! The EBBIOT paper argues for its design with *analytic* op/memory budgets
+//! (Eqs. 1, 2, 5–8). To let the reproduction cross-check those budgets, the
+//! algorithm implementations in this workspace optionally count their
+//! primitive operations at runtime in an [`OpsCounter`]. The categories
+//! mirror what the paper counts: comparisons, additions/increments,
+//! multiplications, and memory writes (memory reads are ignored, as in the
+//! paper, "due to lower energy requirement").
+
+/// Tally of primitive operations executed by an algorithm block.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct OpsCounter {
+    /// Comparisons (thresholds, min/max, branch tests on data).
+    pub comparisons: u64,
+    /// Additions, subtractions and counter increments.
+    pub additions: u64,
+    /// Multiplications and divisions.
+    pub multiplications: u64,
+    /// Memory writes (stores into frame/histogram buffers).
+    pub mem_writes: u64,
+}
+
+impl OpsCounter {
+    /// A zeroed counter.
+    #[must_use]
+    pub const fn new() -> Self {
+        Self { comparisons: 0, additions: 0, multiplications: 0, mem_writes: 0 }
+    }
+
+    /// Total operations across all categories (the paper's "computes").
+    #[must_use]
+    pub const fn total(&self) -> u64 {
+        self.comparisons + self.additions + self.multiplications + self.mem_writes
+    }
+
+    /// Resets all tallies to zero.
+    pub fn reset(&mut self) {
+        *self = Self::new();
+    }
+
+    /// Adds another counter's tallies into this one.
+    pub fn absorb(&mut self, other: &OpsCounter) {
+        self.comparisons += other.comparisons;
+        self.additions += other.additions;
+        self.multiplications += other.multiplications;
+        self.mem_writes += other.mem_writes;
+    }
+
+    /// Records `n` comparisons.
+    #[inline]
+    pub fn compare(&mut self, n: u64) {
+        self.comparisons += n;
+    }
+
+    /// Records `n` additions/increments.
+    #[inline]
+    pub fn add(&mut self, n: u64) {
+        self.additions += n;
+    }
+
+    /// Records `n` multiplications/divisions.
+    #[inline]
+    pub fn multiply(&mut self, n: u64) {
+        self.multiplications += n;
+    }
+
+    /// Records `n` memory writes.
+    #[inline]
+    pub fn write(&mut self, n: u64) {
+        self.mem_writes += n;
+    }
+}
+
+impl core::fmt::Display for OpsCounter {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(
+            f,
+            "{} ops (cmp {}, add {}, mul {}, wr {})",
+            self.total(),
+            self.comparisons,
+            self.additions,
+            self.multiplications,
+            self.mem_writes
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_counter_is_zero() {
+        let c = OpsCounter::new();
+        assert_eq!(c.total(), 0);
+    }
+
+    #[test]
+    fn categories_accumulate_independently() {
+        let mut c = OpsCounter::new();
+        c.compare(3);
+        c.add(5);
+        c.multiply(7);
+        c.write(11);
+        assert_eq!(c.comparisons, 3);
+        assert_eq!(c.additions, 5);
+        assert_eq!(c.multiplications, 7);
+        assert_eq!(c.mem_writes, 11);
+        assert_eq!(c.total(), 26);
+    }
+
+    #[test]
+    fn absorb_sums_counters() {
+        let mut a = OpsCounter::new();
+        a.add(10);
+        let mut b = OpsCounter::new();
+        b.compare(4);
+        b.write(6);
+        a.absorb(&b);
+        assert_eq!(a.total(), 20);
+        assert_eq!(a.comparisons, 4);
+    }
+
+    #[test]
+    fn reset_zeroes_everything() {
+        let mut c = OpsCounter::new();
+        c.add(100);
+        c.reset();
+        assert_eq!(c, OpsCounter::new());
+    }
+
+    #[test]
+    fn display_includes_total() {
+        let mut c = OpsCounter::new();
+        c.add(2);
+        assert!(c.to_string().starts_with("2 ops"));
+    }
+}

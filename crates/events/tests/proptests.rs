@@ -1,0 +1,107 @@
+//! Property-based tests for event primitives, windowing and codecs.
+
+use ebbiot_events::{
+    codec,
+    stream::{self, FrameWindows},
+    Event, Polarity, SensorGeometry,
+};
+use proptest::prelude::*;
+
+const W: u16 = 240;
+const H: u16 = 180;
+
+fn arb_event() -> impl Strategy<Value = Event> {
+    (0u64..10_000_000, 0..W, 0..H, any::<bool>()).prop_map(|(t, x, y, on)| {
+        Event::new(x, y, t, if on { Polarity::On } else { Polarity::Off })
+    })
+}
+
+fn arb_ordered_events(max_len: usize) -> impl Strategy<Value = Vec<Event>> {
+    proptest::collection::vec(arb_event(), 0..max_len).prop_map(|mut v| {
+        stream::sort_by_time(&mut v);
+        v
+    })
+}
+
+proptest! {
+    #[test]
+    fn sorting_makes_any_stream_ordered(mut events in proptest::collection::vec(arb_event(), 0..200)) {
+        stream::sort_by_time(&mut events);
+        prop_assert!(stream::is_time_ordered(&events));
+    }
+
+    #[test]
+    fn merge_ordered_output_is_ordered_and_complete(
+        a in arb_ordered_events(100),
+        b in arb_ordered_events(100),
+    ) {
+        let merged = stream::merge_ordered(&a, &b);
+        prop_assert_eq!(merged.len(), a.len() + b.len());
+        prop_assert!(stream::is_time_ordered(&merged));
+        // Multiset equality: sorting the concatenation gives the same list.
+        let mut expected = [a, b].concat();
+        stream::sort_by_time(&mut expected);
+        let mut merged_sorted = merged;
+        stream::sort_by_time(&mut merged_sorted);
+        prop_assert_eq!(merged_sorted, expected);
+    }
+
+    #[test]
+    fn frame_windows_partition_the_stream(
+        events in arb_ordered_events(300),
+        duration in 1_000u64..200_000,
+    ) {
+        let windows: Vec<_> = FrameWindows::new(&events, duration).collect();
+        let total: usize = windows.iter().map(|w| w.events.len()).sum();
+        prop_assert_eq!(total, events.len(), "every event lands in exactly one window");
+        for w in &windows {
+            for e in w.events {
+                prop_assert!(e.t >= w.start && e.t < w.end());
+            }
+        }
+        // Windows tile the time axis contiguously from zero.
+        for (i, w) in windows.iter().enumerate() {
+            prop_assert_eq!(w.index, i);
+            prop_assert_eq!(w.start, i as u64 * duration);
+        }
+    }
+
+    #[test]
+    fn binary_codec_round_trips(events in arb_ordered_events(200)) {
+        let geom = SensorGeometry::new(W, H);
+        let bytes = codec::encode_binary(geom, &events);
+        let rec = codec::decode_binary(&bytes).unwrap();
+        prop_assert_eq!(rec.geometry, geom);
+        prop_assert_eq!(rec.events, events);
+    }
+
+    #[test]
+    fn text_codec_round_trips(events in arb_ordered_events(200)) {
+        let text = codec::encode_text(&events);
+        let decoded = codec::decode_text(&text).unwrap();
+        prop_assert_eq!(decoded, events);
+    }
+
+    #[test]
+    fn corrupting_any_header_byte_is_detected_or_changes_meaning(
+        events in arb_ordered_events(20),
+        byte in 0usize..4,
+    ) {
+        // Corrupting the magic must always be rejected.
+        let geom = SensorGeometry::new(W, H);
+        let mut bytes = codec::encode_binary(geom, &events);
+        bytes[byte] ^= 0xFF;
+        prop_assert!(matches!(codec::decode_binary(&bytes), Err(codec::CodecError::BadMagic(_))));
+    }
+
+    #[test]
+    fn chebyshev_distance_is_a_metric(a in arb_event(), b in arb_event(), c in arb_event()) {
+        let dab = a.chebyshev_distance(&b);
+        let dba = b.chebyshev_distance(&a);
+        prop_assert_eq!(dab, dba, "symmetry");
+        prop_assert_eq!(a.chebyshev_distance(&a), 0, "identity");
+        let dac = a.chebyshev_distance(&c);
+        let dcb = c.chebyshev_distance(&b);
+        prop_assert!(dab <= dac + dcb, "triangle inequality");
+    }
+}

@@ -1,0 +1,76 @@
+//! Polarity selection filter.
+
+use ebbiot_events::{Event, OpsCounter, Polarity};
+
+use crate::EventFilter;
+
+/// Keeps only events of one polarity.
+///
+/// Some trackers (and some recordings) use ON events only; the EBBI itself
+/// ignores polarity, but a polarity filter ahead of an event-based tracker
+/// halves its input rate at the cost of thinner silhouettes.
+#[derive(Debug, Clone)]
+pub struct PolarityFilter {
+    keep: Polarity,
+    ops: OpsCounter,
+}
+
+impl PolarityFilter {
+    /// Creates a filter keeping only `keep`-polarity events.
+    #[must_use]
+    pub fn new(keep: Polarity) -> Self {
+        Self { keep, ops: OpsCounter::new() }
+    }
+
+    /// The polarity this filter keeps.
+    #[must_use]
+    pub const fn polarity(&self) -> Polarity {
+        self.keep
+    }
+}
+
+impl EventFilter for PolarityFilter {
+    fn keep(&mut self, event: &Event) -> bool {
+        self.ops.compare(1);
+        event.polarity == self.keep
+    }
+
+    fn reset(&mut self) {}
+
+    fn ops(&self) -> &OpsCounter {
+        &self.ops
+    }
+
+    fn reset_ops(&mut self) {
+        self.ops.reset();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keeps_matching_polarity_only() {
+        let mut f = PolarityFilter::new(Polarity::On);
+        assert!(f.keep(&Event::on(0, 0, 0)));
+        assert!(!f.keep(&Event::off(0, 0, 1)));
+    }
+
+    #[test]
+    fn off_variant() {
+        let mut f = PolarityFilter::new(Polarity::Off);
+        assert!(!f.keep(&Event::on(0, 0, 0)));
+        assert!(f.keep(&Event::off(0, 0, 1)));
+        assert_eq!(f.polarity(), Polarity::Off);
+    }
+
+    #[test]
+    fn one_comparison_per_event() {
+        let mut f = PolarityFilter::new(Polarity::On);
+        for t in 0..5 {
+            let _ = f.keep(&Event::on(0, 0, t));
+        }
+        assert_eq!(f.ops().comparisons, 5);
+    }
+}

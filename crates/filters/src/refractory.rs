@@ -1,0 +1,146 @@
+//! Per-pixel refractory filter.
+//!
+//! Real NVS pixels have a refractory period after each event; readout
+//! chains often enforce a further minimum inter-event interval per pixel to
+//! bound bandwidth. This filter drops any event that follows a previous
+//! event *from the same pixel* within the refractory interval. It is used
+//! by the simulator's self-tests and as an optional pre-filter ahead of
+//! [`crate::NnFilter`] in fully event-based pipelines.
+
+use ebbiot_events::{Event, OpsCounter, SensorGeometry, Timestamp};
+
+use crate::EventFilter;
+
+const NEVER: Timestamp = Timestamp::MAX;
+
+/// Drops same-pixel events closer than the refractory period.
+#[derive(Debug, Clone)]
+pub struct RefractoryFilter {
+    geometry: SensorGeometry,
+    last_pass: Vec<Timestamp>,
+    refractory_us: u64,
+    ops: OpsCounter,
+}
+
+impl RefractoryFilter {
+    /// Creates a filter with the given refractory period in microseconds.
+    #[must_use]
+    pub fn new(geometry: SensorGeometry, refractory_us: u64) -> Self {
+        Self {
+            geometry,
+            last_pass: vec![NEVER; geometry.num_pixels()],
+            refractory_us,
+            ops: OpsCounter::new(),
+        }
+    }
+
+    /// The refractory period in microseconds.
+    #[must_use]
+    pub const fn refractory_us(&self) -> u64 {
+        self.refractory_us
+    }
+}
+
+impl EventFilter for RefractoryFilter {
+    fn keep(&mut self, event: &Event) -> bool {
+        if !self.geometry.contains_event(event) {
+            return false;
+        }
+        let idx = self.geometry.index_of(event.x, event.y);
+        let last = self.last_pass[idx];
+        self.ops.compare(1);
+        let keep = last == NEVER || event.t.saturating_sub(last) >= self.refractory_us;
+        if keep {
+            self.last_pass[idx] = event.t;
+            self.ops.write(1);
+        }
+        keep
+    }
+
+    fn reset(&mut self) {
+        self.last_pass.fill(NEVER);
+    }
+
+    fn ops(&self) -> &OpsCounter {
+        &self.ops
+    }
+
+    fn reset_ops(&mut self) {
+        self.ops.reset();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn filt(refractory_us: u64) -> RefractoryFilter {
+        RefractoryFilter::new(SensorGeometry::new(16, 16), refractory_us)
+    }
+
+    #[test]
+    fn first_event_always_passes() {
+        let mut f = filt(1_000);
+        assert!(f.keep(&Event::on(3, 3, 0)));
+    }
+
+    #[test]
+    fn event_within_refractory_is_dropped() {
+        let mut f = filt(1_000);
+        assert!(f.keep(&Event::on(3, 3, 0)));
+        assert!(!f.keep(&Event::on(3, 3, 999)));
+    }
+
+    #[test]
+    fn event_at_exact_refractory_passes() {
+        let mut f = filt(1_000);
+        assert!(f.keep(&Event::on(3, 3, 0)));
+        assert!(f.keep(&Event::on(3, 3, 1_000)));
+    }
+
+    #[test]
+    fn different_pixels_are_independent() {
+        let mut f = filt(1_000);
+        assert!(f.keep(&Event::on(3, 3, 0)));
+        assert!(f.keep(&Event::on(4, 3, 1)));
+    }
+
+    #[test]
+    fn dropped_events_do_not_extend_the_period() {
+        let mut f = filt(1_000);
+        assert!(f.keep(&Event::on(3, 3, 0)));
+        assert!(!f.keep(&Event::on(3, 3, 500)));
+        // 1_400 is >= 1_000 after the last *passed* event at t = 0.
+        assert!(f.keep(&Event::on(3, 3, 1_400)));
+    }
+
+    #[test]
+    fn reset_forgets_history() {
+        let mut f = filt(1_000_000);
+        assert!(f.keep(&Event::on(3, 3, 0)));
+        f.reset();
+        assert!(f.keep(&Event::on(3, 3, 1)));
+    }
+
+    #[test]
+    fn out_of_bounds_dropped() {
+        let mut f = filt(1_000);
+        assert!(!f.keep(&Event::on(200, 200, 0)));
+    }
+
+    #[test]
+    fn zero_refractory_keeps_everything() {
+        let mut f = filt(0);
+        assert!(f.keep(&Event::on(3, 3, 0)));
+        assert!(f.keep(&Event::on(3, 3, 0)));
+    }
+
+    #[test]
+    fn ops_counted_per_event() {
+        let mut f = filt(1_000);
+        let _ = f.keep(&Event::on(1, 1, 0));
+        let _ = f.keep(&Event::on(1, 1, 10));
+        assert_eq!(f.ops().comparisons, 2);
+        assert_eq!(f.ops().mem_writes, 1, "only the kept event writes");
+    }
+}

@@ -1,0 +1,285 @@
+//! Connected-component analysis on binary images.
+//!
+//! The paper names 2-D CCA as the "traditional approach to detect regions"
+//! and as the future-work generalization of its histogram RPN. We provide
+//! it both as a baseline region proposer and for the false-intersection
+//! fallback the paper mentions (checking validity of X×Y region products).
+//!
+//! Labelling is a two-pass union–find over either 4- or 8-connectivity.
+
+use ebbiot_events::OpsCounter;
+
+use crate::{BinaryImage, PixelBox};
+
+/// Pixel connectivity for component labelling.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Connectivity {
+    /// Edge-adjacent neighbours only.
+    Four,
+    /// Edge- and corner-adjacent neighbours (default: event clouds are
+    /// sparse, diagonal links keep object silhouettes together).
+    Eight,
+}
+
+/// A labelled connected component.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Component {
+    /// Bounding box of the component.
+    pub bbox: PixelBox,
+    /// Number of set pixels in the component.
+    pub pixel_count: u32,
+}
+
+/// Union–find with path halving.
+#[derive(Debug)]
+struct UnionFind {
+    parent: Vec<u32>,
+}
+
+impl UnionFind {
+    fn new() -> Self {
+        Self { parent: Vec::new() }
+    }
+
+    fn make_set(&mut self) -> u32 {
+        let id = self.parent.len() as u32;
+        self.parent.push(id);
+        id
+    }
+
+    fn find(&mut self, mut x: u32) -> u32 {
+        while self.parent[x as usize] != x {
+            let grand = self.parent[self.parent[x as usize] as usize];
+            self.parent[x as usize] = grand;
+            x = grand;
+        }
+        x
+    }
+
+    fn union(&mut self, a: u32, b: u32) {
+        let ra = self.find(a);
+        let rb = self.find(b);
+        if ra != rb {
+            // Attach the larger id to the smaller so labels stay stable.
+            let (lo, hi) = if ra < rb { (ra, rb) } else { (rb, ra) };
+            self.parent[hi as usize] = lo;
+        }
+    }
+}
+
+/// Labels connected components and returns them ordered by raster position
+/// of their first pixel.
+///
+/// Charges one comparison per pixel (foreground test) plus one comparison
+/// per examined neighbour, mirroring the raster-scan cost the paper
+/// attributes to CCA-based region detection.
+#[must_use]
+pub fn connected_components(
+    image: &BinaryImage,
+    connectivity: Connectivity,
+    ops: &mut OpsCounter,
+) -> Vec<Component> {
+    let width = image.width();
+    let height = image.height();
+    let mut labels: Vec<u32> = vec![u32::MAX; width as usize * height as usize];
+    let mut uf = UnionFind::new();
+
+    let idx = |x: u16, y: u16| y as usize * width as usize + x as usize;
+
+    // Pass 1: provisional labels from already-visited neighbours
+    // (left, top, and for 8-connectivity the two top diagonals).
+    for y in 0..height {
+        for x in 0..width {
+            ops.compare(1);
+            if !image.get(x, y) {
+                continue;
+            }
+            let mut neighbour_labels: [Option<u32>; 4] = [None; 4];
+            let mut n = 0;
+            let consider = |lx: i32, ly: i32, ops: &mut OpsCounter,
+                                labels: &Vec<u32>| {
+                ops.compare(1);
+                if lx >= 0 && ly >= 0 && (lx as u16) < width && (ly as u16) < height {
+                    let l = labels[idx(lx as u16, ly as u16)];
+                    if l != u32::MAX {
+                        return Some(l);
+                    }
+                }
+                None
+            };
+            if let Some(l) = consider(i32::from(x) - 1, i32::from(y), ops, &labels) {
+                neighbour_labels[n] = Some(l);
+                n += 1;
+            }
+            if let Some(l) = consider(i32::from(x), i32::from(y) - 1, ops, &labels) {
+                neighbour_labels[n] = Some(l);
+                n += 1;
+            }
+            if connectivity == Connectivity::Eight {
+                if let Some(l) = consider(i32::from(x) - 1, i32::from(y) - 1, ops, &labels) {
+                    neighbour_labels[n] = Some(l);
+                    n += 1;
+                }
+                if let Some(l) = consider(i32::from(x) + 1, i32::from(y) - 1, ops, &labels) {
+                    neighbour_labels[n] = Some(l);
+                    n += 1;
+                }
+            }
+            let label = if n == 0 {
+                uf.make_set()
+            } else {
+                let mut min = u32::MAX;
+                for l in neighbour_labels.iter().flatten() {
+                    min = min.min(*l);
+                }
+                for l in neighbour_labels.iter().flatten() {
+                    uf.union(min, *l);
+                }
+                min
+            };
+            labels[idx(x, y)] = label;
+            ops.write(1);
+        }
+    }
+
+    // Pass 2: resolve labels, accumulate boxes and counts.
+    let mut roots: Vec<u32> = Vec::new();
+    let mut components: Vec<Component> = Vec::new();
+    for y in 0..height {
+        for x in 0..width {
+            let l = labels[idx(x, y)];
+            if l == u32::MAX {
+                continue;
+            }
+            let root = uf.find(l);
+            let slot = roots.iter().position(|&r| r == root).unwrap_or_else(|| {
+                roots.push(root);
+                components.push(Component { bbox: PixelBox::single(x, y), pixel_count: 0 });
+                roots.len() - 1
+            });
+            components[slot].bbox.include(x, y);
+            components[slot].pixel_count += 1;
+        }
+    }
+    components
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ebbiot_events::SensorGeometry;
+
+    fn image_from(rows: &[&str]) -> BinaryImage {
+        let h = rows.len() as u16;
+        let w = rows[0].len() as u16;
+        let mut img = BinaryImage::new(SensorGeometry::new(w, h));
+        for (y, row) in rows.iter().enumerate() {
+            for (x, ch) in row.chars().enumerate() {
+                if ch == '#' {
+                    img.set(x as u16, y as u16, true);
+                }
+            }
+        }
+        img
+    }
+
+    fn components(rows: &[&str], conn: Connectivity) -> Vec<Component> {
+        let mut ops = OpsCounter::new();
+        connected_components(&image_from(rows), conn, &mut ops)
+    }
+
+    #[test]
+    fn empty_image_has_no_components() {
+        assert!(components(&["....", "...."], Connectivity::Eight).is_empty());
+    }
+
+    #[test]
+    fn single_pixel_component() {
+        let comps = components(&["....", ".#..", "...."], Connectivity::Four);
+        assert_eq!(comps.len(), 1);
+        assert_eq!(comps[0].pixel_count, 1);
+        assert_eq!(comps[0].bbox, PixelBox::new(1, 1, 2, 2));
+    }
+
+    #[test]
+    fn two_separate_blobs() {
+        let comps = components(&["##..", "##..", "...#", "...#"], Connectivity::Four);
+        assert_eq!(comps.len(), 2);
+        assert_eq!(comps[0].pixel_count, 4);
+        assert_eq!(comps[1].pixel_count, 2);
+        assert_eq!(comps[1].bbox, PixelBox::new(3, 2, 4, 4));
+    }
+
+    #[test]
+    fn diagonal_touch_depends_on_connectivity() {
+        let rows = ["#...", ".#..", "..#.", "...."];
+        assert_eq!(components(&rows, Connectivity::Four).len(), 3);
+        assert_eq!(components(&rows, Connectivity::Eight).len(), 1);
+    }
+
+    #[test]
+    fn u_shape_merges_via_union_find() {
+        // The two vertical arms get different provisional labels and must
+        // be united when the bottom bar connects them.
+        let rows = ["#..#", "#..#", "####"];
+        let comps = components(&rows, Connectivity::Four);
+        assert_eq!(comps.len(), 1);
+        assert_eq!(comps[0].pixel_count, 8);
+        assert_eq!(comps[0].bbox, PixelBox::new(0, 0, 4, 3));
+    }
+
+    #[test]
+    fn spiral_stress_for_label_merging() {
+        let rows = [
+            "#####",
+            "....#",
+            "###.#",
+            "#...#",
+            "#####",
+        ];
+        let comps = components(&rows, Connectivity::Four);
+        assert_eq!(comps.len(), 1);
+        assert_eq!(comps[0].pixel_count, 17);
+    }
+
+    #[test]
+    fn full_image_is_one_component() {
+        let comps = components(&["###", "###"], Connectivity::Four);
+        assert_eq!(comps.len(), 1);
+        assert_eq!(comps[0].pixel_count, 6);
+        assert_eq!(comps[0].bbox, PixelBox::new(0, 0, 3, 2));
+    }
+
+    #[test]
+    fn pixel_counts_sum_to_count_ones() {
+        let rows = ["#.#.#", ".#.#.", "#.#.#"];
+        let img = image_from(&rows);
+        let mut ops = OpsCounter::new();
+        let comps = connected_components(&img, Connectivity::Four, &mut ops);
+        let total: u32 = comps.iter().map(|c| c.pixel_count).sum();
+        assert_eq!(total as usize, img.count_ones());
+        assert_eq!(comps.len(), 8, "checkerboard has 8 isolated pixels (4-conn)");
+    }
+
+    #[test]
+    fn checkerboard_is_single_component_with_8_connectivity() {
+        let comps = components(&["#.#.#", ".#.#.", "#.#.#"], Connectivity::Eight);
+        assert_eq!(comps.len(), 1);
+    }
+
+    #[test]
+    fn components_ordered_by_first_raster_pixel() {
+        let comps = components(&["...#", "#...", "...."], Connectivity::Four);
+        assert_eq!(comps.len(), 2);
+        assert_eq!(comps[0].bbox, PixelBox::new(3, 0, 4, 1), "top-right first");
+        assert_eq!(comps[1].bbox, PixelBox::new(0, 1, 1, 2));
+    }
+
+    #[test]
+    fn ops_are_charged_per_pixel() {
+        let img = image_from(&["....", "...."]);
+        let mut ops = OpsCounter::new();
+        let _ = connected_components(&img, Connectivity::Four, &mut ops);
+        assert_eq!(ops.comparisons, 8, "foreground test per pixel, no neighbours probed");
+    }
+}

@@ -1,0 +1,224 @@
+//! Block-sum downsampling (Eq. 3 of the paper).
+//!
+//! The RPN does not operate on the full-resolution EBBI: it first produces
+//! a scaled image `I_{s1,s2}(i, j) = sum of the (s1 x s2) block` of binary
+//! pixels, for `i < floor(A / s1)`, `j < floor(B / s2)`. Following Eq. 3
+//! exactly, trailing rows/columns that do not fill a whole block are
+//! dropped (for the paper's 240x180 with s1 = 6, s2 = 3 the division is
+//! exact, so nothing is lost).
+
+use ebbiot_events::OpsCounter;
+
+use crate::BinaryImage;
+
+/// A small dense image of per-block event counts.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CountImage {
+    width: u16,
+    height: u16,
+    /// Per-cell block sums, row-major.
+    data: Vec<u32>,
+    /// X scale factor `s1` the image was built with.
+    pub s1: u16,
+    /// Y scale factor `s2` the image was built with.
+    pub s2: u16,
+}
+
+impl CountImage {
+    /// Downsamples a binary image by factors `s1` (x) and `s2` (y).
+    ///
+    /// Each output cell holds the number of set pixels in its block. The
+    /// `ops` counter is charged one addition per *input* pixel (the
+    /// `A * B` term dominating `C_RPN` in Eq. 5) and one write per cell.
+    ///
+    /// # Panics
+    ///
+    /// Panics when either factor is zero or exceeds the image dimension.
+    #[must_use]
+    pub fn downsample(input: &BinaryImage, s1: u16, s2: u16, ops: &mut OpsCounter) -> Self {
+        assert!(s1 > 0 && s2 > 0, "scale factors must be non-zero");
+        assert!(
+            s1 <= input.width() && s2 <= input.height(),
+            "scale factors larger than the image"
+        );
+        let width = input.width() / s1;
+        let height = input.height() / s2;
+        let mut data = vec![0u32; width as usize * height as usize];
+        for j in 0..height {
+            for i in 0..width {
+                let mut sum = 0u32;
+                for dy in 0..s2 {
+                    for dx in 0..s1 {
+                        if input.get(i * s1 + dx, j * s2 + dy) {
+                            sum += 1;
+                        }
+                    }
+                }
+                // One addition per input pixel scanned, one write per cell.
+                ops.add(u64::from(s1) * u64::from(s2));
+                ops.write(1);
+                data[j as usize * width as usize + i as usize] = sum;
+            }
+        }
+        Self { width, height, data, s1, s2 }
+    }
+
+    /// Downsampled width `floor(A / s1)`.
+    #[must_use]
+    pub const fn width(&self) -> u16 {
+        self.width
+    }
+
+    /// Downsampled height `floor(B / s2)`.
+    #[must_use]
+    pub const fn height(&self) -> u16 {
+        self.height
+    }
+
+    /// Reads cell `(i, j)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when out of bounds.
+    #[must_use]
+    pub fn get(&self, i: u16, j: u16) -> u32 {
+        assert!(i < self.width && j < self.height, "cell ({i}, {j}) out of bounds");
+        self.data[j as usize * self.width as usize + i as usize]
+    }
+
+    /// Sum of all cells (equals the number of set pixels in the covered
+    /// region of the source image).
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.data.iter().map(|&v| u64::from(v)).sum()
+    }
+
+    /// Whether any cell in the half-open cell rectangle is non-zero.
+    /// Used by the RPN validity check for intersection regions.
+    #[must_use]
+    pub fn any_nonzero_in(&self, i_min: u16, i_max: u16, j_min: u16, j_max: u16) -> bool {
+        let i_end = i_max.min(self.width);
+        let j_end = j_max.min(self.height);
+        for j in j_min..j_end {
+            for i in i_min..i_end {
+                if self.get(i, j) > 0 {
+                    return true;
+                }
+            }
+        }
+        false
+    }
+
+    /// Memory footprint in bits using the paper's Eq. 5 accounting:
+    /// `ceil(log2(s1 * s2))` bits per cell (enough to store a block sum).
+    #[must_use]
+    pub fn payload_bits(&self) -> usize {
+        let n = u32::from(self.s1) * u32::from(self.s2);
+        // ceil(log2(n)) for n >= 2 is the bit length of n - 1; clamp to >= 1.
+        let bits_per_cell = if n <= 1 { 1 } else { (32 - (n - 1).leading_zeros()) as usize };
+        self.width as usize * self.height as usize * bits_per_cell
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::PixelBox;
+    use ebbiot_events::SensorGeometry;
+
+    fn image(w: u16, h: u16) -> BinaryImage {
+        BinaryImage::new(SensorGeometry::new(w, h))
+    }
+
+    #[test]
+    fn dimensions_follow_floor_division() {
+        let img = image(240, 180);
+        let mut ops = OpsCounter::new();
+        let ds = CountImage::downsample(&img, 6, 3, &mut ops);
+        assert_eq!(ds.width(), 40);
+        assert_eq!(ds.height(), 60);
+    }
+
+    #[test]
+    fn trailing_partial_blocks_are_dropped() {
+        let img = image(10, 10);
+        let mut ops = OpsCounter::new();
+        let ds = CountImage::downsample(&img, 3, 4, &mut ops);
+        assert_eq!(ds.width(), 3);
+        assert_eq!(ds.height(), 2);
+    }
+
+    #[test]
+    fn block_sums_count_set_pixels() {
+        let mut img = image(12, 6);
+        img.fill_box(&PixelBox::new(0, 0, 6, 3)); // fills cell (0,0) fully
+        img.set(6, 0, true); // one pixel of cell (1, 0)
+        let mut ops = OpsCounter::new();
+        let ds = CountImage::downsample(&img, 6, 3, &mut ops);
+        assert_eq!(ds.get(0, 0), 18);
+        assert_eq!(ds.get(1, 0), 1);
+        assert_eq!(ds.get(0, 1), 0);
+        assert_eq!(ds.total(), 19);
+    }
+
+    #[test]
+    fn total_matches_count_ones_when_division_exact() {
+        let mut img = image(24, 12);
+        img.set(0, 0, true);
+        img.set(23, 11, true);
+        img.set(13, 7, true);
+        let mut ops = OpsCounter::new();
+        let ds = CountImage::downsample(&img, 6, 3, &mut ops);
+        assert_eq!(ds.total(), 3);
+    }
+
+    #[test]
+    fn ops_charged_per_input_pixel() {
+        let img = image(24, 12);
+        let mut ops = OpsCounter::new();
+        let ds = CountImage::downsample(&img, 6, 3, &mut ops);
+        assert_eq!(ops.additions, 24 * 12, "A*B additions");
+        assert_eq!(ops.mem_writes, u64::from(ds.width()) * u64::from(ds.height()));
+    }
+
+    #[test]
+    fn any_nonzero_in_detects_and_clips() {
+        let mut img = image(12, 6);
+        img.set(7, 1, true); // cell (1, 0)
+        let mut ops = OpsCounter::new();
+        let ds = CountImage::downsample(&img, 6, 3, &mut ops);
+        assert!(ds.any_nonzero_in(1, 2, 0, 1));
+        assert!(!ds.any_nonzero_in(0, 1, 0, 2));
+        assert!(ds.any_nonzero_in(0, 100, 0, 100), "clips to image");
+    }
+
+    #[test]
+    fn payload_bits_matches_eq5_for_paper_parameters() {
+        let img = image(240, 180);
+        let mut ops = OpsCounter::new();
+        let ds = CountImage::downsample(&img, 6, 3, &mut ops);
+        // ceil(log2(18)) = 5 bits per cell, 40*60 cells = 12_000 bits.
+        assert_eq!(ds.payload_bits(), 40 * 60 * 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn zero_factor_panics() {
+        let img = image(8, 8);
+        let mut ops = OpsCounter::new();
+        let _ = CountImage::downsample(&img, 0, 1, &mut ops);
+    }
+
+    #[test]
+    fn unit_factors_copy_the_image() {
+        let mut img = image(5, 4);
+        img.set(2, 2, true);
+        let mut ops = OpsCounter::new();
+        let ds = CountImage::downsample(&img, 1, 1, &mut ops);
+        assert_eq!(ds.width(), 5);
+        assert_eq!(ds.height(), 4);
+        assert_eq!(ds.get(2, 2), 1);
+        assert_eq!(ds.get(0, 0), 0);
+        assert_eq!(ds.total(), 1);
+    }
+}

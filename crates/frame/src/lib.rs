@@ -1,0 +1,50 @@
+//! Frame-domain substrate for the EBBIOT pipeline.
+//!
+//! The EBBIOT paper's "mixed approach" accumulates NVS events into
+//! *event-based binary images* (EBBI) and does all further processing in
+//! the frame domain. This crate provides that domain:
+//!
+//! * [`BinaryImage`] — bit-packed one-bit-per-pixel frames,
+//! * [`EbbiAccumulator`] — sensor-as-memory event accumulation (§II-A),
+//! * [`MedianFilter`] — `p x p` binary median denoising (§II-A, Eq. 1),
+//! * [`CountImage`] — block-sum downsampling (Eq. 3),
+//! * [`Histogram`] / [`Run`] — axis projections and 1-D run extraction
+//!   (Eq. 4),
+//! * [`cca`] — connected-component analysis (the paper's traditional
+//!   baseline and future-work RPN),
+//! * [`morphology`] — binary dilate/erode/open/close,
+//! * [`BoundingBox`] / [`PixelBox`] — the box geometry (incl. IoU, Eq. 9)
+//!   shared by the RPN, the trackers and the evaluator.
+//!
+//! # Example: events → EBBI → denoised frame
+//!
+//! ```
+//! use ebbiot_events::{Event, SensorGeometry};
+//! use ebbiot_frame::{ebbi::ebbi_from_events, MedianFilter};
+//!
+//! let geom = SensorGeometry::davis240();
+//! let events: Vec<Event> = (0..5).map(|i| Event::on(100 + i, 90, u64::from(i))).collect();
+//! let ebbi = ebbi_from_events(geom, &events);
+//! let denoised = MedianFilter::paper_default().apply(&ebbi);
+//! assert!(denoised.count_ones() <= ebbi.count_ones());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod binary_image;
+pub mod boxes;
+pub mod cca;
+pub mod downsample;
+pub mod ebbi;
+pub mod histogram;
+pub mod median;
+pub mod morphology;
+pub mod rle;
+
+pub use binary_image::BinaryImage;
+pub use boxes::{BoundingBox, PixelBox};
+pub use downsample::CountImage;
+pub use ebbi::EbbiAccumulator;
+pub use histogram::{Axis, Histogram, Run};
+pub use median::MedianFilter;

@@ -1,0 +1,209 @@
+//! Binary median filtering — the EBBI noise-removal step.
+//!
+//! "For a binary frame, noise removal may be easily done by a median filter
+//! (with patch size p x p) since spurious events result in salt and pepper
+//! noise" (Section II-A). For a binary image the median of a `p x p` patch
+//! is 1 exactly when more than `floor(p^2 / 2)` patch pixels are 1, so the
+//! filter is a popcount followed by one comparison per pixel — the cost
+//! model of Eq. 1.
+
+use ebbiot_events::OpsCounter;
+
+use crate::BinaryImage;
+
+/// Binary median filter with odd patch size `p` (the paper uses `p = 3`).
+#[derive(Debug, Clone)]
+pub struct MedianFilter {
+    patch: u16,
+    ops: OpsCounter,
+}
+
+impl MedianFilter {
+    /// Creates a filter with the given odd patch size.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `patch` is even or zero.
+    #[must_use]
+    pub fn new(patch: u16) -> Self {
+        assert!(patch % 2 == 1, "median patch size must be odd");
+        Self { patch, ops: OpsCounter::new() }
+    }
+
+    /// The paper's default `p = 3` filter.
+    #[must_use]
+    pub fn paper_default() -> Self {
+        Self::new(3)
+    }
+
+    /// Patch size `p`.
+    #[must_use]
+    pub const fn patch(&self) -> u16 {
+        self.patch
+    }
+
+    /// Majority threshold `floor(p^2 / 2)`: output is 1 when the patch
+    /// count exceeds it.
+    #[must_use]
+    pub const fn majority(&self) -> u32 {
+        (self.patch as u32 * self.patch as u32) / 2
+    }
+
+    /// Applies the filter, returning the filtered image. Borders use
+    /// zero padding (outside pixels count as 0).
+    ///
+    /// Op accounting follows Eq. 1: for each output pixel, one increment
+    /// per active patch pixel ("incrementing a counter every time a 1 is
+    /// encountered") plus one comparison against the majority threshold,
+    /// plus one memory write per set output pixel.
+    #[must_use]
+    pub fn apply(&mut self, input: &BinaryImage) -> BinaryImage {
+        let mut out = BinaryImage::new(input.geometry());
+        let half = i32::from(self.patch / 2);
+        let majority = self.majority();
+        for y in 0..input.height() {
+            for x in 0..input.width() {
+                let mut count = 0u32;
+                for dy in -half..=half {
+                    for dx in -half..=half {
+                        if input.get_padded(i32::from(x) + dx, i32::from(y) + dy) {
+                            count += 1;
+                        }
+                    }
+                }
+                self.ops.add(u64::from(count));
+                self.ops.compare(1);
+                if count > majority {
+                    out.set(x, y, true);
+                    self.ops.write(1);
+                }
+            }
+        }
+        out
+    }
+
+    /// Runtime op counter.
+    #[must_use]
+    pub const fn ops(&self) -> &OpsCounter {
+        &self.ops
+    }
+
+    /// Resets the op counter.
+    pub fn reset_ops(&mut self) {
+        self.ops.reset();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::PixelBox;
+    use ebbiot_events::SensorGeometry;
+
+    fn image(w: u16, h: u16) -> BinaryImage {
+        BinaryImage::new(SensorGeometry::new(w, h))
+    }
+
+    #[test]
+    fn majority_threshold_for_p3_is_four() {
+        assert_eq!(MedianFilter::paper_default().majority(), 4);
+        assert_eq!(MedianFilter::new(5).majority(), 12);
+    }
+
+    #[test]
+    fn isolated_pixel_is_removed() {
+        let mut img = image(16, 16);
+        img.set(8, 8, true);
+        let out = MedianFilter::paper_default().apply(&img);
+        assert_eq!(out.count_ones(), 0, "salt noise removed");
+    }
+
+    #[test]
+    fn solid_block_interior_survives() {
+        let mut img = image(16, 16);
+        img.fill_box(&PixelBox::new(4, 4, 12, 12));
+        let out = MedianFilter::paper_default().apply(&img);
+        // Interior (9 neighbours all set, count 9 > 4) survives; corners of
+        // the block have count 4, which is NOT > 4, so they are eroded.
+        assert!(out.get(8, 8));
+        assert!(out.get(5, 5));
+        assert!(!out.get(4, 4), "block corner has exactly 4 neighbours set");
+        // Edge midpoints have count 6 > 4 and survive.
+        assert!(out.get(8, 4));
+    }
+
+    #[test]
+    fn small_cluster_of_two_is_removed() {
+        let mut img = image(16, 16);
+        img.set(5, 5, true);
+        img.set(6, 5, true);
+        let out = MedianFilter::paper_default().apply(&img);
+        assert_eq!(out.count_ones(), 0);
+    }
+
+    #[test]
+    fn pepper_hole_in_solid_region_is_filled() {
+        let mut img = image(16, 16);
+        img.fill_box(&PixelBox::new(2, 2, 14, 14));
+        img.set(8, 8, false); // pepper noise
+        let out = MedianFilter::paper_default().apply(&img);
+        assert!(out.get(8, 8), "hole filled by majority");
+    }
+
+    #[test]
+    fn empty_image_stays_empty() {
+        let img = image(8, 8);
+        let out = MedianFilter::paper_default().apply(&img);
+        assert_eq!(out.count_ones(), 0);
+    }
+
+    #[test]
+    fn full_image_interior_stays_full() {
+        let mut img = image(8, 8);
+        img.fill_box(&PixelBox::new(0, 0, 8, 8));
+        let out = MedianFilter::paper_default().apply(&img);
+        // Only the 4 extreme corners have patch count 4 (not > 4) under
+        // zero padding; everything else survives.
+        assert_eq!(out.count_ones(), 64 - 4);
+        assert!(!out.get(0, 0));
+        assert!(out.get(1, 0));
+    }
+
+    #[test]
+    fn ops_counting_matches_eq1_structure() {
+        let mut img = image(10, 10);
+        img.set(5, 5, true); // one active pixel contributes 9 patch hits
+        let mut f = MedianFilter::paper_default();
+        let _ = f.apply(&img);
+        // One comparison per pixel.
+        assert_eq!(f.ops().comparisons, 100);
+        // The single set pixel is seen by the 9 patches covering it.
+        assert_eq!(f.ops().additions, 9);
+        // No output pixels set -> no writes.
+        assert_eq!(f.ops().mem_writes, 0);
+    }
+
+    #[test]
+    fn reset_ops_clears_counter() {
+        let mut f = MedianFilter::paper_default();
+        let _ = f.apply(&image(4, 4));
+        assert!(f.ops().total() > 0);
+        f.reset_ops();
+        assert_eq!(f.ops().total(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "odd")]
+    fn even_patch_size_panics() {
+        let _ = MedianFilter::new(4);
+    }
+
+    #[test]
+    fn p1_filter_is_identity() {
+        let mut img = image(8, 8);
+        img.set(2, 3, true);
+        img.set(7, 7, true);
+        let out = MedianFilter::new(1).apply(&img);
+        assert_eq!(out, img);
+    }
+}

@@ -1,0 +1,202 @@
+//! Binary morphology: dilation, erosion, opening, closing.
+//!
+//! The paper cites morphological operators (Gonzalez & Woods) as part of
+//! the traditional CCA-based region-detection pipeline it compares
+//! against; they are provided here so the CCA baseline can pre-close
+//! fragmented silhouettes the way a conventional frame pipeline would.
+
+use crate::BinaryImage;
+
+/// Structuring element: a square of odd side `size` centred on the pixel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SquareKernel {
+    size: u16,
+}
+
+impl SquareKernel {
+    /// Creates a kernel of the given odd side length.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `size` is even or zero.
+    #[must_use]
+    pub fn new(size: u16) -> Self {
+        assert!(size % 2 == 1, "kernel size must be odd");
+        Self { size }
+    }
+
+    /// Kernel side length.
+    #[must_use]
+    pub const fn size(&self) -> u16 {
+        self.size
+    }
+
+    const fn half(&self) -> i32 {
+        (self.size / 2) as i32
+    }
+}
+
+/// Dilation: output pixel is 1 if *any* kernel pixel is 1.
+#[must_use]
+pub fn dilate(input: &BinaryImage, kernel: SquareKernel) -> BinaryImage {
+    transform(input, kernel, true)
+}
+
+/// Erosion: output pixel is 1 if *all* kernel pixels are 1 (zero padding,
+/// so borders erode).
+#[must_use]
+pub fn erode(input: &BinaryImage, kernel: SquareKernel) -> BinaryImage {
+    transform(input, kernel, false)
+}
+
+/// Opening: erosion followed by dilation. Removes specks smaller than the
+/// kernel while roughly preserving larger shapes.
+#[must_use]
+pub fn open(input: &BinaryImage, kernel: SquareKernel) -> BinaryImage {
+    dilate(&erode(input, kernel), kernel)
+}
+
+/// Closing: dilation followed by erosion. Fills gaps and bridges
+/// fragmented silhouettes smaller than the kernel.
+#[must_use]
+pub fn close(input: &BinaryImage, kernel: SquareKernel) -> BinaryImage {
+    erode(&dilate(input, kernel), kernel)
+}
+
+fn transform(input: &BinaryImage, kernel: SquareKernel, any: bool) -> BinaryImage {
+    let mut out = BinaryImage::new(input.geometry());
+    let half = kernel.half();
+    for y in 0..input.height() {
+        for x in 0..input.width() {
+            let mut hit = !any;
+            'scan: for dy in -half..=half {
+                for dx in -half..=half {
+                    let v = input.get_padded(i32::from(x) + dx, i32::from(y) + dy);
+                    if any && v {
+                        hit = true;
+                        break 'scan;
+                    }
+                    if !any && !v {
+                        hit = false;
+                        break 'scan;
+                    }
+                }
+            }
+            if hit {
+                out.set(x, y, true);
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::PixelBox;
+    use ebbiot_events::SensorGeometry;
+
+    fn image(w: u16, h: u16) -> BinaryImage {
+        BinaryImage::new(SensorGeometry::new(w, h))
+    }
+
+    fn k3() -> SquareKernel {
+        SquareKernel::new(3)
+    }
+
+    #[test]
+    fn dilate_grows_single_pixel_to_kernel() {
+        let mut img = image(9, 9);
+        img.set(4, 4, true);
+        let out = dilate(&img, k3());
+        assert_eq!(out.count_ones(), 9);
+        assert!(out.get(3, 3));
+        assert!(out.get(5, 5));
+        assert!(!out.get(2, 4));
+    }
+
+    #[test]
+    fn erode_removes_single_pixel() {
+        let mut img = image(9, 9);
+        img.set(4, 4, true);
+        assert_eq!(erode(&img, k3()).count_ones(), 0);
+    }
+
+    #[test]
+    fn erode_shrinks_block_by_border() {
+        let mut img = image(10, 10);
+        img.fill_box(&PixelBox::new(2, 2, 8, 8)); // 6x6
+        let out = erode(&img, k3());
+        assert_eq!(out.count_ones(), 16, "6x6 erodes to 4x4");
+        assert!(out.get(3, 3));
+        assert!(!out.get(2, 2));
+    }
+
+    #[test]
+    fn dilate_then_erode_restores_large_block() {
+        let mut img = image(12, 12);
+        img.fill_box(&PixelBox::new(3, 3, 9, 9));
+        let out = close(&img, k3());
+        assert_eq!(out, img, "closing is extensive-then-anti on solid blocks");
+    }
+
+    #[test]
+    fn opening_removes_speck_keeps_block() {
+        let mut img = image(16, 16);
+        img.fill_box(&PixelBox::new(4, 4, 10, 10));
+        img.set(14, 14, true); // speck
+        let out = open(&img, k3());
+        assert!(!out.get(14, 14), "speck removed");
+        assert!(out.get(7, 7), "block interior kept");
+    }
+
+    #[test]
+    fn closing_bridges_small_gap() {
+        let mut img = image(16, 5);
+        img.fill_box(&PixelBox::new(2, 1, 6, 4));
+        img.fill_box(&PixelBox::new(7, 1, 11, 4)); // 1-px gap at x = 6
+        let out = close(&img, k3());
+        assert!(out.get(6, 2), "gap bridged");
+    }
+
+    #[test]
+    fn erosion_at_borders_uses_zero_padding() {
+        let mut img = image(6, 6);
+        img.fill_box(&PixelBox::new(0, 0, 6, 6));
+        let out = erode(&img, k3());
+        assert!(!out.get(0, 0), "border erodes under zero padding");
+        assert!(out.get(2, 2));
+        assert_eq!(out.count_ones(), 16);
+    }
+
+    #[test]
+    fn dilation_is_monotone() {
+        let mut a = image(8, 8);
+        a.set(3, 3, true);
+        let mut b = a.clone();
+        b.set(6, 6, true);
+        let da = dilate(&a, k3());
+        let db = dilate(&b, k3());
+        for (x, y) in da.set_pixels() {
+            assert!(db.get(x, y), "dilate(a) subset of dilate(b) when a subset of b");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "odd")]
+    fn even_kernel_panics() {
+        let _ = SquareKernel::new(2);
+    }
+
+    #[test]
+    fn unit_kernel_is_identity_for_all_ops() {
+        let mut img = image(6, 6);
+        img.set(1, 2, true);
+        img.set(4, 4, true);
+        let k1 = SquareKernel::new(1);
+        assert_eq!(dilate(&img, k1), img);
+        assert_eq!(erode(&img, k1), img);
+        assert_eq!(open(&img, k1), img);
+        assert_eq!(close(&img, k1), img);
+    }
+}

@@ -1,0 +1,214 @@
+//! Property-based tests for frame-domain invariants.
+
+use ebbiot_events::{Event, OpsCounter, SensorGeometry};
+use ebbiot_frame::{
+    cca::{connected_components, Connectivity},
+    ebbi::ebbi_from_events,
+    histogram::{Axis, Histogram},
+    morphology::{close, dilate, erode, open, SquareKernel},
+    BinaryImage, BoundingBox, CountImage, MedianFilter, PixelBox,
+};
+use proptest::prelude::*;
+
+const W: u16 = 48;
+const H: u16 = 36;
+
+fn arb_pixels() -> impl Strategy<Value = Vec<(u16, u16)>> {
+    proptest::collection::vec((0..W, 0..H), 0..200)
+}
+
+fn image_of(pixels: &[(u16, u16)]) -> BinaryImage {
+    let mut img = BinaryImage::new(SensorGeometry::new(W, H));
+    for &(x, y) in pixels {
+        img.set(x, y, true);
+    }
+    img
+}
+
+fn arb_box() -> impl Strategy<Value = BoundingBox> {
+    (0.0f32..200.0, 0.0f32..150.0, 0.1f32..80.0, 0.1f32..60.0)
+        .prop_map(|(x, y, w, h)| BoundingBox::new(x, y, w, h))
+}
+
+proptest! {
+    #[test]
+    fn ebbi_pixel_count_never_exceeds_event_count(
+        events in proptest::collection::vec((0..W, 0..H, 0u64..1_000_000), 0..300)
+    ) {
+        let mut evs: Vec<Event> = events.iter().map(|&(x, y, t)| Event::on(x, y, t)).collect();
+        evs.sort_unstable();
+        let img = ebbi_from_events(SensorGeometry::new(W, H), &evs);
+        prop_assert!(img.count_ones() <= evs.len());
+        // Every event pixel is set, and nothing else.
+        for e in &evs {
+            prop_assert!(img.get(e.x, e.y));
+        }
+        let distinct: std::collections::HashSet<_> = evs.iter().map(|e| (e.x, e.y)).collect();
+        prop_assert_eq!(img.count_ones(), distinct.len());
+    }
+
+    #[test]
+    fn median_filter_output_is_subset_of_dilation_and_never_adds_isolated(pixels in arb_pixels()) {
+        let img = image_of(&pixels);
+        let mut f = MedianFilter::paper_default();
+        let out = f.apply(&img);
+        // Median can both remove (salt) and add (fill pepper holes), but an
+        // output pixel requires >= 5 set neighbours in the input patch, so
+        // it is always within a dilation of the input.
+        let grown = dilate(&img, SquareKernel::new(3));
+        for (x, y) in out.set_pixels() {
+            prop_assert!(grown.get(x, y));
+        }
+    }
+
+    #[test]
+    fn median_filter_is_monotone(pixels in arb_pixels(), extra in arb_pixels()) {
+        // a ⊆ b ⇒ median(a) ⊆ median(b): binary median is a monotone
+        // threshold function.
+        let a = image_of(&pixels);
+        let all: Vec<_> = pixels.iter().chain(extra.iter()).copied().collect();
+        let b = image_of(&all);
+        let fa = MedianFilter::paper_default().apply(&a);
+        let fb = MedianFilter::paper_default().apply(&b);
+        for (x, y) in fa.set_pixels() {
+            prop_assert!(fb.get(x, y));
+        }
+    }
+
+    #[test]
+    fn downsample_conserves_mass_when_exact(pixels in arb_pixels()) {
+        // W and H chosen divisible by the factors.
+        let img = image_of(&pixels);
+        let mut ops = OpsCounter::new();
+        let ds = CountImage::downsample(&img, 6, 3, &mut ops);
+        prop_assert_eq!(ds.total(), img.count_ones() as u64);
+    }
+
+    #[test]
+    fn histogram_totals_equal_downsample_total(pixels in arb_pixels()) {
+        let img = image_of(&pixels);
+        let mut ops = OpsCounter::new();
+        let ds = CountImage::downsample(&img, 6, 3, &mut ops);
+        let hx = Histogram::project(&ds, Axis::X, &mut ops);
+        let hy = Histogram::project(&ds, Axis::Y, &mut ops);
+        prop_assert_eq!(hx.total(), ds.total());
+        prop_assert_eq!(hy.total(), ds.total());
+    }
+
+    #[test]
+    fn runs_are_disjoint_ordered_and_cover_all_hot_bins(
+        bins in proptest::collection::vec(0u32..5, 0..60),
+        threshold in 1u32..4,
+    ) {
+        let h = Histogram::from_bins(bins.clone());
+        let mut ops = OpsCounter::new();
+        let runs = h.runs_at_least(threshold, &mut ops);
+        // Ordered and disjoint with gaps.
+        for w in runs.windows(2) {
+            prop_assert!(w[0].end < w[1].start);
+        }
+        // Membership matches the threshold exactly.
+        for (i, &v) in bins.iter().enumerate() {
+            let in_run = runs.iter().any(|r| i >= r.start && i < r.end);
+            prop_assert_eq!(in_run, v >= threshold, "bin {} value {}", i, v);
+        }
+    }
+
+    #[test]
+    fn cca_components_partition_set_pixels(pixels in arb_pixels()) {
+        let img = image_of(&pixels);
+        let mut ops = OpsCounter::new();
+        for conn in [Connectivity::Four, Connectivity::Eight] {
+            let comps = connected_components(&img, conn, &mut ops);
+            let total: u32 = comps.iter().map(|c| c.pixel_count).sum();
+            prop_assert_eq!(total as usize, img.count_ones());
+            // Every component's bbox contains at least pixel_count pixels of the image.
+            for c in &comps {
+                prop_assert!(img.count_in_box(&c.bbox) >= c.pixel_count as usize);
+            }
+        }
+    }
+
+    #[test]
+    fn eight_connectivity_never_more_components_than_four(pixels in arb_pixels()) {
+        let img = image_of(&pixels);
+        let mut ops = OpsCounter::new();
+        let four = connected_components(&img, Connectivity::Four, &mut ops).len();
+        let eight = connected_components(&img, Connectivity::Eight, &mut ops).len();
+        prop_assert!(eight <= four);
+    }
+
+    #[test]
+    fn morphology_duality_and_idempotence(pixels in arb_pixels()) {
+        let img = image_of(&pixels);
+        let k = SquareKernel::new(3);
+        // Erosion ⊆ original ⊆ dilation.
+        let er = erode(&img, k);
+        let di = dilate(&img, k);
+        for (x, y) in er.set_pixels() {
+            prop_assert!(img.get(x, y));
+        }
+        for (x, y) in img.set_pixels() {
+            prop_assert!(di.get(x, y));
+        }
+        // Opening and closing are idempotent.
+        let op = open(&img, k);
+        prop_assert_eq!(open(&op, k), op.clone());
+        let cl = close(&img, k);
+        prop_assert_eq!(close(&cl, k), cl.clone());
+    }
+
+    #[test]
+    fn iou_is_bounded_symmetric_and_one_iff_equal(a in arb_box(), b in arb_box()) {
+        let iou = a.iou(&b);
+        // Tolerances account for f32 cancellation when tiny boxes sit at
+        // large coordinates (x_max - x loses up to ~1e-3 relative).
+        prop_assert!((0.0..=1.0 + 1e-3).contains(&iou));
+        prop_assert!((iou - b.iou(&a)).abs() < 1e-3);
+        prop_assert!((a.iou(&a) - 1.0).abs() < 5e-3);
+    }
+
+    #[test]
+    fn intersection_area_bounded_by_each_area(a in arb_box(), b in arb_box()) {
+        let inter = a.intersection_area(&b);
+        prop_assert!(inter <= a.area() + 1e-3);
+        prop_assert!(inter <= b.area() + 1e-3);
+        prop_assert!(a.union_area(&b) + 1e-3 >= a.area().max(b.area()));
+    }
+
+    #[test]
+    fn enclosing_contains_both(a in arb_box(), b in arb_box()) {
+        let e = a.enclosing(&b);
+        prop_assert!(e.x <= a.x && e.x <= b.x);
+        prop_assert!(e.y <= a.y && e.y <= b.y);
+        prop_assert!(e.x_max() + 1e-4 >= a.x_max() && e.x_max() + 1e-4 >= b.x_max());
+        prop_assert!(e.y_max() + 1e-4 >= a.y_max() && e.y_max() + 1e-4 >= b.y_max());
+    }
+
+    #[test]
+    fn clipping_is_contained_and_idempotent(a in arb_box()) {
+        let c = a.clipped_to(240.0, 180.0);
+        prop_assert!(c.x >= 0.0 && c.y >= 0.0);
+        prop_assert!(c.x_max() <= 240.0 + 1e-4 && c.y_max() <= 180.0 + 1e-4);
+        let cc = c.clipped_to(240.0, 180.0);
+        prop_assert!((cc.x - c.x).abs() < 1e-6 && (cc.w - c.w).abs() < 1e-6);
+    }
+
+    #[test]
+    fn pixel_box_include_is_commutative_in_result(
+        pts in proptest::collection::vec((0..W, 0..H), 1..20)
+    ) {
+        let mut fwd = PixelBox::single(pts[0].0, pts[0].1);
+        for &(x, y) in &pts[1..] {
+            fwd.include(x, y);
+        }
+        let mut rev = PixelBox::single(pts[pts.len() - 1].0, pts[pts.len() - 1].1);
+        for &(x, y) in pts[..pts.len() - 1].iter().rev() {
+            rev.include(x, y);
+        }
+        prop_assert_eq!(fwd, rev);
+        for &(x, y) in &pts {
+            prop_assert!(fwd.contains(x, y));
+        }
+    }
+}

@@ -1,0 +1,181 @@
+//! Cholesky decomposition for symmetric positive-definite matrices.
+//!
+//! Kalman-filter covariance matrices are SPD by construction; Cholesky
+//! offers a cheaper, numerically safer solve than LU for the innovation
+//! covariance `S = H P H^T + R` and a convenient SPD validity check.
+
+use crate::{LinalgError, Matrix, Result, Vector};
+
+/// Cholesky factorization `A = L * L^T` with `L` lower triangular.
+#[derive(Debug, Clone, Copy)]
+pub struct Cholesky<const N: usize> {
+    l: Matrix<N, N>,
+}
+
+impl<const N: usize> Cholesky<N> {
+    /// Factorizes the symmetric positive-definite matrix `a`.
+    ///
+    /// Only the lower triangle of `a` is read, so slight floating-point
+    /// asymmetry in the upper triangle is ignored.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::NotPositiveDefinite`] when a non-positive
+    /// pivot is encountered.
+    pub fn new(a: Matrix<N, N>) -> Result<Self> {
+        let mut l = Matrix::<N, N>::zeros();
+        for r in 0..N {
+            for c in 0..=r {
+                let mut sum = a[(r, c)];
+                for k in 0..c {
+                    sum -= l[(r, k)] * l[(c, k)];
+                }
+                if r == c {
+                    if sum <= 0.0 || !sum.is_finite() {
+                        return Err(LinalgError::NotPositiveDefinite);
+                    }
+                    l[(r, c)] = sum.sqrt();
+                } else {
+                    l[(r, c)] = sum / l[(c, c)];
+                }
+            }
+        }
+        Ok(Self { l })
+    }
+
+    /// The lower-triangular factor `L`.
+    #[must_use]
+    pub fn lower(&self) -> Matrix<N, N> {
+        self.l
+    }
+
+    /// Solves `A * x = b` by forward then backward substitution.
+    #[must_use]
+    pub fn solve(&self, b: &Vector<N>) -> Vector<N> {
+        // Forward: L y = b.
+        let mut y = *b;
+        for r in 0..N {
+            for c in 0..r {
+                let delta = self.l[(r, c)] * y[c];
+                y[r] -= delta;
+            }
+            y[r] /= self.l[(r, r)];
+        }
+        // Backward: L^T x = y.
+        let mut x = y;
+        for r in (0..N).rev() {
+            for c in (r + 1)..N {
+                let delta = self.l[(c, r)] * x[c];
+                x[r] -= delta;
+            }
+            x[r] /= self.l[(r, r)];
+        }
+        x
+    }
+
+    /// Inverse of the factorized matrix.
+    #[must_use]
+    pub fn inverse(&self) -> Matrix<N, N> {
+        let mut inv = Matrix::<N, N>::zeros();
+        for c in 0..N {
+            let e = Vector::<N>::from_fn(|i| if i == c { 1.0 } else { 0.0 });
+            let col = self.solve(&e);
+            inv.set_column(c, &col);
+        }
+        inv
+    }
+
+    /// Determinant: the squared product of `L`'s diagonal.
+    #[must_use]
+    pub fn determinant(&self) -> f64 {
+        let mut prod = 1.0;
+        for i in 0..N {
+            prod *= self.l[(i, i)];
+        }
+        prod * prod
+    }
+}
+
+/// Returns `true` when `a` is symmetric positive definite to working
+/// precision (checked via an attempted Cholesky factorization of the lower
+/// triangle plus an explicit symmetry test).
+#[must_use]
+pub fn is_spd<const N: usize>(a: &Matrix<N, N>, symmetry_tol: f64) -> bool {
+    for r in 0..N {
+        for c in 0..r {
+            if (a[(r, c)] - a[(c, r)]).abs() > symmetry_tol {
+                return false;
+            }
+        }
+    }
+    Cholesky::new(*a).is_ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spd_matrix() -> Matrix<3, 3> {
+        // B^T B + I is always SPD.
+        let b = Matrix::<3, 3>::from_rows([
+            [1.0, 2.0, 0.5],
+            [0.0, 1.5, 1.0],
+            [0.7, 0.1, 2.0],
+        ]);
+        b.transpose() * b + Matrix::identity()
+    }
+
+    #[test]
+    fn factor_reconstructs_matrix() {
+        let a = spd_matrix();
+        let ch = Cholesky::new(a).unwrap();
+        let l = ch.lower();
+        assert!((l * l.transpose()).approx_eq(&a, 1e-10));
+    }
+
+    #[test]
+    fn solve_matches_lu_solve() {
+        let a = spd_matrix();
+        let b = Vector::from_column([1.0, 2.0, 3.0]);
+        let x_ch = Cholesky::new(a).unwrap().solve(&b);
+        let x_lu = a.solve(&b).unwrap();
+        assert!(x_ch.approx_eq(&x_lu, 1e-9));
+    }
+
+    #[test]
+    fn inverse_matches_lu_inverse() {
+        let a = spd_matrix();
+        let inv_ch = Cholesky::new(a).unwrap().inverse();
+        let inv_lu = a.inverse().unwrap();
+        assert!(inv_ch.approx_eq(&inv_lu, 1e-9));
+    }
+
+    #[test]
+    fn rejects_non_positive_definite() {
+        let a = Matrix::<2, 2>::from_rows([[1.0, 2.0], [2.0, 1.0]]); // eigenvalues 3, -1
+        assert_eq!(Cholesky::new(a).unwrap_err(), LinalgError::NotPositiveDefinite);
+    }
+
+    #[test]
+    fn rejects_zero_matrix() {
+        let a = Matrix::<2, 2>::zeros();
+        assert!(Cholesky::new(a).is_err());
+    }
+
+    #[test]
+    fn determinant_matches_lu() {
+        let a = spd_matrix();
+        let d_ch = Cholesky::new(a).unwrap().determinant();
+        let d_lu = a.determinant();
+        assert!((d_ch - d_lu).abs() < 1e-8 * d_lu.abs());
+    }
+
+    #[test]
+    fn is_spd_checks_both_symmetry_and_definiteness() {
+        assert!(is_spd(&spd_matrix(), 1e-12));
+        let asym = Matrix::<2, 2>::from_rows([[2.0, 0.5], [0.0, 2.0]]);
+        assert!(!is_spd(&asym, 1e-12));
+        let indef = Matrix::<2, 2>::from_rows([[1.0, 2.0], [2.0, 1.0]]);
+        assert!(!is_spd(&indef, 1e-12));
+    }
+}

@@ -1,0 +1,200 @@
+//! LU decomposition with partial pivoting for small square matrices.
+
+use crate::{LinalgError, Matrix, Result, Vector};
+
+/// Pivot threshold below which a matrix is treated as singular.
+const SINGULARITY_EPS: f64 = 1e-12;
+
+/// LU decomposition `P * A = L * U` of an `N x N` matrix with partial
+/// (row) pivoting.
+///
+/// `L` (unit lower triangular) and `U` (upper triangular) are stored packed
+/// in a single matrix; `perm` records the row permutation.
+#[derive(Debug, Clone, Copy)]
+pub struct Lu<const N: usize> {
+    lu: Matrix<N, N>,
+    perm: [usize; N],
+    /// +1.0 or -1.0 depending on the parity of the permutation.
+    sign: f64,
+}
+
+impl<const N: usize> Lu<N> {
+    /// Factorizes `a`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::Singular`] when a pivot smaller than
+    /// `1e-12` (relative to nothing; the tracker's matrices are
+    /// well-scaled) is encountered.
+    pub fn new(a: Matrix<N, N>) -> Result<Self> {
+        let mut lu = a;
+        let mut perm = [0usize; N];
+        for (i, p) in perm.iter_mut().enumerate() {
+            *p = i;
+        }
+        let mut sign = 1.0;
+
+        for k in 0..N {
+            // Partial pivoting: find the row with the largest magnitude in
+            // column k at or below the diagonal.
+            let mut pivot_row = k;
+            let mut pivot_val = lu[(k, k)].abs();
+            for r in (k + 1)..N {
+                let v = lu[(r, k)].abs();
+                if v > pivot_val {
+                    pivot_val = v;
+                    pivot_row = r;
+                }
+            }
+            if pivot_val < SINGULARITY_EPS {
+                return Err(LinalgError::Singular);
+            }
+            if pivot_row != k {
+                for c in 0..N {
+                    let tmp = lu[(k, c)];
+                    lu[(k, c)] = lu[(pivot_row, c)];
+                    lu[(pivot_row, c)] = tmp;
+                }
+                perm.swap(k, pivot_row);
+                sign = -sign;
+            }
+
+            let pivot = lu[(k, k)];
+            for r in (k + 1)..N {
+                let factor = lu[(r, k)] / pivot;
+                lu[(r, k)] = factor;
+                for c in (k + 1)..N {
+                    let delta = factor * lu[(k, c)];
+                    lu[(r, c)] -= delta;
+                }
+            }
+        }
+
+        Ok(Self { lu, perm, sign })
+    }
+
+    /// Solves `A * x = b` using the stored factorization.
+    ///
+    /// # Errors
+    ///
+    /// Infallible once the factorization succeeded, but kept fallible for
+    /// interface symmetry with [`Matrix::solve`].
+    pub fn solve(&self, b: &Vector<N>) -> Result<Vector<N>> {
+        // Apply permutation, then forward substitution with unit-L.
+        let mut y = Vector::<N>::from_fn(|i| b[self.perm[i]]);
+        for r in 1..N {
+            for c in 0..r {
+                let delta = self.lu[(r, c)] * y[c];
+                y[r] -= delta;
+            }
+        }
+        // Back substitution with U.
+        let mut x = y;
+        for r in (0..N).rev() {
+            for c in (r + 1)..N {
+                let delta = self.lu[(r, c)] * x[c];
+                x[r] -= delta;
+            }
+            x[r] /= self.lu[(r, r)];
+        }
+        Ok(x)
+    }
+
+    /// Inverse of the factorized matrix, column by column.
+    ///
+    /// # Errors
+    ///
+    /// Infallible once factorization succeeded; fallible for symmetry.
+    pub fn inverse(&self) -> Result<Matrix<N, N>> {
+        let mut inv = Matrix::<N, N>::zeros();
+        for c in 0..N {
+            let e = Vector::<N>::from_fn(|i| if i == c { 1.0 } else { 0.0 });
+            let col = self.solve(&e)?;
+            inv.set_column(c, &col);
+        }
+        Ok(inv)
+    }
+
+    /// Determinant: product of U's diagonal times the permutation sign.
+    #[must_use]
+    pub fn determinant(&self) -> f64 {
+        let mut det = self.sign;
+        for i in 0..N {
+            det *= self.lu[(i, i)];
+        }
+        det
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn random_like_matrix() -> Matrix<4, 4> {
+        // Deterministic "random-looking" well-conditioned matrix.
+        Matrix::from_rows([
+            [4.0, 1.0, 0.5, 0.2],
+            [1.0, 5.0, 1.5, 0.3],
+            [0.5, 1.5, 6.0, 0.7],
+            [0.2, 0.3, 0.7, 7.0],
+        ])
+    }
+
+    #[test]
+    fn solve_recovers_known_solution() {
+        let a = random_like_matrix();
+        let x_true = Vector::from_column([1.0, -2.0, 3.0, -4.0]);
+        let b = a * x_true;
+        let x = a.solve(&b).unwrap();
+        assert!(x.approx_eq(&x_true, 1e-10));
+    }
+
+    #[test]
+    fn inverse_times_matrix_is_identity() {
+        let a = random_like_matrix();
+        let inv = a.inverse().unwrap();
+        assert!((a * inv).approx_eq(&Matrix::identity(), 1e-10));
+        assert!((inv * a).approx_eq(&Matrix::identity(), 1e-10));
+    }
+
+    #[test]
+    fn singular_matrix_is_rejected() {
+        let a = Matrix::<3, 3>::from_rows([
+            [1.0, 2.0, 3.0],
+            [2.0, 4.0, 6.0],
+            [1.0, 0.0, 1.0],
+        ]);
+        assert_eq!(Lu::new(a).unwrap_err(), LinalgError::Singular);
+        assert!(a.inverse().is_err());
+    }
+
+    #[test]
+    fn pivoting_handles_zero_leading_entry() {
+        let a = Matrix::<2, 2>::from_rows([[0.0, 1.0], [1.0, 0.0]]);
+        let b = Vector::from_column([2.0, 3.0]);
+        let x = a.solve(&b).unwrap();
+        assert!(x.approx_eq(&Vector::from_column([3.0, 2.0]), 1e-14));
+    }
+
+    #[test]
+    fn determinant_tracks_permutation_sign() {
+        // A permutation matrix swapping two rows has determinant -1.
+        let a = Matrix::<2, 2>::from_rows([[0.0, 1.0], [1.0, 0.0]]);
+        assert!((a.determinant() + 1.0).abs() < 1e-14);
+    }
+
+    #[test]
+    fn determinant_of_diagonal_is_product() {
+        let a = Matrix::<3, 3>::from_diagonal([2.0, 3.0, 4.0]);
+        assert!((a.determinant() - 24.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn one_by_one_matrix() {
+        let a = Matrix::<1, 1>::from_rows([[5.0]]);
+        let b = Vector::from_column([10.0]);
+        let x = a.solve(&b).unwrap();
+        assert!((x[0] - 2.0).abs() < 1e-14);
+        assert!((a.determinant() - 5.0).abs() < 1e-14);
+    }
+}

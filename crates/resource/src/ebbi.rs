@@ -1,0 +1,81 @@
+//! Eq. 1 — EBBI creation + median filtering cost.
+
+use crate::params::PaperParams;
+
+/// Cost model of the EBBI + median-filter front end.
+///
+/// ```text
+/// C_EBBI ≈ (alpha p^2 + 2) A B      [ops/frame]
+/// M_EBBI = 2 A B                    [bits]
+/// ```
+///
+/// The `alpha p^2` term is the median filter's counter increments over
+/// active patch pixels; the `+2` covers the per-pixel threshold comparison
+/// and the EBBI memory write.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EbbiCost {
+    params: PaperParams,
+}
+
+impl EbbiCost {
+    /// Creates the model.
+    #[must_use]
+    pub const fn new(params: PaperParams) -> Self {
+        Self { params }
+    }
+
+    /// `C_EBBI` in ops/frame.
+    #[must_use]
+    pub fn computes(&self) -> f64 {
+        let p2 = f64::from(self.params.p * self.params.p);
+        (self.params.alpha * p2 + 2.0) * f64::from(self.params.pixels())
+    }
+
+    /// `M_EBBI` in bits (two frames: original + filtered).
+    #[must_use]
+    pub fn memory_bits(&self) -> u64 {
+        2 * u64::from(self.params.pixels())
+    }
+
+    /// `M_EBBI` in kilobytes.
+    #[must_use]
+    pub fn memory_kb(&self) -> f64 {
+        self.memory_bits() as f64 / 8.0 / 1000.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn computes_match_paper_125_2k() {
+        let c = EbbiCost::new(PaperParams::paper());
+        assert!((c.computes() - 125_280.0).abs() < 1.0, "got {}", c.computes());
+    }
+
+    #[test]
+    fn memory_matches_paper_10_8kb() {
+        let c = EbbiCost::new(PaperParams::paper());
+        assert_eq!(c.memory_bits(), 86_400);
+        assert!((c.memory_kb() - 10.8).abs() < 1e-9);
+    }
+
+    #[test]
+    fn computes_scale_with_alpha() {
+        let mut p = PaperParams::paper();
+        p.alpha = 0.2;
+        let denser = EbbiCost::new(p).computes();
+        let sparser = EbbiCost::new(PaperParams::paper()).computes();
+        assert!(denser > sparser);
+        // Only the alpha p^2 term scales.
+        assert!((denser - sparser - 0.1 * 9.0 * 43_200.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn memory_is_independent_of_activity() {
+        let mut p = PaperParams::paper();
+        p.alpha = 0.5;
+        assert_eq!(EbbiCost::new(p).memory_bits(), 86_400);
+    }
+}

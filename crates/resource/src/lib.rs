@@ -1,0 +1,36 @@
+//! Analytic computes/memory cost models — Eqs. 1, 2, 5, 6, 7, 8 and the
+//! Fig. 5 comparison.
+//!
+//! Every block of the paper's §II comes with an ops/frame and memory
+//! budget; Fig. 5 then compares the three full pipelines relative to
+//! EBBIOT. This crate types those equations, reproduces every in-text
+//! number, and composes the pipeline totals:
+//!
+//! | Quantity          | Paper value      | Function |
+//! |-------------------|------------------|----------|
+//! | `C_EBBI`          | 125.2 kops/frame | [`ebbi::EbbiCost::computes`] |
+//! | `M_EBBI`          | 10.8 kB          | [`ebbi::EbbiCost::memory_bits`] |
+//! | `C_NN-filt`       | ≈276.4 kops      | [`nn_filter::NnFilterCost::computes`] |
+//! | `M_NN-filt`       | 86.4 kB (8x)     | [`nn_filter::NnFilterCost::memory_bits`] |
+//! | `C_RPN`           | 45.6 kops        | [`rpn::RpnCost::computes`] |
+//! | `M_RPN`           | ≈1.6 kB          | [`rpn::RpnCost::memory_bits`] |
+//! | `C_OT`            | ≈564             | [`trackers::OtCost::computes`] |
+//! | `C_KF`            | 1200 (NT = 2)    | [`trackers::KfCost::computes`] |
+//! | `M_KF`            | ≈1.1 kB          | [`trackers::KfCost::memory_bits`] |
+//! | `C_EBMS`          | 252 kops         | [`trackers::EbmsCost::computes`] |
+//! | `M_EBMS`          | 3.32 kb          | [`trackers::EbmsCost::memory_bits`] |
+//!
+//! and Fig. 5: EBMS ≈ 3x computes / ≈ 7x memory of EBBIOT, EBBI+KF ≈ 1x.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ebbi;
+pub mod nn_filter;
+pub mod params;
+pub mod pipeline_totals;
+pub mod rpn;
+pub mod trackers;
+
+pub use params::PaperParams;
+pub use pipeline_totals::{fig5_comparison, Fig5Row, PipelineCost};

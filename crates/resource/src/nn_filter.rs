@@ -1,0 +1,80 @@
+//! Eq. 2 — nearest-neighbour filter cost (the event-domain alternative).
+
+use crate::params::PaperParams;
+
+/// Cost model of the NN filter:
+///
+/// ```text
+/// C_NN-filt = (2 (p^2 - 1) + Bt) n    [ops/frame],  n = beta alpha A B
+/// M_NN-filt = Bt A B                  [bits]
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NnFilterCost {
+    params: PaperParams,
+}
+
+impl NnFilterCost {
+    /// Creates the model.
+    #[must_use]
+    pub const fn new(params: PaperParams) -> Self {
+        Self { params }
+    }
+
+    /// Ops per event: `2 (p^2 - 1) + Bt`.
+    #[must_use]
+    pub fn computes_per_event(&self) -> f64 {
+        f64::from(2 * (self.params.p * self.params.p - 1) + self.params.bt)
+    }
+
+    /// `C_NN-filt` in ops/frame.
+    #[must_use]
+    pub fn computes(&self) -> f64 {
+        self.computes_per_event() * self.params.events_per_frame()
+    }
+
+    /// `M_NN-filt` in bits.
+    #[must_use]
+    pub fn memory_bits(&self) -> u64 {
+        u64::from(self.params.bt) * u64::from(self.params.pixels())
+    }
+
+    /// Memory saving factor of the EBBI approach over this filter
+    /// (`M_NN-filt / M_EBBI` — the paper's "8X memory savings").
+    #[must_use]
+    pub fn memory_saving_vs_ebbi(&self) -> f64 {
+        self.memory_bits() as f64 / (2.0 * f64::from(self.params.pixels()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn computes_match_paper_276_4k() {
+        let c = NnFilterCost::new(PaperParams::paper());
+        assert_eq!(c.computes_per_event(), 32.0);
+        assert!((c.computes() - 276_480.0).abs() < 1.0, "got {}", c.computes());
+    }
+
+    #[test]
+    fn memory_is_86_4_kb() {
+        let c = NnFilterCost::new(PaperParams::paper());
+        assert_eq!(c.memory_bits(), 691_200);
+        assert!((c.memory_bits() as f64 / 8.0 / 1000.0 - 86.4).abs() < 1e-9);
+    }
+
+    #[test]
+    fn saving_factor_is_8x() {
+        let c = NnFilterCost::new(PaperParams::paper());
+        assert!((c.memory_saving_vs_ebbi() - 8.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn computes_scale_with_event_rate() {
+        let mut p = PaperParams::paper();
+        p.beta = 4.0;
+        let busy = NnFilterCost::new(p).computes();
+        assert!((busy - 2.0 * 276_480.0).abs() < 1.0);
+    }
+}

@@ -1,0 +1,123 @@
+//! The paper's parameter set, collected in one place.
+
+/// All constants the paper's cost equations use, with §II defaults.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PaperParams {
+    /// Image width `A` (columns).
+    pub a: u32,
+    /// Image height `B` (rows).
+    pub b: u32,
+    /// Noise-filter patch size `p`.
+    pub p: u32,
+    /// Timestamp bits `Bt` for the NN filter.
+    pub bt: u32,
+    /// Fraction of active pixels `alpha` ("objects generally take up less
+    /// than 10% of the image" -> conservative 0.1).
+    pub alpha: f64,
+    /// Average fires per active pixel `beta >= 1`.
+    pub beta: f64,
+    /// X downsampling factor `s1`.
+    pub s1: u32,
+    /// Y downsampling factor `s2`.
+    pub s2: u32,
+    /// Average number of valid trackers `NT`.
+    pub nt: f64,
+    /// Average filtered events per frame `N_F` for EBMS.
+    pub nf: f64,
+    /// Average active clusters `CL`.
+    pub cl: f64,
+    /// Cluster merge probability `gamma_merge`.
+    pub gamma_merge: f64,
+    /// Maximum clusters `CL_max`.
+    pub cl_max: u32,
+}
+
+impl PaperParams {
+    /// The paper's §II values: A=240, B=180, p=3, Bt=16, alpha=0.1,
+    /// beta chosen so `n = beta*alpha*A*B` matches the C_NN-filt text
+    /// (see below), s1=6, s2=3, NT=2, NF=650, CL=2, gamma=0.1, CLmax=8.
+    ///
+    /// On `beta`: the paper states `C_NN-filt ≈ 276.4 kops/frame` with
+    /// `C_NN-filt = (2(p^2-1)+Bt) * n = 32 n`, giving `n = 8640 =
+    /// 2 * 0.1 * 240 * 180`, i.e. `beta = 2`.
+    #[must_use]
+    pub const fn paper() -> Self {
+        Self {
+            a: 240,
+            b: 180,
+            p: 3,
+            bt: 16,
+            alpha: 0.1,
+            beta: 2.0,
+            s1: 6,
+            s2: 3,
+            nt: 2.0,
+            nf: 650.0,
+            cl: 2.0,
+            gamma_merge: 0.1,
+            cl_max: 8,
+        }
+    }
+
+    /// Total pixels `A * B`.
+    #[must_use]
+    pub const fn pixels(&self) -> u32 {
+        self.a * self.b
+    }
+
+    /// Average events per frame `n = beta * alpha * A * B` (Eq. 2).
+    #[must_use]
+    pub fn events_per_frame(&self) -> f64 {
+        self.beta * self.alpha * f64::from(self.pixels())
+    }
+}
+
+impl Default for PaperParams {
+    fn default() -> Self {
+        Self::paper()
+    }
+}
+
+/// `ceil(log2(n))` as the paper's bit-width operator `{⌈log2 .⌉}`.
+#[must_use]
+pub fn ceil_log2(n: u32) -> u32 {
+    assert!(n > 0, "log2 of zero");
+    if n <= 1 {
+        1
+    } else {
+        32 - (n - 1).leading_zeros()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_pixel_count() {
+        assert_eq!(PaperParams::paper().pixels(), 43_200);
+    }
+
+    #[test]
+    fn events_per_frame_matches_nn_filt_back_solve() {
+        let p = PaperParams::paper();
+        assert!((p.events_per_frame() - 8_640.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ceil_log2_values() {
+        assert_eq!(ceil_log2(1), 1);
+        assert_eq!(ceil_log2(2), 1);
+        assert_eq!(ceil_log2(3), 2);
+        assert_eq!(ceil_log2(16), 4);
+        assert_eq!(ceil_log2(18), 5);
+        assert_eq!(ceil_log2(1024), 10);
+        assert_eq!(ceil_log2(1080), 11);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero")]
+    fn ceil_log2_zero_panics() {
+        let _ = ceil_log2(0);
+    }
+}

@@ -1,0 +1,169 @@
+//! Whole-pipeline totals and the Fig. 5 comparison.
+//!
+//! "For EBBIOT and KF total memory and computes are calculated considering
+//! memory and computes required for generating EBBI, RPN and tracker while
+//! for EBMS we consider memory and computes of NN-filt and EBMS tracker."
+
+use crate::{
+    ebbi::EbbiCost,
+    nn_filter::NnFilterCost,
+    params::PaperParams,
+    rpn::RpnCost,
+    trackers::{EbmsCost, KfCost, OtCost},
+};
+
+/// Total computes and memory of one full pipeline.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PipelineCost {
+    /// Pipeline label.
+    pub name: &'static str,
+    /// Total ops/frame.
+    pub computes: f64,
+    /// Total memory in bits.
+    pub memory_bits: u64,
+}
+
+impl PipelineCost {
+    /// EBBIOT: EBBI + RPN + OT.
+    #[must_use]
+    pub fn ebbiot(params: PaperParams) -> Self {
+        let ebbi = EbbiCost::new(params);
+        let rpn = RpnCost::new(params);
+        let ot = OtCost::new(params);
+        Self {
+            name: "EBBIOT",
+            computes: ebbi.computes() + rpn.computes() + ot.computes(),
+            memory_bits: ebbi.memory_bits() + rpn.memory_bits() + ot.memory_bits(),
+        }
+    }
+
+    /// EBBI + KF: same front end, Kalman tracker.
+    #[must_use]
+    pub fn ebbi_kf(params: PaperParams) -> Self {
+        let ebbi = EbbiCost::new(params);
+        let rpn = RpnCost::new(params);
+        let kf = KfCost::new(params);
+        Self {
+            name: "EBBI+KF",
+            computes: ebbi.computes() + rpn.computes() + kf.computes(),
+            memory_bits: ebbi.memory_bits() + rpn.memory_bits() + kf.memory_bits(),
+        }
+    }
+
+    /// NN-filt + EBMS: the fully event-based pipeline.
+    #[must_use]
+    pub fn nn_ebms(params: PaperParams) -> Self {
+        let nn = NnFilterCost::new(params);
+        let ebms = EbmsCost::new(params);
+        Self {
+            name: "NN-filt+EBMS",
+            computes: nn.computes() + ebms.computes(),
+            memory_bits: nn.memory_bits() + ebms.memory_bits(),
+        }
+    }
+
+    /// Memory in kilobytes.
+    #[must_use]
+    pub fn memory_kb(&self) -> f64 {
+        self.memory_bits as f64 / 8.0 / 1000.0
+    }
+}
+
+/// One row of Fig. 5: a pipeline's resources relative to EBBIOT.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Fig5Row {
+    /// Pipeline cost.
+    pub cost: PipelineCost,
+    /// Computes relative to EBBIOT (1.0 for EBBIOT itself).
+    pub relative_computes: f64,
+    /// Memory relative to EBBIOT.
+    pub relative_memory: f64,
+}
+
+/// Builds the Fig. 5 comparison: EBBIOT, EBBI+KF, NN-filt+EBMS, each
+/// relative to EBBIOT.
+#[must_use]
+pub fn fig5_comparison(params: PaperParams) -> Vec<Fig5Row> {
+    let ebbiot = PipelineCost::ebbiot(params);
+    let rows = [
+        ebbiot,
+        PipelineCost::ebbi_kf(params),
+        PipelineCost::nn_ebms(params),
+    ];
+    rows.into_iter()
+        .map(|cost| Fig5Row {
+            relative_computes: cost.computes / ebbiot.computes,
+            relative_memory: cost.memory_bits as f64 / ebbiot.memory_bits as f64,
+            cost,
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn params() -> PaperParams {
+        PaperParams::paper()
+    }
+
+    #[test]
+    fn ebbiot_total_computes() {
+        let c = PipelineCost::ebbiot(params());
+        // 125_280 + 48_000 + 564 = 173_844.
+        assert!((c.computes - 173_844.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn ebbiot_total_memory_about_12_6_kb() {
+        let c = PipelineCost::ebbiot(params());
+        // 86_400 + 13_040 + 1_536 bits.
+        assert_eq!(c.memory_bits, 100_976);
+        assert!((c.memory_kb() - 12.6).abs() < 0.1);
+    }
+
+    #[test]
+    fn fig5_ebms_is_about_3x_computes() {
+        let rows = fig5_comparison(params());
+        let ebms = rows.iter().find(|r| r.cost.name == "NN-filt+EBMS").unwrap();
+        assert!(
+            (2.8..3.3).contains(&ebms.relative_computes),
+            "paper: 3X less computes; got {}",
+            ebms.relative_computes
+        );
+    }
+
+    #[test]
+    fn fig5_ebms_is_about_7x_memory() {
+        let rows = fig5_comparison(params());
+        let ebms = rows.iter().find(|r| r.cost.name == "NN-filt+EBMS").unwrap();
+        assert!(
+            (6.5..7.5).contains(&ebms.relative_memory),
+            "paper: 7X reduced memory; got {}",
+            ebms.relative_memory
+        );
+    }
+
+    #[test]
+    fn fig5_kf_is_about_1x_everything() {
+        let rows = fig5_comparison(params());
+        let kf = rows.iter().find(|r| r.cost.name == "EBBI+KF").unwrap();
+        assert!((kf.relative_computes - 1.0).abs() < 0.01, "{}", kf.relative_computes);
+        assert!((1.0..1.15).contains(&kf.relative_memory), "{}", kf.relative_memory);
+    }
+
+    #[test]
+    fn fig5_ebbiot_row_is_unity() {
+        let rows = fig5_comparison(params());
+        assert_eq!(rows[0].cost.name, "EBBIOT");
+        assert_eq!(rows[0].relative_computes, 1.0);
+        assert_eq!(rows[0].relative_memory, 1.0);
+    }
+
+    #[test]
+    fn kf_pipeline_computes_exceed_ebbiot_by_kf_minus_ot() {
+        let e = PipelineCost::ebbiot(params());
+        let k = PipelineCost::ebbi_kf(params());
+        assert!((k.computes - e.computes - (1_200.0 - 564.0)).abs() < 1e-6);
+    }
+}

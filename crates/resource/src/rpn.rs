@@ -1,0 +1,101 @@
+//! Eq. 5 — region-proposal cost.
+
+use crate::params::{ceil_log2, PaperParams};
+
+/// Cost model of the histogram RPN:
+///
+/// ```text
+/// C_RPN = A B + 2 A B / (s1 s2)
+/// M_RPN = (A B / (s1 s2)) ceil(log2(s1 s2))
+///       + (A / s1) ceil(log2(B s1)) + (B / s2) ceil(log2(A s2))   [bits]
+/// ```
+///
+/// Note: with the paper's parameters Eq. 5 evaluates to 48.0 kops/frame
+/// while the in-text figure is 45.6 k (the text appears to count the two
+/// histogram projections as one shared pass over the scaled image,
+/// `A B + A B/(s1 s2) = 45.6 k`). Both bookkeepings are exposed.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RpnCost {
+    params: PaperParams,
+}
+
+impl RpnCost {
+    /// Creates the model.
+    #[must_use]
+    pub const fn new(params: PaperParams) -> Self {
+        Self { params }
+    }
+
+    /// `C_RPN` per Eq. 5 as printed: `A B + 2 A B/(s1 s2)`.
+    #[must_use]
+    pub fn computes(&self) -> f64 {
+        let ab = f64::from(self.params.pixels());
+        let scale = f64::from(self.params.s1 * self.params.s2);
+        ab + 2.0 * ab / scale
+    }
+
+    /// `C_RPN` with the shared-histogram-pass bookkeeping that matches
+    /// the paper's in-text 45.6 k figure: `A B + A B/(s1 s2)`.
+    #[must_use]
+    pub fn computes_in_text(&self) -> f64 {
+        let ab = f64::from(self.params.pixels());
+        let scale = f64::from(self.params.s1 * self.params.s2);
+        ab + ab / scale
+    }
+
+    /// `M_RPN` in bits per Eq. 5.
+    #[must_use]
+    pub fn memory_bits(&self) -> u64 {
+        let p = &self.params;
+        let cells = u64::from(p.pixels() / (p.s1 * p.s2));
+        let scaled_image = cells * u64::from(ceil_log2(p.s1 * p.s2));
+        let hx = u64::from(p.a / p.s1) * u64::from(ceil_log2(p.b * p.s1));
+        let hy = u64::from(p.b / p.s2) * u64::from(ceil_log2(p.a * p.s2));
+        scaled_image + hx + hy
+    }
+
+    /// `M_RPN` in kilobytes.
+    #[must_use]
+    pub fn memory_kb(&self) -> f64 {
+        self.memory_bits() as f64 / 8.0 / 1000.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eq5_computes_48k_and_in_text_45_6k() {
+        let c = RpnCost::new(PaperParams::paper());
+        assert!((c.computes() - 48_000.0).abs() < 1e-9);
+        assert!((c.computes_in_text() - 45_600.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn memory_matches_paper_1_6kb() {
+        let c = RpnCost::new(PaperParams::paper());
+        // 2400 * 5 + 40 * 11 + 60 * 10 = 13_040 bits = 1.63 kB.
+        assert_eq!(c.memory_bits(), 13_040);
+        assert!((c.memory_kb() - 1.63).abs() < 0.01);
+    }
+
+    #[test]
+    fn first_term_dominates_both() {
+        let c = RpnCost::new(PaperParams::paper());
+        let ab = 43_200.0;
+        assert!(ab / c.computes() > 0.85, "A*B dominates computes");
+        // Scaled image dominates memory.
+        assert!(2_400 * 5 > c.memory_bits() as i64 / 2);
+    }
+
+    #[test]
+    fn coarser_downsampling_cuts_second_term() {
+        let mut p = PaperParams::paper();
+        p.s1 = 12;
+        let coarse = RpnCost::new(p);
+        let fine = RpnCost::new(PaperParams::paper());
+        assert!(coarse.computes() < fine.computes());
+        assert!(coarse.memory_bits() < fine.memory_bits());
+    }
+}

@@ -1,0 +1,189 @@
+//! Eqs. 6, 7, 8 — tracker cost models (OT, KF, EBMS).
+
+use crate::params::PaperParams;
+
+/// Eq. 6 — overlap tracker:
+/// `C_OT = 134 NT^2 + gamma_3 N_3 + gamma_4 N_4 + gamma_5 N_5`,
+/// where `gamma_j`/`N_j` are the probability and cost of tracker step `j`.
+/// The first term (prediction + match matrix) dominates; the defaults for
+/// the step terms reproduce the paper's `C_OT ≈ 564` at `NT = 2`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OtCost {
+    params: PaperParams,
+    /// `(gamma_j, N_j)` for steps 3 (seed), 4 (update), 5 (shared).
+    pub step_costs: [(f64, f64); 3],
+}
+
+impl OtCost {
+    /// Creates the model with the calibrated step constants.
+    #[must_use]
+    pub const fn new(params: PaperParams) -> Self {
+        Self { params, step_costs: [(0.2, 60.0), (0.5, 20.0), (0.1, 60.0)] }
+    }
+
+    /// `C_OT` in ops/frame.
+    #[must_use]
+    pub fn computes(&self) -> f64 {
+        let nt = self.params.nt;
+        let base = 134.0 * nt * nt;
+        let tail: f64 = self.step_costs.iter().map(|&(g, n)| g * n).sum();
+        base + tail
+    }
+
+    /// Tracker state memory in bits: 8 slots of (corner, size, velocity,
+    /// bookkeeping) fits comfortably in registers — "negligible
+    /// (< 0.5 kB)" per the paper.
+    #[must_use]
+    pub fn memory_bits(&self) -> u64 {
+        // 6 fields x 32 bits per slot, 8 slots.
+        6 * 32 * 8
+    }
+}
+
+/// Eq. 7 — Kalman-filter tracker:
+/// `C_KF = 4m^3 + 6m^2 n + 4mn^2 + 4n^3 + 3n^2` with `n = m = 2 NT`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct KfCost {
+    params: PaperParams,
+}
+
+impl KfCost {
+    /// Creates the model.
+    #[must_use]
+    pub const fn new(params: PaperParams) -> Self {
+        Self { params }
+    }
+
+    /// State dimension `n = 2 NT`.
+    #[must_use]
+    pub fn state_dim(&self) -> f64 {
+        2.0 * self.params.nt
+    }
+
+    /// Measurement dimension `m = 2 NT`.
+    #[must_use]
+    pub fn measurement_dim(&self) -> f64 {
+        2.0 * self.params.nt
+    }
+
+    /// `C_KF` in ops/frame.
+    #[must_use]
+    pub fn computes(&self) -> f64 {
+        let n = self.state_dim();
+        let m = self.measurement_dim();
+        4.0 * m.powi(3) + 6.0 * m * m * n + 4.0 * m * n * n + 4.0 * n.powi(3) + 3.0 * n * n
+    }
+
+    /// `M_KF` in bits: 8 track slots of state (4), covariance (16) and
+    /// bookkeeping (14) words at 32 bits — 1088 bytes, the paper's
+    /// "≈ 1.1 kB".
+    #[must_use]
+    pub fn memory_bits(&self) -> u64 {
+        (4 + 16 + 14) * 32 * 8
+    }
+}
+
+/// Eq. 8 — event-based mean shift:
+/// `C_EBMS = N_F [ 9 CL^2 + (169 + 16 gamma_merge) CL + 11 ]`,
+/// `M_EBMS = 408 CL_max + 56` bits.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EbmsCost {
+    params: PaperParams,
+}
+
+impl EbmsCost {
+    /// Creates the model.
+    #[must_use]
+    pub const fn new(params: PaperParams) -> Self {
+        Self { params }
+    }
+
+    /// Ops per filtered event.
+    #[must_use]
+    pub fn computes_per_event(&self) -> f64 {
+        let cl = self.params.cl;
+        9.0 * cl * cl + (169.0 + 16.0 * self.params.gamma_merge) * cl + 11.0
+    }
+
+    /// `C_EBMS` in ops/frame.
+    #[must_use]
+    pub fn computes(&self) -> f64 {
+        self.params.nf * self.computes_per_event()
+    }
+
+    /// `M_EBMS` in bits.
+    #[must_use]
+    pub fn memory_bits(&self) -> u64 {
+        408 * u64::from(self.params.cl_max) + 56
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn params() -> PaperParams {
+        PaperParams::paper()
+    }
+
+    #[test]
+    fn ot_cost_matches_paper_564() {
+        let c = OtCost::new(params());
+        assert!((c.computes() - 564.0).abs() < 1e-9, "got {}", c.computes());
+    }
+
+    #[test]
+    fn ot_memory_under_half_kb() {
+        let c = OtCost::new(params());
+        assert!(c.memory_bits() < 4_000, "got {} bits", c.memory_bits());
+    }
+
+    #[test]
+    fn ot_first_term_dominates() {
+        let c = OtCost::new(params());
+        assert!(134.0 * 4.0 / c.computes() > 0.9);
+    }
+
+    #[test]
+    fn kf_cost_matches_paper_1200() {
+        let c = KfCost::new(params());
+        assert_eq!(c.state_dim(), 4.0);
+        assert!((c.computes() - 1_200.0).abs() < 1e-9, "got {}", c.computes());
+    }
+
+    #[test]
+    fn kf_memory_is_about_1_1_kb() {
+        let c = KfCost::new(params());
+        assert_eq!(c.memory_bits() / 8, 1_088);
+    }
+
+    #[test]
+    fn kf_cost_grows_cubically_with_tracks() {
+        let mut p = params();
+        p.nt = 4.0;
+        let big = KfCost::new(p).computes();
+        let small = KfCost::new(params()).computes();
+        assert!(big / small > 7.0, "doubling NT ~8x the cost: {}", big / small);
+    }
+
+    #[test]
+    fn ebms_cost_matches_paper_252k() {
+        let c = EbmsCost::new(params());
+        assert!((c.computes_per_event() - 388.2).abs() < 1e-9);
+        assert!((c.computes() - 252_330.0).abs() < 1.0, "got {}", c.computes());
+    }
+
+    #[test]
+    fn ebms_memory_matches_eq8() {
+        let c = EbmsCost::new(params());
+        assert_eq!(c.memory_bits(), 3_320);
+    }
+
+    #[test]
+    fn ebms_is_500x_the_ot() {
+        // The paper: "EBMS requires 252 kops per frame which is ≈ 500X
+        // higher than EBBIOT['s tracker]".
+        let ratio = EbmsCost::new(params()).computes() / OtCost::new(params()).computes();
+        assert!((400.0..520.0).contains(&ratio), "ratio {ratio}");
+    }
+}

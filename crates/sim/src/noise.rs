@@ -1,0 +1,196 @@
+//! Background-activity noise model.
+//!
+//! NVS pixels emit spurious events at a low rate even in a static scene
+//! (§II-A); on the EBBI these appear as salt-and-pepper noise, which is
+//! exactly what the median filter is there to remove, and in event-domain
+//! pipelines they are what the NN-filter must reject. The model is
+//! homogeneous Poisson per pixel, with uniform random polarity.
+
+use ebbiot_events::{Event, Polarity, SensorGeometry, Timestamp};
+use rand::Rng;
+
+/// Homogeneous per-pixel Poisson background noise.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BackgroundNoise {
+    /// Noise rate per pixel in events/second. Real DAVIS background rates
+    /// are on the order of 0.05–0.5 Hz/pixel depending on biases.
+    pub rate_hz_per_pixel: f64,
+}
+
+impl BackgroundNoise {
+    /// Creates the noise model.
+    ///
+    /// # Panics
+    ///
+    /// Panics on negative or non-finite rates.
+    #[must_use]
+    pub fn new(rate_hz_per_pixel: f64) -> Self {
+        assert!(
+            rate_hz_per_pixel.is_finite() && rate_hz_per_pixel >= 0.0,
+            "noise rate must be a non-negative finite number"
+        );
+        Self { rate_hz_per_pixel }
+    }
+
+    /// No noise at all.
+    #[must_use]
+    pub fn none() -> Self {
+        Self { rate_hz_per_pixel: 0.0 }
+    }
+
+    /// Expected number of noise events over the window.
+    #[must_use]
+    pub fn expected_events(&self, geometry: SensorGeometry, duration_us: u64) -> f64 {
+        self.rate_hz_per_pixel * geometry.num_pixels() as f64 * duration_us as f64 / 1e6
+    }
+
+    /// Samples noise events for `[t_start, t_start + duration_us)`,
+    /// returned time-ordered.
+    #[must_use]
+    pub fn sample(
+        &self,
+        geometry: SensorGeometry,
+        t_start: Timestamp,
+        duration_us: u64,
+        rng: &mut impl Rng,
+    ) -> Vec<Event> {
+        let mean = self.expected_events(geometry, duration_us);
+        let count = sample_poisson(mean, rng);
+        let mut events = Vec::with_capacity(count as usize);
+        for _ in 0..count {
+            let x = rng.random_range(0..geometry.width());
+            let y = rng.random_range(0..geometry.height());
+            let t = t_start + rng.random_range(0..duration_us.max(1));
+            let polarity = if rng.random_bool(0.5) { Polarity::On } else { Polarity::Off };
+            events.push(Event::new(x, y, t, polarity));
+        }
+        events.sort_unstable();
+        events
+    }
+}
+
+/// Samples a Poisson-distributed count with the given mean.
+///
+/// Knuth's product method below mean 30, normal approximation (rounded,
+/// clamped at zero) above — accurate to well under a percent for the
+/// window sizes the simulator uses.
+#[must_use]
+pub fn sample_poisson(mean: f64, rng: &mut impl Rng) -> u64 {
+    if mean <= 0.0 {
+        return 0;
+    }
+    if mean < 30.0 {
+        let limit = (-mean).exp();
+        let mut product: f64 = rng.random();
+        let mut count = 0u64;
+        while product > limit {
+            product *= rng.random::<f64>();
+            count += 1;
+        }
+        count
+    } else {
+        // Box–Muller normal approximation N(mean, mean).
+        let u1: f64 = rng.random::<f64>().max(f64::MIN_POSITIVE);
+        let u2: f64 = rng.random();
+        let z = (-2.0 * u1.ln()).sqrt() * (2.0 * core::f64::consts::PI * u2).cos();
+        let v = mean + mean.sqrt() * z;
+        if v < 0.0 {
+            0
+        } else {
+            v.round() as u64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(42)
+    }
+
+    #[test]
+    fn zero_rate_produces_no_events() {
+        let n = BackgroundNoise::none();
+        let events = n.sample(SensorGeometry::davis240(), 0, 1_000_000, &mut rng());
+        assert!(events.is_empty());
+    }
+
+    #[test]
+    fn expected_events_scales_with_everything() {
+        let n = BackgroundNoise::new(0.1);
+        let g = SensorGeometry::davis240();
+        assert!((n.expected_events(g, 1_000_000) - 4_320.0).abs() < 1e-6);
+        assert!((n.expected_events(g, 500_000) - 2_160.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn sampled_count_is_near_expectation() {
+        let n = BackgroundNoise::new(0.1);
+        let g = SensorGeometry::davis240();
+        let mut r = rng();
+        let total: usize = (0..20).map(|_| n.sample(g, 0, 1_000_000, &mut r).len()).sum();
+        let mean = total as f64 / 20.0;
+        assert!((mean - 4_320.0).abs() < 300.0, "mean {mean} should be ~4320");
+    }
+
+    #[test]
+    fn samples_are_ordered_in_window_and_in_bounds() {
+        let n = BackgroundNoise::new(0.2);
+        let g = SensorGeometry::new(64, 48);
+        let events = n.sample(g, 5_000_000, 200_000, &mut rng());
+        assert!(!events.is_empty());
+        assert!(ebbiot_events::stream::is_time_ordered(&events));
+        for e in &events {
+            assert!(g.contains_event(e));
+            assert!(e.t >= 5_000_000 && e.t < 5_200_000);
+        }
+    }
+
+    #[test]
+    fn polarity_is_roughly_balanced() {
+        let n = BackgroundNoise::new(0.5);
+        let g = SensorGeometry::davis240();
+        let events = n.sample(g, 0, 1_000_000, &mut rng());
+        let on = events.iter().filter(|e| e.polarity == Polarity::On).count();
+        let frac = on as f64 / events.len() as f64;
+        assert!((frac - 0.5).abs() < 0.05, "ON fraction {frac}");
+    }
+
+    #[test]
+    fn poisson_small_mean_statistics() {
+        let mut r = rng();
+        let n = 20_000;
+        let total: u64 = (0..n).map(|_| sample_poisson(3.0, &mut r)).sum();
+        let mean = total as f64 / f64::from(n);
+        assert!((mean - 3.0).abs() < 0.1, "mean {mean}");
+    }
+
+    #[test]
+    fn poisson_large_mean_statistics() {
+        let mut r = rng();
+        let n = 5_000;
+        let samples: Vec<u64> = (0..n).map(|_| sample_poisson(500.0, &mut r)).collect();
+        let mean = samples.iter().sum::<u64>() as f64 / f64::from(n);
+        assert!((mean - 500.0).abs() < 2.0, "mean {mean}");
+        let var = samples.iter().map(|&s| (s as f64 - mean).powi(2)).sum::<f64>() / f64::from(n);
+        assert!((var - 500.0).abs() < 50.0, "variance {var} should be ~mean");
+    }
+
+    #[test]
+    fn poisson_zero_mean_is_zero() {
+        assert_eq!(sample_poisson(0.0, &mut rng()), 0);
+        assert_eq!(sample_poisson(-1.0, &mut rng()), 0);
+    }
+
+    #[test]
+    fn deterministic_under_same_seed() {
+        let n = BackgroundNoise::new(0.1);
+        let g = SensorGeometry::davis240();
+        let a = n.sample(g, 0, 100_000, &mut StdRng::seed_from_u64(7));
+        let b = n.sample(g, 0, 100_000, &mut StdRng::seed_from_u64(7));
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,253 @@
+//! Scene model: objects on lanes, z-order occlusion, flicker distractors.
+
+use ebbiot_events::{SensorGeometry, Timestamp};
+use ebbiot_frame::{BoundingBox, PixelBox};
+
+use crate::{LinearTrajectory, ObjectClass};
+
+/// One moving object in the scene.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SceneObject {
+    /// Stable identifier, used by ground truth.
+    pub id: u32,
+    /// Object class.
+    pub class: ObjectClass,
+    /// Apparent width in pixels.
+    pub width: f32,
+    /// Apparent height in pixels.
+    pub height: f32,
+    /// Motion model.
+    pub trajectory: LinearTrajectory,
+    /// Depth order: larger values are nearer the camera and occlude
+    /// smaller ones (a side view of multi-lane traffic).
+    pub z_order: u8,
+}
+
+impl SceneObject {
+    /// Bounding box at `t_us`, or `None` before activation.
+    #[must_use]
+    pub fn bbox_at(&self, t_us: Timestamp) -> Option<BoundingBox> {
+        let (x, y) = self.trajectory.position(t_us)?;
+        Some(BoundingBox::new(x, y, self.width, self.height))
+    }
+
+    /// Whether any part of the object is on the sensor array at `t_us`.
+    #[must_use]
+    pub fn on_screen_at(&self, t_us: Timestamp, geometry: SensorGeometry) -> bool {
+        let frame = BoundingBox::new(
+            0.0,
+            0.0,
+            f32::from(geometry.width()),
+            f32::from(geometry.height()),
+        );
+        self.bbox_at(t_us).is_some_and(|b| b.intersection(&frame).is_some())
+    }
+
+    /// Time span `[first, last]` during which the object is on screen, or
+    /// `None` if it never enters. Brute-force scan at `step_us`
+    /// granularity; used by tests and the generator's self-checks.
+    #[must_use]
+    pub fn on_screen_span(
+        &self,
+        geometry: SensorGeometry,
+        horizon_us: Timestamp,
+        step_us: u64,
+    ) -> Option<(Timestamp, Timestamp)> {
+        let mut first = None;
+        let mut last = None;
+        let mut t = self.trajectory.t0_us;
+        while t <= horizon_us {
+            if self.on_screen_at(t, geometry) {
+                if first.is_none() {
+                    first = Some(t);
+                }
+                last = Some(t);
+            } else if first.is_some() {
+                break; // linear motion: once off screen, gone for good
+            }
+            t += step_us;
+        }
+        first.zip(last)
+    }
+}
+
+/// A stationary flickering region — the simulator's stand-in for the
+/// paper's "distractors such as trees which create spurious events",
+/// which the tracker handles with a region of exclusion (ROE).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Flicker {
+    /// The flickering pixels.
+    pub region: PixelBox,
+    /// Event rate per pixel of the region, in Hz.
+    pub rate_hz_per_pixel: f64,
+}
+
+/// A complete scene: geometry, moving objects, distractors.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Scene {
+    /// Sensor geometry the scene is rendered onto.
+    pub geometry: SensorGeometry,
+    /// Moving objects.
+    pub objects: Vec<SceneObject>,
+    /// Stationary flicker distractors.
+    pub flickers: Vec<Flicker>,
+}
+
+impl Scene {
+    /// Creates an empty scene.
+    #[must_use]
+    pub fn new(geometry: SensorGeometry) -> Self {
+        Self { geometry, objects: Vec::new(), flickers: Vec::new() }
+    }
+
+    /// Objects active (on screen) at `t_us`.
+    pub fn active_objects(&self, t_us: Timestamp) -> impl Iterator<Item = &SceneObject> + '_ {
+        self.objects.iter().filter(move |o| o.on_screen_at(t_us, self.geometry))
+    }
+
+    /// Whether the point `(x, y)` is covered at `t_us` by any object with
+    /// z-order strictly greater than `z` — i.e. whether an event from an
+    /// object at depth `z` would be occluded there.
+    #[must_use]
+    pub fn occluded_at(&self, x: f32, y: f32, z: u8, t_us: Timestamp) -> bool {
+        self.objects.iter().any(|o| {
+            o.z_order > z
+                && o.bbox_at(t_us)
+                    .is_some_and(|b| b.contains_point(x, y))
+        })
+    }
+
+    /// Approximate visible fraction of `obj` at `t_us`: 1 minus the
+    /// largest overlap fraction from any nearer object (exact for the
+    /// common single-occluder case; conservative otherwise).
+    #[must_use]
+    pub fn visible_fraction(&self, obj: &SceneObject, t_us: Timestamp) -> f32 {
+        let Some(bbox) = obj.bbox_at(t_us) else { return 0.0 };
+        let mut max_cover = 0.0f32;
+        for other in &self.objects {
+            if other.id == obj.id || other.z_order <= obj.z_order {
+                continue;
+            }
+            if let Some(ob) = other.bbox_at(t_us) {
+                max_cover = max_cover.max(bbox.overlap_fraction(&ob));
+            }
+        }
+        (1.0 - max_cover).max(0.0)
+    }
+
+    /// The largest timestamp at which any object is still on screen,
+    /// scanned up to `horizon_us`. Returns 0 for sceneless configs.
+    #[must_use]
+    pub fn last_activity(&self, horizon_us: Timestamp, step_us: u64) -> Timestamp {
+        self.objects
+            .iter()
+            .filter_map(|o| o.on_screen_span(self.geometry, horizon_us, step_us))
+            .map(|(_, last)| last)
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn car(id: u32, y: f32, vx: f32, t0: Timestamp, z: u8) -> SceneObject {
+        let (w, h) = ObjectClass::Car.nominal_size();
+        SceneObject {
+            id,
+            class: ObjectClass::Car,
+            width: w,
+            height: h,
+            trajectory: LinearTrajectory::horizontal(-w, y, vx, t0),
+            z_order: z,
+        }
+    }
+
+    fn geom() -> SensorGeometry {
+        SensorGeometry::davis240()
+    }
+
+    #[test]
+    fn bbox_tracks_trajectory() {
+        let c = car(1, 80.0, 60.0, 0, 1);
+        let b = c.bbox_at(1_000_000).unwrap();
+        assert!((b.x - 20.0).abs() < 1e-3);
+        assert_eq!(b.y, 80.0);
+        assert_eq!(b.w, 40.0);
+    }
+
+    #[test]
+    fn off_screen_before_entry_and_after_exit() {
+        let c = car(1, 80.0, 60.0, 0, 1);
+        assert!(!c.on_screen_at(0, geom()), "starts fully left of frame");
+        assert!(c.on_screen_at(1_000_000, geom()));
+        // Exits after travelling 240 + 40 px at 60 px/s ≈ 4.67 s.
+        assert!(!c.on_screen_at(5_000_000, geom()));
+    }
+
+    #[test]
+    fn on_screen_span_brackets_crossing() {
+        let c = car(1, 80.0, 60.0, 0, 1);
+        let (first, last) = c.on_screen_span(geom(), 10_000_000, 33_000).unwrap();
+        assert!(first > 0 && first < 1_000_000);
+        assert!(last > 4_000_000 && last < 5_000_000);
+    }
+
+    #[test]
+    fn never_entering_object_has_no_span() {
+        let mut c = car(1, 80.0, -60.0, 0, 1); // starts left, moves further left
+        c.trajectory.start_x = -100.0;
+        assert_eq!(c.on_screen_span(geom(), 5_000_000, 33_000), None);
+    }
+
+    #[test]
+    fn active_objects_filters_by_time() {
+        let mut scene = Scene::new(geom());
+        scene.objects.push(car(1, 60.0, 60.0, 0, 1));
+        scene.objects.push(car(2, 100.0, 60.0, 3_000_000, 2));
+        assert_eq!(scene.active_objects(1_000_000).count(), 1);
+        // At t = 4 s both are on screen (car 1 exits at ~4.67 s).
+        assert_eq!(scene.active_objects(4_000_000).count(), 2);
+        assert_eq!(scene.active_objects(5_000_000).count(), 1, "car 1 exited, car 2 active");
+    }
+
+    #[test]
+    fn occlusion_requires_strictly_nearer_object() {
+        let mut scene = Scene::new(geom());
+        let near = car(1, 80.0, 60.0, 0, 2);
+        scene.objects.push(near.clone());
+        let t = 1_000_000;
+        let b = near.bbox_at(t).unwrap();
+        let (cx, cy) = b.center();
+        assert!(scene.occluded_at(cx, cy, 1, t), "z=1 occluded by z=2");
+        assert!(!scene.occluded_at(cx, cy, 2, t), "same depth never occludes");
+        assert!(!scene.occluded_at(cx, cy, 3, t));
+    }
+
+    #[test]
+    fn visible_fraction_drops_under_occlusion() {
+        let mut scene = Scene::new(geom());
+        // Two same-speed cars at the same y but different depth, offset so
+        // the near one half-covers the far one.
+        let far = car(1, 80.0, 60.0, 0, 1);
+        let mut near = car(2, 80.0, 60.0, 0, 2);
+        near.trajectory.start_x = far.trajectory.start_x + 20.0; // half overlap
+        scene.objects.push(far.clone());
+        scene.objects.push(near);
+        let v = scene.visible_fraction(&far, 1_000_000);
+        assert!((v - 0.5).abs() < 0.05, "roughly half visible, got {v}");
+        // The near car itself is fully visible.
+        let near_ref = scene.objects[1].clone();
+        assert!((scene.visible_fraction(&near_ref, 1_000_000) - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn last_activity_finds_final_exit() {
+        let mut scene = Scene::new(geom());
+        scene.objects.push(car(1, 60.0, 60.0, 0, 1));
+        scene.objects.push(car(2, 100.0, 60.0, 2_000_000, 2));
+        let last = scene.last_activity(20_000_000, 33_000);
+        assert!(last > 6_000_000 && last < 7_000_000, "second car exits ~6.67 s");
+    }
+}

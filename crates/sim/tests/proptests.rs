@@ -1,0 +1,151 @@
+//! Property-based tests for the simulator: physical invariants of the
+//! generated streams and ground truth.
+
+use ebbiot_events::{stream, SensorGeometry};
+use ebbiot_frame::BoundingBox;
+use ebbiot_sim::{
+    ground_truth::{ground_truth_frames, GroundTruthConfig},
+    BackgroundNoise, DavisConfig, DavisSimulator, LinearTrajectory, ObjectClass, Scene,
+    SceneObject,
+};
+use proptest::prelude::*;
+use rand::{rngs::StdRng, SeedableRng};
+
+fn geometry() -> SensorGeometry {
+    SensorGeometry::davis240()
+}
+
+#[derive(Debug, Clone)]
+struct ObjSpec {
+    class_idx: usize,
+    y: f32,
+    vx: f32,
+    t0: u64,
+    z: u8,
+}
+
+fn arb_objects() -> impl Strategy<Value = Vec<ObjSpec>> {
+    proptest::collection::vec(
+        (0usize..6, 20.0f32..150.0, -90.0f32..90.0, 0u64..500_000, 1u8..4),
+        0..4,
+    )
+    .prop_map(|specs| {
+        specs
+            .into_iter()
+            .map(|(class_idx, y, vx, t0, z)| ObjSpec { class_idx, y, vx, t0, z })
+            .collect()
+    })
+}
+
+fn scene_of(specs: &[ObjSpec]) -> Scene {
+    let mut scene = Scene::new(geometry());
+    for (i, s) in specs.iter().enumerate() {
+        let class = ObjectClass::all()[s.class_idx];
+        let (w, h) = class.nominal_size();
+        let start_x = if s.vx >= 0.0 { -w } else { 240.0 };
+        scene.objects.push(SceneObject {
+            id: i as u32 + 1,
+            class,
+            width: w,
+            height: h,
+            trajectory: LinearTrajectory::horizontal(start_x, s.y, s.vx, s.t0),
+            z_order: s.z,
+        });
+    }
+    scene
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn simulated_streams_are_ordered_and_in_bounds(specs in arb_objects(), seed in 0u64..1_000) {
+        let scene = scene_of(&specs);
+        let sim = DavisSimulator::new(DavisConfig::default());
+        let events = sim.simulate(
+            &scene,
+            1_000_000,
+            BackgroundNoise::new(0.05),
+            &mut StdRng::seed_from_u64(seed),
+        );
+        prop_assert!(stream::is_time_ordered(&events));
+        for e in &events {
+            prop_assert!(geometry().contains_event(e));
+            prop_assert!(e.t < 1_001_000, "timestamps within duration + jitter");
+        }
+    }
+
+    #[test]
+    fn simulation_is_deterministic(specs in arb_objects(), seed in 0u64..1_000) {
+        let scene = scene_of(&specs);
+        let sim = DavisSimulator::new(DavisConfig::default());
+        let a = sim.simulate(&scene, 500_000, BackgroundNoise::new(0.05),
+            &mut StdRng::seed_from_u64(seed));
+        let b = sim.simulate(&scene, 500_000, BackgroundNoise::new(0.05),
+            &mut StdRng::seed_from_u64(seed));
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn ground_truth_boxes_are_clipped_and_cover_active_objects(
+        specs in arb_objects()
+    ) {
+        let scene = scene_of(&specs);
+        let frames = ground_truth_frames(&scene, 2_000_000, 66_000, &GroundTruthConfig::default());
+        prop_assert_eq!(frames.len(), 2_000_000usize.div_ceil(66_000));
+        let frame_box = BoundingBox::new(0.0, 0.0, 240.0, 180.0);
+        for f in &frames {
+            for b in &f.boxes {
+                prop_assert!(b.bbox.x >= 0.0 && b.bbox.y >= 0.0);
+                prop_assert!(b.bbox.x_max() <= 240.0 + 1e-3);
+                prop_assert!(b.bbox.y_max() <= 180.0 + 1e-3);
+                prop_assert!(b.bbox.area() >= 25.0, "min-area annotation policy");
+                prop_assert!((0.0..=1.0 + 1e-6).contains(&b.visibility));
+                prop_assert!(b.bbox.intersection(&frame_box).is_some());
+                prop_assert!(b.class != ObjectClass::Human, "humans excluded by default");
+            }
+        }
+    }
+
+    #[test]
+    fn gt_box_contains_object_box_at_frame_midpoint(specs in arb_objects()) {
+        let scene = scene_of(&specs);
+        let frames =
+            ground_truth_frames(&scene, 2_000_000, 66_000, &GroundTruthConfig::default());
+        for f in &frames {
+            for gt in &f.boxes {
+                let obj = scene.objects.iter().find(|o| o.id == gt.object_id).unwrap();
+                if let Some(ob) = obj.bbox_at(f.t_mid) {
+                    let clipped = ob.clipped_to(240.0, 180.0);
+                    // The annotation hull covers the instantaneous box.
+                    let inter = gt.bbox.intersection_area(&clipped);
+                    prop_assert!(
+                        inter >= 0.95 * clipped.area().min(gt.bbox.area()),
+                        "gt {} vs object {} at t={}",
+                        gt.bbox,
+                        clipped,
+                        f.t_mid
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn stationary_scenes_emit_only_noise(seed in 0u64..500, rate in 0.01f64..0.3) {
+        let scene = Scene::new(geometry());
+        let sim = DavisSimulator::new(DavisConfig::default());
+        let events = sim.simulate(
+            &scene,
+            1_000_000,
+            BackgroundNoise::new(rate),
+            &mut StdRng::seed_from_u64(seed),
+        );
+        let expected = rate * 43_200.0;
+        let got = events.len() as f64;
+        // Poisson: allow 6 sigma.
+        let sigma = expected.sqrt();
+        prop_assert!((got - expected).abs() < 6.0 * sigma + 10.0,
+            "noise count {got} vs expected {expected}");
+    }
+}

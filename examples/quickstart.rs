@@ -1,0 +1,72 @@
+//! Quickstart: simulate a short traffic recording, run EBBIOT, print the
+//! tracks and the tracking quality.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use ebbiot::prelude::*;
+
+fn main() {
+    // 1. Simulate 10 seconds of LT4-style traffic (DAVIS240, 6 mm lens)
+    //    with exact ground-truth boxes.
+    let recording = DatasetPreset::Lt4.config().with_duration_s(10.0).generate(7);
+    println!("Simulated recording: {recording}");
+
+    // 2. Build the paper-default EBBIOT pipeline: EBBI at tF = 66 ms,
+    //    3x3 median, (6, 3) histogram RPN, 8-slot overlap tracker.
+    let config = EbbiotConfig::paper_default(recording.geometry);
+    let mut pipeline = EbbiotPipeline::new(config);
+
+    // 3. Process the whole event stream frame by frame.
+    let frames = pipeline.process_recording(&recording.events, recording.duration_us);
+    let tracked_frames = frames.iter().filter(|f| !f.tracks.is_empty()).count();
+    println!(
+        "Processed {} frames; {} had at least one confirmed track.",
+        frames.len(),
+        tracked_frames
+    );
+
+    // 4. Show a few tracked frames.
+    println!("\nSample output:");
+    for frame in frames.iter().filter(|f| !f.tracks.is_empty()).take(5) {
+        print!("  frame {:>3} (t = {:>5} ms):", frame.index, frame.t_start / 1000);
+        for t in &frame.tracks {
+            print!(
+                " [id {} at ({:.0}, {:.0}) {:.0}x{:.0} v = ({:+.1}, {:+.1}) px/frame]",
+                t.track_id, t.bbox.x, t.bbox.y, t.bbox.w, t.bbox.h, t.velocity.0, t.velocity.1
+            );
+        }
+        println!();
+    }
+
+    // 5. Score against ground truth at the paper's IoU threshold grid.
+    let gt: Vec<Vec<BoundingBox>> = recording
+        .ground_truth
+        .iter()
+        .map(|f| f.boxes.iter().map(|b| b.bbox).collect())
+        .collect();
+    let pred: Vec<Vec<BoundingBox>> = frames
+        .iter()
+        .map(|f| f.tracks.iter().map(|t| t.bbox).collect())
+        .collect();
+    println!("\nPrecision/recall vs IoU threshold:");
+    for eval in sweep_thresholds(&gt, &pred, &[0.1, 0.3, 0.5]) {
+        println!(
+            "  IoU > {:.1}:  precision {:.3}  recall {:.3}",
+            eval.iou_threshold, eval.pr.precision, eval.pr.recall
+        );
+    }
+
+    // 6. Resource story: ops per frame and the implied duty cycle.
+    if let Some(ops) = pipeline.ops_per_frame() {
+        let model = DutyCycleModel::new(ProcessorModel::cortex_m4_class(), 66_000);
+        let report = model.evaluate(ops.total() as f64);
+        println!(
+            "\nWorkload: {} ops/frame -> {:.2}% duty cycle, {:.3} mW average on a Cortex-M4-class node.",
+            ops.total(),
+            report.duty_cycle * 100.0,
+            report.average_mw
+        );
+    }
+}

@@ -1,0 +1,64 @@
+//! The paper's resource story (Fig. 5 and the §II in-text numbers), from
+//! the typed analytic cost models.
+//!
+//! ```text
+//! cargo run --release --example resource_budget
+//! ```
+
+use ebbiot::prelude::*;
+use ebbiot::resource::{
+    ebbi::EbbiCost,
+    nn_filter::NnFilterCost,
+    rpn::RpnCost,
+    trackers::{EbmsCost, KfCost, OtCost},
+};
+
+fn main() {
+    let p = PaperParams::paper();
+
+    println!("== Per-block budgets (Eqs. 1, 2, 5-8) ==\n");
+    let ebbi = EbbiCost::new(p);
+    let nn = NnFilterCost::new(p);
+    let rpn = RpnCost::new(p);
+    let ot = OtCost::new(p);
+    let kf = KfCost::new(p);
+    let ebms = EbmsCost::new(p);
+    println!("EBBI + median     : {:>9.1} kops/frame, {:>7.2} kB", ebbi.computes() / 1e3, ebbi.memory_kb());
+    println!("NN-filter         : {:>9.1} kops/frame, {:>7.2} kB", nn.computes() / 1e3, nn.memory_bits() as f64 / 8e3);
+    println!("RPN (Eq. 5)       : {:>9.1} kops/frame, {:>7.2} kB", rpn.computes() / 1e3, rpn.memory_kb());
+    println!("Overlap tracker   : {:>9.3} kops/frame, {:>7.2} kB", ot.computes() / 1e3, ot.memory_bits() as f64 / 8e3);
+    println!("Kalman tracker    : {:>9.3} kops/frame, {:>7.2} kB", kf.computes() / 1e3, kf.memory_bits() as f64 / 8e3);
+    println!("EBMS tracker      : {:>9.1} kops/frame, {:>7.3} kB", ebms.computes() / 1e3, ebms.memory_bits() as f64 / 8e3);
+
+    println!("\n== Pipeline totals relative to EBBIOT (Fig. 5) ==\n");
+    for row in fig5_comparison(p) {
+        println!(
+            "{:<14} {:>8.1} kops/frame ({:.2}x)   {:>6.1} kB ({:.2}x)",
+            row.cost.name,
+            row.cost.computes / 1e3,
+            row.relative_computes,
+            row.cost.memory_kb(),
+            row.relative_memory
+        );
+    }
+
+    println!("\n== What that buys on an IoT node ==\n");
+    let model = DutyCycleModel::new(ProcessorModel::cortex_m4_class(), 66_000);
+    for row in fig5_comparison(p) {
+        let report = model.evaluate(row.cost.computes);
+        println!(
+            "{:<14} awake {:>6.2} ms/frame, duty {:>5.2}%, average {:>6.3} mW",
+            row.cost.name,
+            report.active_us_per_frame / 1e3,
+            report.duty_cycle * 100.0,
+            report.average_mw
+        );
+    }
+    let always_on = model.evaluate_event_driven(DatasetPreset::Eng.paper_event_rate_hz(), 32.0);
+    println!(
+        "{:<14} duty {:>5.1}%, average {:>6.3} mW  <- raw event interrupts at ENG rates",
+        "event-driven",
+        always_on.duty_cycle * 100.0,
+        always_on.average_mw
+    );
+}

@@ -1,0 +1,69 @@
+//! # EBBIOT — reproduction of "EBBIOT: A Low-complexity Tracking Algorithm
+//! for Surveillance in IoVT Using Stationary Neuromorphic Vision Sensors"
+//! (Acharya et al., SOCC 2019).
+//!
+//! This facade crate re-exports the whole workspace under one name:
+//!
+//! * [`events`] — event primitives, AER codecs, framing ([`ebbiot_events`])
+//! * [`frame`] — EBBI, median filter, histograms, CCA ([`ebbiot_frame`])
+//! * [`filters`] — event-domain noise filters ([`ebbiot_filters`])
+//! * [`sim`] — the DAVIS traffic-scene simulator ([`ebbiot_sim`])
+//! * [`core`] — the EBBIOT RPN + overlap tracker + pipeline
+//!   ([`ebbiot_core`])
+//! * [`baselines`] — KF and EBMS baseline trackers ([`ebbiot_baselines`])
+//! * [`eval`] — IoU precision/recall evaluation ([`ebbiot_eval`])
+//! * [`resource`] — the paper's analytic cost models ([`ebbiot_resource`])
+//! * [`linalg`] — the small dense linear algebra used by the KF
+//!   ([`ebbiot_linalg`])
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use ebbiot::prelude::*;
+//!
+//! // Simulate 2 seconds of LT4-style traffic with exact ground truth.
+//! let recording = DatasetPreset::Lt4.config().with_duration_s(2.0).generate(7);
+//!
+//! // Run the EBBIOT pipeline.
+//! let config = EbbiotConfig::paper_default(recording.geometry);
+//! let mut pipeline = EbbiotPipeline::new(config);
+//! let frames = pipeline.process_recording(&recording.events, recording.duration_us);
+//! assert_eq!(frames.len(), recording.ground_truth.len());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use ebbiot_baselines as baselines;
+pub use ebbiot_core as core;
+pub use ebbiot_eval as eval;
+pub use ebbiot_events as events;
+pub use ebbiot_filters as filters;
+pub use ebbiot_frame as frame;
+pub use ebbiot_linalg as linalg;
+pub use ebbiot_resource as resource;
+pub use ebbiot_sim as sim;
+
+/// The most common imports in one place.
+pub mod prelude {
+    pub use ebbiot_baselines::{
+        EbbiKfPipeline, EbmsConfig, EbmsTracker, KalmanConfig, KalmanTracker, NnEbmsPipeline,
+    };
+    pub use ebbiot_core::{
+        DutyCycleModel, EbbiotConfig, EbbiotPipeline, FrameResult, OtConfig, OverlapTracker,
+        ProcessorModel, RegionOfExclusion, RegionProposalNetwork, RpnMode, TrackBox,
+        TwoTimescaleConfig, TwoTimescalePipeline,
+    };
+    pub use ebbiot_eval::{
+        evaluate_frames, sweep_thresholds, weighted_average, EvalAccumulator, PrecisionRecall,
+        RecordingEval,
+    };
+    pub use ebbiot_events::{Event, Polarity, SensorGeometry, StreamStats, Timestamp};
+    pub use ebbiot_filters::{EventFilter, FilterChain, NnFilter, RefractoryFilter};
+    pub use ebbiot_frame::{BinaryImage, BoundingBox, EbbiAccumulator, MedianFilter, PixelBox};
+    pub use ebbiot_resource::{fig5_comparison, PaperParams, PipelineCost};
+    pub use ebbiot_sim::{
+        BackgroundNoise, DatasetPreset, DavisConfig, DavisSimulator, ObjectClass, Scene,
+        SceneObject, SimulatedRecording, TrafficConfig, TrafficGenerator,
+    };
+}

@@ -1,0 +1,105 @@
+//! End-to-end integration: simulator -> EBBIOT pipeline -> evaluator.
+
+use ebbiot::prelude::*;
+
+fn gt_of(rec: &SimulatedRecording) -> Vec<Vec<BoundingBox>> {
+    rec.ground_truth.iter().map(|f| f.boxes.iter().map(|b| b.bbox).collect()).collect()
+}
+
+fn pred_of(frames: &[FrameResult]) -> Vec<Vec<BoundingBox>> {
+    frames.iter().map(|f| f.tracks.iter().map(|t| t.bbox).collect()).collect()
+}
+
+#[test]
+fn ebbiot_tracks_lt4_traffic_with_useful_quality() {
+    let rec = DatasetPreset::Lt4.config().with_duration_s(15.0).generate(21);
+    assert!(rec.num_tracks() >= 2, "need traffic to evaluate, got {}", rec.num_tracks());
+
+    let mut pipeline = EbbiotPipeline::new(EbbiotConfig::paper_default(rec.geometry));
+    let frames = pipeline.process_recording(&rec.events, rec.duration_us);
+    assert_eq!(frames.len(), rec.ground_truth.len(), "frame/gt alignment");
+
+    let eval = evaluate_frames(&gt_of(&rec), &pred_of(&frames), 0.3);
+    assert!(
+        eval.pr.recall > 0.5,
+        "recall at IoU 0.3 should be well above half, got {:.3}",
+        eval.pr.recall
+    );
+    assert!(
+        eval.pr.precision > 0.5,
+        "precision at IoU 0.3 should be well above half, got {:.3}",
+        eval.pr.precision
+    );
+}
+
+#[test]
+fn pipeline_is_deterministic_end_to_end() {
+    let rec = DatasetPreset::Lt4.config().with_duration_s(5.0).generate(33);
+    let run = |rec: &SimulatedRecording| {
+        let mut p = EbbiotPipeline::new(EbbiotConfig::paper_default(rec.geometry));
+        p.process_recording(&rec.events, rec.duration_us)
+    };
+    assert_eq!(run(&rec), run(&rec));
+}
+
+#[test]
+fn track_identities_are_stable_over_vehicle_crossings() {
+    // A single car crossing the full view: the id reported in the middle
+    // of the crossing should persist until it leaves.
+    let rec = DatasetPreset::Lt4.config().with_duration_s(10.0).generate(5);
+    let mut pipeline = EbbiotPipeline::new(EbbiotConfig::paper_default(rec.geometry));
+    let frames = pipeline.process_recording(&rec.events, rec.duration_us);
+
+    // For every track id, count the frames it appears in; the dominant
+    // ids should persist for many frames (not flicker).
+    let mut spans: std::collections::HashMap<u64, usize> = std::collections::HashMap::new();
+    for f in &frames {
+        for t in &f.tracks {
+            *spans.entry(t.track_id).or_insert(0) += 1;
+        }
+    }
+    let max_span = spans.values().copied().max().unwrap_or(0);
+    assert!(
+        max_span >= 20,
+        "at least one track persists >= 20 frames (1.3 s), got {max_span}"
+    );
+}
+
+#[test]
+fn empty_recording_produces_no_tracks_and_no_panic() {
+    let geometry = SensorGeometry::davis240();
+    let mut pipeline = EbbiotPipeline::new(EbbiotConfig::paper_default(geometry));
+    let frames = pipeline.process_recording(&[], 1_000_000);
+    assert_eq!(frames.len(), 16);
+    assert!(frames.iter().all(|f| f.tracks.is_empty()));
+}
+
+#[test]
+fn noise_only_recording_rarely_hallucinates() {
+    // Pure background noise, no objects: the median filter + min-area
+    // should keep false tracks near zero.
+    let geometry = SensorGeometry::davis240();
+    let noise = BackgroundNoise::new(0.25);
+    let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(4);
+    let events = noise.sample(geometry, 0, 10_000_000, &mut rng);
+    let mut pipeline = EbbiotPipeline::new(EbbiotConfig::paper_default(geometry));
+    let frames = pipeline.process_recording(&events, 10_000_000);
+    let frames_with_tracks = frames.iter().filter(|f| !f.tracks.is_empty()).count();
+    assert!(
+        frames_with_tracks * 20 <= frames.len(),
+        "false tracks in at most 5% of frames, got {frames_with_tracks}/{}",
+        frames.len()
+    );
+}
+
+#[test]
+fn mean_nt_matches_paper_order_on_traffic() {
+    let rec = DatasetPreset::Eng.config().with_duration_s(10.0).generate(17);
+    let mut pipeline = EbbiotPipeline::new(EbbiotConfig::paper_default(rec.geometry));
+    let _ = pipeline.process_recording(&rec.events, rec.duration_us);
+    let nt = pipeline.mean_active_trackers();
+    assert!(
+        (0.5..6.0).contains(&nt),
+        "mean NT should be a small number like the paper's ~2, got {nt:.2}"
+    );
+}

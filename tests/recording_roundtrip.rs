@@ -1,0 +1,46 @@
+//! Recording serialization across crates: simulator output survives the
+//! AER codecs bit-for-bit, and the pipeline result is identical on the
+//! decoded copy.
+
+use ebbiot::events::codec;
+use ebbiot::prelude::*;
+
+#[test]
+fn simulated_recording_round_trips_through_binary_aer() {
+    let rec = DatasetPreset::Lt4.config().with_duration_s(3.0).generate(13);
+    let bytes = codec::encode_binary(rec.geometry, &rec.events);
+    let decoded = codec::decode_binary(&bytes).expect("decodes");
+    assert_eq!(decoded.geometry, rec.geometry);
+    assert_eq!(decoded.events, rec.events);
+}
+
+#[test]
+fn simulated_recording_round_trips_through_text() {
+    let rec = DatasetPreset::Lt4.config().with_duration_s(1.0).generate(13);
+    let text = codec::encode_text(&rec.events);
+    let decoded = codec::decode_text(&text).expect("decodes");
+    assert_eq!(decoded, rec.events);
+}
+
+#[test]
+fn pipeline_output_identical_on_decoded_copy() {
+    let rec = DatasetPreset::Lt4.config().with_duration_s(3.0).generate(14);
+    let bytes = codec::encode_binary(rec.geometry, &rec.events);
+    let decoded = codec::decode_binary(&bytes).expect("decodes");
+
+    let run = |events: &[Event]| {
+        let mut p = EbbiotPipeline::new(EbbiotConfig::paper_default(rec.geometry));
+        p.process_recording(events, rec.duration_us)
+    };
+    assert_eq!(run(&rec.events), run(&decoded.events));
+}
+
+#[test]
+fn binary_size_is_linear_in_events() {
+    let rec = DatasetPreset::Lt4.config().with_duration_s(1.0).generate(15);
+    let bytes = codec::encode_binary(rec.geometry, &rec.events);
+    assert_eq!(
+        bytes.len(),
+        codec::HEADER_BYTES + rec.events.len() * codec::EVENT_RECORD_BYTES
+    );
+}

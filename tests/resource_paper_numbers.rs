@@ -1,0 +1,112 @@
+//! Every in-text resource number of §II, asserted against the typed cost
+//! models — the quantitative backbone of Fig. 5.
+
+use ebbiot::prelude::*;
+use ebbiot::resource::{
+    ebbi::EbbiCost,
+    nn_filter::NnFilterCost,
+    rpn::RpnCost,
+    trackers::{EbmsCost, KfCost, OtCost},
+};
+
+fn p() -> PaperParams {
+    PaperParams::paper()
+}
+
+#[test]
+fn c_ebbi_is_125_2_kops() {
+    assert!((EbbiCost::new(p()).computes() - 125_280.0).abs() < 1.0);
+}
+
+#[test]
+fn m_ebbi_is_10_8_kb() {
+    assert!((EbbiCost::new(p()).memory_kb() - 10.8).abs() < 1e-9);
+}
+
+#[test]
+fn c_nn_filt_is_276_4_kops() {
+    assert!((NnFilterCost::new(p()).computes() - 276_480.0).abs() < 1.0);
+}
+
+#[test]
+fn nn_filt_memory_saving_is_8x() {
+    assert!((NnFilterCost::new(p()).memory_saving_vs_ebbi() - 8.0).abs() < 1e-9);
+}
+
+#[test]
+fn c_rpn_in_text_is_45_6_kops_and_eq5_is_48_kops() {
+    let rpn = RpnCost::new(p());
+    assert!((rpn.computes_in_text() - 45_600.0).abs() < 1e-9);
+    assert!((rpn.computes() - 48_000.0).abs() < 1e-9);
+}
+
+#[test]
+fn m_rpn_is_about_1_6_kb() {
+    let kb = RpnCost::new(p()).memory_kb();
+    assert!((1.55..1.70).contains(&kb), "got {kb}");
+}
+
+#[test]
+fn c_ot_is_564() {
+    assert!((OtCost::new(p()).computes() - 564.0).abs() < 1e-9);
+}
+
+#[test]
+fn c_kf_is_1200_at_nt2() {
+    assert!((KfCost::new(p()).computes() - 1_200.0).abs() < 1e-9);
+}
+
+#[test]
+fn m_kf_is_about_1_1_kb() {
+    let kb = KfCost::new(p()).memory_bits() as f64 / 8e3;
+    assert!((1.0..1.2).contains(&kb), "got {kb}");
+}
+
+#[test]
+fn c_ebms_is_252_kops() {
+    assert!((EbmsCost::new(p()).computes() - 252_330.0).abs() < 1.0);
+}
+
+#[test]
+fn m_ebms_is_3320_bits() {
+    assert_eq!(EbmsCost::new(p()).memory_bits(), 3_320);
+}
+
+#[test]
+fn fig5_totals_match_the_abstract_claims() {
+    let rows = fig5_comparison(p());
+    let find = |name: &str| rows.iter().find(|r| r.cost.name == name).unwrap();
+    // "Our overall approach requires 7X less memory and 3X less
+    // computations than conventional noise filtering and event based mean
+    // shift (EBMS) tracking."
+    let ebms = find("NN-filt+EBMS");
+    assert!((2.9..3.2).contains(&ebms.relative_computes), "{}", ebms.relative_computes);
+    assert!((6.6..7.2).contains(&ebms.relative_memory), "{}", ebms.relative_memory);
+    let kf = find("EBBI+KF");
+    assert!((kf.relative_computes - 1.0).abs() < 0.01);
+    assert!((1.0..1.1).contains(&kf.relative_memory));
+}
+
+#[test]
+fn measured_pipeline_ops_land_near_the_analytic_budget() {
+    // Run the instrumented pipeline on simulated traffic and require the
+    // measured total to be within 2x of the paper's 173.8 k ops/frame
+    // (the instrumentation counts the same loops with slightly different
+    // bookkeeping).
+    let rec = DatasetPreset::Eng.config().with_duration_s(5.0).generate(6);
+    let mut pipeline = EbbiotPipeline::new(EbbiotConfig::paper_default(rec.geometry));
+    let _ = pipeline.process_recording(&rec.events, rec.duration_us);
+    let measured = pipeline.ops_per_frame().unwrap().total() as f64;
+    let analytic = PipelineCost::ebbiot(p()).computes;
+    let ratio = measured / analytic;
+    assert!((0.5..2.0).contains(&ratio), "measured {measured}, analytic {analytic}");
+}
+
+#[test]
+fn rpn_beats_cnn_detectors_by_1000x_on_memory() {
+    // ">1000X less memory and computes compared to frame based
+    // approaches": YOLO-class detectors need > 1 GB; the RPN needs 1.6 kB.
+    let rpn_bytes = RpnCost::new(p()).memory_bits() as f64 / 8.0;
+    let yolo_bytes = 1e9;
+    assert!(yolo_bytes / rpn_bytes > 1_000.0);
+}
