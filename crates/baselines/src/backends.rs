@@ -1,0 +1,188 @@
+//! Event-domain back-end: NN-filter + EBMS as one [`Tracker`].
+//!
+//! The fully event-based baseline of Figs. 4 and 5 does not consume
+//! region proposals — it filters raw events through the
+//! nearest-neighbour filter and feeds the survivors to the per-event
+//! mean-shift tracker, sampling cluster state at frame boundaries.
+//! [`NnEbmsTracker`] packages that as a [`Tracker`] back-end, so the
+//! generic pipeline (which skips the frame front-end for
+//! [`TrackerInput::Events`] back-ends) and the registry treat it exactly
+//! like the proposal-driven trackers.
+
+use ebbiot_core::{FrameInput, TrackBox, Tracker, TrackerInput};
+use ebbiot_events::{OpsCounter, SensorGeometry};
+use ebbiot_filters::{EventFilter, NnFilter};
+
+use crate::ebms::{EbmsConfig, EbmsTracker};
+
+/// NN-filter + EBMS, packaged as an event-domain tracker back-end.
+#[derive(Debug, Clone)]
+pub struct NnEbmsTracker {
+    filter: NnFilter,
+    tracker: EbmsTracker,
+    frames_processed: usize,
+    events_seen: u64,
+    events_kept: u64,
+}
+
+impl NnEbmsTracker {
+    /// Builds the back-end with the paper's NN-filter configuration.
+    #[must_use]
+    pub fn new(geometry: SensorGeometry, ebms: EbmsConfig) -> Self {
+        Self {
+            filter: NnFilter::paper_default(geometry),
+            tracker: EbmsTracker::new(geometry, ebms),
+            frames_processed: 0,
+            events_seen: 0,
+            events_kept: 0,
+        }
+    }
+
+    /// The EBMS tracker (introspection).
+    #[must_use]
+    pub const fn ebms(&self) -> &EbmsTracker {
+        &self.tracker
+    }
+
+    /// The NN-filter (introspection).
+    #[must_use]
+    pub const fn nn_filter(&self) -> &NnFilter {
+        &self.filter
+    }
+
+    /// Fraction of events the NN-filter kept (diagnostic; the paper's
+    /// `N_F ≈ 650` per frame is the kept count).
+    #[must_use]
+    pub fn keep_fraction(&self) -> f64 {
+        if self.events_seen == 0 {
+            0.0
+        } else {
+            self.events_kept as f64 / self.events_seen as f64
+        }
+    }
+
+    /// Mean kept (filtered) events per frame — the paper's `N_F`.
+    #[must_use]
+    pub fn filtered_events_per_frame(&self) -> f64 {
+        if self.frames_processed == 0 {
+            0.0
+        } else {
+            self.events_kept as f64 / self.frames_processed as f64
+        }
+    }
+}
+
+impl Tracker for NnEbmsTracker {
+    fn name(&self) -> &'static str {
+        "nn-ebms"
+    }
+
+    fn input(&self) -> TrackerInput {
+        TrackerInput::Events
+    }
+
+    fn step(&mut self, frame: &FrameInput<'_>) -> Vec<TrackBox> {
+        for event in frame.events {
+            self.events_seen += 1;
+            if self.filter.keep(event) {
+                self.events_kept += 1;
+                self.tracker.process_event(event);
+            }
+        }
+        self.tracker.maintain(frame.t_end());
+        self.frames_processed += 1;
+        self.tracker
+            .visible()
+            .into_iter()
+            .map(|o| TrackBox {
+                track_id: o.id,
+                bbox: o.bbox,
+                // EBMS velocities are px/s; normalize to px/frame like
+                // the other trackers.
+                velocity: (
+                    o.velocity.0 * frame.duration as f32 / 1e6,
+                    o.velocity.1 * frame.duration as f32 / 1e6,
+                ),
+                occluded: false,
+            })
+            .collect()
+    }
+
+    fn active_count(&self) -> usize {
+        self.tracker.active_count()
+    }
+
+    fn ops(&self) -> OpsCounter {
+        let mut total = *self.filter.ops();
+        total.absorb(self.tracker.ops());
+        total
+    }
+
+    fn reset(&mut self) {
+        self.filter.reset();
+        self.tracker.reset();
+        self.frames_processed = 0;
+        self.events_seen = 0;
+        self.events_kept = 0;
+    }
+
+    fn reset_ops(&mut self) {
+        self.filter.reset_ops();
+        self.tracker.reset_ops();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ebbiot_events::Event;
+
+    fn backend() -> NnEbmsTracker {
+        NnEbmsTracker::new(SensorGeometry::davis240(), EbmsConfig::paper_default())
+    }
+
+    fn frame_input<'a>(events: &'a [Event], index: usize) -> FrameInput<'a> {
+        FrameInput {
+            index,
+            t_start: index as u64 * 66_000,
+            duration: 66_000,
+            events,
+            proposals: &[],
+        }
+    }
+
+    #[test]
+    fn declares_event_input() {
+        assert_eq!(backend().input(), TrackerInput::Events);
+        assert_eq!(backend().name(), "nn-ebms");
+    }
+
+    #[test]
+    fn isolated_noise_is_filtered_out() {
+        let mut b = backend();
+        let events: Vec<Event> = (0..50)
+            .map(|k| Event::on((k * 4) % 240, (k * 7) % 180, u64::from(k) * 1_000))
+            .collect();
+        let tracks = b.step(&frame_input(&events, 0));
+        assert!(tracks.is_empty());
+        assert!(b.keep_fraction() < 0.2, "kept {}", b.keep_fraction());
+    }
+
+    #[test]
+    fn reset_clears_statistics() {
+        let mut b = backend();
+        // A dense block: neighbouring pixels fire within the support
+        // window, so the NN filter keeps most of it.
+        let mut events = Vec::new();
+        for dy in 0..10u16 {
+            for dx in 0..10u16 {
+                events.push(Event::on(50 + dx, 50 + dy, u64::from(dy * 10 + dx) * 20));
+            }
+        }
+        let _ = b.step(&frame_input(&events, 0));
+        assert!(b.keep_fraction() > 0.0);
+        b.reset();
+        assert_eq!(b.keep_fraction(), 0.0);
+        assert_eq!(b.filtered_events_per_frame(), 0.0);
+    }
+}

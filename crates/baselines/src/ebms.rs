@@ -232,11 +232,8 @@ impl EbmsTracker {
                     self.ops.add(16);
                     // The better-supported cluster's state survives at slot
                     // i; slot j is freed either way.
-                    let keep = if self.clusters[i].events >= self.clusters[j].events {
-                        i
-                    } else {
-                        j
-                    };
+                    let keep =
+                        if self.clusters[i].events >= self.clusters[j].events { i } else { j };
                     let merged_events = self.clusters[i].events + self.clusters[j].events;
                     let kc = self.clusters[keep].clone();
                     self.clusters[i] = Cluster { events: merged_events, ..kc };
@@ -279,10 +276,7 @@ impl EbmsTracker {
 }
 
 /// Least-squares linear regression of position on time, in pixels/second.
-fn regress_velocity(
-    positions: &[(Timestamp, f32, f32)],
-    ops: &mut OpsCounter,
-) -> (f32, f32) {
+fn regress_velocity(positions: &[(Timestamp, f32, f32)], ops: &mut OpsCounter) -> (f32, f32) {
     let n = positions.len();
     if n < 2 {
         return (0.0, 0.0);

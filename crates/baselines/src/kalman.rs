@@ -251,7 +251,7 @@ impl KalmanTracker {
         let s_inv = s.inverse().expect("innovation covariance is SPD by construction");
         // K = P H^T S^-1 (4x2).
         let k = t.p * self.h_mat.transpose() * s_inv;
-        t.x = t.x + k * y;
+        t.x += k * y;
         // Joseph-free form: P = (I - K H) P, then symmetrize.
         t.p = (Matrix::<4, 4>::identity() - k * self.h_mat) * t.p;
         t.p.symmetrize();
@@ -275,11 +275,7 @@ impl KalmanTracker {
                     t.h,
                 )
                 .clipped_to(self.frame.w, self.frame.h);
-                KalmanOutput {
-                    id: t.id,
-                    bbox,
-                    velocity: (t.x[2] as f32, t.x[3] as f32),
-                }
+                KalmanOutput { id: t.id, bbox, velocity: (t.x[2] as f32, t.x[3] as f32) }
             })
             .filter(|o| !o.bbox.is_empty())
             .collect()
@@ -292,6 +288,40 @@ impl KalmanTracker {
     pub fn memory_bits(&self) -> u64 {
         let per_track_words = 4 + 16 + 2 + 2; // x, P, (w, h), bookkeeping
         (per_track_words * 32) * self.config.max_tracks as u64
+    }
+}
+
+impl ebbiot_core::Tracker for KalmanTracker {
+    fn name(&self) -> &'static str {
+        "ebbi-kf"
+    }
+
+    fn step(&mut self, frame: &ebbiot_core::FrameInput<'_>) -> Vec<ebbiot_core::TrackBox> {
+        KalmanTracker::step(self, frame.proposals)
+            .into_iter()
+            .map(|o| ebbiot_core::TrackBox {
+                track_id: o.id,
+                bbox: o.bbox,
+                velocity: o.velocity,
+                occluded: false,
+            })
+            .collect()
+    }
+
+    fn active_count(&self) -> usize {
+        self.tracks.len()
+    }
+
+    fn ops(&self) -> OpsCounter {
+        self.ops
+    }
+
+    fn reset(&mut self) {
+        KalmanTracker::reset(self);
+    }
+
+    fn reset_ops(&mut self) {
+        self.ops.reset();
     }
 }
 

@@ -8,19 +8,28 @@
 //!   trackers updated per event, running behind the NN-filter in a fully
 //!   event-based pipeline. Cost model: Eq. 8 (`C_EBMS = 252 k ops/frame`,
 //!   `M_EBMS = 3.32 kB` for `CL_max = 8`).
+//! * [`backends`] — NN-filt + EBMS packaged as an event-domain
+//!   [`ebbiot_core::Tracker`] back-end.
 //! * [`pipelines`] — the composed baselines used in Figs. 4 and 5:
 //!   [`pipelines::EbbiKfPipeline`] (EBBI + median + RPN + KF) and
-//!   [`pipelines::NnEbmsPipeline`] (NN-filt + EBMS), both emitting the
-//!   same [`ebbiot_core::FrameResult`] shape as the EBBIOT pipeline so
-//!   the evaluator treats all three trackers identically.
+//!   [`pipelines::NnEbmsPipeline`] (NN-filt + EBMS), thin wrappers over
+//!   the generic [`ebbiot_core::Pipeline`] so the evaluator treats all
+//!   three trackers identically.
+//! * [`registry`] — the back-end registry: eval sweeps and experiment
+//!   binaries enumerate trackers by name ([`registry::BACKENDS`])
+//!   instead of hand-rolled match arms.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod backends;
 pub mod ebms;
 pub mod kalman;
 pub mod pipelines;
+pub mod registry;
 
+pub use backends::NnEbmsTracker;
 pub use ebms::{EbmsConfig, EbmsTracker};
 pub use kalman::{KalmanConfig, KalmanTracker};
 pub use pipelines::{EbbiKfPipeline, NnEbmsPipeline};
+pub use registry::{backend_names, build_pipeline, find_backend, BackendSpec, BACKENDS};

@@ -1,16 +1,21 @@
-//! Composed baseline pipelines, emitting the same output shape as the
-//! EBBIOT pipeline so the evaluator treats all trackers identically.
+//! Composed baseline pipelines — thin wrappers over the generic
+//! [`Pipeline`], so the evaluator treats all trackers identically.
+//!
+//! Neither wrapper re-implements any front-end step: the EBBI → median →
+//! RPN → ROE chain lives in [`ebbiot_core::FrontEnd`] only, and the
+//! event-domain path lives in [`NnEbmsTracker`]. Both wrappers deref to
+//! the underlying [`Pipeline`], so the full streaming API
+//! ([`Pipeline::push`] / [`Pipeline::finish`]), op accounting and
+//! statistics are available unchanged.
 
-use ebbiot_core::{
-    pipeline::{FrameResult, TrackBox},
-    rpn::RegionProposalNetwork,
-    EbbiotConfig,
-};
-use ebbiot_events::{stream::FrameWindows, Event, Micros, OpsCounter};
-use ebbiot_filters::{EventFilter, NnFilter};
-use ebbiot_frame::{EbbiAccumulator, MedianFilter};
+use core::ops::{Deref, DerefMut};
+
+use ebbiot_core::{EbbiotConfig, Pipeline};
+use ebbiot_events::Micros;
+use ebbiot_filters::NnFilter;
 
 use crate::{
+    backends::NnEbmsTracker,
     ebms::{EbmsConfig, EbmsTracker},
     kalman::{KalmanConfig, KalmanTracker},
 };
@@ -19,13 +24,7 @@ use crate::{
 /// the "EBBI+KF" system of Figs. 4 and 5.
 #[derive(Debug, Clone)]
 pub struct EbbiKfPipeline {
-    config: EbbiotConfig,
-    accumulator: EbbiAccumulator,
-    median: MedianFilter,
-    rpn: RegionProposalNetwork,
-    tracker: KalmanTracker,
-    roe_ops: OpsCounter,
-    next_index: usize,
+    inner: Pipeline<KalmanTracker>,
 }
 
 impl EbbiKfPipeline {
@@ -33,69 +32,33 @@ impl EbbiKfPipeline {
     /// EBBIOT (same `EbbiotConfig`), only the tracker differs.
     #[must_use]
     pub fn new(config: EbbiotConfig, kf: KalmanConfig) -> Self {
-        Self {
-            accumulator: EbbiAccumulator::new(config.geometry),
-            median: MedianFilter::new(config.median_patch),
-            rpn: RegionProposalNetwork::new(config.rpn),
-            tracker: KalmanTracker::new(config.geometry, kf),
-            roe_ops: OpsCounter::new(),
-            next_index: 0,
-            config,
-        }
+        let tracker = KalmanTracker::new(config.geometry, kf);
+        Self { inner: Pipeline::with_tracker(config, tracker) }
     }
+}
 
-    /// Processes one frame of events.
-    pub fn process_frame(&mut self, events: &[Event]) -> FrameResult {
-        let index = self.next_index;
-        self.next_index += 1;
-        self.accumulator.accumulate_all(events);
-        let num_events = self.accumulator.events_seen() as usize;
-        let ebbi = self.accumulator.readout();
-        let filtered = self.median.apply(&ebbi);
-        let raw = self.rpn.propose(&filtered);
-        let proposals = self.config.roe.filter(&raw, &mut self.roe_ops);
-        let outputs = self.tracker.step(&proposals);
-        FrameResult {
-            index,
-            t_start: index as u64 * self.config.frame_us,
-            duration: self.config.frame_us,
-            tracks: outputs
-                .into_iter()
-                .map(|o| TrackBox {
-                    track_id: o.id,
-                    bbox: o.bbox,
-                    velocity: o.velocity,
-                    occluded: false,
-                })
-                .collect(),
-            num_proposals: proposals.len(),
-            num_events,
-        }
+impl Deref for EbbiKfPipeline {
+    type Target = Pipeline<KalmanTracker>;
+
+    fn deref(&self) -> &Self::Target {
+        &self.inner
     }
+}
 
-    /// Processes a whole recording.
-    pub fn process_recording(&mut self, events: &[Event], span_us: Micros) -> Vec<FrameResult> {
-        FrameWindows::with_span(events, self.config.frame_us, span_us)
-            .map(|w| self.process_frame(w.events))
-            .collect()
-    }
-
-    /// The Kalman tracker (for op/memory introspection).
-    #[must_use]
-    pub const fn tracker(&self) -> &KalmanTracker {
-        &self.tracker
+impl DerefMut for EbbiKfPipeline {
+    fn deref_mut(&mut self) -> &mut Self::Target {
+        &mut self.inner
     }
 }
 
 /// NN-filter + EBMS — the fully event-based baseline of Figs. 4 and 5.
+///
+/// The generic pipeline skips the frame front-end entirely for this
+/// back-end (`TrackerInput::Events`), so it pays none of the EBBI,
+/// median or RPN cost.
 #[derive(Debug, Clone)]
 pub struct NnEbmsPipeline {
-    frame_us: Micros,
-    filter: NnFilter,
-    tracker: EbmsTracker,
-    next_index: usize,
-    events_kept: u64,
-    events_seen: u64,
+    inner: Pipeline<NnEbmsTracker>,
 }
 
 impl NnEbmsPipeline {
@@ -106,100 +69,55 @@ impl NnEbmsPipeline {
         frame_us: Micros,
         ebms: EbmsConfig,
     ) -> Self {
-        Self {
-            frame_us,
-            filter: NnFilter::paper_default(geometry),
-            tracker: EbmsTracker::new(geometry, ebms),
-            next_index: 0,
-            events_kept: 0,
-            events_seen: 0,
-        }
-    }
-
-    /// Processes one frame's worth of events through the event-domain
-    /// pipeline, sampling tracker output at the frame boundary (the same
-    /// instants the evaluator samples ground truth).
-    pub fn process_frame(&mut self, events: &[Event]) -> FrameResult {
-        let index = self.next_index;
-        self.next_index += 1;
-        for e in events {
-            self.events_seen += 1;
-            if self.filter.keep(e) {
-                self.events_kept += 1;
-                self.tracker.process_event(e);
-            }
-        }
-        let t_end = (index as u64 + 1) * self.frame_us;
-        self.tracker.maintain(t_end);
-        let visible = self.tracker.visible();
-        FrameResult {
-            index,
-            t_start: index as u64 * self.frame_us,
-            duration: self.frame_us,
-            tracks: visible
-                .into_iter()
-                .map(|o| TrackBox {
-                    track_id: o.id,
-                    bbox: o.bbox,
-                    // EBMS velocities are px/s; normalize to px/frame like
-                    // the other trackers.
-                    velocity: (
-                        o.velocity.0 * self.frame_us as f32 / 1e6,
-                        o.velocity.1 * self.frame_us as f32 / 1e6,
-                    ),
-                    occluded: false,
-                })
-                .collect(),
-            num_proposals: 0,
-            num_events: events.len(),
-        }
-    }
-
-    /// Processes a whole recording.
-    pub fn process_recording(&mut self, events: &[Event], span_us: Micros) -> Vec<FrameResult> {
-        FrameWindows::with_span(events, self.frame_us, span_us)
-            .map(|w| self.process_frame(w.events))
-            .collect()
+        let config = EbbiotConfig::paper_default(geometry).with_frame_us(frame_us);
+        let tracker = NnEbmsTracker::new(geometry, ebms);
+        Self { inner: Pipeline::with_tracker(config, tracker) }
     }
 
     /// Fraction of events the NN-filter kept (diagnostic; the paper's
     /// `N_F ≈ 650` per frame is the kept count).
     #[must_use]
     pub fn keep_fraction(&self) -> f64 {
-        if self.events_seen == 0 {
-            0.0
-        } else {
-            self.events_kept as f64 / self.events_seen as f64
-        }
+        self.inner.tracker().keep_fraction()
     }
 
     /// Mean kept (filtered) events per frame — the paper's `N_F`.
     #[must_use]
     pub fn filtered_events_per_frame(&self) -> f64 {
-        if self.next_index == 0 {
-            0.0
-        } else {
-            self.events_kept as f64 / self.next_index as f64
-        }
+        self.inner.tracker().filtered_events_per_frame()
     }
 
     /// The EBMS tracker (introspection).
     #[must_use]
     pub const fn tracker(&self) -> &EbmsTracker {
-        &self.tracker
+        self.inner.tracker().ebms()
     }
 
     /// The NN-filter (introspection).
     #[must_use]
     pub const fn filter(&self) -> &NnFilter {
-        &self.filter
+        self.inner.tracker().nn_filter()
+    }
+}
+
+impl Deref for NnEbmsPipeline {
+    type Target = Pipeline<NnEbmsTracker>;
+
+    fn deref(&self) -> &Self::Target {
+        &self.inner
+    }
+}
+
+impl DerefMut for NnEbmsPipeline {
+    fn deref_mut(&mut self) -> &mut Self::Target {
+        &mut self.inner
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use ebbiot_events::SensorGeometry;
+    use ebbiot_events::{Event, SensorGeometry};
 
     fn geometry() -> SensorGeometry {
         SensorGeometry::davis240()
@@ -213,11 +131,7 @@ mod tests {
             let t0 = f as u64 * 66_000;
             for dy in 0..15u16 {
                 for dx in 0..30u16 {
-                    events.push(Event::on(
-                        x0 + dx,
-                        90 + dy,
-                        t0 + u64::from(dy * 30 + dx) * 20,
-                    ));
+                    events.push(Event::on(x0 + dx, 90 + dy, t0 + u64::from(dy * 30 + dx) * 20));
                 }
             }
         }
@@ -258,8 +172,9 @@ mod tests {
     fn nn_filter_removes_isolated_noise_before_ebms() {
         let mut p = NnEbmsPipeline::new(geometry(), 66_000, EbmsConfig::paper_default());
         // Sparse isolated events: nothing should pass the NN filter.
-        let events: Vec<Event> =
-            (0..50).map(|k| Event::on((k * 4) % 240, (k * 7) % 180, u64::from(k) * 1_000)).collect();
+        let events: Vec<Event> = (0..50)
+            .map(|k| Event::on((k * 4) % 240, (k * 7) % 180, u64::from(k) * 1_000))
+            .collect();
         let results = p.process_recording(&events, 66_000);
         assert!(results[0].tracks.is_empty());
         assert!(p.keep_fraction() < 0.2, "kept {}", p.keep_fraction());
@@ -288,5 +203,37 @@ mod tests {
         // The dense block mostly passes the NN filter.
         assert!(p.filtered_events_per_frame() > 200.0);
         assert!(p.keep_fraction() > 0.6);
+    }
+
+    #[test]
+    fn event_domain_pipeline_has_no_frontend() {
+        let p = NnEbmsPipeline::new(geometry(), 66_000, EbmsConfig::paper_default());
+        assert!(p.frontend().is_none(), "EBMS pays no frame front-end cost");
+        let kf = EbbiKfPipeline::new(
+            EbbiotConfig::paper_default(geometry()),
+            KalmanConfig::paper_default(),
+        );
+        assert!(kf.frontend().is_some());
+    }
+
+    #[test]
+    fn baseline_pipelines_stream_like_batch() {
+        let events = moving_block_events(5);
+        let span = 6 * 66_000;
+        let mut batch = EbbiKfPipeline::new(
+            EbbiotConfig::paper_default(geometry()),
+            KalmanConfig::paper_default(),
+        );
+        let expected = batch.process_recording(&events, span);
+        let mut streaming = EbbiKfPipeline::new(
+            EbbiotConfig::paper_default(geometry()),
+            KalmanConfig::paper_default(),
+        );
+        let mut got = Vec::new();
+        for chunk in events.chunks(101) {
+            got.extend(streaming.push(chunk));
+        }
+        got.extend(streaming.finish(span));
+        assert_eq!(got, expected);
     }
 }

@@ -1,0 +1,135 @@
+//! The tracker back-end registry.
+//!
+//! Evaluation sweeps and the experiment binaries enumerate back-ends by
+//! name instead of hand-rolling one match arm per tracker: each
+//! [`BackendSpec`] names a back-end and knows how to build a type-erased
+//! [`DynPipeline`] for it from a shared front-end configuration. Adding
+//! a tracker to the comparison set means adding one entry here — the
+//! eval and bench layers pick it up automatically.
+
+use ebbiot_core::{BoxedTracker, DynPipeline, EbbiotConfig, OverlapTracker, Pipeline};
+
+use crate::{
+    backends::NnEbmsTracker,
+    ebms::EbmsConfig,
+    kalman::{KalmanConfig, KalmanTracker},
+};
+
+/// One registered tracker back-end.
+#[derive(Debug, Clone, Copy)]
+pub struct BackendSpec {
+    /// Stable registry name (`"ebbiot"`, `"ebbi-kf"`, `"nn-ebms"`).
+    pub name: &'static str,
+    /// Short display label, as used in the paper's figures.
+    pub label: &'static str,
+    /// One-line description.
+    pub summary: &'static str,
+    build: fn(&EbbiotConfig) -> BoxedTracker,
+}
+
+impl BackendSpec {
+    /// Builds a type-erased pipeline running this back-end behind the
+    /// shared front-end configuration.
+    #[must_use]
+    pub fn build(&self, config: EbbiotConfig) -> DynPipeline {
+        let tracker = (self.build)(&config);
+        Pipeline::with_tracker(config, tracker)
+    }
+}
+
+/// All registered back-ends, in the paper's Fig. 4 presentation order.
+pub const BACKENDS: &[BackendSpec] = &[
+    BackendSpec {
+        name: "nn-ebms",
+        label: "EBMS",
+        summary: "NN-filter + event-based mean shift (fully event-domain)",
+        build: |config| Box::new(NnEbmsTracker::new(config.geometry, EbmsConfig::paper_default())),
+    },
+    BackendSpec {
+        name: "ebbi-kf",
+        label: "KF",
+        summary: "Shared EBBI front-end + Kalman-filter tracker",
+        build: |config| {
+            Box::new(KalmanTracker::new(config.geometry, KalmanConfig::paper_default()))
+        },
+    },
+    BackendSpec {
+        name: "ebbiot",
+        label: "EBBIOT",
+        summary: "Shared EBBI front-end + overlap tracker (the paper's system)",
+        build: |config| Box::new(OverlapTracker::new(config.geometry, config.ot)),
+    },
+];
+
+/// Looks a back-end up by registry name or display label.
+#[must_use]
+pub fn find_backend(name: &str) -> Option<&'static BackendSpec> {
+    BACKENDS.iter().find(|spec| spec.name == name || spec.label == name)
+}
+
+/// Builds a pipeline by back-end name.
+#[must_use]
+pub fn build_pipeline(name: &str, config: EbbiotConfig) -> Option<DynPipeline> {
+    find_backend(name).map(|spec| spec.build(config))
+}
+
+/// All registry names.
+#[must_use]
+pub fn backend_names() -> Vec<&'static str> {
+    BACKENDS.iter().map(|spec| spec.name).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ebbiot_events::{Event, SensorGeometry};
+
+    fn config() -> EbbiotConfig {
+        EbbiotConfig::paper_default(SensorGeometry::davis240())
+    }
+
+    #[test]
+    fn registry_covers_all_three_trackers() {
+        assert_eq!(backend_names(), vec!["nn-ebms", "ebbi-kf", "ebbiot"]);
+    }
+
+    #[test]
+    fn lookup_by_name_or_label() {
+        assert!(find_backend("ebbiot").is_some());
+        assert!(find_backend("EBBIOT").is_some());
+        assert!(find_backend("KF").is_some());
+        assert!(find_backend("unknown").is_none());
+        assert!(build_pipeline("unknown", config()).is_none());
+    }
+
+    #[test]
+    fn built_pipelines_report_their_backend() {
+        for spec in BACKENDS {
+            let pipeline = spec.build(config());
+            assert_eq!(pipeline.backend_name(), spec.name);
+        }
+    }
+
+    #[test]
+    fn built_pipelines_process_frames() {
+        let mut events = Vec::new();
+        for dy in 0..15u16 {
+            for dx in 0..30u16 {
+                events.push(Event::on(60 + dx, 90 + dy, u64::from(dy) * 10));
+            }
+        }
+        for spec in BACKENDS {
+            let mut pipeline = spec.build(config());
+            let result = pipeline.process_frame(&events);
+            assert_eq!(result.index, 0, "{}", spec.name);
+            assert_eq!(result.num_events, events.len(), "{}", spec.name);
+        }
+    }
+
+    #[test]
+    fn frontend_presence_matches_backend_kind() {
+        assert!(build_pipeline("ebbiot", config()).unwrap().frontend().is_some());
+        assert!(build_pipeline("ebbi-kf", config()).unwrap().frontend().is_some());
+        assert!(build_pipeline("nn-ebms", config()).unwrap().frontend().is_none());
+    }
+}

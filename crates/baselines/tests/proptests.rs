@@ -13,13 +13,10 @@ fn geometry() -> SensorGeometry {
 }
 
 fn arb_proposals() -> impl Strategy<Value = Vec<BoundingBox>> {
-    proptest::collection::vec(
-        (0.0f32..200.0, 0.0f32..150.0, 8.0f32..60.0, 6.0f32..25.0),
-        0..6,
-    )
-    .prop_map(|specs| {
-        specs.into_iter().map(|(x, y, w, h)| BoundingBox::new(x, y, w, h)).collect()
-    })
+    proptest::collection::vec((0.0f32..200.0, 0.0f32..150.0, 8.0f32..60.0, 6.0f32..25.0), 0..6)
+        .prop_map(|specs| {
+            specs.into_iter().map(|(x, y, w, h)| BoundingBox::new(x, y, w, h)).collect()
+        })
 }
 
 fn arb_events() -> impl Strategy<Value = Vec<Event>> {

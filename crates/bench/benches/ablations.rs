@@ -39,11 +39,8 @@ fn bench_ablations(c: &mut Criterion) {
         b.iter(|| black_box(rpn.propose(black_box(&filtered))));
     });
     group.bench_function("rpn_full_resolution_s1x1", |b| {
-        let mut rpn = RegionProposalNetwork::new(RpnConfig {
-            s1: 1,
-            s2: 1,
-            ..RpnConfig::paper_default()
-        });
+        let mut rpn =
+            RegionProposalNetwork::new(RpnConfig { s1: 1, s2: 1, ..RpnConfig::paper_default() });
         b.iter(|| black_box(rpn.propose(black_box(&filtered))));
     });
 
@@ -79,10 +76,8 @@ fn bench_ablations(c: &mut Criterion) {
     });
 
     // --- OT occlusion look-ahead -------------------------------------------
-    let crossing = vec![
-        BoundingBox::new(100.0, 80.0, 30.0, 16.0),
-        BoundingBox::new(118.0, 82.0, 30.0, 16.0),
-    ];
+    let crossing =
+        vec![BoundingBox::new(100.0, 80.0, 30.0, 16.0), BoundingBox::new(118.0, 82.0, 30.0, 16.0)];
     group.bench_function("ot_with_occlusion_lookahead", |b| {
         let mut ot = OverlapTracker::new(geometry, OtConfig::paper_default());
         let _ = ot.step(&crossing);

@@ -2,8 +2,8 @@
 //! EBBI+KF, and NN-filt+EBMS over the same 2-second LT4 recording.
 
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
-use ebbiot_baselines::{EbbiKfPipeline, EbmsConfig, KalmanConfig, NnEbmsPipeline};
-use ebbiot_core::{EbbiotConfig, EbbiotPipeline};
+use ebbiot_baselines::registry::BACKENDS;
+use ebbiot_core::EbbiotConfig;
 use ebbiot_sim::{DatasetPreset, SimulatedRecording};
 use std::hint::black_box;
 
@@ -16,31 +16,36 @@ fn bench_pipelines(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig4_pipelines");
     group.throughput(Throughput::Elements(rec.events.len() as u64));
 
-    group.bench_function("ebbiot_2s_lt4", |b| {
-        b.iter_batched(
-            || EbbiotPipeline::new(EbbiotConfig::paper_default(rec.geometry)),
-            |mut p| black_box(p.process_recording(&rec.events, rec.duration_us)),
-            BatchSize::SmallInput,
-        );
-    });
+    // Every registered back-end, end to end over the same recording.
+    for spec in BACKENDS {
+        let id = format!("{}_2s_lt4", spec.name.replace('-', "_"));
+        group.bench_function(&id, |b| {
+            b.iter_batched(
+                || spec.build(EbbiotConfig::paper_default(rec.geometry)),
+                |mut p| black_box(p.process_recording(&rec.events, rec.duration_us)),
+                BatchSize::SmallInput,
+            );
+        });
+    }
 
-    group.bench_function("ebbi_kf_2s_lt4", |b| {
+    // The streaming path should cost the same as the batch path.
+    group.bench_function("ebbiot_2s_lt4_streaming", |b| {
         b.iter_batched(
             || {
-                EbbiKfPipeline::new(
-                    EbbiotConfig::paper_default(rec.geometry),
-                    KalmanConfig::paper_default(),
-                )
+                BACKENDS
+                    .iter()
+                    .find(|s| s.name == "ebbiot")
+                    .expect("registered")
+                    .build(EbbiotConfig::paper_default(rec.geometry))
             },
-            |mut p| black_box(p.process_recording(&rec.events, rec.duration_us)),
-            BatchSize::SmallInput,
-        );
-    });
-
-    group.bench_function("nn_ebms_2s_lt4", |b| {
-        b.iter_batched(
-            || NnEbmsPipeline::new(rec.geometry, rec.frame_us, EbmsConfig::paper_default()),
-            |mut p| black_box(p.process_recording(&rec.events, rec.duration_us)),
+            |mut p| {
+                let mut frames = 0;
+                for chunk in rec.events.chunks(4096) {
+                    frames += p.push(chunk).len();
+                }
+                frames += p.finish(rec.duration_us).len();
+                black_box(frames)
+            },
             BatchSize::SmallInput,
         );
     });

@@ -84,10 +84,8 @@ fn bench_blocks(c: &mut Criterion) {
     });
 
     // Two steady proposals, matching the paper's NT ~ 2.
-    let proposals = vec![
-        BoundingBox::new(60.0, 90.0, 42.0, 18.0),
-        BoundingBox::new(150.0, 110.0, 30.0, 16.0),
-    ];
+    let proposals =
+        vec![BoundingBox::new(60.0, 90.0, 42.0, 18.0), BoundingBox::new(150.0, 110.0, 30.0, 16.0)];
 
     group.bench_function("ot_step_nt2", |b| {
         let mut ot = OverlapTracker::new(geometry, OtConfig::paper_default());

@@ -19,18 +19,13 @@ use ebbiot_core::{
 use ebbiot_eval::{evaluate_frames, report::render_table, IdentifiedBox, MotAccumulator};
 use ebbiot_events::stream::FrameWindows;
 use ebbiot_frame::BoundingBox;
-use ebbiot_sim::{
-    BackgroundNoise, DatasetPreset, DavisConfig, DavisSimulator, ScenarioBuilder,
-};
+use ebbiot_sim::{BackgroundNoise, DatasetPreset, DavisConfig, DavisSimulator, ScenarioBuilder};
 use rand::{rngs::StdRng, SeedableRng};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let (seconds, seed, _) = parse_harness_args(&args);
-    let rec = DatasetPreset::Lt4
-        .config()
-        .with_duration_s(seconds.unwrap_or(20.0))
-        .generate(seed);
+    let rec = DatasetPreset::Lt4.config().with_duration_s(seconds.unwrap_or(20.0)).generate(seed);
     let gt = gt_boxes(&rec);
     println!("Workload: {rec}\n");
 
@@ -97,11 +92,8 @@ fn main() {
                     })
                 })
                 .collect();
-            let pred: Vec<IdentifiedBox> = result
-                .tracks
-                .iter()
-                .map(|t| IdentifiedBox::new(t.track_id, t.bbox))
-                .collect();
+            let pred: Vec<IdentifiedBox> =
+                result.tracks.iter().map(|t| IdentifiedBox::new(t.track_id, t.bbox)).collect();
             mot.add_frame(&gt_boxes, &pred, 0.3);
         }
         rows.push(vec![
@@ -142,10 +134,7 @@ fn main() {
         .collect();
     let mut rows = Vec::new();
     for (name, roe) in [
-        (
-            "with ROE",
-            RegionOfExclusion::new(vec![BoundingBox::new(2.0, 5.0, 52.0, 38.0)]),
-        ),
+        ("with ROE", RegionOfExclusion::new(vec![BoundingBox::new(2.0, 5.0, 52.0, 38.0)])),
         ("without ROE", RegionOfExclusion::none()),
     ] {
         let cfg = EbbiotConfig::paper_default(scene.geometry).with_roe(roe);

@@ -66,14 +66,8 @@ fn main() {
         "W".repeat(awake),
         "s".repeat(slots - awake)
     );
-    println!(
-        "  event-driven: [{}]  (noise events keep waking the core)",
-        "W".repeat(slots)
-    );
-    println!(
-        "\nAverage power: {}",
-        render_bar(interrupt.average_mw, event_driven.average_mw, 40)
-    );
+    println!("  event-driven: [{}]  (noise events keep waking the core)", "W".repeat(slots));
+    println!("\nAverage power: {}", render_bar(interrupt.average_mw, event_driven.average_mw, 40));
     println!(
         "  EBBIOT {:.3} mW vs event-driven {:.3} mW ({:.0}x lower)",
         interrupt.average_mw,

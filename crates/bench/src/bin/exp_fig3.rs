@@ -14,8 +14,7 @@ use ebbiot_core::rpn::{RegionProposalNetwork, RpnConfig};
 use ebbiot_events::SensorGeometry;
 use ebbiot_frame::{ebbi::ebbi_from_events, MedianFilter};
 use ebbiot_sim::{
-    BackgroundNoise, DavisConfig, DavisSimulator, LinearTrajectory, ObjectClass, Scene,
-    SceneObject,
+    BackgroundNoise, DavisConfig, DavisSimulator, LinearTrajectory, ObjectClass, Scene, SceneObject,
 };
 use rand::{rngs::StdRng, SeedableRng};
 

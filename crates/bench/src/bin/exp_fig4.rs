@@ -6,9 +6,8 @@
 //! cargo run --release -p ebbiot-bench --bin exp_fig4 [--seconds S] [--seed N] [--full]
 //! ```
 
-use ebbiot_bench::{
-    fig4_sweep, generate_for_harness, parse_harness_args, run_ebbi_kf, run_ebbiot, run_nn_ebms,
-};
+use ebbiot_baselines::registry::BACKENDS;
+use ebbiot_bench::{fig4_sweep, generate_for_harness, parse_harness_args, run_backend};
 use ebbiot_eval::{
     report::{render_pr_sweep, render_table},
     sweep::fig4_thresholds,
@@ -23,23 +22,18 @@ fn main() {
     println!("== Fig. 4: precision/recall vs IoU threshold (EBMS, KF, EBBIOT) ==\n");
 
     let thresholds = fig4_thresholds();
-    // Per-tracker, per-threshold, accumulate (pr, weight) per recording.
-    let mut per_tracker: Vec<(&str, Vec<Vec<(ebbiot_eval::PrecisionRecall, usize)>>)> = vec![
-        ("EBMS", vec![Vec::new(); thresholds.len()]),
-        ("KF", vec![Vec::new(); thresholds.len()]),
-        ("EBBIOT", vec![Vec::new(); thresholds.len()]),
-    ];
+    // Per registered back-end, per-threshold, accumulate (pr, weight) per
+    // recording.
+    type WeightedPrs = Vec<Vec<(ebbiot_eval::PrecisionRecall, usize)>>;
+    let mut per_tracker: Vec<(&str, WeightedPrs)> =
+        BACKENDS.iter().map(|spec| (spec.label, vec![Vec::new(); thresholds.len()])).collect();
 
     for preset in DatasetPreset::all() {
         let rec = generate_for_harness(preset, seconds, seed, full, 40.0);
         let weight = rec.num_tracks().max(1);
         println!("{rec}");
-        let sweeps = [
-            fig4_sweep(&rec, &run_nn_ebms(&rec)),
-            fig4_sweep(&rec, &run_ebbi_kf(preset, &rec)),
-            fig4_sweep(&rec, &run_ebbiot(preset, &rec)),
-        ];
-        for (tracker_idx, sweep) in sweeps.iter().enumerate() {
+        for (tracker_idx, spec) in BACKENDS.iter().enumerate() {
+            let sweep = fig4_sweep(&rec, &run_backend(spec, preset, &rec));
             for (t_idx, eval) in sweep.iter().enumerate() {
                 per_tracker[tracker_idx].1[t_idx].push((eval.pr, weight));
             }
@@ -82,11 +76,7 @@ fn main() {
     let rows = vec![
         vec!["EBMS".into(), format!("{:.3}", ebms.precision), format!("{:.3}", ebms.recall)],
         vec!["KF".into(), format!("{:.3}", kf.precision), format!("{:.3}", kf.recall)],
-        vec![
-            "EBBIOT".into(),
-            format!("{:.3}", ebbiot.precision),
-            format!("{:.3}", ebbiot.recall),
-        ],
+        vec!["EBBIOT".into(), format!("{:.3}", ebbiot.precision), format!("{:.3}", ebbiot.recall)],
     ];
     println!("{}", render_table(&["Tracker", "Precision", "Recall"], &rows));
     println!(

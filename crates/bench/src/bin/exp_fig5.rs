@@ -57,9 +57,7 @@ fn main() {
             r.relative_memory
         );
     }
-    println!(
-        "\nPaper's claims: EBMS ~3x computes / ~7x memory of EBBIOT; EBBI+KF ~1x.\n"
-    );
+    println!("\nPaper's claims: EBMS ~3x computes / ~7x memory of EBBIOT; EBBI+KF ~1x.\n");
 
     // Measured cross-check: instrumented EBBIOT pipeline on ENG traffic.
     let preset = DatasetPreset::Eng;
@@ -69,15 +67,16 @@ fn main() {
     let per_frame = pipeline.ops_per_frame().expect("frames processed");
     println!("Measured EBBIOT ops/frame on {} ({} frames):", rec.name, pipeline.frames_processed());
     let measured = vec![
-        vec!["EBBI".into(), format!("{}", per_frame.ebbi.total()), "125.3k (Eq. 1, with median)".into()],
+        vec![
+            "EBBI".into(),
+            format!("{}", per_frame.ebbi.total()),
+            "125.3k (Eq. 1, with median)".into(),
+        ],
         vec!["median".into(), format!("{}", per_frame.median.total()), "(in C_EBBI)".into()],
         vec!["RPN".into(), format!("{}", per_frame.rpn.total()), "48.0k (Eq. 5)".into()],
         vec!["OT".into(), format!("{}", per_frame.tracker.total()), "564 (Eq. 6)".into()],
         vec!["total".into(), format!("{}", per_frame.total()), "173.8k".into()],
     ];
     println!("{}", render_table(&["block", "measured ops/frame", "paper analytic"], &measured));
-    println!(
-        "mean active trackers NT = {:.2} (paper: NT ~ 2)",
-        pipeline.mean_active_trackers()
-    );
+    println!("mean active trackers NT = {:.2} (paper: NT ~ 2)", pipeline.mean_active_trackers());
 }

@@ -8,8 +8,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use ebbiot_baselines::{EbbiKfPipeline, EbmsConfig, KalmanConfig, NnEbmsPipeline};
-use ebbiot_core::{EbbiotConfig, EbbiotPipeline, RegionOfExclusion};
+use ebbiot_baselines::registry::{self, BackendSpec};
+use ebbiot_core::{EbbiotConfig, RegionOfExclusion};
 use ebbiot_eval::{sweep_thresholds, RecordingEval};
 use ebbiot_frame::BoundingBox;
 use ebbiot_sim::{DatasetPreset, SimulatedRecording};
@@ -42,48 +42,58 @@ pub fn ebbiot_config_for(preset: DatasetPreset, rec: &SimulatedRecording) -> Ebb
     EbbiotConfig::paper_default(rec.geometry).with_roe(RegionOfExclusion::new(roe_boxes))
 }
 
-/// Runs the EBBIOT pipeline over a recording, returning per-frame boxes.
+/// Runs one registered back-end over a recording, returning per-frame
+/// boxes. The harness enumerates back-ends through
+/// [`ebbiot_baselines::registry::BACKENDS`] instead of hand-rolled match
+/// arms, so a newly registered tracker appears in every experiment
+/// automatically.
 #[must_use]
-pub fn run_ebbiot(preset: DatasetPreset, rec: &SimulatedRecording) -> FrameBoxes {
-    let mut pipeline = EbbiotPipeline::new(ebbiot_config_for(preset, rec));
+pub fn run_backend(
+    spec: &BackendSpec,
+    preset: DatasetPreset,
+    rec: &SimulatedRecording,
+) -> FrameBoxes {
+    let config = ebbiot_config_for(preset, rec).with_frame_us(rec.frame_us);
+    let mut pipeline = spec.build(config);
     pipeline
         .process_recording(&rec.events, rec.duration_us)
         .into_iter()
         .map(|f| f.tracks.into_iter().map(|t| t.bbox).collect())
         .collect()
+}
+
+/// Runs a back-end looked up by registry name or display label.
+#[must_use]
+pub fn run_backend_named(
+    name: &str,
+    preset: DatasetPreset,
+    rec: &SimulatedRecording,
+) -> Option<FrameBoxes> {
+    registry::find_backend(name).map(|spec| run_backend(spec, preset, rec))
+}
+
+/// Runs the EBBIOT pipeline over a recording, returning per-frame boxes.
+#[must_use]
+pub fn run_ebbiot(preset: DatasetPreset, rec: &SimulatedRecording) -> FrameBoxes {
+    run_backend_named("ebbiot", preset, rec).expect("registered")
 }
 
 /// Runs the EBBI + Kalman-filter baseline.
 #[must_use]
 pub fn run_ebbi_kf(preset: DatasetPreset, rec: &SimulatedRecording) -> FrameBoxes {
-    let mut pipeline =
-        EbbiKfPipeline::new(ebbiot_config_for(preset, rec), KalmanConfig::paper_default());
-    pipeline
-        .process_recording(&rec.events, rec.duration_us)
-        .into_iter()
-        .map(|f| f.tracks.into_iter().map(|t| t.bbox).collect())
-        .collect()
+    run_backend_named("ebbi-kf", preset, rec).expect("registered")
 }
 
 /// Runs the NN-filt + EBMS baseline.
 #[must_use]
-pub fn run_nn_ebms(rec: &SimulatedRecording) -> FrameBoxes {
-    let mut pipeline =
-        NnEbmsPipeline::new(rec.geometry, rec.frame_us, EbmsConfig::paper_default());
-    pipeline
-        .process_recording(&rec.events, rec.duration_us)
-        .into_iter()
-        .map(|f| f.tracks.into_iter().map(|t| t.bbox).collect())
-        .collect()
+pub fn run_nn_ebms(preset: DatasetPreset, rec: &SimulatedRecording) -> FrameBoxes {
+    run_backend_named("nn-ebms", preset, rec).expect("registered")
 }
 
 /// Extracts per-frame ground-truth boxes from a recording.
 #[must_use]
 pub fn gt_boxes(rec: &SimulatedRecording) -> FrameBoxes {
-    rec.ground_truth
-        .iter()
-        .map(|f| f.boxes.iter().map(|b| b.bbox).collect())
-        .collect()
+    rec.ground_truth.iter().map(|f| f.boxes.iter().map(|b| b.bbox).collect()).collect()
 }
 
 /// Evaluates one tracker output against a recording's ground truth over
@@ -171,7 +181,7 @@ mod tests {
         let gt = gt_boxes(&rec);
         let eb = run_ebbiot(DatasetPreset::Lt4, &rec);
         let kf = run_ebbi_kf(DatasetPreset::Lt4, &rec);
-        let ms = run_nn_ebms(&rec);
+        let ms = run_nn_ebms(DatasetPreset::Lt4, &rec);
         assert_eq!(gt.len(), eb.len());
         assert_eq!(gt.len(), kf.len());
         assert_eq!(gt.len(), ms.len());

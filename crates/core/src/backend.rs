@@ -1,0 +1,115 @@
+//! The tracker back-end abstraction.
+//!
+//! The paper's central architectural claim is that one shared front-end
+//! can feed interchangeable tracker back-ends at wildly different
+//! resource costs. [`Tracker`] is that plug point: the generic
+//! [`Pipeline`](crate::pipeline::Pipeline) drives any implementation —
+//! the overlap tracker (EBBIOT), the Kalman filter (EBBI+KF), or the
+//! event-domain mean-shift tracker (NN-filt+EBMS) — through the same
+//! per-frame step, and the registry in `ebbiot_baselines` enumerates
+//! them by name.
+
+use ebbiot_events::{Event, Micros, OpsCounter, Timestamp};
+use ebbiot_frame::BoundingBox;
+
+use crate::pipeline::TrackBox;
+
+/// Everything a back-end may consume for one frame.
+///
+/// Proposal-driven trackers read [`FrameInput::proposals`] (the ROE
+/// filtered region proposals from the shared front-end); event-domain
+/// trackers read the raw [`FrameInput::events`] of the window instead.
+#[derive(Debug, Clone, Copy)]
+pub struct FrameInput<'a> {
+    /// Frame index (0-based).
+    pub index: usize,
+    /// Frame start timestamp (microseconds).
+    pub t_start: Timestamp,
+    /// Frame duration `tF` (microseconds).
+    pub duration: Micros,
+    /// The raw events of the window, time-ordered.
+    pub events: &'a [Event],
+    /// Region proposals after ROE filtering (empty for event-domain
+    /// back-ends, whose pipelines skip the frame front-end entirely).
+    pub proposals: &'a [BoundingBox],
+}
+
+impl FrameInput<'_> {
+    /// Frame end timestamp (exclusive) — the readout instant.
+    #[must_use]
+    pub const fn t_end(&self) -> Timestamp {
+        self.t_start + self.duration
+    }
+}
+
+/// What a back-end consumes, deciding whether the pipeline runs the
+/// frame front-end at all.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TrackerInput {
+    /// Region proposals from the shared EBBI → median → RPN → ROE
+    /// front-end.
+    Proposals,
+    /// Raw window events (the back-end does its own event-domain
+    /// filtering, e.g. NN-filt+EBMS).
+    Events,
+}
+
+/// A tracker back-end: steps once per frame, reports confirmed tracks.
+pub trait Tracker {
+    /// Short stable identifier (`"ebbiot"`, `"ebbi-kf"`, `"nn-ebms"`).
+    fn name(&self) -> &'static str;
+
+    /// What this back-end consumes.
+    fn input(&self) -> TrackerInput {
+        TrackerInput::Proposals
+    }
+
+    /// Advances one frame, returning the confirmed tracks.
+    fn step(&mut self, frame: &FrameInput<'_>) -> Vec<TrackBox>;
+
+    /// Number of currently active (confirmed or provisional) trackers —
+    /// the paper's `NT` statistic.
+    fn active_count(&self) -> usize;
+
+    /// Accumulated operation counts (Eqs. 6–8 cross-checks).
+    fn ops(&self) -> OpsCounter;
+
+    /// Clears all track state for a new recording.
+    fn reset(&mut self);
+
+    /// Resets the op counter.
+    fn reset_ops(&mut self);
+}
+
+/// Owned, type-erased back-end — what the pipeline registry hands out.
+pub type BoxedTracker = Box<dyn Tracker + Send>;
+
+impl Tracker for BoxedTracker {
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
+
+    fn input(&self) -> TrackerInput {
+        (**self).input()
+    }
+
+    fn step(&mut self, frame: &FrameInput<'_>) -> Vec<TrackBox> {
+        (**self).step(frame)
+    }
+
+    fn active_count(&self) -> usize {
+        (**self).active_count()
+    }
+
+    fn ops(&self) -> OpsCounter {
+        (**self).ops()
+    }
+
+    fn reset(&mut self) {
+        (**self).reset();
+    }
+
+    fn reset_ops(&mut self) {
+        (**self).reset_ops();
+    }
+}

@@ -2,11 +2,7 @@
 
 use ebbiot_events::{Micros, SensorGeometry, DEFAULT_FRAME_DURATION_US};
 
-use crate::{
-    roe::RegionOfExclusion,
-    rpn::RpnConfig,
-    tracker::OtConfig,
-};
+use crate::{roe::RegionOfExclusion, rpn::RpnConfig, tracker::OtConfig};
 
 /// Everything the end-to-end EBBIOT pipeline needs.
 #[derive(Debug, Clone, PartialEq)]

@@ -28,12 +28,7 @@ impl ProcessorModel {
     /// 12 mW active, 0.05 mW deep sleep, 50 us wake-up.
     #[must_use]
     pub fn cortex_m4_class() -> Self {
-        Self {
-            ops_per_second: 80e6,
-            active_mw: 12.0,
-            sleep_mw: 0.05,
-            wakeup_overhead_us: 50.0,
-        }
+        Self { ops_per_second: 80e6, active_mw: 12.0, sleep_mw: 0.05, wakeup_overhead_us: 50.0 }
     }
 }
 
@@ -80,8 +75,8 @@ impl DutyCycleModel {
         let active_us = compute_us + self.processor.wakeup_overhead_us;
         let frame_us = self.frame_us as f64;
         let duty_cycle = (active_us / frame_us).min(1.0);
-        let average_mw = duty_cycle * self.processor.active_mw
-            + (1.0 - duty_cycle) * self.processor.sleep_mw;
+        let average_mw =
+            duty_cycle * self.processor.active_mw + (1.0 - duty_cycle) * self.processor.sleep_mw;
         DutyCycleReport {
             active_us_per_frame: active_us,
             duty_cycle,
@@ -100,17 +95,16 @@ impl DutyCycleModel {
         events_per_second: f64,
         ops_per_event: f64,
     ) -> DutyCycleReport {
-        let compute_us_per_s = events_per_second * ops_per_event
-            / self.processor.ops_per_second
-            * 1e6;
+        let compute_us_per_s =
+            events_per_second * ops_per_event / self.processor.ops_per_second * 1e6;
         // Each event also pays the wake-up overhead unless the processor
         // never manages to sleep between events.
         let wake_us_per_s = events_per_second * self.processor.wakeup_overhead_us;
         let demanded_us_per_s = compute_us_per_s + wake_us_per_s;
         let active_us_per_s = demanded_us_per_s.min(1e6);
         let duty_cycle = active_us_per_s / 1e6;
-        let average_mw = duty_cycle * self.processor.active_mw
-            + (1.0 - duty_cycle) * self.processor.sleep_mw;
+        let average_mw =
+            duty_cycle * self.processor.active_mw + (1.0 - duty_cycle) * self.processor.sleep_mw;
         DutyCycleReport {
             active_us_per_frame: active_us_per_s * self.frame_us as f64 / 1e6,
             duty_cycle,

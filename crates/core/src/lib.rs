@@ -10,8 +10,14 @@
 //!   constant-velocity box trackers with overlap matching, fragmentation
 //!   merging, and 2-step look-ahead occlusion handling.
 //! * [`roe`] — the region of exclusion masking distractors like trees.
-//! * [`pipeline`] — the end-to-end EBBIOT pipeline: events → EBBI →
-//!   median → RPN → ROE → OT, with per-block op counters.
+//! * [`frontend`] — the **shared front-end**: events → EBBI → median →
+//!   RPN → ROE, defined once and reused by every frame-domain pipeline,
+//!   with reused scratch buffers and per-block op counters.
+//! * [`backend`] — the [`Tracker`] trait: the back-end plug point the
+//!   overlap tracker, the KF and EBMS baselines all implement.
+//! * [`pipeline`] — the generic streaming [`Pipeline`]: `FrontEnd` +
+//!   any `Tracker`, driven per-frame, per-recording, or by arbitrary
+//!   event chunks ([`Pipeline::push`] / [`Pipeline::finish`]).
 //! * [`duty_cycle`] — the interrupt-driven sensing model of Fig. 2
 //!   (processor sleeps between `tF` interrupts; the sensor is the memory).
 //! * [`two_timescale`] — the conclusion's future-work extension: a second
@@ -36,17 +42,21 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod backend;
 pub mod config;
 pub mod duty_cycle;
+pub mod frontend;
 pub mod pipeline;
 pub mod roe;
 pub mod rpn;
 pub mod tracker;
 pub mod two_timescale;
 
+pub use backend::{BoxedTracker, FrameInput, Tracker, TrackerInput};
 pub use config::EbbiotConfig;
 pub use duty_cycle::{DutyCycleModel, DutyCycleReport, ProcessorModel};
-pub use pipeline::{EbbiotPipeline, FrameResult, TrackBox};
+pub use frontend::{FrontEnd, FrontEndOps};
+pub use pipeline::{DynPipeline, EbbiotPipeline, FrameResult, Pipeline, PipelineOps, TrackBox};
 pub use roe::RegionOfExclusion;
 pub use rpn::{RegionProposalNetwork, RpnMode};
 pub use tracker::{OtConfig, OverlapTracker, Track};

@@ -1,19 +1,34 @@
-//! The end-to-end EBBIOT pipeline (Fig. 1).
+//! The generic streaming tracking pipeline (Fig. 1).
 //!
-//! Per interrupt (frame): read the EBBI out of the sensor accumulator,
-//! median-filter it, run the event-density RPN, drop ROE proposals, and
-//! step the overlap tracker. The pipeline exposes per-block op counters so
-//! the resource harness can cross-check the paper's Eqs. 1, 5 and 6
-//! against measured numbers.
+//! [`Pipeline`] composes the shared [`FrontEnd`] (EBBI → median → RPN →
+//! ROE, defined once in [`crate::frontend`]) with any [`Tracker`]
+//! back-end. [`EbbiotPipeline`] — the paper's system — is simply
+//! `Pipeline<OverlapTracker>`; the baselines crate builds
+//! `Pipeline<KalmanTracker>` and `Pipeline<NnEbmsTracker>` the same way,
+//! and the registry hands out type-erased `Pipeline<BoxedTracker>`.
+//!
+//! Frames can be driven three ways:
+//!
+//! * [`Pipeline::process_frame`] — caller-windowed: one call per `tF`
+//!   readout interrupt;
+//! * [`Pipeline::process_recording`] — batch: an entire time-ordered
+//!   recording, windowed internally;
+//! * [`Pipeline::push`] / [`Pipeline::finish`] — **streaming**: arbitrary
+//!   time-ordered event chunks; frames are emitted as window boundaries
+//!   are crossed, so a recording never needs to be resident in memory.
+//!
+//! All three produce identical `FrameResult` sequences for the same
+//! event stream.
 
-use ebbiot_events::{Event, Micros, OpsCounter, Timestamp};
 use ebbiot_events::stream::FrameWindows;
-use ebbiot_frame::{BoundingBox, EbbiAccumulator, MedianFilter};
+use ebbiot_events::{Event, Micros, OpsCounter, Timestamp};
+use ebbiot_frame::BoundingBox;
 
 use crate::{
+    backend::{BoxedTracker, FrameInput, Tracker, TrackerInput},
     config::EbbiotConfig,
-    rpn::RegionProposalNetwork,
-    tracker::{OverlapTracker, Track},
+    frontend::FrontEnd,
+    tracker::OverlapTracker,
 };
 
 /// One reported track box.
@@ -56,7 +71,7 @@ pub struct PipelineOps {
     pub median: OpsCounter,
     /// Region proposal (Eq. 5), including ROE filtering.
     pub rpn: OpsCounter,
-    /// Overlap tracker (Eq. 6).
+    /// Tracker back-end (Eqs. 6–8).
     pub tracker: OpsCounter,
 }
 
@@ -68,34 +83,59 @@ impl PipelineOps {
     }
 }
 
-/// The EBBIOT pipeline.
+/// A tracking pipeline: the shared front-end plus one tracker back-end.
 #[derive(Debug, Clone)]
-pub struct EbbiotPipeline {
+pub struct Pipeline<T: Tracker = BoxedTracker> {
     config: EbbiotConfig,
-    accumulator: EbbiAccumulator,
-    median: MedianFilter,
-    rpn: RegionProposalNetwork,
-    tracker: OverlapTracker,
-    roe_ops: OpsCounter,
+    /// `None` for event-domain back-ends, which bypass the frame
+    /// front-end entirely (and pay none of its cost).
+    frontend: Option<FrontEnd>,
+    tracker: T,
     frames_processed: usize,
     next_index: usize,
     /// Running sum of active tracker counts, for the mean-`NT` statistic.
     active_tracker_sum: u64,
+    /// Streaming state: events of the currently open window.
+    pending: Vec<Event>,
+    /// Streaming state: timestamp of the last pushed event, for the
+    /// cross-chunk ordering check.
+    last_pushed_t: Option<Timestamp>,
 }
 
+/// The EBBIOT pipeline of the paper: shared front-end + overlap tracker.
+pub type EbbiotPipeline = Pipeline<OverlapTracker>;
+
+/// A type-erased pipeline, as built by the back-end registry.
+pub type DynPipeline = Pipeline<BoxedTracker>;
+
 impl EbbiotPipeline {
-    /// Builds the pipeline from a configuration.
+    /// Builds the paper's pipeline from a configuration.
     #[must_use]
     pub fn new(config: EbbiotConfig) -> Self {
+        let tracker = OverlapTracker::new(config.geometry, config.ot);
+        Pipeline::with_tracker(config, tracker)
+    }
+}
+
+impl<T: Tracker> Pipeline<T> {
+    /// Composes a pipeline from a configuration and a tracker back-end.
+    ///
+    /// The front-end is only instantiated (and only costs memory and
+    /// compute) for back-ends consuming [`TrackerInput::Proposals`].
+    #[must_use]
+    pub fn with_tracker(config: EbbiotConfig, tracker: T) -> Self {
+        let frontend = match tracker.input() {
+            TrackerInput::Proposals => Some(FrontEnd::new(&config)),
+            TrackerInput::Events => None,
+        };
         Self {
-            accumulator: EbbiAccumulator::new(config.geometry),
-            median: MedianFilter::new(config.median_patch),
-            rpn: RegionProposalNetwork::new(config.rpn),
-            tracker: OverlapTracker::new(config.geometry, config.ot),
-            roe_ops: OpsCounter::new(),
+            frontend,
+            tracker,
             frames_processed: 0,
             next_index: 0,
             active_tracker_sum: 0,
+            pending: Vec::new(),
+            last_pushed_t: None,
             config,
         }
     }
@@ -106,6 +146,24 @@ impl EbbiotPipeline {
         &self.config
     }
 
+    /// The tracker back-end.
+    #[must_use]
+    pub const fn tracker(&self) -> &T {
+        &self.tracker
+    }
+
+    /// The shared front-end (`None` for event-domain back-ends).
+    #[must_use]
+    pub const fn frontend(&self) -> Option<&FrontEnd> {
+        self.frontend.as_ref()
+    }
+
+    /// The back-end's registry name.
+    #[must_use]
+    pub fn backend_name(&self) -> &'static str {
+        self.tracker.name()
+    }
+
     /// Processes one frame's worth of events (the window `[k tF, (k+1) tF)`
     /// as read out at the interrupt).
     pub fn process_frame(&mut self, events: &[Event]) -> FrameResult {
@@ -113,20 +171,13 @@ impl EbbiotPipeline {
         self.next_index += 1;
         let t_start = index as u64 * self.config.frame_us;
 
-        // EBBI readout (sensor-as-memory).
-        self.accumulator.accumulate_all(events);
-        let num_events = self.accumulator.events_seen() as usize;
-        let ebbi = self.accumulator.readout();
-
-        // Denoise.
-        let filtered = self.median.apply(&ebbi);
-
-        // Region proposals + ROE.
-        let raw_proposals = self.rpn.propose(&filtered);
-        let proposals = self.config.roe.filter(&raw_proposals, &mut self.roe_ops);
-
-        // Track.
-        let confirmed = self.tracker.step(&proposals);
+        let proposals: &[BoundingBox] = match &mut self.frontend {
+            Some(frontend) => frontend.process(events),
+            None => &[],
+        };
+        let input =
+            FrameInput { index, t_start, duration: self.config.frame_us, events, proposals };
+        let tracks = self.tracker.step(&input);
         self.active_tracker_sum += self.tracker.active_count() as u64;
         self.frames_processed += 1;
 
@@ -134,9 +185,9 @@ impl EbbiotPipeline {
             index,
             t_start,
             duration: self.config.frame_us,
-            tracks: confirmed.iter().map(track_box).collect(),
+            tracks,
             num_proposals: proposals.len(),
-            num_events,
+            num_events: events.len(),
         }
     }
 
@@ -148,16 +199,77 @@ impl EbbiotPipeline {
         windows.map(|w| self.process_frame(w.events)).collect()
     }
 
+    /// Streams a time-ordered chunk of events into the pipeline,
+    /// returning the frames completed by this chunk.
+    ///
+    /// Events may be split across `push` calls at arbitrary points; a
+    /// frame is emitted as soon as an event at or past its window's end
+    /// arrives. Together with [`Self::finish`], a chunked stream produces
+    /// exactly the same `FrameResult` sequence as
+    /// [`Self::process_recording`] over the concatenated events — without
+    /// ever holding more than one window of events in memory.
+    ///
+    /// # Panics
+    ///
+    /// Panics when events are not time-ordered (within the chunk or
+    /// relative to previous pushes), or when an event belongs to a window
+    /// already emitted.
+    pub fn push(&mut self, chunk: &[Event]) -> Vec<FrameResult> {
+        let mut out = Vec::new();
+        for &event in chunk {
+            assert!(
+                self.last_pushed_t.is_none_or(|t| t <= event.t),
+                "pushed events must be time-ordered across chunks"
+            );
+            self.last_pushed_t = Some(event.t);
+            let window = (event.t / self.config.frame_us) as usize;
+            assert!(
+                window >= self.next_index,
+                "event at t={} belongs to already-emitted frame {window}",
+                event.t
+            );
+            while self.next_index < window {
+                out.push(self.flush_pending_window());
+            }
+            self.pending.push(event);
+        }
+        out
+    }
+
+    /// Ends the stream, emitting the still-open window and trailing empty
+    /// frames so that at least `span_us` of time is covered — the
+    /// streaming counterpart of [`Self::process_recording`]'s `span_us`.
+    pub fn finish(&mut self, span_us: Micros) -> Vec<FrameResult> {
+        let from_events = self.next_index + usize::from(!self.pending.is_empty());
+        let from_span = span_us.div_ceil(self.config.frame_us) as usize;
+        let target = from_events.max(from_span);
+        let mut out = Vec::new();
+        while self.next_index < target {
+            out.push(self.flush_pending_window());
+        }
+        self.last_pushed_t = None;
+        out
+    }
+
+    /// Emits the currently open window as a frame, reusing the pending
+    /// buffer's allocation.
+    fn flush_pending_window(&mut self) -> FrameResult {
+        let buffer = core::mem::take(&mut self.pending);
+        let result = self.process_frame(&buffer);
+        self.pending = buffer;
+        self.pending.clear();
+        result
+    }
+
     /// Per-block op counters accumulated so far.
     #[must_use]
     pub fn ops(&self) -> PipelineOps {
-        let mut rpn = *self.rpn.ops();
-        rpn.absorb(&self.roe_ops);
+        let front = self.frontend.as_ref().map(FrontEnd::ops).unwrap_or_default();
         PipelineOps {
-            ebbi: *self.accumulator.ops(),
-            median: *self.median.ops(),
-            rpn,
-            tracker: *self.tracker.ops(),
+            ebbi: front.ebbi,
+            median: front.median,
+            rpn: front.rpn,
+            tracker: self.tracker.ops(),
         }
     }
 
@@ -199,26 +311,19 @@ impl EbbiotPipeline {
         }
     }
 
-    /// Resets tracker state and counters for a new recording (keeps the
-    /// configuration).
+    /// Resets tracker state, streaming state and counters for a new
+    /// recording (keeps the configuration).
     pub fn reset(&mut self) {
+        if let Some(frontend) = &mut self.frontend {
+            frontend.reset();
+        }
         self.tracker.reset();
-        self.median.reset_ops();
-        self.rpn.reset_ops();
-        self.roe_ops.reset();
+        self.tracker.reset_ops();
         self.frames_processed = 0;
         self.next_index = 0;
         self.active_tracker_sum = 0;
-        self.accumulator = EbbiAccumulator::new(self.config.geometry);
-    }
-}
-
-fn track_box(t: &Track) -> TrackBox {
-    TrackBox {
-        track_id: t.id,
-        bbox: t.bbox,
-        velocity: (t.vx, t.vy),
-        occluded: t.occluded,
+        self.pending.clear();
+        self.last_pushed_t = None;
     }
 }
 
@@ -368,5 +473,96 @@ mod tests {
         // Opposite velocities.
         let vx: Vec<f32> = last.tracks.iter().map(|t| t.velocity.0).collect();
         assert!(vx[0] * vx[1] < 0.0, "got {vx:?}");
+    }
+
+    // -- streaming ---------------------------------------------------
+
+    /// A multi-frame recording with motion, silence gaps and a trailing
+    /// silent stretch.
+    fn streaming_fixture() -> Vec<Event> {
+        let mut events = Vec::new();
+        for k in 0..6u16 {
+            if k == 3 {
+                continue; // one silent frame in the middle
+            }
+            events.extend(block_events(40 + k * 4, 90, 30, 15, u64::from(k) * 66_000));
+        }
+        ebbiot_events::stream::sort_by_time(&mut events);
+        events
+    }
+
+    #[test]
+    fn chunked_push_matches_process_recording() {
+        let events = streaming_fixture();
+        let span = 8 * 66_000;
+
+        let mut batch = pipeline();
+        let expected = batch.process_recording(&events, span);
+
+        for chunk_size in [1usize, 7, 97, 1000, events.len() + 1] {
+            let mut streaming = pipeline();
+            let mut got = Vec::new();
+            for chunk in events.chunks(chunk_size) {
+                got.extend(streaming.push(chunk));
+            }
+            got.extend(streaming.finish(span));
+            assert_eq!(got, expected, "chunk size {chunk_size}");
+        }
+    }
+
+    #[test]
+    fn push_emits_frames_at_window_boundaries() {
+        let mut p = pipeline();
+        // All of frame 0, then one event in frame 2: frames 0 and 1 are
+        // emitted, frame 2 stays open.
+        let mut chunk = block_events(60, 90, 30, 15, 0);
+        chunk.push(Event::on(10, 10, 2 * 66_000 + 5));
+        let emitted = p.push(&chunk);
+        assert_eq!(emitted.len(), 2);
+        assert_eq!(emitted[0].index, 0);
+        assert!(emitted[0].num_events > 0);
+        assert_eq!(emitted[1].num_events, 0);
+        // finish() closes the open frame.
+        let rest = p.finish(0);
+        assert_eq!(rest.len(), 1);
+        assert_eq!(rest[0].index, 2);
+        assert_eq!(rest[0].num_events, 1);
+    }
+
+    #[test]
+    fn finish_pads_to_span() {
+        let mut p = pipeline();
+        let _ = p.push(&block_events(60, 90, 30, 15, 0));
+        let frames = p.finish(10 * 66_000);
+        assert_eq!(frames.len(), 10);
+        assert!(frames[1..].iter().all(|f| f.num_events == 0));
+    }
+
+    #[test]
+    fn finish_without_events_and_span_is_empty() {
+        let mut p = pipeline();
+        assert!(p.finish(0).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "time-ordered")]
+    fn out_of_order_pushes_panic() {
+        let mut p = pipeline();
+        let _ = p.push(&[Event::on(10, 10, 70_000)]);
+        let _ = p.push(&[Event::on(10, 10, 69_000)]);
+    }
+
+    #[test]
+    fn streaming_keeps_at_most_one_window_buffered() {
+        let mut p = pipeline();
+        let events = streaming_fixture();
+        for chunk in events.chunks(64) {
+            let _ = p.push(chunk);
+            assert!(
+                p.pending.len() <= 64 + 30 * 15,
+                "pending window stays bounded, got {}",
+                p.pending.len()
+            );
+        }
     }
 }

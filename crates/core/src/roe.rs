@@ -69,10 +69,26 @@ impl RegionOfExclusion {
     /// Filters a proposal list, keeping the non-excluded ones.
     #[must_use]
     pub fn filter(&self, proposals: &[BoundingBox], ops: &mut OpsCounter) -> Vec<BoundingBox> {
+        let mut out = Vec::with_capacity(proposals.len());
+        self.filter_into(proposals, &mut out, ops);
+        out
+    }
+
+    /// Filters a proposal list into a caller-owned vector — the
+    /// allocation-free variant of [`Self::filter`] used by the streaming
+    /// front-end (`out` is a reused scratch buffer, cleared first).
+    pub fn filter_into(
+        &self,
+        proposals: &[BoundingBox],
+        out: &mut Vec<BoundingBox>,
+        ops: &mut OpsCounter,
+    ) {
+        out.clear();
         if self.regions.is_empty() {
-            return proposals.to_vec();
+            out.extend_from_slice(proposals);
+            return;
         }
-        proposals.iter().filter(|p| !self.excludes(p, ops)).copied().collect()
+        out.extend(proposals.iter().filter(|p| !self.excludes(p, ops)).copied());
     }
 }
 

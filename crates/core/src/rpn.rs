@@ -137,11 +137,7 @@ impl RegionProposalNetwork {
 
     /// Tightens cell-aligned proposals to the bounding box of the set
     /// pixels inside them (when [`RpnConfig::refine_boxes`] is on).
-    fn refine_all(
-        &mut self,
-        image: &BinaryImage,
-        proposals: Vec<BoundingBox>,
-    ) -> Vec<BoundingBox> {
+    fn refine_all(&mut self, image: &BinaryImage, proposals: Vec<BoundingBox>) -> Vec<BoundingBox> {
         if !self.config.refine_boxes {
             return proposals;
         }
@@ -236,10 +232,8 @@ impl RegionProposalNetwork {
 
     fn propose_cca(&mut self, scaled: &CountImage) -> Vec<BoundingBox> {
         // Binarize the count image at the threshold, then label.
-        let geom = ebbiot_events::SensorGeometry::new(
-            scaled.width().max(1),
-            scaled.height().max(1),
-        );
+        let geom =
+            ebbiot_events::SensorGeometry::new(scaled.width().max(1), scaled.height().max(1));
         let mut binary = BinaryImage::new(geom);
         for j in 0..scaled.height() {
             for i in 0..scaled.width() {
@@ -253,9 +247,7 @@ impl RegionProposalNetwork {
         let comps = connected_components(&binary, Connectivity::Eight, &mut self.ops);
         comps
             .into_iter()
-            .map(|c| {
-                self.cells_to_box(c.bbox.x_min, c.bbox.x_max, c.bbox.y_min, c.bbox.y_max)
-            })
+            .map(|c| self.cells_to_box(c.bbox.x_min, c.bbox.x_max, c.bbox.y_min, c.bbox.y_max))
             .filter(|b| b.area() >= self.config.min_area)
             .collect()
     }
@@ -415,10 +407,8 @@ mod tests {
         for i in 0..8u16 {
             img.set(60 + i * 6, 90, true);
         }
-        let mut strict = RegionProposalNetwork::new(RpnConfig {
-            threshold: 2,
-            ..RpnConfig::paper_default()
-        });
+        let mut strict =
+            RegionProposalNetwork::new(RpnConfig { threshold: 2, ..RpnConfig::paper_default() });
         assert!(strict.propose(&img).is_empty());
         let mut loose = rpn();
         assert_eq!(loose.propose(&img).len(), 1);

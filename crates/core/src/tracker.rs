@@ -192,8 +192,7 @@ impl OverlapTracker {
         let n_props = proposals.len();
 
         // 1. Predict.
-        let preds: Vec<BoundingBox> =
-            self.tracks.iter().map(|t| t.predicted(1.0)).collect();
+        let preds: Vec<BoundingBox> = self.tracks.iter().map(|t| t.predicted(1.0)).collect();
         self.ops.add(2 * n_tracks as u64);
 
         // 2. Match matrix.
@@ -262,11 +261,8 @@ impl OverlapTracker {
             if track_updated[i] || track_freed[i] {
                 continue;
             }
-            let mine: Vec<usize> = track_props[i]
-                .iter()
-                .copied()
-                .filter(|&j| !prop_consumed[j])
-                .collect();
+            let mine: Vec<usize> =
+                track_props[i].iter().copied().filter(|&j| !prop_consumed[j]).collect();
             if mine.is_empty() {
                 continue;
             }
@@ -411,6 +407,38 @@ impl OverlapTracker {
     }
 }
 
+impl From<&Track> for crate::pipeline::TrackBox {
+    fn from(t: &Track) -> Self {
+        Self { track_id: t.id, bbox: t.bbox, velocity: (t.vx, t.vy), occluded: t.occluded }
+    }
+}
+
+impl crate::backend::Tracker for OverlapTracker {
+    fn name(&self) -> &'static str {
+        "ebbiot"
+    }
+
+    fn step(&mut self, frame: &crate::backend::FrameInput<'_>) -> Vec<crate::pipeline::TrackBox> {
+        OverlapTracker::step(self, frame.proposals).iter().map(Into::into).collect()
+    }
+
+    fn active_count(&self) -> usize {
+        self.tracks.len()
+    }
+
+    fn ops(&self) -> OpsCounter {
+        self.ops
+    }
+
+    fn reset(&mut self) {
+        OverlapTracker::reset(self);
+    }
+
+    fn reset_ops(&mut self) {
+        self.ops.reset();
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -529,10 +557,7 @@ mod tests {
         let mut t = tracker();
         for k in 0..3 {
             let dx = 3.0 * k as f32;
-            let _ = t.step(&[
-                bb(30.0 + dx, 60.0, 40.0, 18.0),
-                bb(150.0 - dx, 110.0, 40.0, 18.0),
-            ]);
+            let _ = t.step(&[bb(30.0 + dx, 60.0, 40.0, 18.0), bb(150.0 - dx, 110.0, 40.0, 18.0)]);
         }
         let out = t.confirmed();
         assert_eq!(out.len(), 2);
@@ -544,8 +569,9 @@ mod tests {
         let cfg = OtConfig { max_trackers: 8, ..OtConfig::paper_default() };
         let mut t = OverlapTracker::new(geometry(), cfg);
         // 12 disjoint proposals: only 8 trackers may seed.
-        let props: Vec<BoundingBox> =
-            (0..12).map(|k| bb(5.0 + 19.0 * k as f32, 10.0 + 13.0 * (k % 3) as f32 * 4.0, 12.0, 8.0)).collect();
+        let props: Vec<BoundingBox> = (0..12)
+            .map(|k| bb(5.0 + 19.0 * k as f32, 10.0 + 13.0 * (k % 3) as f32 * 4.0, 12.0, 8.0))
+            .collect();
         let _ = t.step(&props);
         assert_eq!(t.active_count(), 8);
     }

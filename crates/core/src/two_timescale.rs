@@ -15,7 +15,8 @@
 
 use std::collections::VecDeque;
 
-use ebbiot_events::{Event, Micros};
+use ebbiot_events::stream::FrameWindows;
+use ebbiot_events::{Event, Micros, Timestamp};
 
 use crate::{
     config::EbbiotConfig,
@@ -56,7 +57,9 @@ pub struct TwoTimescaleResult {
     pub slow_tracks: Vec<TrackBox>,
 }
 
-/// The two-timescale pipeline.
+/// The two-timescale pipeline: a thin composition of two
+/// [`EbbiotPipeline`]s (both sharing the front-end definition of
+/// [`crate::frontend::FrontEnd`]) plus cross-timescale deduplication.
 #[derive(Debug, Clone)]
 pub struct TwoTimescalePipeline {
     config: TwoTimescaleConfig,
@@ -66,6 +69,10 @@ pub struct TwoTimescalePipeline {
     recent_windows: VecDeque<Vec<Event>>,
     frames_since_slow: usize,
     held_slow_tracks: Vec<TrackBox>,
+    /// Streaming state: events of the currently open fast window.
+    pending: Vec<Event>,
+    /// Streaming state: timestamp of the last pushed event.
+    last_pushed_t: Option<Timestamp>,
 }
 
 impl TwoTimescalePipeline {
@@ -92,6 +99,8 @@ impl TwoTimescalePipeline {
             recent_windows: VecDeque::with_capacity(config.slow_factor),
             frames_since_slow: 0,
             held_slow_tracks: Vec::new(),
+            pending: Vec::new(),
+            last_pushed_t: None,
             config,
         }
     }
@@ -127,11 +136,83 @@ impl TwoTimescalePipeline {
     fn dedup(&self, fast_tracks: &[TrackBox]) -> Vec<TrackBox> {
         self.held_slow_tracks
             .iter()
-            .filter(|s| {
-                !fast_tracks.iter().any(|f| f.bbox.iou(&s.bbox) > self.config.dedup_iou)
-            })
+            .filter(|s| !fast_tracks.iter().any(|f| f.bbox.iou(&s.bbox) > self.config.dedup_iou))
             .cloned()
             .collect()
+    }
+
+    /// Processes a whole recording: windows the stream at the fast `tF`
+    /// (covering at least `span_us`) and returns one result per fast
+    /// frame.
+    pub fn process_recording(
+        &mut self,
+        events: &[Event],
+        span_us: Micros,
+    ) -> Vec<TwoTimescaleResult> {
+        let windows = FrameWindows::with_span(events, self.config.fast.frame_us, span_us);
+        windows.map(|w| self.process_frame(w.events)).collect()
+    }
+
+    /// Streams a time-ordered chunk of events, returning the fast-frame
+    /// results completed by this chunk (same contract as
+    /// [`crate::pipeline::Pipeline::push`]).
+    ///
+    /// The emitted-frame count is the fast pipeline's own frame counter,
+    /// so interleaving [`Self::process_frame`] with `push`/`finish`
+    /// stays consistent: a directly processed window counts as emitted.
+    ///
+    /// # Panics
+    ///
+    /// Panics when events are not time-ordered across pushes or belong
+    /// to an already-emitted fast frame.
+    pub fn push(&mut self, chunk: &[Event]) -> Vec<TwoTimescaleResult> {
+        let mut out = Vec::new();
+        for &event in chunk {
+            assert!(
+                self.last_pushed_t.is_none_or(|t| t <= event.t),
+                "pushed events must be time-ordered across chunks"
+            );
+            self.last_pushed_t = Some(event.t);
+            let window = (event.t / self.config.fast.frame_us) as usize;
+            assert!(
+                window >= self.frames_emitted(),
+                "event at t={} belongs to already-emitted frame {window}",
+                event.t
+            );
+            while self.frames_emitted() < window {
+                out.push(self.flush_pending_window());
+            }
+            self.pending.push(event);
+        }
+        out
+    }
+
+    /// Ends the stream, emitting the open fast window plus trailing empty
+    /// frames covering at least `span_us`.
+    pub fn finish(&mut self, span_us: Micros) -> Vec<TwoTimescaleResult> {
+        let from_events = self.frames_emitted() + usize::from(!self.pending.is_empty());
+        let from_span = span_us.div_ceil(self.config.fast.frame_us) as usize;
+        let target = from_events.max(from_span);
+        let mut out = Vec::new();
+        while self.frames_emitted() < target {
+            out.push(self.flush_pending_window());
+        }
+        self.last_pushed_t = None;
+        out
+    }
+
+    /// Fast frames emitted so far, by either drive path — the fast
+    /// pipeline's counter is the single authority.
+    fn frames_emitted(&self) -> usize {
+        self.fast.frames_processed()
+    }
+
+    fn flush_pending_window(&mut self) -> TwoTimescaleResult {
+        let buffer = core::mem::take(&mut self.pending);
+        let result = self.process_frame(&buffer);
+        self.pending = buffer;
+        self.pending.clear();
+        result
     }
 
     /// Access to the underlying fast pipeline (ops, statistics).
@@ -153,9 +234,7 @@ mod tests {
     use ebbiot_events::SensorGeometry;
 
     fn config() -> TwoTimescaleConfig {
-        TwoTimescaleConfig::paper_extension(EbbiotConfig::paper_default(
-            SensorGeometry::davis240(),
-        ))
+        TwoTimescaleConfig::paper_extension(EbbiotConfig::paper_default(SensorGeometry::davis240()))
     }
 
     /// A slow walker: per fast frame it only paints a 1-px-wide strip
@@ -239,6 +318,40 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn chunked_push_matches_process_recording() {
+        let mut events: Vec<Event> = (0..16).flat_map(walker_strip).collect();
+        ebbiot_events::stream::sort_by_time(&mut events);
+        let span = 16 * 66_000;
+
+        let mut batch = TwoTimescalePipeline::new(config());
+        let expected = batch.process_recording(&events, span);
+
+        let mut streaming = TwoTimescalePipeline::new(config());
+        let mut got = Vec::new();
+        for chunk in events.chunks(13) {
+            got.extend(streaming.push(chunk));
+        }
+        got.extend(streaming.finish(span));
+        assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn process_frame_then_push_stays_aligned() {
+        // Mixing the per-frame API with streaming must not shift or
+        // duplicate windows: a directly processed frame counts as
+        // emitted.
+        let mut mixed = TwoTimescalePipeline::new(config());
+        let r0 = mixed.process_frame(&walker_strip(0));
+        assert_eq!(r0.fast.index, 0);
+        let emitted = mixed.push(&walker_strip(1));
+        assert!(emitted.is_empty(), "frame 1 still open");
+        let rest = mixed.finish(0);
+        assert_eq!(rest.len(), 1);
+        assert_eq!(rest[0].fast.index, 1);
+        assert_eq!(rest[0].fast.num_events, walker_strip(1).len());
     }
 
     #[test]

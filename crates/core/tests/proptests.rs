@@ -20,11 +20,7 @@ fn geometry() -> SensorGeometry {
 /// Random small set of solid blobs (max 4), far enough apart to be
 /// meaningful objects.
 fn arb_blobs() -> impl Strategy<Value = Vec<PixelBox>> {
-    proptest::collection::vec(
-        (0..W - 30, 0..H - 20, 8u16..30, 6u16..16),
-        0..4,
-    )
-    .prop_map(|specs| {
+    proptest::collection::vec((0..W - 30, 0..H - 20, 8u16..30, 6u16..16), 0..4).prop_map(|specs| {
         specs
             .into_iter()
             .map(|(x, y, w, h)| PixelBox::new(x, y, (x + w).min(W), (y + h).min(H)))
@@ -41,13 +37,10 @@ fn image_of(blobs: &[PixelBox]) -> BinaryImage {
 }
 
 fn arb_proposals() -> impl Strategy<Value = Vec<BoundingBox>> {
-    proptest::collection::vec(
-        (0.0f32..200.0, 0.0f32..150.0, 8.0f32..60.0, 6.0f32..25.0),
-        0..6,
-    )
-    .prop_map(|specs| {
-        specs.into_iter().map(|(x, y, w, h)| BoundingBox::new(x, y, w, h)).collect()
-    })
+    proptest::collection::vec((0.0f32..200.0, 0.0f32..150.0, 8.0f32..60.0, 6.0f32..25.0), 0..6)
+        .prop_map(|specs| {
+            specs.into_iter().map(|(x, y, w, h)| BoundingBox::new(x, y, w, h)).collect()
+        })
 }
 
 proptest! {

@@ -27,6 +27,6 @@ pub mod report;
 pub mod sweep;
 
 pub use matching::{greedy_matches, match_count, InstantCounts};
-pub use mot::{IdentifiedBox, MotAccumulator};
 pub use metrics::{EvalAccumulator, PrecisionRecall};
+pub use mot::{IdentifiedBox, MotAccumulator};
 pub use sweep::{evaluate_frames, sweep_thresholds, weighted_average, RecordingEval};

@@ -60,10 +60,7 @@ pub fn sweep_thresholds(
     predictions: &[Vec<BoundingBox>],
     thresholds: &[f32],
 ) -> Vec<RecordingEval> {
-    thresholds
-        .iter()
-        .map(|&t| evaluate_frames(ground_truth, predictions, t))
-        .collect()
+    thresholds.iter().map(|&t| evaluate_frames(ground_truth, predictions, t)).collect()
 }
 
 /// The paper's standard threshold grid for Fig. 4.

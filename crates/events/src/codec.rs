@@ -145,13 +145,14 @@ pub fn decode_binary(bytes: &[u8]) -> Result<Recording, CodecError> {
     let declared = u64::from_le_bytes(bytes[10..18].try_into().expect("len 8"));
     let payload = &bytes[HEADER_BYTES..];
     let available = (payload.len() / EVENT_RECORD_BYTES) as u64;
-    if available < declared || payload.len() % EVENT_RECORD_BYTES != 0 {
+    if available < declared || !payload.len().is_multiple_of(EVENT_RECORD_BYTES) {
         return Err(CodecError::TruncatedPayload { declared, available });
     }
     let geometry = SensorGeometry::new(width, height);
     let mut events = Vec::with_capacity(declared as usize);
     let mut prev_t = 0u64;
-    for (index, rec) in payload.chunks_exact(EVENT_RECORD_BYTES).take(declared as usize).enumerate() {
+    for (index, rec) in payload.chunks_exact(EVENT_RECORD_BYTES).take(declared as usize).enumerate()
+    {
         let t = u64::from_le_bytes(rec[0..8].try_into().expect("len 8"));
         let x = u16::from_le_bytes(rec[8..10].try_into().expect("len 2"));
         let y = u16::from_le_bytes(rec[10..12].try_into().expect("len 2"));

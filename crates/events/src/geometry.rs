@@ -104,10 +104,7 @@ impl SensorGeometry {
     /// Clamps a floating-point position onto the array.
     #[must_use]
     pub fn clamp_position(&self, x: f32, y: f32) -> (f32, f32) {
-        (
-            x.clamp(0.0, f32::from(self.width) - 1.0),
-            y.clamp(0.0, f32::from(self.height) - 1.0),
-        )
+        (x.clamp(0.0, f32::from(self.width) - 1.0), y.clamp(0.0, f32::from(self.height) - 1.0))
     }
 }
 

@@ -125,11 +125,7 @@ mod tests {
 
     #[test]
     fn counts_and_polarity_split() {
-        let events = vec![
-            Event::on(0, 0, 0),
-            Event::on(1, 0, 10),
-            Event::off(0, 0, 20),
-        ];
+        let events = vec![Event::on(0, 0, 0), Event::on(1, 0, 10), Event::off(0, 0, 20)];
         let s = StreamStats::from_events(&events);
         assert_eq!(s.num_events, 3);
         assert_eq!(s.num_on, 2);

@@ -14,8 +14,13 @@ pub fn is_time_ordered(events: &[Event]) -> bool {
     events.windows(2).all(|w| w[0].t <= w[1].t)
 }
 
-/// Sorts events by timestamp (stable, tie-broken by pixel then polarity via
-/// `Event`'s derived ordering).
+/// Sorts events into `Event`'s derived total order: timestamp first,
+/// ties broken by the remaining fields (`x`, `y`, polarity) in
+/// declaration order.
+///
+/// Because the order is total over *every* field, events that compare
+/// equal are bit-identical, so the unstable sort is already fully
+/// deterministic for any input permutation — no stability needed.
 pub fn sort_by_time(events: &mut [Event]) {
     events.sort_unstable();
 }

@@ -144,6 +144,7 @@ mod tests {
         let _ = refr.keep(&Event::on(1, 1, 0));
         let mut chain = FilterChain::new().with(refr).with(NnFilter::new(geom(), 3, 5_000));
         let _ = chain.keep(&Event::on(1, 1, 10)); // rejected by stage 1
+
         // If the NN filter had run it would have charged 8 comparisons;
         // we can't inspect the boxed stage, so assert via behaviour: a
         // supported neighbour is still unsupported because the NN filter

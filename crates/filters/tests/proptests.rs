@@ -12,20 +12,18 @@ fn geometry() -> SensorGeometry {
 }
 
 fn arb_stream() -> impl Strategy<Value = Vec<Event>> {
-    proptest::collection::vec(
-        (0u64..2_000_000, 0..W, 0..H, any::<bool>()),
-        0..300,
+    proptest::collection::vec((0u64..2_000_000, 0..W, 0..H, any::<bool>()), 0..300).prop_map(
+        |specs| {
+            let mut events: Vec<Event> = specs
+                .into_iter()
+                .map(|(t, x, y, on)| {
+                    Event::new(x, y, t, if on { Polarity::On } else { Polarity::Off })
+                })
+                .collect();
+            stream::sort_by_time(&mut events);
+            events
+        },
     )
-    .prop_map(|specs| {
-        let mut events: Vec<Event> = specs
-            .into_iter()
-            .map(|(t, x, y, on)| {
-                Event::new(x, y, t, if on { Polarity::On } else { Polarity::Off })
-            })
-            .collect();
-        stream::sort_by_time(&mut events);
-        events
-    })
 }
 
 proptest! {

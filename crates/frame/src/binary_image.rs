@@ -99,6 +99,17 @@ impl BinaryImage {
         self.words.fill(0);
     }
 
+    /// Copies `source` into `self` without reallocating — the buffer-reuse
+    /// primitive behind the streaming front-end's readout.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the geometries differ.
+    pub fn copy_from(&mut self, source: &BinaryImage) {
+        assert_eq!(self.geometry, source.geometry, "geometry mismatch in copy_from");
+        self.words.copy_from_slice(&source.words);
+    }
+
     /// Number of set pixels.
     #[must_use]
     pub fn count_ones(&self) -> usize {
@@ -309,10 +320,7 @@ mod tests {
     #[test]
     fn payload_bits_matches_pixel_count() {
         assert_eq!(small().payload_bits(), 80);
-        assert_eq!(
-            BinaryImage::new(SensorGeometry::davis240()).payload_bits(),
-            43_200
-        );
+        assert_eq!(BinaryImage::new(SensorGeometry::davis240()).payload_bits(), 43_200);
     }
 
     #[test]

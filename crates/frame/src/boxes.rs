@@ -161,12 +161,7 @@ impl BoundingBox {
     #[must_use]
     pub fn lerp(&self, other: &Self, alpha: f32) -> Self {
         let l = |a: f32, b: f32| a + alpha * (b - a);
-        Self::new(
-            l(self.x, other.x),
-            l(self.y, other.y),
-            l(self.w, other.w),
-            l(self.h, other.h),
-        )
+        Self::new(l(self.x, other.x), l(self.y, other.y), l(self.w, other.w), l(self.h, other.h))
     }
 
     /// Clips the box to `[0, width) x [0, height)`. Returns an empty box at

@@ -96,8 +96,7 @@ pub fn connected_components(
             }
             let mut neighbour_labels: [Option<u32>; 4] = [None; 4];
             let mut n = 0;
-            let consider = |lx: i32, ly: i32, ops: &mut OpsCounter,
-                                labels: &Vec<u32>| {
+            let consider = |lx: i32, ly: i32, ops: &mut OpsCounter, labels: &Vec<u32>| {
                 ops.compare(1);
                 if lx >= 0 && ly >= 0 && (lx as u16) < width && (ly as u16) < height {
                     let l = labels[idx(lx as u16, ly as u16)];
@@ -230,13 +229,7 @@ mod tests {
 
     #[test]
     fn spiral_stress_for_label_merging() {
-        let rows = [
-            "#####",
-            "....#",
-            "###.#",
-            "#...#",
-            "#####",
-        ];
+        let rows = ["#####", "....#", "###.#", "#...#", "#####"];
         let comps = components(&rows, Connectivity::Four);
         assert_eq!(comps.len(), 1);
         assert_eq!(comps[0].pixel_count, 17);

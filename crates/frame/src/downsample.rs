@@ -37,10 +37,7 @@ impl CountImage {
     #[must_use]
     pub fn downsample(input: &BinaryImage, s1: u16, s2: u16, ops: &mut OpsCounter) -> Self {
         assert!(s1 > 0 && s2 > 0, "scale factors must be non-zero");
-        assert!(
-            s1 <= input.width() && s2 <= input.height(),
-            "scale factors larger than the image"
-        );
+        assert!(s1 <= input.width() && s2 <= input.height(), "scale factors larger than the image");
         let width = input.width() / s1;
         let height = input.height() / s2;
         let mut data = vec![0u32; width as usize * height as usize];

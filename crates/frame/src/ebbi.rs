@@ -102,6 +102,20 @@ impl EbbiAccumulator {
         frame
     }
 
+    /// Reads out the EBBI into a caller-owned frame and resets the
+    /// latches — the allocation-free variant of [`Self::readout`] used by
+    /// the streaming front-end (`out` is a reused scratch buffer).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `out` has a different geometry.
+    pub fn readout_into(&mut self, out: &mut BinaryImage) {
+        out.copy_from(&self.image);
+        self.image.clear();
+        self.events_seen = 0;
+        self.pixels_latched = 0;
+    }
+
     /// Peek at the partially accumulated frame without resetting.
     #[must_use]
     pub fn current(&self) -> &BinaryImage {
@@ -146,10 +160,7 @@ mod tests {
 
     #[test]
     fn polarity_is_ignored() {
-        let img = ebbi_from_events(
-            geom(),
-            &[Event::on(1, 1, 0), Event::off(2, 2, 5)],
-        );
+        let img = ebbi_from_events(geom(), &[Event::on(1, 1, 0), Event::off(2, 2, 5)]);
         assert!(img.get(1, 1));
         assert!(img.get(2, 2));
     }
@@ -158,7 +169,12 @@ mod tests {
     fn repeated_events_latch_once() {
         let mut acc = EbbiAccumulator::new(geom());
         for t in 0..10 {
-            acc.accumulate(&Event::new(5, 5, t, if t % 2 == 0 { Polarity::On } else { Polarity::Off }));
+            acc.accumulate(&Event::new(
+                5,
+                5,
+                t,
+                if t % 2 == 0 { Polarity::On } else { Polarity::Off },
+            ));
         }
         assert_eq!(acc.events_seen(), 10);
         assert_eq!(acc.pixels_latched(), 1);

@@ -59,6 +59,20 @@ impl MedianFilter {
     #[must_use]
     pub fn apply(&mut self, input: &BinaryImage) -> BinaryImage {
         let mut out = BinaryImage::new(input.geometry());
+        self.apply_into(input, &mut out);
+        out
+    }
+
+    /// Applies the filter into a caller-owned output frame — the
+    /// allocation-free variant of [`Self::apply`] used by the streaming
+    /// front-end (`out` is a reused scratch buffer, cleared first).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `out` has a different geometry.
+    pub fn apply_into(&mut self, input: &BinaryImage, out: &mut BinaryImage) {
+        assert_eq!(input.geometry(), out.geometry(), "geometry mismatch in apply_into");
+        out.clear();
         let half = i32::from(self.patch / 2);
         let majority = self.majority();
         for y in 0..input.height() {
@@ -79,7 +93,6 @@ impl MedianFilter {
                 }
             }
         }
-        out
     }
 
     /// Runtime op counter.

@@ -117,11 +117,7 @@ mod tests {
 
     fn spd_matrix() -> Matrix<3, 3> {
         // B^T B + I is always SPD.
-        let b = Matrix::<3, 3>::from_rows([
-            [1.0, 2.0, 0.5],
-            [0.0, 1.5, 1.0],
-            [0.7, 0.1, 2.0],
-        ]);
+        let b = Matrix::<3, 3>::from_rows([[1.0, 2.0, 0.5], [0.0, 1.5, 1.0], [0.7, 0.1, 2.0]]);
         b.transpose() * b + Matrix::identity()
     }
 

@@ -159,11 +159,7 @@ mod tests {
 
     #[test]
     fn singular_matrix_is_rejected() {
-        let a = Matrix::<3, 3>::from_rows([
-            [1.0, 2.0, 3.0],
-            [2.0, 4.0, 6.0],
-            [1.0, 0.0, 1.0],
-        ]);
+        let a = Matrix::<3, 3>::from_rows([[1.0, 2.0, 3.0], [2.0, 4.0, 6.0], [1.0, 0.0, 1.0]]);
         assert_eq!(Lu::new(a).unwrap_err(), LinalgError::Singular);
         assert!(a.inverse().is_err());
     }

@@ -84,21 +84,13 @@ impl<const R: usize, const C: usize> Matrix<R, C> {
     /// Frobenius norm: square root of the sum of squared entries.
     #[must_use]
     pub fn frobenius_norm(&self) -> f64 {
-        self.data
-            .iter()
-            .flat_map(|row| row.iter())
-            .map(|v| v * v)
-            .sum::<f64>()
-            .sqrt()
+        self.data.iter().flat_map(|row| row.iter()).map(|v| v * v).sum::<f64>().sqrt()
     }
 
     /// Maximum absolute entry.
     #[must_use]
     pub fn max_abs(&self) -> f64 {
-        self.data
-            .iter()
-            .flat_map(|row| row.iter())
-            .fold(0.0_f64, |acc, v| acc.max(v.abs()))
+        self.data.iter().flat_map(|row| row.iter()).fold(0.0_f64, |acc, v| acc.max(v.abs()))
     }
 
     /// Returns `true` if all entries are finite.
@@ -380,11 +372,7 @@ mod tests {
 
     #[test]
     fn symmetrize_produces_symmetric_matrix() {
-        let mut a = Matrix::<3, 3>::from_rows([
-            [1.0, 2.0, 3.0],
-            [4.0, 5.0, 6.0],
-            [7.0, 8.0, 9.0],
-        ]);
+        let mut a = Matrix::<3, 3>::from_rows([[1.0, 2.0, 3.0], [4.0, 5.0, 6.0], [7.0, 8.0, 9.0]]);
         a.symmetrize();
         for r in 0..3 {
             for c in 0..3 {

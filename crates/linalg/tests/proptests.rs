@@ -8,8 +8,7 @@ fn finite_entry() -> impl Strategy<Value = f64> {
 }
 
 fn mat3() -> impl Strategy<Value = Matrix<3, 3>> {
-    proptest::array::uniform3(proptest::array::uniform3(finite_entry()))
-        .prop_map(Matrix::from_rows)
+    proptest::array::uniform3(proptest::array::uniform3(finite_entry())).prop_map(Matrix::from_rows)
 }
 
 fn vec3() -> impl Strategy<Value = Vector<3>> {

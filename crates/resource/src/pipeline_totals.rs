@@ -85,11 +85,7 @@ pub struct Fig5Row {
 #[must_use]
 pub fn fig5_comparison(params: PaperParams) -> Vec<Fig5Row> {
     let ebbiot = PipelineCost::ebbiot(params);
-    let rows = [
-        ebbiot,
-        PipelineCost::ebbi_kf(params),
-        PipelineCost::nn_ebms(params),
-    ];
+    let rows = [ebbiot, PipelineCost::ebbi_kf(params), PipelineCost::nn_ebms(params)];
     rows.into_iter()
         .map(|cost| Fig5Row {
             relative_computes: cost.computes / ebbiot.computes,

@@ -161,12 +161,7 @@ impl TrafficGenerator {
             class,
             width,
             height,
-            trajectory: LinearTrajectory::horizontal(
-                start_x,
-                lane.y_center - height / 2.0,
-                vx,
-                t0,
-            ),
+            trajectory: LinearTrajectory::horizontal(start_x, lane.y_center - height / 2.0, vx, t0),
             z_order: lane.z_order,
         }
     }
@@ -202,11 +197,7 @@ mod tests {
         assert!(!scene.objects.is_empty());
         for o in &scene.objects {
             let b = o.bbox_at(o.trajectory.t0_us).unwrap();
-            assert!(
-                b.x_max() <= 0.0 || b.x >= 240.0,
-                "object {} starts off screen, got {b}",
-                o.id
-            );
+            assert!(b.x_max() <= 0.0 || b.x >= 240.0, "object {} starts off screen, got {b}", o.id);
             // And it points into the frame.
             if b.x_max() <= 0.0 {
                 assert!(o.trajectory.vx > 0.0);
@@ -268,8 +259,7 @@ mod tests {
         cfg.lens_scale = 0.5;
         let g = TrafficGenerator::new(SensorGeometry::davis240(), cfg);
         let scene = g.generate(300_000_000, &mut rng(6));
-        let cars: Vec<_> =
-            scene.objects.iter().filter(|o| o.class == ObjectClass::Car).collect();
+        let cars: Vec<_> = scene.objects.iter().filter(|o| o.class == ObjectClass::Car).collect();
         assert!(!cars.is_empty());
         for c in cars {
             assert!(c.width < 26.0, "half-scale car width, got {}", c.width);

@@ -86,10 +86,8 @@ pub fn ground_truth_frames(
                 (Some(a), None) => a,
                 (None, None) => continue,
             };
-            let clipped = hull.clipped_to(
-                f32::from(scene.geometry.width()),
-                f32::from(scene.geometry.height()),
-            );
+            let clipped = hull
+                .clipped_to(f32::from(scene.geometry.width()), f32::from(scene.geometry.height()));
             if clipped.area() < config.min_area {
                 continue;
             }
@@ -113,10 +111,8 @@ pub fn ground_truth_frames(
 /// the paper's weighted precision/recall average).
 #[must_use]
 pub fn count_tracks(frames: &[GroundTruthFrame]) -> usize {
-    let mut ids: Vec<u32> = frames
-        .iter()
-        .flat_map(|f| f.boxes.iter().map(|b| b.object_id))
-        .collect();
+    let mut ids: Vec<u32> =
+        frames.iter().flat_map(|f| f.boxes.iter().map(|b| b.object_id)).collect();
     ids.sort_unstable();
     ids.dedup();
     ids.len()
@@ -229,10 +225,8 @@ mod tests {
 
     #[test]
     fn count_tracks_counts_distinct_ids() {
-        let scene = scene_with(vec![
-            car(1, 100.0, 60.0, 60.0, 0, 1),
-            car(2, 100.0, 100.0, 60.0, 0, 2),
-        ]);
+        let scene =
+            scene_with(vec![car(1, 100.0, 60.0, 60.0, 0, 1), car(2, 100.0, 100.0, 60.0, 0, 2)]);
         let frames = ground_truth_frames(&scene, 330_000, 66_000, &GroundTruthConfig::default());
         assert_eq!(count_tracks(&frames), 2);
     }

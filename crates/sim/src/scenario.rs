@@ -72,12 +72,7 @@ impl ScenarioBuilder {
             class,
             width: w,
             height: h,
-            trajectory: LinearTrajectory::horizontal(
-                width,
-                y_center - h / 2.0,
-                -speed_px_s,
-                t0,
-            ),
+            trajectory: LinearTrajectory::horizontal(width, y_center - h / 2.0, -speed_px_s, t0),
             z_order,
         });
         self.next_id += 1;
@@ -179,9 +174,8 @@ mod tests {
 
     #[test]
     fn entering_right_starts_off_screen_moving_left() {
-        let scene = ScenarioBuilder::davis240()
-            .entering_right(ObjectClass::Van, 90.0, 50.0, 0, 1)
-            .build();
+        let scene =
+            ScenarioBuilder::davis240().entering_right(ObjectClass::Van, 90.0, 50.0, 0, 1).build();
         let v = &scene.objects[0];
         let b = v.bbox_at(0).unwrap();
         assert!(b.x >= 240.0);
@@ -190,9 +184,8 @@ mod tests {
 
     #[test]
     fn y_center_is_respected() {
-        let scene = ScenarioBuilder::davis240()
-            .entering_left(ObjectClass::Car, 100.0, 60.0, 0, 1)
-            .build();
+        let scene =
+            ScenarioBuilder::davis240().entering_left(ObjectClass::Car, 100.0, 60.0, 0, 1).build();
         let b = scene.objects[0].bbox_at(0).unwrap();
         let (_, cy) = b.center();
         assert!((cy - 100.0).abs() < 1e-4);

@@ -34,12 +34,8 @@ impl SceneObject {
     /// Whether any part of the object is on the sensor array at `t_us`.
     #[must_use]
     pub fn on_screen_at(&self, t_us: Timestamp, geometry: SensorGeometry) -> bool {
-        let frame = BoundingBox::new(
-            0.0,
-            0.0,
-            f32::from(geometry.width()),
-            f32::from(geometry.height()),
-        );
+        let frame =
+            BoundingBox::new(0.0, 0.0, f32::from(geometry.width()), f32::from(geometry.height()));
         self.bbox_at(t_us).is_some_and(|b| b.intersection(&frame).is_some())
     }
 
@@ -110,11 +106,9 @@ impl Scene {
     /// object at depth `z` would be occluded there.
     #[must_use]
     pub fn occluded_at(&self, x: f32, y: f32, z: u8, t_us: Timestamp) -> bool {
-        self.objects.iter().any(|o| {
-            o.z_order > z
-                && o.bbox_at(t_us)
-                    .is_some_and(|b| b.contains_point(x, y))
-        })
+        self.objects
+            .iter()
+            .any(|o| o.z_order > z && o.bbox_at(t_us).is_some_and(|b| b.contains_point(x, y)))
     }
 
     /// Approximate visible fraction of `obj` at `t_us`: 1 minus the

@@ -113,8 +113,7 @@ impl DavisSimulator {
             self.render_flickers(scene, t, step, &mut events, rng);
             t += step;
         }
-        let noise_events =
-            noise.sample(scene.geometry, 0, duration_us, rng);
+        let noise_events = noise.sample(scene.geometry, 0, duration_us, rng);
         events.sort_unstable();
         stream::merge_ordered(&events, &noise_events)
     }
@@ -137,7 +136,9 @@ impl DavisSimulator {
         // Quick reject: object nowhere near the frame during this step.
         let reach = x0.min(x1) - 1.0;
         let extent = x0.max(x1) + w + 1.0;
-        if extent < 0.0 || reach > f32::from(geom.width()) || y0 + h < 0.0
+        if extent < 0.0
+            || reach > f32::from(geom.width())
+            || y0 + h < 0.0
             || y0 > f32::from(geom.height())
         {
             return;
@@ -152,6 +153,7 @@ impl DavisSimulator {
         let (rear0, rear1) = if dx >= 0.0 { (x0, x1) } else { (x1, x0) };
         let front_pol = Polarity::On; // contrast rises as the body enters
         let rear_pol = Polarity::Off; // and falls as it leaves
+
         // Per-class contrast: vehicles have hard metal edges, humans are
         // soft and low contrast (they stay below the fast pipeline's
         // median filter, as in the paper).
@@ -159,8 +161,7 @@ impl DavisSimulator {
         // The edge band extends *into* the body: leftward (-1) from the
         // right edge (x + w), rightward (+1) from the left edge (x).
         self.render_edge_sweep(
-            scene, obj, t, step, front0, front1, y0, h, front_pol, dx, -1, strength, out, rng,
-            geom,
+            scene, obj, t, step, front0, front1, y0, h, front_pol, dx, -1, strength, out, rng, geom,
         );
         self.render_edge_sweep(
             scene, obj, t, step, rear0, rear1, y0, h, rear_pol, dx, 1, strength, out, rng, geom,
@@ -200,8 +201,7 @@ impl DavisSimulator {
 
         // --- Top/bottom outline rows ------------------------------------
         if speed_px > 0.0 {
-            let p_fire =
-                (self.config.outline_activity * strength * f64::from(speed_px)).min(1.0);
+            let p_fire = (self.config.outline_activity * strength * f64::from(speed_px)).min(1.0);
             for row in [y0, y0 + h - 1.0] {
                 let ry = row.floor();
                 if ry < 0.0 || ry >= f32::from(geom.height()) {
@@ -212,8 +212,14 @@ impl DavisSimulator {
                 for cx in col_start..col_end {
                     if rng.random_bool(p_fire) {
                         self.emit(
-                            scene, obj, cx, ry as u16, t + rng.random_range(0..step.max(1)),
-                            random_polarity(rng), out, rng,
+                            scene,
+                            obj,
+                            cx,
+                            ry as u16,
+                            t + rng.random_range(0..step.max(1)),
+                            random_polarity(rng),
+                            out,
+                            rng,
                         );
                     }
                 }
@@ -229,14 +235,22 @@ impl DavisSimulator {
             for _ in 0..count {
                 let px = x0 + 1.0 + rng.random_range(0.0..(w - 2.0));
                 let py = y0 + 1.0 + rng.random_range(0.0..(h - 2.0));
-                if px < 0.0 || py < 0.0 || px >= f32::from(geom.width())
+                if px < 0.0
+                    || py < 0.0
+                    || px >= f32::from(geom.width())
                     || py >= f32::from(geom.height())
                 {
                     continue;
                 }
                 self.emit(
-                    scene, obj, px as u16, py as u16, t + rng.random_range(0..step.max(1)),
-                    random_polarity(rng), out, rng,
+                    scene,
+                    obj,
+                    px as u16,
+                    py as u16,
+                    t + rng.random_range(0..step.max(1)),
+                    random_polarity(rng),
+                    out,
+                    rng,
                 );
             }
         }
@@ -325,11 +339,8 @@ impl DavisSimulator {
         if scene.occluded_at(f32::from(x) + 0.5, f32::from(y) + 0.5, obj.z_order, t) {
             return;
         }
-        let jitter = if self.config.jitter_us > 0 {
-            rng.random_range(0..=self.config.jitter_us)
-        } else {
-            0
-        };
+        let jitter =
+            if self.config.jitter_us > 0 { rng.random_range(0..=self.config.jitter_us) } else { 0 };
         out.push(Event::new(x, y, t + jitter, polarity));
     }
 
@@ -343,8 +354,7 @@ impl DavisSimulator {
         rng: &mut impl Rng,
     ) {
         for fl in &scene.flickers {
-            let mean =
-                fl.rate_hz_per_pixel * f64::from(fl.region.area()) * step as f64 / 1e6;
+            let mean = fl.rate_hz_per_pixel * f64::from(fl.region.area()) * step as f64 / 1e6;
             let count = sample_poisson(mean, rng);
             for _ in 0..count {
                 let x = rng.random_range(fl.region.x_min..fl.region.x_max);
@@ -565,18 +575,19 @@ mod tests {
         let hb1 = bus.bbox_at(200_000).unwrap();
         let hull = hb0.enclosing(&hb1);
         for e in &events {
-            assert!(hull.contains_point(f32::from(e.x), f32::from(e.y))
-                || f32::from(e.x) >= hull.x - 1.5 && f32::from(e.x) <= hull.x_max() + 1.5);
+            assert!(
+                hull.contains_point(f32::from(e.x), f32::from(e.y))
+                    || f32::from(e.x) >= hull.x - 1.5 && f32::from(e.x) <= hull.x_max() + 1.5
+            );
         }
     }
 
     #[test]
     fn flicker_generates_events_inside_region_only() {
         let mut scene = Scene::new(geom());
-        scene.flickers.push(Flicker {
-            region: PixelBox::new(10, 10, 30, 40),
-            rate_hz_per_pixel: 50.0,
-        });
+        scene
+            .flickers
+            .push(Flicker { region: PixelBox::new(10, 10, 30, 40), rate_hz_per_pixel: 50.0 });
         let events = simulate(&scene, 200_000, 8);
         assert!(!events.is_empty());
         for e in &events {
@@ -615,10 +626,7 @@ mod tests {
         );
         assert!(stream::is_time_ordered(&events));
         // Noise puts events outside the car hull.
-        let outside = events
-            .iter()
-            .filter(|e| e.y < 60 || e.y > 110)
-            .count();
+        let outside = events.iter().filter(|e| e.y < 60 || e.y > 110).count();
         assert!(outside > 100, "background noise spreads over the array: {outside}");
     }
 }

@@ -1,0 +1,338 @@
+//! Self-contained stand-in for the `proptest` crate.
+//!
+//! The build environment has no network access to a crates registry, so
+//! this workspace vendors the slice of the proptest API its test-suites
+//! use: the [`proptest!`] macro, the [`strategy::Strategy`] trait with
+//! `prop_map`, range / tuple / [`collection::vec`] / [`array::uniform3`]
+//! strategies, [`strategy::any`], and the `prop_assert*` macros.
+//!
+//! Semantics: each test runs `ProptestConfig::cases` random cases drawn
+//! from a generator seeded deterministically from the test's full module
+//! path, so failures reproduce across runs. There is no shrinking — a
+//! failing case panics with the regular assertion message.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use rand::{rngs::StdRng, SeedableRng};
+
+/// Test-runner configuration (case count only).
+pub mod test_runner {
+    /// How many random cases each property runs.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct ProptestConfig {
+        /// Number of cases to execute.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// Config running `cases` cases.
+        #[must_use]
+        pub fn with_cases(cases: u32) -> Self {
+            Self { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            Self { cases: 64 }
+        }
+    }
+}
+
+/// Value-generation strategies.
+pub mod strategy {
+    use core::marker::PhantomData;
+    use core::ops::Range;
+    use rand::{rngs::StdRng, Rng, SampleRange};
+
+    /// A recipe for generating random values of an associated type.
+    pub trait Strategy {
+        /// The generated value type.
+        type Value;
+
+        /// Draws one value from `rng`.
+        fn generate(&self, rng: &mut StdRng) -> Self::Value;
+
+        /// Maps generated values through `f`.
+        fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+        {
+            Map { inner: self, f }
+        }
+    }
+
+    /// Strategy adapter produced by [`Strategy::prop_map`].
+    #[derive(Debug, Clone)]
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+        type Value = O;
+
+        fn generate(&self, rng: &mut StdRng) -> O {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    impl<T> Strategy for Range<T>
+    where
+        Range<T>: SampleRange<Output = T> + Clone,
+    {
+        type Value = T;
+
+        fn generate(&self, rng: &mut StdRng) -> T {
+            rng.random_range(self.clone())
+        }
+    }
+
+    macro_rules! impl_tuple_strategy {
+        ($(($($s:ident . $idx:tt),+))*) => {$(
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+
+                fn generate(&self, rng: &mut StdRng) -> Self::Value {
+                    ($(self.$idx.generate(rng),)+)
+                }
+            }
+        )*};
+    }
+    impl_tuple_strategy! {
+        (A.0, B.1)
+        (A.0, B.1, C.2)
+        (A.0, B.1, C.2, D.3)
+        (A.0, B.1, C.2, D.3, E.4)
+        (A.0, B.1, C.2, D.3, E.4, F.5)
+    }
+
+    /// Types with a canonical "anything" strategy (see [`any`]).
+    pub trait Arbitrary: Sized {
+        /// Draws an arbitrary value.
+        fn arbitrary(rng: &mut StdRng) -> Self;
+    }
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut StdRng) -> Self {
+            rng.random()
+        }
+    }
+
+    macro_rules! impl_arbitrary_int {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut StdRng) -> Self {
+                    rng.random()
+                }
+            }
+        )*};
+    }
+    impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    /// Strategy for any value of `T` (see [`any`]).
+    #[derive(Debug, Clone, Copy)]
+    pub struct Any<T>(PhantomData<T>);
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+
+        fn generate(&self, rng: &mut StdRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    /// The canonical strategy for `T`.
+    #[must_use]
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(PhantomData)
+    }
+}
+
+/// Collection strategies.
+pub mod collection {
+    use super::strategy::Strategy;
+    use core::ops::Range;
+    use rand::{rngs::StdRng, Rng};
+
+    /// Strategy producing `Vec`s (see [`vec`]).
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        len: Range<usize>,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut StdRng) -> Vec<S::Value> {
+            let len = if self.len.is_empty() { 0 } else { rng.random_range(self.len.clone()) };
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// Vectors of `element` with a length drawn from `len`.
+    #[must_use]
+    pub fn vec<S: Strategy>(element: S, len: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, len }
+    }
+}
+
+/// Fixed-size array strategies.
+pub mod array {
+    use super::strategy::Strategy;
+    use rand::rngs::StdRng;
+
+    /// Strategy producing `[S::Value; N]` (see [`uniform`]).
+    #[derive(Debug, Clone)]
+    pub struct UniformArray<S, const N: usize> {
+        element: S,
+    }
+
+    impl<S: Strategy, const N: usize> Strategy for UniformArray<S, N> {
+        type Value = [S::Value; N];
+
+        fn generate(&self, rng: &mut StdRng) -> [S::Value; N] {
+            core::array::from_fn(|_| self.element.generate(rng))
+        }
+    }
+
+    /// Arrays of `N` values drawn from `element`.
+    #[must_use]
+    pub fn uniform<S: Strategy, const N: usize>(element: S) -> UniformArray<S, N> {
+        UniformArray { element }
+    }
+
+    /// Arrays of 2 values drawn from `element`.
+    #[must_use]
+    pub fn uniform2<S: Strategy>(element: S) -> UniformArray<S, 2> {
+        uniform(element)
+    }
+
+    /// Arrays of 3 values drawn from `element`.
+    #[must_use]
+    pub fn uniform3<S: Strategy>(element: S) -> UniformArray<S, 3> {
+        uniform(element)
+    }
+
+    /// Arrays of 4 values drawn from `element`.
+    #[must_use]
+    pub fn uniform4<S: Strategy>(element: S) -> UniformArray<S, 4> {
+        uniform(element)
+    }
+}
+
+/// The common imports: `use proptest::prelude::*;`.
+pub mod prelude {
+    pub use crate::strategy::{any, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+#[doc(hidden)]
+#[must_use]
+pub fn __seeded_rng(test_path: &str) -> StdRng {
+    // FNV-1a over the fully qualified test name: stable across runs and
+    // platforms, distinct per test.
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for byte in test_path.bytes() {
+        hash ^= u64::from(byte);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    StdRng::seed_from_u64(hash)
+}
+
+/// Declares property tests: each `#[test] fn name(pat in strategy, ...)`
+/// runs the body over `cases` random draws.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_tests! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_tests! { ($crate::test_runner::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_tests {
+    ( ($cfg:expr) $( #[test] fn $name:ident ( $( $p:pat_param in $s:expr ),* $(,)? ) $body:block )* ) => {
+        $(
+            #[test]
+            fn $name() {
+                let config: $crate::test_runner::ProptestConfig = $cfg;
+                let mut rng =
+                    $crate::__seeded_rng(concat!(module_path!(), "::", stringify!($name)));
+                for _ in 0..config.cases {
+                    $( let $p = $crate::strategy::Strategy::generate(&($s), &mut rng); )*
+                    $body
+                }
+            }
+        )*
+    };
+}
+
+/// Asserts a condition inside a property body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($args:tt)*) => { assert!($($args)*) };
+}
+
+/// Asserts equality inside a property body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($args:tt)*) => { assert_eq!($($args)*) };
+}
+
+/// Asserts inequality inside a property body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($args:tt)*) => { assert_ne!($($args)*) };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #[test]
+        fn ranges_stay_in_bounds(x in 3u16..9, f in -1.0f64..1.0) {
+            prop_assert!((3..9).contains(&x));
+            prop_assert!((-1.0..1.0).contains(&f));
+        }
+
+        #[test]
+        fn vec_lengths_respect_range(v in crate::collection::vec(0u32..5, 2..7)) {
+            prop_assert!(v.len() >= 2 && v.len() < 7);
+            prop_assert!(v.iter().all(|&e| e < 5));
+        }
+
+        #[test]
+        fn maps_apply(n in (0u64..10).prop_map(|n| n * 2)) {
+            prop_assert_eq!(n % 2, 0);
+            prop_assert!(n < 20);
+        }
+
+        #[test]
+        fn arrays_and_tuples_compose(
+            a in crate::array::uniform3(0i32..4),
+            (x, y) in (0u8..2, any::<bool>()),
+        ) {
+            prop_assert!(a.iter().all(|&e| e < 4));
+            prop_assert!(x < 2);
+            let _ = y;
+        }
+    }
+
+    #[test]
+    fn seeding_is_per_test_and_stable() {
+        let mut a = crate::__seeded_rng("mod::test_a");
+        let mut b = crate::__seeded_rng("mod::test_a");
+        let mut c = crate::__seeded_rng("mod::test_b");
+        use rand::Rng;
+        assert_eq!(a.random::<u64>(), b.random::<u64>());
+        assert_ne!(b.random::<u64>(), c.random::<u64>());
+    }
+}

@@ -22,9 +22,11 @@ fn main() {
 
     let mut totals = (0usize, 0usize, 0usize, 0usize);
     let mut frames = 0usize;
-    for window in
-        ebbiot::events::stream::FrameWindows::with_span(&recording.events, 66_000, recording.duration_us)
-    {
+    for window in ebbiot::events::stream::FrameWindows::with_span(
+        &recording.events,
+        66_000,
+        recording.duration_us,
+    ) {
         // The EBBI the node would transmit (after denoising).
         accumulator.accumulate_all(window.events);
         let ebbi = accumulator.readout();

@@ -23,10 +23,8 @@ fn main() {
     for &frame_ms in &[16.5f64, 33.0, 66.0, 132.0, 264.0] {
         // The frame-domain workload is dominated by A*B terms, so it is
         // independent of tF; only the wake rate changes.
-        let model = DutyCycleModel::new(
-            ProcessorModel::cortex_m4_class(),
-            (frame_ms * 1000.0) as u64,
-        );
+        let model =
+            DutyCycleModel::new(ProcessorModel::cortex_m4_class(), (frame_ms * 1000.0) as u64);
         let report = model.evaluate(ops_per_frame);
         println!(
             "{:>8.1} {:>14.2} {:>11.2}% {:>12.3}",

@@ -30,10 +30,7 @@ fn main() {
     println!("{}", raw.to_ascii(4));
 
     let filtered = MedianFilter::paper_default().apply(&raw);
-    println!(
-        "After the 3x3 median ({} pixels; salt noise gone):",
-        filtered.count_ones()
-    );
+    println!("After the 3x3 median ({} pixels; salt noise gone):", filtered.count_ones());
     println!("{}", filtered.to_ascii(4));
 
     let mut rpn = RegionProposalNetwork::new(RpnConfig::paper_default());

@@ -41,15 +41,10 @@ fn main() {
     }
 
     // 5. Score against ground truth at the paper's IoU threshold grid.
-    let gt: Vec<Vec<BoundingBox>> = recording
-        .ground_truth
-        .iter()
-        .map(|f| f.boxes.iter().map(|b| b.bbox).collect())
-        .collect();
-    let pred: Vec<Vec<BoundingBox>> = frames
-        .iter()
-        .map(|f| f.tracks.iter().map(|t| t.bbox).collect())
-        .collect();
+    let gt: Vec<Vec<BoundingBox>> =
+        recording.ground_truth.iter().map(|f| f.boxes.iter().map(|b| b.bbox).collect()).collect();
+    let pred: Vec<Vec<BoundingBox>> =
+        frames.iter().map(|f| f.tracks.iter().map(|t| t.bbox).collect()).collect();
     println!("\nPrecision/recall vs IoU threshold:");
     for eval in sweep_thresholds(&gt, &pred, &[0.1, 0.3, 0.5]) {
         println!(

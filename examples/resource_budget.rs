@@ -23,12 +23,36 @@ fn main() {
     let ot = OtCost::new(p);
     let kf = KfCost::new(p);
     let ebms = EbmsCost::new(p);
-    println!("EBBI + median     : {:>9.1} kops/frame, {:>7.2} kB", ebbi.computes() / 1e3, ebbi.memory_kb());
-    println!("NN-filter         : {:>9.1} kops/frame, {:>7.2} kB", nn.computes() / 1e3, nn.memory_bits() as f64 / 8e3);
-    println!("RPN (Eq. 5)       : {:>9.1} kops/frame, {:>7.2} kB", rpn.computes() / 1e3, rpn.memory_kb());
-    println!("Overlap tracker   : {:>9.3} kops/frame, {:>7.2} kB", ot.computes() / 1e3, ot.memory_bits() as f64 / 8e3);
-    println!("Kalman tracker    : {:>9.3} kops/frame, {:>7.2} kB", kf.computes() / 1e3, kf.memory_bits() as f64 / 8e3);
-    println!("EBMS tracker      : {:>9.1} kops/frame, {:>7.3} kB", ebms.computes() / 1e3, ebms.memory_bits() as f64 / 8e3);
+    println!(
+        "EBBI + median     : {:>9.1} kops/frame, {:>7.2} kB",
+        ebbi.computes() / 1e3,
+        ebbi.memory_kb()
+    );
+    println!(
+        "NN-filter         : {:>9.1} kops/frame, {:>7.2} kB",
+        nn.computes() / 1e3,
+        nn.memory_bits() as f64 / 8e3
+    );
+    println!(
+        "RPN (Eq. 5)       : {:>9.1} kops/frame, {:>7.2} kB",
+        rpn.computes() / 1e3,
+        rpn.memory_kb()
+    );
+    println!(
+        "Overlap tracker   : {:>9.3} kops/frame, {:>7.2} kB",
+        ot.computes() / 1e3,
+        ot.memory_bits() as f64 / 8e3
+    );
+    println!(
+        "Kalman tracker    : {:>9.3} kops/frame, {:>7.2} kB",
+        kf.computes() / 1e3,
+        kf.memory_bits() as f64 / 8e3
+    );
+    println!(
+        "EBMS tracker      : {:>9.1} kops/frame, {:>7.3} kB",
+        ebms.computes() / 1e3,
+        ebms.memory_bits() as f64 / 8e3
+    );
 
     println!("\n== Pipeline totals relative to EBBIOT (Fig. 5) ==\n");
     for row in fig5_comparison(p) {

@@ -15,11 +15,8 @@ fn main() {
     let recording = DatasetPreset::Lt4.config().with_duration_s(20.0).generate(3);
     println!("Recording: {recording}\n");
 
-    let gt: Vec<Vec<BoundingBox>> = recording
-        .ground_truth
-        .iter()
-        .map(|f| f.boxes.iter().map(|b| b.bbox).collect())
-        .collect();
+    let gt: Vec<Vec<BoundingBox>> =
+        recording.ground_truth.iter().map(|f| f.boxes.iter().map(|b| b.bbox).collect()).collect();
 
     // EBBIOT.
     let mut ebbiot = EbbiotPipeline::new(EbbiotConfig::paper_default(recording.geometry));
@@ -38,7 +35,10 @@ fn main() {
     let ebms_frames = ebms.process_recording(&recording.events, recording.duration_us);
 
     let thresholds = [0.1f32, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7];
-    println!("{:<8} {:>18} {:>18} {:>18}", "IoU thr", "EBMS (P / R)", "KF (P / R)", "EBBIOT (P / R)");
+    println!(
+        "{:<8} {:>18} {:>18} {:>18}",
+        "IoU thr", "EBMS (P / R)", "KF (P / R)", "EBBIOT (P / R)"
+    );
     for &thr in &thresholds {
         let e = evaluate_frames(&gt, &boxes_of(&ebms_frames), thr).pr;
         let k = evaluate_frames(&gt, &boxes_of(&kf_frames), thr).pr;

@@ -33,15 +33,12 @@ fn main() {
         .collect();
     println!("Region of exclusion: {} region(s) masking the foliage.", roe_boxes.len());
 
-    let with_roe = EbbiotConfig::paper_default(recording.geometry)
-        .with_roe(RegionOfExclusion::new(roe_boxes));
+    let with_roe =
+        EbbiotConfig::paper_default(recording.geometry).with_roe(RegionOfExclusion::new(roe_boxes));
     let without_roe = EbbiotConfig::paper_default(recording.geometry);
 
-    let gt: Vec<Vec<BoundingBox>> = recording
-        .ground_truth
-        .iter()
-        .map(|f| f.boxes.iter().map(|b| b.bbox).collect())
-        .collect();
+    let gt: Vec<Vec<BoundingBox>> =
+        recording.ground_truth.iter().map(|f| f.boxes.iter().map(|b| b.bbox).collect()).collect();
 
     for (label, config) in [("with ROE", with_roe), ("without ROE", without_roe)] {
         let mut pipeline = EbbiotPipeline::new(config);

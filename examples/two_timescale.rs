@@ -75,7 +75,9 @@ fn main() {
                 human_hits += 1;
             }
         }
-        if window.index % 30 == 0 && (!result.fast.tracks.is_empty() || !result.slow_tracks.is_empty()) {
+        if window.index % 30 == 0
+            && (!result.fast.tracks.is_empty() || !result.slow_tracks.is_empty())
+        {
             print!("frame {:>3}:", window.index);
             for t in &result.fast.tracks {
                 print!(" fast[{:.0},{:.0} {:.0}x{:.0}]", t.bbox.x, t.bbox.y, t.bbox.w, t.bbox.h);

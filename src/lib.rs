@@ -8,9 +8,12 @@
 //! * [`frame`] — EBBI, median filter, histograms, CCA ([`ebbiot_frame`])
 //! * [`filters`] — event-domain noise filters ([`ebbiot_filters`])
 //! * [`sim`] — the DAVIS traffic-scene simulator ([`ebbiot_sim`])
-//! * [`core`] — the EBBIOT RPN + overlap tracker + pipeline
+//! * [`core`] — the shared [`ebbiot_core::FrontEnd`], the
+//!   [`ebbiot_core::Tracker`] back-end trait, the generic streaming
+//!   [`ebbiot_core::Pipeline`], the RPN and the overlap tracker
 //!   ([`ebbiot_core`])
-//! * [`baselines`] — KF and EBMS baseline trackers ([`ebbiot_baselines`])
+//! * [`baselines`] — KF and EBMS tracker back-ends plus the back-end
+//!   registry ([`ebbiot_baselines`])
 //! * [`eval`] — IoU precision/recall evaluation ([`ebbiot_eval`])
 //! * [`resource`] — the paper's analytic cost models ([`ebbiot_resource`])
 //! * [`linalg`] — the small dense linear algebra used by the KF
@@ -26,9 +29,19 @@
 //!
 //! // Run the EBBIOT pipeline.
 //! let config = EbbiotConfig::paper_default(recording.geometry);
-//! let mut pipeline = EbbiotPipeline::new(config);
+//! let mut pipeline = EbbiotPipeline::new(config.clone());
 //! let frames = pipeline.process_recording(&recording.events, recording.duration_us);
 //! assert_eq!(frames.len(), recording.ground_truth.len());
+//!
+//! // Or stream any registered back-end chunk by chunk — no recording
+//! // ever needs to be resident in memory.
+//! let mut kf = registry::build_pipeline("ebbi-kf", config).unwrap();
+//! let mut streamed = Vec::new();
+//! for chunk in recording.events.chunks(4096) {
+//!     streamed.extend(kf.push(chunk));
+//! }
+//! streamed.extend(kf.finish(recording.duration_us));
+//! assert_eq!(streamed.len(), frames.len());
 //! ```
 
 #![forbid(unsafe_code)]
@@ -47,11 +60,13 @@ pub use ebbiot_sim as sim;
 /// The most common imports in one place.
 pub mod prelude {
     pub use ebbiot_baselines::{
-        EbbiKfPipeline, EbmsConfig, EbmsTracker, KalmanConfig, KalmanTracker, NnEbmsPipeline,
+        registry, BackendSpec, EbbiKfPipeline, EbmsConfig, EbmsTracker, KalmanConfig,
+        KalmanTracker, NnEbmsPipeline, NnEbmsTracker, BACKENDS,
     };
     pub use ebbiot_core::{
-        DutyCycleModel, EbbiotConfig, EbbiotPipeline, FrameResult, OtConfig, OverlapTracker,
-        ProcessorModel, RegionOfExclusion, RegionProposalNetwork, RpnMode, TrackBox,
+        BoxedTracker, DutyCycleModel, DynPipeline, EbbiotConfig, EbbiotPipeline, FrameInput,
+        FrameResult, FrontEnd, OtConfig, OverlapTracker, Pipeline, PipelineOps, ProcessorModel,
+        RegionOfExclusion, RegionProposalNetwork, RpnMode, TrackBox, Tracker, TrackerInput,
         TwoTimescaleConfig, TwoTimescalePipeline,
     };
     pub use ebbiot_eval::{

@@ -59,10 +59,7 @@ fn track_identities_are_stable_over_vehicle_crossings() {
         }
     }
     let max_span = spans.values().copied().max().unwrap_or(0);
-    assert!(
-        max_span >= 20,
-        "at least one track persists >= 20 frames (1.3 s), got {max_span}"
-    );
+    assert!(max_span >= 20, "at least one track persists >= 20 frames (1.3 s), got {max_span}");
 }
 
 #[test]

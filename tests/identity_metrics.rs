@@ -89,9 +89,7 @@ fn occlusion_lookahead_improves_crossing_mota() {
         cfg.ot.occlusion_lookahead = lookahead;
         let mut pipeline = EbbiotPipeline::new(cfg);
         let mut mot = MotAccumulator::new();
-        for window in
-            ebbiot::events::stream::FrameWindows::with_span(&events, 66_000, 4_500_000)
-        {
+        for window in ebbiot::events::stream::FrameWindows::with_span(&events, 66_000, 4_500_000) {
             let result = pipeline.process_frame(window.events);
             let gt: Vec<IdentifiedBox> = scene
                 .objects

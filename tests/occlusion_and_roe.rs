@@ -19,14 +19,7 @@ fn simulate(scene: &Scene, duration_us: u64, seed: u64) -> Vec<Event> {
     )
 }
 
-fn object(
-    id: u32,
-    class: ObjectClass,
-    x: f32,
-    y: f32,
-    vx: f32,
-    z: u8,
-) -> SceneObject {
+fn object(id: u32, class: ObjectClass, x: f32, y: f32, vx: f32, z: u8) -> SceneObject {
     let (w, h) = class.nominal_size();
     SceneObject {
         id,
@@ -87,15 +80,9 @@ fn bus_is_tracked_as_one_object_despite_sparse_interior() {
         mid.len()
     );
     // And the track's width should approach the bus's (not a fragment).
-    let widths: Vec<f32> = mid
-        .iter()
-        .filter_map(|f| f.tracks.first().map(|t| t.bbox.w))
-        .collect();
+    let widths: Vec<f32> = mid.iter().filter_map(|f| f.tracks.first().map(|t| t.bbox.w)).collect();
     let mean_w = widths.iter().sum::<f32>() / widths.len().max(1) as f32;
-    assert!(
-        mean_w > 55.0,
-        "mean tracked width {mean_w:.1} should approach the 85 px bus"
-    );
+    assert!(mean_w > 55.0, "mean tracked width {mean_w:.1} should approach the 85 px bus");
 }
 
 #[test]
@@ -117,9 +104,7 @@ fn roe_suppresses_flicker_tracks_entirely() {
 
     // ...with ROE it must produce none.
     let roe = RegionOfExclusion::new(vec![BoundingBox::new(4.0, 7.0, 52.0, 39.0)]);
-    let mut with = EbbiotPipeline::new(
-        EbbiotConfig::paper_default(geometry()).with_roe(roe),
-    );
+    let mut with = EbbiotPipeline::new(EbbiotConfig::paper_default(geometry()).with_roe(roe));
     let frames_with = with.process_recording(&events, duration);
     let masked: usize = frames_with.iter().map(|f| f.tracks.len()).sum();
     assert_eq!(masked, 0, "ROE masks the distractor completely");
@@ -136,10 +121,7 @@ fn vehicle_outside_roe_is_unaffected_by_roe() {
     let roe = RegionOfExclusion::new(vec![BoundingBox::new(0.0, 0.0, 60.0, 50.0)]);
     let run = |config: EbbiotConfig| {
         let mut p = EbbiotPipeline::new(config);
-        p.process_recording(&events, duration)
-            .iter()
-            .map(|f| f.tracks.len())
-            .sum::<usize>()
+        p.process_recording(&events, duration).iter().map(|f| f.tracks.len()).sum::<usize>()
     };
     let with = run(EbbiotConfig::paper_default(geometry()).with_roe(roe));
     let without = run(EbbiotConfig::paper_default(geometry()));

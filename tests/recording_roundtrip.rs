@@ -39,8 +39,5 @@ fn pipeline_output_identical_on_decoded_copy() {
 fn binary_size_is_linear_in_events() {
     let rec = DatasetPreset::Lt4.config().with_duration_s(1.0).generate(15);
     let bytes = codec::encode_binary(rec.geometry, &rec.events);
-    assert_eq!(
-        bytes.len(),
-        codec::HEADER_BYTES + rec.events.len() * codec::EVENT_RECORD_BYTES
-    );
+    assert_eq!(bytes.len(), codec::HEADER_BYTES + rec.events.len() * codec::EVENT_RECORD_BYTES);
 }
