@@ -35,6 +35,14 @@ impl BackendSpec {
         let tracker = (self.build)(&config);
         Pipeline::with_tracker(config, tracker)
     }
+
+    /// Builds `cameras` independent pipelines of this back-end sharing
+    /// one front-end configuration — one per stream of a multi-camera
+    /// engine. Tracker state is per-pipeline; nothing is shared.
+    #[must_use]
+    pub fn build_fleet(&self, config: &EbbiotConfig, cameras: usize) -> Vec<DynPipeline> {
+        (0..cameras).map(|_| self.build(config.clone())).collect()
+    }
 }
 
 /// All registered back-ends, in the paper's Fig. 4 presentation order.
@@ -124,6 +132,20 @@ mod tests {
             assert_eq!(result.index, 0, "{}", spec.name);
             assert_eq!(result.num_events, events.len(), "{}", spec.name);
         }
+    }
+
+    #[test]
+    fn fleet_pipelines_are_independent() {
+        let spec = find_backend("ebbiot").unwrap();
+        let mut fleet = spec.build_fleet(&config(), 3);
+        assert_eq!(fleet.len(), 3);
+        let events: Vec<Event> =
+            (0..300).map(|i| Event::on(60 + (i % 20) as u16, 90 + (i / 20) as u16, i)).collect();
+        // Stepping one pipeline leaves the others untouched.
+        let _ = fleet[0].process_frame(&events);
+        assert_eq!(fleet[0].frames_processed(), 1);
+        assert_eq!(fleet[1].frames_processed(), 0);
+        assert_eq!(fleet[2].frames_processed(), 0);
     }
 
     #[test]

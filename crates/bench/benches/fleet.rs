@@ -1,0 +1,42 @@
+//! Fleet engine benches: aggregate event throughput of the concurrent
+//! engine at several worker counts vs per-camera sequential processing,
+//! over the same 4-camera LT4 fleet.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use ebbiot_baselines::registry;
+use ebbiot_bench::{run_fleet_backend, run_fleet_sequential};
+use ebbiot_engine::FleetOptions;
+use ebbiot_sim::{DatasetPreset, FleetConfig, SimulatedRecording};
+use std::hint::black_box;
+
+fn fleet() -> Vec<SimulatedRecording> {
+    FleetConfig::new(DatasetPreset::Lt4, 4).with_seconds(1.0).generate()
+}
+
+fn bench_fleet(c: &mut Criterion) {
+    let fleet = fleet();
+    let spec = registry::find_backend("ebbiot").expect("registered");
+    let events: u64 = fleet.iter().map(|r| r.events.len() as u64).sum();
+
+    let mut group = c.benchmark_group("fleet_4cam_lt4");
+    group.throughput(Throughput::Elements(events));
+
+    group.bench_function("sequential", |b| {
+        b.iter(|| black_box(run_fleet_sequential(spec, DatasetPreset::Lt4, &fleet)));
+    });
+
+    for workers in [1usize, 2, 4, 8] {
+        let options = FleetOptions { workers, queue_capacity: 32, chunk_events: 4096 };
+        group.bench_function(&format!("engine_{workers}w"), |b| {
+            b.iter_batched(
+                || (),
+                |()| black_box(run_fleet_backend(spec, DatasetPreset::Lt4, &fleet, &options)),
+                BatchSize::SmallInput,
+            );
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fleet);
+criterion_main!(benches);

@@ -1,0 +1,157 @@
+//! **Fleet experiment** — aggregate throughput of the concurrent
+//! multi-camera engine vs sequential per-camera processing, on a
+//! simulated K-camera fleet of one site preset.
+//!
+//! ```text
+//! cargo run --release -p ebbiot_bench --bin exp_fleet -- \
+//!     [--cameras K] [--workers W] [--seconds S] [--seed N] \
+//!     [--backend ebbiot|ebbi-kf|nn-ebms] [--preset LT4|ENG] \
+//!     [--chunk E] [--queue C]
+//! ```
+//!
+//! Defaults: 16 cameras, 8 workers, 2 s per camera, the `ebbiot`
+//! back-end on LT4. The report prints per-camera stats, aggregate
+//! events/s for both drive modes, the speedup, and a bit-for-bit
+//! determinism check of engine output against the sequential baseline.
+//! Speedup scales with physical cores — on a single-core host expect
+//! ~1x regardless of worker count; the determinism check must hold
+//! everywhere.
+
+use std::time::Instant;
+
+use ebbiot_baselines::registry;
+use ebbiot_bench::{run_fleet_backend, run_fleet_sequential};
+use ebbiot_engine::FleetOptions;
+use ebbiot_eval::report::render_table;
+use ebbiot_sim::{DatasetPreset, FleetConfig};
+
+struct Args {
+    cameras: usize,
+    workers: usize,
+    seconds: f64,
+    seed: u64,
+    backend: String,
+    preset: DatasetPreset,
+    chunk: usize,
+    queue: usize,
+}
+
+fn parse_args(args: &[String]) -> Args {
+    let mut parsed = Args {
+        cameras: 16,
+        workers: 8,
+        seconds: 2.0,
+        seed: 42,
+        backend: "ebbiot".into(),
+        preset: DatasetPreset::Lt4,
+        chunk: 4096,
+        queue: 32,
+    };
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value = || it.next().cloned().unwrap_or_default();
+        match arg.as_str() {
+            "--cameras" => parsed.cameras = value().parse().expect("--cameras <usize>"),
+            "--workers" => parsed.workers = value().parse().expect("--workers <usize>"),
+            "--seconds" => parsed.seconds = value().parse().expect("--seconds <f64>"),
+            "--seed" => parsed.seed = value().parse().expect("--seed <u64>"),
+            "--backend" => parsed.backend = value(),
+            "--chunk" => parsed.chunk = value().parse().expect("--chunk <usize>"),
+            "--queue" => parsed.queue = value().parse().expect("--queue <usize>"),
+            "--preset" => {
+                parsed.preset = match value().to_uppercase().as_str() {
+                    "ENG" => DatasetPreset::Eng,
+                    "LT4" => DatasetPreset::Lt4,
+                    other => panic!("--preset must be ENG or LT4, got {other:?}"),
+                }
+            }
+            other => panic!("unknown argument {other}"),
+        }
+    }
+    parsed
+}
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let args = parse_args(&argv);
+    let spec = registry::find_backend(&args.backend)
+        .unwrap_or_else(|| panic!("unknown backend {:?}", args.backend));
+
+    // The engine clamps workers to the stream count; report what runs.
+    let workers = args.workers.min(args.cameras).max(1);
+    println!(
+        "== Fleet: {} cameras x {:.1} s of {} through `{}`, {} workers ==\n",
+        args.cameras,
+        args.seconds,
+        args.preset.name(),
+        spec.name,
+        workers
+    );
+
+    let fleet = FleetConfig::new(args.preset, args.cameras)
+        .with_seconds(args.seconds)
+        .with_base_seed(args.seed)
+        .generate();
+    let total_events: u64 = fleet.iter().map(|r| r.events.len() as u64).sum();
+    println!(
+        "generated {} recordings, {} events total ({:.1} k ev/s offered)\n",
+        fleet.len(),
+        total_events,
+        total_events as f64 / args.seconds / 1e3
+    );
+
+    // Concurrent engine run.
+    let options = FleetOptions { workers, queue_capacity: args.queue, chunk_events: args.chunk };
+    let run = run_fleet_backend(spec, args.preset, &fleet, &options);
+
+    let rows: Vec<Vec<String>> = run
+        .output
+        .snapshot
+        .streams
+        .iter()
+        .map(|s| {
+            vec![
+                s.id.to_string(),
+                s.events_in.to_string(),
+                s.chunks_in.to_string(),
+                s.frames_out.to_string(),
+                s.tracks_out.to_string(),
+                s.queue_high_water.to_string(),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        render_table(&["Camera", "Events", "Chunks", "Frames", "Tracks", "Queue HWM"], &rows)
+    );
+
+    // Sequential baseline over the identical fleet.
+    let seq_started = Instant::now();
+    let sequential = run_fleet_sequential(spec, args.preset, &fleet);
+    let seq_elapsed = seq_started.elapsed();
+
+    let identical = run.output.streams == sequential;
+    let engine_rate = run.events_per_sec();
+    let seq_rate = total_events as f64 / seq_elapsed.as_secs_f64().max(1e-9);
+    let speedup = engine_rate / seq_rate.max(1e-9);
+
+    println!("\nAggregate throughput:");
+    println!(
+        "  engine ({} workers): {:>10.1} k ev/s, {:>8.1} frames/s  ({:.3} s wall)",
+        workers,
+        engine_rate / 1e3,
+        run.frames_per_sec(),
+        run.elapsed.as_secs_f64()
+    );
+    println!(
+        "  sequential:          {:>10.1} k ev/s              ({:.3} s wall)",
+        seq_rate / 1e3,
+        seq_elapsed.as_secs_f64()
+    );
+    println!(
+        "  speedup: {speedup:.2}x on {} core(s) (target >= 4x with 16 cameras / 8 workers on >= 8 cores)",
+        std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+    );
+    println!("\nDeterminism: engine output bit-for-bit identical to sequential: {identical}");
+    assert!(identical, "engine output diverged from sequential processing");
+}

@@ -10,6 +10,7 @@
 
 use ebbiot_baselines::registry::{self, BackendSpec};
 use ebbiot_core::{EbbiotConfig, RegionOfExclusion};
+use ebbiot_engine::{Engine, FleetOptions, FleetRun, FleetStream};
 use ebbiot_eval::{sweep_thresholds, RecordingEval};
 use ebbiot_frame::BoundingBox;
 use ebbiot_sim::{DatasetPreset, SimulatedRecording};
@@ -103,6 +104,44 @@ pub fn fig4_sweep(rec: &SimulatedRecording, predictions: &FrameBoxes) -> Vec<Rec
     sweep_thresholds(&gt_boxes(rec), predictions, &ebbiot_eval::sweep::fig4_thresholds())
 }
 
+/// Runs one registered back-end over a whole camera fleet through the
+/// concurrent engine, feeding each recording's events in interleaved
+/// chunks. Output is bit-for-bit what [`run_backend`]-style sequential
+/// processing of each recording yields, regardless of
+/// `options.workers` — that is the engine's determinism guarantee.
+#[must_use]
+pub fn run_fleet_backend(
+    spec: &BackendSpec,
+    preset: DatasetPreset,
+    fleet: &[SimulatedRecording],
+    options: &FleetOptions,
+) -> FleetRun {
+    assert!(!fleet.is_empty(), "fleet needs at least one camera");
+    let config = ebbiot_config_for(preset, &fleet[0]).with_frame_us(fleet[0].frame_us);
+    let pipelines = spec.build_fleet(&config, fleet.len());
+    let streams: Vec<FleetStream<'_>> =
+        fleet.iter().map(|r| FleetStream { events: &r.events, span_us: r.duration_us }).collect();
+    Engine::run_fleet(pipelines, &streams, options)
+}
+
+/// Sequentially processes the same fleet, one camera after another —
+/// the single-core baseline `exp_fleet` compares the engine against.
+/// Returns per-camera frame results in the same shape as
+/// [`FleetRun`]'s `output.streams`.
+#[must_use]
+pub fn run_fleet_sequential(
+    spec: &BackendSpec,
+    preset: DatasetPreset,
+    fleet: &[SimulatedRecording],
+) -> Vec<Vec<ebbiot_core::FrameResult>> {
+    assert!(!fleet.is_empty(), "fleet needs at least one camera");
+    let config = ebbiot_config_for(preset, &fleet[0]).with_frame_us(fleet[0].frame_us);
+    fleet
+        .iter()
+        .map(|rec| spec.build(config.clone()).process_recording(&rec.events, rec.duration_us))
+        .collect()
+}
+
 /// Parses `--seconds <f>`, `--seed <u>` and `--full` from argv, returning
 /// `(seconds_override, seed, full)`.
 #[must_use]
@@ -185,6 +224,21 @@ mod tests {
         assert_eq!(gt.len(), eb.len());
         assert_eq!(gt.len(), kf.len());
         assert_eq!(gt.len(), ms.len());
+    }
+
+    #[test]
+    fn fleet_engine_matches_sequential_baseline() {
+        let fleet =
+            ebbiot_sim::FleetConfig::new(DatasetPreset::Lt4, 2).with_seconds(1.0).generate();
+        let spec = registry::find_backend("ebbiot").unwrap();
+        let sequential = run_fleet_sequential(spec, DatasetPreset::Lt4, &fleet);
+        let run = run_fleet_backend(
+            spec,
+            DatasetPreset::Lt4,
+            &fleet,
+            &FleetOptions { workers: 2, queue_capacity: 4, chunk_events: 512 },
+        );
+        assert_eq!(run.output.streams, sequential);
     }
 
     #[test]

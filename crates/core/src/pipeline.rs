@@ -108,6 +108,14 @@ pub type EbbiotPipeline = Pipeline<OverlapTracker>;
 /// A type-erased pipeline, as built by the back-end registry.
 pub type DynPipeline = Pipeline<BoxedTracker>;
 
+// Pipelines move into engine worker threads — keep them `Send` (checked
+// at compile time so a non-`Send` field can never sneak in).
+const _: () = {
+    const fn assert_send<T: Send>() {}
+    assert_send::<EbbiotPipeline>();
+    assert_send::<DynPipeline>();
+};
+
 impl EbbiotPipeline {
     /// Builds the paper's pipeline from a configuration.
     #[must_use]
@@ -299,6 +307,14 @@ impl<T: Tracker> Pipeline<T> {
     #[must_use]
     pub const fn frames_processed(&self) -> usize {
         self.frames_processed
+    }
+
+    /// Number of currently active (confirmed or provisional) trackers —
+    /// the live `NT` statistic surfaced per stream by the engine's
+    /// snapshots.
+    #[must_use]
+    pub fn active_trackers(&self) -> usize {
+        self.tracker.active_count()
     }
 
     /// Mean number of active trackers per frame (the paper's `NT ≈ 2`).

@@ -1,12 +1,13 @@
-//! Property-based tests for the EBBIOT core: RPN coverage invariants and
-//! overlap-tracker safety properties.
+//! Property-based tests for the EBBIOT core: RPN coverage invariants,
+//! overlap-tracker safety properties, and streaming `push`/`finish`
+//! chunking invariance.
 
 use ebbiot_core::{
     rpn::{RegionProposalNetwork, RpnConfig},
     tracker::{OtConfig, OverlapTracker},
-    RpnMode,
+    EbbiotConfig, EbbiotPipeline, RpnMode,
 };
-use ebbiot_events::SensorGeometry;
+use ebbiot_events::{Event, SensorGeometry};
 use ebbiot_frame::{BinaryImage, BoundingBox, PixelBox};
 use proptest::prelude::*;
 
@@ -34,6 +35,63 @@ fn image_of(blobs: &[PixelBox]) -> BinaryImage {
         img.fill_box(b);
     }
     img
+}
+
+// -- streaming push/finish fixtures ---------------------------------
+
+/// Small geometry so the per-frame front-end stays cheap under many
+/// proptest cases.
+const SW: u16 = 48;
+const SH: u16 = 36;
+const FRAME_US: u64 = 66_000;
+const MAX_FRAMES: u64 = 6;
+
+fn streaming_pipeline() -> EbbiotPipeline {
+    EbbiotPipeline::new(EbbiotConfig::paper_default(SensorGeometry::new(SW, SH)))
+}
+
+/// Random time-ordered events whose timestamps deliberately include
+/// exact frame-boundary instants (`t = k * tF`), `t = k * tF ± 1`, and
+/// arbitrary offsets — the window-assignment edge cases.
+fn arb_stream_events() -> impl Strategy<Value = Vec<Event>> {
+    proptest::collection::vec((0..SW, 0..SH, 0..MAX_FRAMES, 0u64..4), 0..250).prop_map(|specs| {
+        let mut events: Vec<Event> = specs
+            .into_iter()
+            .map(|(x, y, frame, offset_kind)| {
+                let offset = match offset_kind {
+                    0 => 0, // exactly on the window's start boundary
+                    1 => 1,
+                    2 => FRAME_US - 1, // last instant of the window
+                    _ => (u64::from(x) * 131 + u64::from(y) * 29) % FRAME_US,
+                };
+                Event::on(x, y, frame * FRAME_US + offset)
+            })
+            .collect();
+        ebbiot_events::stream::sort_by_time(&mut events);
+        events
+    })
+}
+
+/// Drives a fresh pipeline with the given chunk sizes (0 = an empty
+/// `push(&[])` interleaved at that point) and returns the streamed
+/// frames.
+fn stream_in_chunks(
+    events: &[Event],
+    sizes: &[usize],
+    span_us: u64,
+) -> Vec<ebbiot_core::FrameResult> {
+    let mut pipeline = streaming_pipeline();
+    let mut out = Vec::new();
+    let mut offset = 0;
+    for &size in sizes {
+        let take = size.min(events.len() - offset);
+        out.extend(pipeline.push(&events[offset..offset + take]));
+        offset += take;
+    }
+    // Whatever the size plan didn't cover arrives as one final chunk.
+    out.extend(pipeline.push(&events[offset..]));
+    out.extend(pipeline.finish(span_us));
+    out
 }
 
 fn arb_proposals() -> impl Strategy<Value = Vec<BoundingBox>> {
@@ -143,6 +201,63 @@ proptest! {
             let _ = tracker.step(&[]);
         }
         prop_assert_eq!(tracker.active_count(), 0);
+    }
+
+    // -- streaming push/finish chunking invariance -------------------
+
+    #[test]
+    fn chunked_push_with_empty_chunks_matches_batch(
+        events in arb_stream_events(),
+        sizes in proptest::collection::vec(0usize..40, 0..24),
+        span_sel in 0u64..3,
+    ) {
+        // Size plans draw zeros, so empty `push(&[])` calls land at
+        // arbitrary points of the stream, including back to back.
+        let span_us = match span_sel {
+            0 => 0, // shorter than the last event: no padding past the data
+            1 => 2 * FRAME_US,
+            _ => MAX_FRAMES * FRAME_US + FRAME_US / 2, // non-multiple of tF
+        };
+        let expected = streaming_pipeline().process_recording(&events, span_us);
+        let streamed = stream_in_chunks(&events, &sizes, span_us);
+        prop_assert_eq!(streamed, expected);
+    }
+
+    #[test]
+    fn chunk_boundaries_on_frame_boundaries_match_batch(events in arb_stream_events()) {
+        // One chunk per readout window, split exactly at `k * tF` — the
+        // boundary-owning edge case (an event at `t = k * tF` belongs to
+        // window `k`, not `k - 1`).
+        let span_us = MAX_FRAMES * FRAME_US;
+        let expected = streaming_pipeline().process_recording(&events, span_us);
+        let mut pipeline = streaming_pipeline();
+        let mut streamed = Vec::new();
+        for window in 0..MAX_FRAMES {
+            let chunk: Vec<Event> =
+                events.iter().copied().filter(|e| e.t / FRAME_US == window).collect();
+            streamed.extend(pipeline.push(&chunk));
+        }
+        streamed.extend(pipeline.finish(span_us));
+        prop_assert_eq!(streamed, expected);
+    }
+
+    #[test]
+    fn finish_with_span_shorter_than_last_event_matches_batch(
+        events in arb_stream_events(),
+        sizes in proptest::collection::vec(1usize..60, 1..12),
+    ) {
+        // `finish(tF)` after data reaching several windows further out:
+        // the span adds nothing, data alone decides the frame count.
+        let span_us = FRAME_US;
+        let expected = streaming_pipeline().process_recording(&events, span_us);
+        let streamed = stream_in_chunks(&events, &sizes, span_us);
+        prop_assert_eq!(&streamed, &expected);
+        if let Some(last) = events.last() {
+            let windows = (last.t / FRAME_US + 1).max(1) as usize;
+            prop_assert_eq!(streamed.len(), windows);
+        } else {
+            prop_assert_eq!(streamed.len(), 1, "empty stream pads to the span");
+        }
     }
 
     #[test]

@@ -1,0 +1,193 @@
+//! Bounded admission gates — the engine's per-stream back-pressure.
+//!
+//! Each camera stream owns one [`ChunkGate`] sized in *chunks in flight*.
+//! The router acquires a slot before handing a chunk to the worker pool
+//! and the worker releases it after the chunk has been pushed through the
+//! stream's pipeline, so a slow stream throttles exactly its own
+//! producer: [`ChunkGate::acquire`] blocks, [`ChunkGate::try_acquire`]
+//! rejects, and neither ever drops or reorders work. The gate also
+//! records the queue-depth high-water mark surfaced by the engine's
+//! `Snapshot`.
+
+use std::sync::{Condvar, Mutex, MutexGuard, PoisonError};
+
+/// Recovers a mutex guard even when another thread panicked while holding
+/// the lock — the engine's own poison flag, not std's, decides liveness.
+fn lock<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    mutex.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+#[derive(Debug)]
+struct GateState {
+    in_flight: usize,
+    high_water: usize,
+    poisoned: bool,
+}
+
+/// A counting gate bounding how many chunks of one stream may be queued
+/// or in processing at once.
+#[derive(Debug)]
+pub struct ChunkGate {
+    capacity: usize,
+    state: Mutex<GateState>,
+    available: Condvar,
+}
+
+impl ChunkGate {
+    /// Creates a gate admitting at most `capacity` chunks in flight.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `capacity` is zero (a zero-capacity stream could never
+    /// make progress).
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "chunk gate capacity must be at least 1");
+        Self {
+            capacity,
+            state: Mutex::new(GateState { in_flight: 0, high_water: 0, poisoned: false }),
+            available: Condvar::new(),
+        }
+    }
+
+    /// The configured capacity.
+    #[must_use]
+    pub const fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Acquires one slot, blocking while the stream is at capacity.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the gate was [`poisoned`](Self::poison) by a worker
+    /// failure — a blocked producer must not wait forever on an engine
+    /// that can no longer drain it.
+    pub fn acquire(&self) {
+        let mut state = lock(&self.state);
+        loop {
+            assert!(!state.poisoned, "engine worker failed; stream queue will never drain");
+            if state.in_flight < self.capacity {
+                state.in_flight += 1;
+                state.high_water = state.high_water.max(state.in_flight);
+                return;
+            }
+            state = self.available.wait(state).unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+
+    /// Acquires one slot without blocking; `false` means the stream is at
+    /// capacity and the chunk was *not* admitted.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the gate was poisoned, like [`Self::acquire`].
+    #[must_use]
+    pub fn try_acquire(&self) -> bool {
+        let mut state = lock(&self.state);
+        assert!(!state.poisoned, "engine worker failed; stream queue will never drain");
+        if state.in_flight < self.capacity {
+            state.in_flight += 1;
+            state.high_water = state.high_water.max(state.in_flight);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Releases one slot, waking a blocked producer.
+    ///
+    /// # Panics
+    ///
+    /// Panics when no slot is held (release without acquire).
+    pub fn release(&self) {
+        let mut state = lock(&self.state);
+        assert!(state.in_flight > 0, "chunk gate released more slots than were acquired");
+        state.in_flight -= 1;
+        drop(state);
+        self.available.notify_one();
+    }
+
+    /// Chunks currently in flight (queued or being processed).
+    #[must_use]
+    pub fn depth(&self) -> usize {
+        lock(&self.state).in_flight
+    }
+
+    /// Highest in-flight depth observed so far.
+    #[must_use]
+    pub fn high_water(&self) -> usize {
+        lock(&self.state).high_water
+    }
+
+    /// Marks the gate dead and wakes every blocked producer (which then
+    /// panics instead of hanging). Called when a worker thread fails.
+    pub fn poison(&self) {
+        lock(&self.state).poisoned = true;
+        self.available.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    #[test]
+    fn slots_are_counted_and_high_water_tracked() {
+        let gate = ChunkGate::new(2);
+        assert_eq!(gate.capacity(), 2);
+        assert!(gate.try_acquire());
+        assert!(gate.try_acquire());
+        assert!(!gate.try_acquire(), "full gate rejects");
+        assert_eq!(gate.depth(), 2);
+        assert_eq!(gate.high_water(), 2);
+        gate.release();
+        assert_eq!(gate.depth(), 1);
+        assert!(gate.try_acquire());
+        assert_eq!(gate.high_water(), 2, "high water is monotone");
+    }
+
+    #[test]
+    fn acquire_blocks_until_release() {
+        let gate = Arc::new(ChunkGate::new(1));
+        gate.acquire();
+        let acquired = Arc::new(AtomicBool::new(false));
+        let (g, flag) = (Arc::clone(&gate), Arc::clone(&acquired));
+        let producer = std::thread::spawn(move || {
+            g.acquire();
+            flag.store(true, Ordering::SeqCst);
+        });
+        std::thread::sleep(Duration::from_millis(50));
+        assert!(!acquired.load(Ordering::SeqCst), "producer blocks while full");
+        gate.release();
+        producer.join().unwrap();
+        assert!(acquired.load(Ordering::SeqCst));
+        assert_eq!(gate.depth(), 1);
+    }
+
+    #[test]
+    fn poison_wakes_and_fails_blocked_producers() {
+        let gate = Arc::new(ChunkGate::new(1));
+        gate.acquire();
+        let g = Arc::clone(&gate);
+        let producer = std::thread::spawn(move || g.acquire());
+        std::thread::sleep(Duration::from_millis(20));
+        gate.poison();
+        assert!(producer.join().is_err(), "blocked producer panics instead of hanging");
+    }
+
+    #[test]
+    #[should_panic(expected = "more slots")]
+    fn release_without_acquire_panics() {
+        ChunkGate::new(1).release();
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 1")]
+    fn zero_capacity_is_rejected() {
+        let _ = ChunkGate::new(0);
+    }
+}

@@ -1,0 +1,552 @@
+//! The multi-stream engine: router, worker pool and output collector.
+
+use std::collections::HashMap;
+use std::sync::mpsc::{self, Receiver, Sender};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use ebbiot_core::{BoxedTracker, FrameResult, Pipeline, Tracker};
+use ebbiot_events::{Event, Micros};
+
+use crate::backpressure::ChunkGate;
+
+/// Recovers a mutex guard regardless of std poisoning; the engine's own
+/// poison flag (on the gates) governs producer liveness.
+fn lock<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    mutex.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Identifies one camera stream; streams are numbered `0..num_streams`
+/// in the order their pipelines were handed to [`Engine::new`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct StreamId(pub usize);
+
+impl core::fmt::Display for StreamId {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "cam{:02}", self.0)
+    }
+}
+
+/// Engine sizing knobs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EngineConfig {
+    /// Worker threads draining stream queues. Streams are pinned to
+    /// workers (`stream % workers`), which is what makes the output
+    /// independent of scheduling: one stream is only ever advanced by
+    /// one thread, in submission order.
+    pub workers: usize,
+    /// Per-stream bound on chunks in flight (queued + processing); the
+    /// router blocks or rejects producers beyond it.
+    pub queue_capacity: usize,
+}
+
+impl EngineConfig {
+    /// `workers` threads with the default queue capacity.
+    #[must_use]
+    pub fn with_workers(workers: usize) -> Self {
+        Self { workers, ..Self::default() }
+    }
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        let workers = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+        Self { workers, queue_capacity: 32 }
+    }
+}
+
+/// A chunk the router refused because the stream's queue was full
+/// (non-blocking [`Engine::try_push`] only). The events are handed back
+/// untouched so the producer can retry — nothing is ever dropped.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RejectedChunk(pub Vec<Event>);
+
+/// Point-in-time statistics for one stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StreamSnapshot {
+    /// The stream.
+    pub id: StreamId,
+    /// Events accepted by the router so far.
+    pub events_in: u64,
+    /// Chunks accepted by the router so far.
+    pub chunks_in: u64,
+    /// Frames emitted by the stream's pipeline so far.
+    pub frames_out: u64,
+    /// Confirmed track boxes reported so far.
+    pub tracks_out: u64,
+    /// Active (confirmed or provisional) trackers after the last chunk.
+    pub active_trackers: usize,
+    /// Chunks currently queued or in processing.
+    pub queue_depth: usize,
+    /// Highest queue depth observed since start.
+    pub queue_high_water: usize,
+    /// Whether the stream's `finish` has been processed.
+    pub finished: bool,
+}
+
+/// Point-in-time view of the whole engine, from [`Engine::snapshot`] or
+/// [`EngineOutput::snapshot`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct Snapshot {
+    /// Wall-clock time since the engine started.
+    pub elapsed: Duration,
+    /// Per-stream statistics, indexed by [`StreamId`].
+    pub streams: Vec<StreamSnapshot>,
+}
+
+impl Snapshot {
+    /// Total events accepted across streams.
+    #[must_use]
+    pub fn events_in(&self) -> u64 {
+        self.streams.iter().map(|s| s.events_in).sum()
+    }
+
+    /// Total frames emitted across streams.
+    #[must_use]
+    pub fn frames_out(&self) -> u64 {
+        self.streams.iter().map(|s| s.frames_out).sum()
+    }
+
+    /// Total active trackers across streams.
+    #[must_use]
+    pub fn active_trackers(&self) -> usize {
+        self.streams.iter().map(|s| s.active_trackers).sum()
+    }
+
+    /// Aggregate event throughput since start, events/second.
+    #[must_use]
+    pub fn events_per_sec(&self) -> f64 {
+        self.events_in() as f64 / self.elapsed.as_secs_f64().max(1e-9)
+    }
+
+    /// Aggregate frame throughput since start, frames/second.
+    #[must_use]
+    pub fn frames_per_sec(&self) -> f64 {
+        self.frames_out() as f64 / self.elapsed.as_secs_f64().max(1e-9)
+    }
+
+    /// Deepest queue high-water mark across streams.
+    #[must_use]
+    pub fn max_queue_high_water(&self) -> usize {
+        self.streams.iter().map(|s| s.queue_high_water).max().unwrap_or(0)
+    }
+}
+
+/// Everything the engine produced, from [`Engine::join`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct EngineOutput {
+    /// Per-stream frame sequences, indexed by [`StreamId`] — bit-for-bit
+    /// identical to running each stream's pipeline sequentially,
+    /// regardless of worker count.
+    pub streams: Vec<Vec<FrameResult>>,
+    /// Final statistics, taken after all workers drained.
+    pub snapshot: Snapshot,
+}
+
+#[derive(Debug, Default)]
+struct StreamCounters {
+    events_in: u64,
+    chunks_in: u64,
+    frames_out: u64,
+    tracks_out: u64,
+    active_trackers: usize,
+    /// Producer side: `finish_stream` was called; no more submissions.
+    closed: bool,
+    /// Worker side: the finish job has been processed.
+    finished: bool,
+}
+
+/// Shared per-stream state: admission gate, counters and the collector's
+/// ordered output buffer.
+#[derive(Debug)]
+struct StreamState {
+    gate: ChunkGate,
+    counters: Mutex<StreamCounters>,
+    results: Mutex<Vec<FrameResult>>,
+}
+
+enum Job {
+    Chunk(usize, Vec<Event>),
+    Finish(usize, Micros),
+}
+
+/// Poisons every stream gate when a worker thread unwinds, so producers
+/// blocked on a full queue fail fast instead of hanging forever.
+struct PoisonOnPanic(Arc<Vec<Arc<StreamState>>>);
+
+impl Drop for PoisonOnPanic {
+    fn drop(&mut self) {
+        if std::thread::panicking() {
+            for stream in self.0.iter() {
+                stream.gate.poison();
+            }
+        }
+    }
+}
+
+/// A multi-camera tracking engine: owns one [`Pipeline`] per stream and
+/// drives them on a fixed pool of worker threads.
+///
+/// See the [crate docs](crate) for the determinism guarantee and an
+/// example.
+#[derive(Debug)]
+pub struct Engine<T: Tracker + Send + 'static = BoxedTracker> {
+    senders: Vec<Sender<Job>>,
+    workers: Vec<JoinHandle<()>>,
+    streams: Arc<Vec<Arc<StreamState>>>,
+    config: EngineConfig,
+    started: Instant,
+    _tracker: core::marker::PhantomData<T>,
+}
+
+impl<T: Tracker + Send + 'static> Engine<T> {
+    /// Spawns the worker pool, taking ownership of one pipeline per
+    /// stream. Stream `i` gets [`StreamId`]`(i)` and is pinned to worker
+    /// `i % workers`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `config.workers` is zero or `config.queue_capacity`
+    /// is zero.
+    #[must_use]
+    pub fn new(config: EngineConfig, pipelines: Vec<Pipeline<T>>) -> Self {
+        assert!(config.workers > 0, "engine needs at least one worker");
+        // More workers than streams would only idle in `recv()` forever
+        // (pinning is `stream % workers`); clamp instead of spawning
+        // them. Determinism never depended on the worker count anyway.
+        let config = EngineConfig { workers: config.workers.min(pipelines.len()).max(1), ..config };
+        let streams: Arc<Vec<Arc<StreamState>>> = Arc::new(
+            (0..pipelines.len())
+                .map(|_| {
+                    Arc::new(StreamState {
+                        gate: ChunkGate::new(config.queue_capacity),
+                        counters: Mutex::new(StreamCounters::default()),
+                        results: Mutex::new(Vec::new()),
+                    })
+                })
+                .collect(),
+        );
+
+        // Deal the pipelines out to their pinned workers.
+        let mut owned: Vec<HashMap<usize, Pipeline<T>>> =
+            (0..config.workers).map(|_| HashMap::new()).collect();
+        for (id, pipeline) in pipelines.into_iter().enumerate() {
+            owned[id % config.workers].insert(id, pipeline);
+        }
+
+        let mut senders = Vec::with_capacity(config.workers);
+        let mut workers = Vec::with_capacity(config.workers);
+        for (w, pipelines) in owned.into_iter().enumerate() {
+            let (tx, rx) = mpsc::channel::<Job>();
+            let streams = Arc::clone(&streams);
+            let handle = std::thread::Builder::new()
+                .name(format!("ebbiot-worker-{w}"))
+                .spawn(move || worker_loop(&rx, &streams, pipelines))
+                .expect("spawn engine worker");
+            senders.push(tx);
+            workers.push(handle);
+        }
+
+        Self {
+            senders,
+            workers,
+            streams,
+            config,
+            started: Instant::now(),
+            _tracker: core::marker::PhantomData,
+        }
+    }
+
+    /// Number of streams (pipelines) owned by the engine.
+    #[must_use]
+    pub fn num_streams(&self) -> usize {
+        self.streams.len()
+    }
+
+    /// Number of worker threads actually spawned (the configured count,
+    /// clamped to the stream count).
+    #[must_use]
+    pub const fn num_workers(&self) -> usize {
+        self.config.workers
+    }
+
+    fn state(&self, stream: StreamId) -> &Arc<StreamState> {
+        self.streams.get(stream.0).unwrap_or_else(|| {
+            panic!("unknown stream {stream}: engine has {} streams", self.streams.len())
+        })
+    }
+
+    fn submit(&self, stream: StreamId, chunk: Vec<Event>) {
+        let state = self.state(stream);
+        {
+            let mut counters = lock(&state.counters);
+            assert!(!counters.closed, "push to {stream} after finish_stream");
+            counters.chunks_in += 1;
+            counters.events_in += chunk.len() as u64;
+        }
+        self.senders[stream.0 % self.config.workers]
+            .send(Job::Chunk(stream.0, chunk))
+            .expect("engine worker hung up");
+    }
+
+    /// Routes a time-ordered chunk of events to `stream`, blocking while
+    /// the stream's queue is at capacity (back-pressure). Chunks pushed
+    /// by one producer are processed in push order; nothing is dropped.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an unknown stream, after [`Self::finish_stream`], or
+    /// when a worker has failed.
+    pub fn push(&self, stream: StreamId, chunk: Vec<Event>) {
+        self.state(stream).gate.acquire();
+        self.submit(stream, chunk);
+    }
+
+    /// Like [`Self::push`] but never blocks: a full stream queue hands
+    /// the chunk back as [`RejectedChunk`] for the producer to retry.
+    ///
+    /// # Errors
+    ///
+    /// Returns the chunk untouched when the stream is at capacity.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an unknown stream, after [`Self::finish_stream`], or
+    /// when a worker has failed.
+    pub fn try_push(&self, stream: StreamId, chunk: Vec<Event>) -> Result<(), RejectedChunk> {
+        if self.state(stream).gate.try_acquire() {
+            self.submit(stream, chunk);
+            Ok(())
+        } else {
+            Err(RejectedChunk(chunk))
+        }
+    }
+
+    /// Ends `stream`: its pipeline emits the open window plus trailing
+    /// empty frames covering at least `span_us` (the streaming
+    /// counterpart of `process_recording`'s span). Must be the last
+    /// submission for the stream.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an unknown stream, on a second `finish_stream` for the
+    /// same stream, or when a worker has failed.
+    pub fn finish_stream(&self, stream: StreamId, span_us: Micros) {
+        {
+            let mut counters = lock(&self.state(stream).counters);
+            assert!(!counters.closed, "finish_stream called twice for {stream}");
+            counters.closed = true;
+        }
+        self.senders[stream.0 % self.config.workers]
+            .send(Job::Finish(stream.0, span_us))
+            .expect("engine worker hung up");
+    }
+
+    /// Current per-stream and aggregate statistics.
+    #[must_use]
+    pub fn snapshot(&self) -> Snapshot {
+        Snapshot {
+            elapsed: self.started.elapsed(),
+            streams: self
+                .streams
+                .iter()
+                .enumerate()
+                .map(|(i, state)| {
+                    let counters = lock(&state.counters);
+                    StreamSnapshot {
+                        id: StreamId(i),
+                        events_in: counters.events_in,
+                        chunks_in: counters.chunks_in,
+                        frames_out: counters.frames_out,
+                        tracks_out: counters.tracks_out,
+                        active_trackers: counters.active_trackers,
+                        queue_depth: state.gate.depth(),
+                        queue_high_water: state.gate.high_water(),
+                        finished: counters.finished,
+                    }
+                })
+                .collect(),
+        }
+    }
+
+    /// Shuts the engine down: closes the job queues, waits for the
+    /// workers to drain, and returns every stream's re-sequenced frame
+    /// output plus a final [`Snapshot`].
+    ///
+    /// # Panics
+    ///
+    /// Re-raises a worker panic (e.g. out-of-order events pushed to a
+    /// stream) on the caller.
+    #[must_use]
+    pub fn join(mut self) -> EngineOutput {
+        self.senders.clear(); // hang up: workers exit once drained
+        for worker in self.workers.drain(..) {
+            if let Err(panic) = worker.join() {
+                std::panic::resume_unwind(panic);
+            }
+        }
+        let streams = self.streams.iter().map(|s| std::mem::take(&mut *lock(&s.results))).collect();
+        EngineOutput { streams, snapshot: self.snapshot() }
+    }
+}
+
+fn worker_loop<T: Tracker>(
+    jobs: &Receiver<Job>,
+    streams: &Arc<Vec<Arc<StreamState>>>,
+    mut pipelines: HashMap<usize, Pipeline<T>>,
+) {
+    let _poison_guard = PoisonOnPanic(Arc::clone(streams));
+    while let Ok(job) = jobs.recv() {
+        let (id, frames, finished) = match job {
+            Job::Chunk(id, chunk) => {
+                let pipeline = pipelines.get_mut(&id).expect("stream pinned to this worker");
+                (id, pipeline.push(&chunk), false)
+            }
+            Job::Finish(id, span_us) => {
+                let pipeline = pipelines.get_mut(&id).expect("stream pinned to this worker");
+                (id, pipeline.finish(span_us), true)
+            }
+        };
+        let state = &streams[id];
+        {
+            let mut counters = lock(&state.counters);
+            counters.frames_out += frames.len() as u64;
+            counters.tracks_out += frames.iter().map(|f| f.tracks.len() as u64).sum::<u64>();
+            counters.active_trackers = pipelines[&id].active_trackers();
+            counters.finished |= finished;
+        }
+        lock(&state.results).extend(frames);
+        if !finished {
+            state.gate.release();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ebbiot_core::{EbbiotConfig, EbbiotPipeline};
+    use ebbiot_events::SensorGeometry;
+
+    fn pipelines(n: usize) -> Vec<EbbiotPipeline> {
+        let config = EbbiotConfig::paper_default(SensorGeometry::davis240());
+        (0..n).map(|_| EbbiotPipeline::new(config.clone())).collect()
+    }
+
+    /// Dense block of events surviving the median filter.
+    fn block_events(x0: u16, t0: u64) -> Vec<Event> {
+        let mut events = Vec::new();
+        for dy in 0..12u16 {
+            for dx in 0..24u16 {
+                events.push(Event::on(x0 + dx, 80 + dy, t0 + u64::from(dy)));
+            }
+        }
+        events
+    }
+
+    #[test]
+    fn engine_with_no_streams_joins_empty() {
+        let engine = Engine::new(EngineConfig::with_workers(2), pipelines(0));
+        let out = engine.join();
+        assert!(out.streams.is_empty());
+        assert_eq!(out.snapshot.events_in(), 0);
+    }
+
+    #[test]
+    fn per_stream_outputs_match_sequential_for_any_worker_count() {
+        let chunks: Vec<Vec<Event>> =
+            (0..5u64).map(|k| block_events(40 + 4 * k as u16, k * 66_000)).collect();
+        let span = 8 * 66_000;
+
+        let mut reference = pipelines(1).pop().unwrap();
+        let mut expected = Vec::new();
+        for chunk in &chunks {
+            expected.extend(reference.push(chunk));
+        }
+        expected.extend(reference.finish(span));
+
+        for workers in [1, 2, 3, 8] {
+            let engine = Engine::new(EngineConfig::with_workers(workers), pipelines(3));
+            for chunk in &chunks {
+                for s in 0..3 {
+                    engine.push(StreamId(s), chunk.clone());
+                }
+            }
+            for s in 0..3 {
+                engine.finish_stream(StreamId(s), span);
+            }
+            let out = engine.join();
+            assert_eq!(out.streams.len(), 3);
+            for (s, frames) in out.streams.iter().enumerate() {
+                assert_eq!(frames, &expected, "stream {s} with {workers} workers");
+            }
+            assert_eq!(out.snapshot.frames_out(), 3 * expected.len() as u64);
+            assert!(out.snapshot.streams.iter().all(|s| s.finished));
+        }
+    }
+
+    #[test]
+    fn snapshot_counts_router_accepts() {
+        let engine = Engine::new(EngineConfig::with_workers(1), pipelines(2));
+        engine.push(StreamId(0), block_events(40, 0));
+        engine.push(StreamId(0), block_events(44, 66_000));
+        engine.push(StreamId(1), block_events(40, 0));
+        let snap = engine.snapshot();
+        assert_eq!(snap.streams[0].chunks_in, 2);
+        assert_eq!(snap.streams[1].chunks_in, 1);
+        assert_eq!(snap.events_in(), 3 * 288);
+        let out = engine.join();
+        assert!(out.snapshot.streams[0].queue_high_water >= 1);
+        assert_eq!(out.snapshot.events_in(), 3 * 288);
+        assert!(out.snapshot.elapsed >= snap.elapsed);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown stream")]
+    fn pushing_to_unknown_stream_panics() {
+        let engine = Engine::new(EngineConfig::with_workers(1), pipelines(1));
+        engine.push(StreamId(7), Vec::new());
+    }
+
+    #[test]
+    #[should_panic(expected = "after finish_stream")]
+    fn pushing_after_finish_panics() {
+        let engine = Engine::new(EngineConfig::with_workers(1), pipelines(1));
+        engine.finish_stream(StreamId(0), 66_000);
+        // The producer-side closed flag fires immediately — no need to
+        // wait for the worker to process the finish job.
+        engine.push(StreamId(0), Vec::new());
+    }
+
+    #[test]
+    #[should_panic(expected = "called twice")]
+    fn double_finish_panics() {
+        let engine = Engine::new(EngineConfig::with_workers(1), pipelines(1));
+        engine.finish_stream(StreamId(0), 66_000);
+        engine.finish_stream(StreamId(0), 66_000);
+    }
+
+    #[test]
+    fn workers_are_clamped_to_stream_count() {
+        let engine = Engine::new(EngineConfig::with_workers(64), pipelines(2));
+        assert_eq!(engine.num_workers(), 2);
+        let engine = Engine::new(EngineConfig::with_workers(64), pipelines(0));
+        assert_eq!(engine.num_workers(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "time-ordered")]
+    fn worker_panic_resurfaces_on_join() {
+        let engine = Engine::new(EngineConfig::with_workers(1), pipelines(1));
+        engine.push(StreamId(0), vec![Event::on(10, 10, 70_000)]);
+        engine.push(StreamId(0), vec![Event::on(10, 10, 0)]); // out of order
+        let _ = engine.join();
+    }
+
+    #[test]
+    fn stream_id_displays_as_camera() {
+        assert_eq!(StreamId(3).to_string(), "cam03");
+        assert_eq!(StreamId(12).to_string(), "cam12");
+    }
+}

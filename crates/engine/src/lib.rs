@@ -1,0 +1,80 @@
+//! Multi-camera concurrent tracking engine with deterministic fan-out.
+//!
+//! The paper targets *fleets* of stationary neuromorphic sensors, each
+//! feeding a low-complexity tracker. This crate runs N independent
+//! camera streams concurrently over the streaming
+//! [`Pipeline::push`](ebbiot_core::Pipeline::push) /
+//! [`finish`](ebbiot_core::Pipeline::finish) API from `ebbiot_core`,
+//! using nothing but `std` (threads, `mpsc`, `Mutex`/`Condvar` — the
+//! workspace is offline/vendored):
+//!
+//! * a [`StreamId`]-keyed **router** that shards incoming event chunks
+//!   to per-stream bounded queues, with blocking ([`Engine::push`]) or
+//!   rejecting ([`Engine::try_push`]) back-pressure via [`ChunkGate`];
+//! * a **worker pool** that drains the queues and drives each stream's
+//!   own [`Pipeline`](ebbiot_core::Pipeline);
+//! * an **output collector** that keeps every stream's `FrameResult`s in
+//!   emission order, indexed by stream;
+//! * per-stream and aggregate **stats** (events/s, frames/s, active
+//!   trackers, queue depth high-water) through [`Engine::snapshot`];
+//! * [`Engine::run_fleet`], the batteries-included entry point the
+//!   `exp_fleet` experiment binary drives.
+//!
+//! # Determinism guarantee
+//!
+//! Engine output is **bit-for-bit identical to running each stream's
+//! pipeline sequentially**, for any worker count and any chunk
+//! granularity. Three properties combine to give this:
+//!
+//! 1. **Stream pinning** — stream `i` is owned by worker
+//!    `i % workers`, so exactly one thread ever advances a given
+//!    pipeline; there is no intra-stream racing to be ordered.
+//! 2. **FIFO routing** — each worker drains one FIFO job queue, so a
+//!    stream's chunks are processed in submission order, and the
+//!    chunked streaming `Pipeline` is itself proven chunking-invariant
+//!    (`push`/`finish` ≡ `process_recording`, see the core crate's
+//!    parity tests).
+//! 3. **Per-stream collection** — results are appended to the stream's
+//!    own ordered buffer and returned indexed by [`StreamId`], so
+//!    cross-stream completion order (the only thing scheduling can
+//!    affect) never shows up in the output.
+//!
+//! `tests/engine_determinism.rs` at the workspace root checks exactly
+//! this: a 16-camera fleet on 1, 2 and 8 workers against sequential
+//! `process_recording`, for every registered back-end.
+//!
+//! # Example
+//!
+//! ```
+//! use ebbiot_core::{EbbiotConfig, EbbiotPipeline};
+//! use ebbiot_engine::{Engine, EngineConfig, StreamId};
+//! use ebbiot_events::{Event, SensorGeometry};
+//!
+//! let config = EbbiotConfig::paper_default(SensorGeometry::davis240());
+//! let pipelines = (0..4).map(|_| EbbiotPipeline::new(config.clone())).collect();
+//! let engine = Engine::new(EngineConfig::with_workers(2), pipelines);
+//!
+//! // Each camera feed pushes independently; back-pressure per stream.
+//! let events: Vec<Event> =
+//!     (0..200).map(|i| Event::on(60 + (i % 20) as u16, 80 + (i / 20) as u16, i)).collect();
+//! engine.push(StreamId(0), events);
+//! for cam in 0..4 {
+//!     engine.finish_stream(StreamId(cam), 200_000);
+//! }
+//! let out = engine.join();
+//! assert_eq!(out.streams.len(), 4);
+//! assert!(out.streams[0][0].num_events > 0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod backpressure;
+pub mod engine;
+pub mod fleet;
+
+pub use backpressure::ChunkGate;
+pub use engine::{
+    Engine, EngineConfig, EngineOutput, RejectedChunk, Snapshot, StreamId, StreamSnapshot,
+};
+pub use fleet::{FleetOptions, FleetRun, FleetStream};

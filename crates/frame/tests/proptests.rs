@@ -30,6 +30,14 @@ fn arb_box() -> impl Strategy<Value = BoundingBox> {
         .prop_map(|(x, y, w, h)| BoundingBox::new(x, y, w, h))
 }
 
+/// Pixel boxes whose corners may lie well outside the `W x H` sensor, so
+/// the clipped code paths of `count_in_box`/`any_in_box` are exercised
+/// (including boxes entirely off the array and degenerate boxes).
+fn arb_pixel_box() -> impl Strategy<Value = PixelBox> {
+    (0..W + 20, 0..H + 20, 0..W + 20, 0..H + 20)
+        .prop_map(|(x0, y0, x1, y1)| PixelBox::new(x0.min(x1), y0.min(y1), x0.max(x1), y0.max(y1)))
+}
+
 proptest! {
     #[test]
     fn ebbi_pixel_count_never_exceeds_event_count(
@@ -112,6 +120,39 @@ proptest! {
             let in_run = runs.iter().any(|r| i >= r.start && i < r.end);
             prop_assert_eq!(in_run, v >= threshold, "bin {} value {}", i, v);
         }
+    }
+
+    #[test]
+    fn box_counting_matches_naive_per_pixel_loop(
+        pixels in arb_pixels(),
+        b in arb_pixel_box(),
+    ) {
+        let img = image_of(&pixels);
+        // Reference: scan every sensor pixel and test box membership —
+        // no clipping logic to share bugs with the implementation.
+        let mut naive = 0usize;
+        for y in 0..H {
+            for x in 0..W {
+                if x >= b.x_min && x < b.x_max && y >= b.y_min && y < b.y_max && img.get(x, y) {
+                    naive += 1;
+                }
+            }
+        }
+        prop_assert_eq!(img.count_in_box(&b), naive);
+        prop_assert_eq!(img.any_in_box(&b), naive > 0);
+    }
+
+    #[test]
+    fn boxes_clipped_at_the_sensor_edge_count_only_inside_pixels(pixels in arb_pixels()) {
+        let img = image_of(&pixels);
+        // A box hanging over every edge clips to the full sensor.
+        let over = PixelBox::new(0, 0, W + 20, H + 20);
+        prop_assert_eq!(img.count_in_box(&over), img.count_ones());
+        prop_assert_eq!(img.any_in_box(&over), img.count_ones() > 0);
+        // A box entirely off the array is empty.
+        let outside = PixelBox::new(W, H, W + 20, H + 20);
+        prop_assert_eq!(img.count_in_box(&outside), 0);
+        prop_assert!(!img.any_in_box(&outside));
     }
 
     #[test]

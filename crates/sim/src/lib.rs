@@ -20,8 +20,10 @@
 //! * exact per-frame ground-truth boxes, replacing manual annotation.
 //!
 //! Entry points: [`DatasetPreset`] regenerates ENG/LT4-like recordings for
-//! the experiment harnesses; [`TrafficGenerator`] and [`DavisSimulator`]
-//! expose the pieces for custom scenes.
+//! the experiment harnesses; [`FleetConfig`] generates K independently
+//! seeded camera recordings for the engine's fleet experiments;
+//! [`TrafficGenerator`] and [`DavisSimulator`] expose the pieces for
+//! custom scenes.
 //!
 //! # Example
 //!
@@ -36,6 +38,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod fleet;
 pub mod generator;
 pub mod ground_truth;
 pub mod noise;
@@ -47,6 +50,7 @@ pub mod scene;
 pub mod sensor;
 pub mod trajectory;
 
+pub use fleet::FleetConfig;
 pub use generator::{LaneConfig, TrafficConfig, TrafficGenerator};
 pub use ground_truth::{GroundTruthBox, GroundTruthFrame};
 pub use noise::BackgroundNoise;

@@ -14,6 +14,8 @@
 //!   ([`ebbiot_core`])
 //! * [`baselines`] — KF and EBMS tracker back-ends plus the back-end
 //!   registry ([`ebbiot_baselines`])
+//! * [`engine`] — the multi-camera concurrent tracking engine with
+//!   deterministic fan-out ([`ebbiot_engine`])
 //! * [`eval`] — IoU precision/recall evaluation ([`ebbiot_eval`])
 //! * [`resource`] — the paper's analytic cost models ([`ebbiot_resource`])
 //! * [`linalg`] — the small dense linear algebra used by the KF
@@ -49,6 +51,7 @@
 
 pub use ebbiot_baselines as baselines;
 pub use ebbiot_core as core;
+pub use ebbiot_engine as engine;
 pub use ebbiot_eval as eval;
 pub use ebbiot_events as events;
 pub use ebbiot_filters as filters;
@@ -69,6 +72,9 @@ pub mod prelude {
         RegionOfExclusion, RegionProposalNetwork, RpnMode, TrackBox, Tracker, TrackerInput,
         TwoTimescaleConfig, TwoTimescalePipeline,
     };
+    pub use ebbiot_engine::{
+        Engine, EngineConfig, EngineOutput, FleetOptions, FleetRun, FleetStream, Snapshot, StreamId,
+    };
     pub use ebbiot_eval::{
         evaluate_frames, sweep_thresholds, weighted_average, EvalAccumulator, PrecisionRecall,
         RecordingEval,
@@ -78,7 +84,7 @@ pub mod prelude {
     pub use ebbiot_frame::{BinaryImage, BoundingBox, EbbiAccumulator, MedianFilter, PixelBox};
     pub use ebbiot_resource::{fig5_comparison, PaperParams, PipelineCost};
     pub use ebbiot_sim::{
-        BackgroundNoise, DatasetPreset, DavisConfig, DavisSimulator, ObjectClass, Scene,
-        SceneObject, SimulatedRecording, TrafficConfig, TrafficGenerator,
+        BackgroundNoise, DatasetPreset, DavisConfig, DavisSimulator, FleetConfig, ObjectClass,
+        Scene, SceneObject, SimulatedRecording, TrafficConfig, TrafficGenerator,
     };
 }

@@ -1,0 +1,86 @@
+//! Engine determinism: a 16-camera fleet driven through the concurrent
+//! engine must produce output **bit-for-bit identical** to running each
+//! camera's pipeline sequentially via `process_recording` — for every
+//! registered back-end and regardless of worker count.
+//!
+//! This is the contract `ebbiot_engine`'s docs promise: stream pinning +
+//! FIFO routing + per-stream collection make worker scheduling invisible
+//! in the output.
+
+use ebbiot::engine::FleetOptions;
+use ebbiot::prelude::*;
+
+const CAMERAS: usize = 16;
+const SECONDS: f64 = 0.4;
+
+fn fleet() -> Vec<SimulatedRecording> {
+    FleetConfig::new(DatasetPreset::Lt4, CAMERAS).with_seconds(SECONDS).generate()
+}
+
+/// Sequential reference: one fresh pipeline per camera, batch API.
+fn sequential(spec: &BackendSpec, fleet: &[SimulatedRecording]) -> Vec<Vec<FrameResult>> {
+    let config = EbbiotConfig::paper_default(fleet[0].geometry).with_frame_us(fleet[0].frame_us);
+    fleet
+        .iter()
+        .map(|rec| spec.build(config.clone()).process_recording(&rec.events, rec.duration_us))
+        .collect()
+}
+
+#[test]
+fn sixteen_camera_fleet_is_bit_identical_across_worker_counts() {
+    let fleet = fleet();
+    assert_eq!(fleet.len(), CAMERAS);
+    let config = EbbiotConfig::paper_default(fleet[0].geometry).with_frame_us(fleet[0].frame_us);
+
+    for spec in BACKENDS {
+        let expected = sequential(spec, &fleet);
+        assert!(expected.iter().all(|frames| !frames.is_empty()), "{}", spec.name);
+
+        for workers in [1usize, 2, 8] {
+            let pipelines = spec.build_fleet(&config, CAMERAS);
+            let streams: Vec<FleetStream<'_>> = fleet
+                .iter()
+                .map(|r| FleetStream { events: &r.events, span_us: r.duration_us })
+                .collect();
+            // Odd chunk size so chunk boundaries and frame boundaries
+            // disagree; tiny queue so back-pressure engages.
+            let run = Engine::run_fleet(
+                pipelines,
+                &streams,
+                &FleetOptions { workers, queue_capacity: 2, chunk_events: 777 },
+            );
+            assert_eq!(
+                run.output.streams, expected,
+                "backend {} with {workers} workers diverged from sequential",
+                spec.name
+            );
+            assert_eq!(
+                run.events(),
+                fleet.iter().map(|r| r.events.len() as u64).sum::<u64>(),
+                "no events dropped"
+            );
+        }
+    }
+}
+
+#[test]
+fn chunk_granularity_does_not_change_fleet_output() {
+    let fleet = fleet();
+    let config = EbbiotConfig::paper_default(fleet[0].geometry).with_frame_us(fleet[0].frame_us);
+    let spec = registry::find_backend("ebbiot").unwrap();
+    let expected = sequential(spec, &fleet);
+
+    for chunk_events in [1usize << 30, 191, 1] {
+        let pipelines = spec.build_fleet(&config, CAMERAS);
+        let streams: Vec<FleetStream<'_>> = fleet
+            .iter()
+            .map(|r| FleetStream { events: &r.events, span_us: r.duration_us })
+            .collect();
+        let run = Engine::run_fleet(
+            pipelines,
+            &streams,
+            &FleetOptions { workers: 4, queue_capacity: 8, chunk_events },
+        );
+        assert_eq!(run.output.streams, expected, "chunk size {chunk_events}");
+    }
+}
