@@ -20,7 +20,7 @@
 use std::time::Instant;
 
 use ebbiot_baselines::registry;
-use ebbiot_bench::{run_fleet_backend, run_fleet_sequential};
+use ebbiot_bench::{run_fleet_backend, run_fleet_sequential, JsonReport};
 use ebbiot_engine::FleetOptions;
 use ebbiot_eval::report::render_table;
 use ebbiot_sim::{DatasetPreset, FleetConfig};
@@ -153,5 +153,23 @@ fn main() {
         std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
     );
     println!("\nDeterminism: engine output bit-for-bit identical to sequential: {identical}");
+
+    // Machine-readable artifact for the perf trajectory.
+    JsonReport::new()
+        .str("experiment", "fleet")
+        .str("backend", spec.name)
+        .str("preset", args.preset.name())
+        .u64("cameras", args.cameras as u64)
+        .u64("workers", workers as u64)
+        .f64("seconds_per_camera", args.seconds)
+        .u64("events", total_events)
+        .f64("engine_events_per_sec", engine_rate)
+        .f64("sequential_events_per_sec", seq_rate)
+        .f64("speedup", speedup)
+        .bool("identical", identical)
+        .write(std::path::Path::new("BENCH_fleet.json"))
+        .expect("write BENCH_fleet.json");
+    println!("wrote BENCH_fleet.json");
+
     assert!(identical, "engine output diverged from sequential processing");
 }

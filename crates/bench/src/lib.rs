@@ -142,6 +142,71 @@ pub fn run_fleet_sequential(
         .collect()
 }
 
+/// Minimal ordered JSON-object builder for the machine-readable
+/// `BENCH_*.json` artifacts the experiment binaries emit (the
+/// workspace is offline — no serde). Insertion order is preserved so
+/// diffs between runs stay stable.
+#[derive(Debug, Default, Clone)]
+pub struct JsonReport {
+    fields: Vec<(String, String)>,
+}
+
+impl JsonReport {
+    /// An empty report.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn push(mut self, key: &str, rendered: String) -> Self {
+        self.fields.push((key.to_string(), rendered));
+        self
+    }
+
+    /// Adds an integer field.
+    #[must_use]
+    pub fn u64(self, key: &str, value: u64) -> Self {
+        self.push(key, value.to_string())
+    }
+
+    /// Adds a float field (non-finite values become `null`).
+    #[must_use]
+    pub fn f64(self, key: &str, value: f64) -> Self {
+        let rendered = if value.is_finite() { format!("{value:.6}") } else { "null".into() };
+        self.push(key, rendered)
+    }
+
+    /// Adds a boolean field.
+    #[must_use]
+    pub fn bool(self, key: &str, value: bool) -> Self {
+        self.push(key, value.to_string())
+    }
+
+    /// Adds a string field (escaping quotes and backslashes).
+    #[must_use]
+    pub fn str(self, key: &str, value: &str) -> Self {
+        let escaped = value.replace('\\', "\\\\").replace('"', "\\\"");
+        self.push(key, format!("\"{escaped}\""))
+    }
+
+    /// Renders the report as a single JSON object.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let body: Vec<String> =
+            self.fields.iter().map(|(k, v)| format!("  \"{k}\": {v}")).collect();
+        format!("{{\n{}\n}}\n", body.join(",\n"))
+    }
+
+    /// Writes the rendered report to `path`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying I/O error.
+    pub fn write(&self, path: &std::path::Path) -> std::io::Result<()> {
+        std::fs::write(path, self.render())
+    }
+}
+
 /// Parses `--seconds <f>`, `--seed <u>` and `--full` from argv, returning
 /// `(seconds_override, seed, full)`.
 #[must_use]
@@ -239,6 +304,22 @@ mod tests {
             &FleetOptions { workers: 2, queue_capacity: 4, chunk_events: 512 },
         );
         assert_eq!(run.output.streams, sequential);
+    }
+
+    #[test]
+    fn json_report_renders_ordered_valid_json() {
+        let json = JsonReport::new()
+            .u64("events", 1200)
+            .f64("ratio", 2.5)
+            .f64("bad", f64::NAN)
+            .bool("identical", true)
+            .str("backend", "ebbi\"ot")
+            .render();
+        assert_eq!(
+            json,
+            "{\n  \"events\": 1200,\n  \"ratio\": 2.500000,\n  \"bad\": null,\n  \
+             \"identical\": true,\n  \"backend\": \"ebbi\\\"ot\"\n}\n"
+        );
     }
 
     #[test]

@@ -20,6 +20,12 @@
 //! * [`Engine::run_fleet`], the batteries-included entry point the
 //!   `exp_fleet` experiment binary drives.
 //!
+//! The engine is source-agnostic: `run_fleet` feeds it from in-memory
+//! recordings, while `ebbiot_store`'s `Replayer` drives the same
+//! [`Engine::push`]/[`Engine::finish_stream`] API from chunked on-disk
+//! `EBST` readers — `tests/store_replay_parity.rs` proves both paths
+//! produce bit-for-bit identical output.
+//!
 //! # Determinism guarantee
 //!
 //! Engine output is **bit-for-bit identical to running each stream's

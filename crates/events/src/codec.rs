@@ -13,8 +13,10 @@
 //! ```
 //!
 //! Events must be written time-ordered; the decoder validates ordering,
-//! bounds and the header. The text format is one `t x y p` line per event
-//! (`p` is `1`/`-1`), handy for debugging and diffing.
+//! bounds, the header and the exact payload length (truncated *and*
+//! trailing bytes are rejected — nothing is silently ignored). The text
+//! format is one `t x y p` line per event (`p` is `1`/`-1`), handy for
+//! debugging and diffing.
 
 use crate::{Event, Polarity, SensorGeometry};
 
@@ -36,12 +38,26 @@ pub enum CodecError {
     BadMagic([u8; 4]),
     /// Unsupported format version.
     UnsupportedVersion(u16),
+    /// The header declares a zero-sized sensor array.
+    BadGeometry {
+        /// Declared columns.
+        width: u16,
+        /// Declared rows.
+        height: u16,
+    },
     /// Declared event count does not match the payload size.
     TruncatedPayload {
         /// Events declared in the header.
         declared: u64,
         /// Events actually present.
         available: u64,
+    },
+    /// Payload carries bytes beyond the declared events. Accepting
+    /// them would silently drop data on a re-encode, so they are
+    /// rejected.
+    TrailingData {
+        /// Bytes past the last declared event record.
+        extra_bytes: usize,
     },
     /// An event lies outside the declared geometry.
     OutOfBounds {
@@ -70,8 +86,14 @@ impl core::fmt::Display for CodecError {
             CodecError::TruncatedHeader => write!(f, "input shorter than header"),
             CodecError::BadMagic(m) => write!(f, "bad magic bytes {m:?}"),
             CodecError::UnsupportedVersion(v) => write!(f, "unsupported version {v}"),
+            CodecError::BadGeometry { width, height } => {
+                write!(f, "header declares a zero-sized {width}x{height} sensor array")
+            }
             CodecError::TruncatedPayload { declared, available } => {
                 write!(f, "header declares {declared} events but payload has {available}")
+            }
+            CodecError::TrailingData { extra_bytes } => {
+                write!(f, "{extra_bytes} trailing bytes after the declared events")
             }
             CodecError::OutOfBounds { index, x, y } => {
                 write!(f, "event {index} at ({x}, {y}) outside sensor array")
@@ -142,11 +164,19 @@ pub fn decode_binary(bytes: &[u8]) -> Result<Recording, CodecError> {
     }
     let width = u16::from_le_bytes(bytes[6..8].try_into().expect("len 2"));
     let height = u16::from_le_bytes(bytes[8..10].try_into().expect("len 2"));
+    if width == 0 || height == 0 {
+        // `SensorGeometry::new` would panic; corrupt input must error.
+        return Err(CodecError::BadGeometry { width, height });
+    }
     let declared = u64::from_le_bytes(bytes[10..18].try_into().expect("len 8"));
     let payload = &bytes[HEADER_BYTES..];
     let available = (payload.len() / EVENT_RECORD_BYTES) as u64;
-    if available < declared || !payload.len().is_multiple_of(EVENT_RECORD_BYTES) {
+    if available < declared {
         return Err(CodecError::TruncatedPayload { declared, available });
+    }
+    let declared_bytes = declared as usize * EVENT_RECORD_BYTES;
+    if payload.len() > declared_bytes {
+        return Err(CodecError::TrailingData { extra_bytes: payload.len() - declared_bytes });
     }
     let geometry = SensorGeometry::new(width, height);
     let mut events = Vec::with_capacity(declared as usize);
@@ -279,6 +309,33 @@ mod tests {
         let mut bytes = encode_binary(geom, &[Event::on(1, 1, 5)]);
         bytes.truncate(bytes.len() - 1);
         assert!(matches!(decode_binary(&bytes), Err(CodecError::TruncatedPayload { .. })));
+    }
+
+    #[test]
+    fn decode_rejects_zero_geometry_instead_of_panicking() {
+        let mut bytes = encode_binary(SensorGeometry::new(4, 4), &[]);
+        bytes[6..8].copy_from_slice(&0u16.to_le_bytes());
+        assert_eq!(decode_binary(&bytes), Err(CodecError::BadGeometry { width: 0, height: 4 }));
+        bytes[6..8].copy_from_slice(&4u16.to_le_bytes());
+        bytes[8..10].copy_from_slice(&0u16.to_le_bytes());
+        assert_eq!(decode_binary(&bytes), Err(CodecError::BadGeometry { width: 4, height: 0 }));
+    }
+
+    #[test]
+    fn decode_rejects_trailing_bytes() {
+        let geom = SensorGeometry::new(4, 4);
+        // One stray byte after the declared records.
+        let mut bytes = encode_binary(geom, &[Event::on(1, 1, 5)]);
+        bytes.push(0xAB);
+        assert_eq!(decode_binary(&bytes), Err(CodecError::TrailingData { extra_bytes: 1 }));
+        // A whole extra (undeclared) record is rejected too, not
+        // silently dropped.
+        let mut bytes = encode_binary(geom, &[Event::on(1, 1, 5)]);
+        bytes.extend_from_slice(&encode_binary(geom, &[Event::on(2, 2, 9)])[HEADER_BYTES..]);
+        assert_eq!(
+            decode_binary(&bytes),
+            Err(CodecError::TrailingData { extra_bytes: EVENT_RECORD_BYTES })
+        );
     }
 
     #[test]

@@ -48,6 +48,7 @@ pub mod recording;
 pub mod scenario;
 pub mod scene;
 pub mod sensor;
+pub mod spool;
 pub mod trajectory;
 
 pub use fleet::FleetConfig;
@@ -60,4 +61,5 @@ pub use recording::SimulatedRecording;
 pub use scenario::ScenarioBuilder;
 pub use scene::{Flicker, Scene, SceneObject};
 pub use sensor::{DavisConfig, DavisSimulator};
+pub use spool::{spool_fleet, spool_recording};
 pub use trajectory::LinearTrajectory;

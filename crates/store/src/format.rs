@@ -1,0 +1,496 @@
+//! The `EBST` wire format: constants, varint/zigzag coding, CRC32 and
+//! the chunk payload codec.
+//!
+//! See the [crate docs](crate) for the full layout specification. This
+//! module owns everything byte-level; the [`writer`](crate::writer) and
+//! [`reader`](crate::reader) modules only frame and stream it.
+
+use ebbiot_events::{Event, Polarity, SensorGeometry, Timestamp};
+
+/// Magic bytes opening an `EBST` file.
+pub const MAGIC: [u8; 4] = *b"EBST";
+/// Magic bytes closing the footer (read backwards from EOF).
+pub const END_MAGIC: [u8; 4] = *b"EBSX";
+/// Current format version.
+pub const VERSION: u16 = 1;
+/// Size of the fixed header prefix (magic, version, width, height,
+/// name length, span), excluding the variable-length stream name.
+pub const HEADER_FIXED_BYTES: usize = 20;
+/// Size of one chunk frame (count, t\_first, t\_last, payload length,
+/// CRC32), excluding the payload itself.
+pub const CHUNK_FRAME_BYTES: usize = 28;
+/// Size of one chunk-index entry (offset, count, t\_first, t\_last).
+pub const INDEX_ENTRY_BYTES: usize = 28;
+/// Size of the trailing footer (total events, index offset, chunk
+/// count, index CRC32, end magic).
+pub const FOOTER_BYTES: usize = 28;
+/// Upper bound on encoded bytes per event (worst-case varints for the
+/// timestamp delta plus both coordinate deltas); used to reject
+/// nonsensical payload lengths before allocating.
+pub const MAX_EVENT_BYTES: usize = 10 + 3 + 3;
+
+/// Everything that can go wrong reading or writing a store.
+#[derive(Debug)]
+pub enum StoreError {
+    /// An underlying I/O failure.
+    Io(std::io::Error),
+    /// Input ended before a complete header.
+    TruncatedHeader,
+    /// Header magic did not match [`MAGIC`].
+    BadMagic([u8; 4]),
+    /// Unsupported format version.
+    UnsupportedVersion(u16),
+    /// The stream name was not valid UTF-8.
+    BadName,
+    /// The stream name exceeds the `u16` length field.
+    NameTooLong(usize),
+    /// The trailing footer is missing, truncated or mis-magicked.
+    BadFooter,
+    /// The chunk index does not match its stored CRC32.
+    IndexCrcMismatch,
+    /// A chunk payload does not match its stored CRC32.
+    ChunkCrcMismatch {
+        /// Zero-based chunk number.
+        chunk: usize,
+    },
+    /// A chunk's frame or payload is internally inconsistent.
+    CorruptChunk {
+        /// Zero-based chunk number.
+        chunk: usize,
+        /// What was inconsistent.
+        reason: &'static str,
+    },
+    /// A decoded event lies outside the header's sensor geometry.
+    OutOfBounds {
+        /// Zero-based chunk number.
+        chunk: usize,
+        /// Decoded column, possibly negative after a corrupt delta.
+        x: i64,
+        /// Decoded row, possibly negative after a corrupt delta.
+        y: i64,
+    },
+    /// A fleet manifest is missing, malformed, or a stream name cannot
+    /// be represented in it.
+    BadManifest {
+        /// What was wrong.
+        reason: &'static str,
+    },
+    /// Events handed to the writer were not time-ordered.
+    NotTimeOrdered,
+    /// An event handed to the writer lies outside the store's geometry.
+    EventOutOfBounds {
+        /// Offending column.
+        x: u16,
+        /// Offending row.
+        y: u16,
+    },
+}
+
+impl core::fmt::Display for StoreError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            StoreError::Io(e) => write!(f, "i/o error: {e}"),
+            StoreError::TruncatedHeader => write!(f, "input shorter than an EBST header"),
+            StoreError::BadMagic(m) => write!(f, "bad EBST magic bytes {m:?}"),
+            StoreError::UnsupportedVersion(v) => write!(f, "unsupported EBST version {v}"),
+            StoreError::BadName => write!(f, "stream name is not valid UTF-8"),
+            StoreError::NameTooLong(n) => write!(f, "stream name of {n} bytes exceeds u16"),
+            StoreError::BadFooter => write!(f, "missing or corrupt EBST footer"),
+            StoreError::IndexCrcMismatch => write!(f, "chunk index fails its CRC32"),
+            StoreError::ChunkCrcMismatch { chunk } => {
+                write!(f, "chunk {chunk} payload fails its CRC32")
+            }
+            StoreError::CorruptChunk { chunk, reason } => {
+                write!(f, "chunk {chunk} is corrupt: {reason}")
+            }
+            StoreError::OutOfBounds { chunk, x, y } => {
+                write!(f, "chunk {chunk} decodes event at ({x}, {y}) outside the sensor array")
+            }
+            StoreError::BadManifest { reason } => write!(f, "bad fleet manifest: {reason}"),
+            StoreError::NotTimeOrdered => write!(f, "events written out of timestamp order"),
+            StoreError::EventOutOfBounds { x, y } => {
+                write!(f, "event at ({x}, {y}) outside the store's sensor array")
+            }
+        }
+    }
+}
+
+impl std::error::Error for StoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StoreError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for StoreError {
+    fn from(e: std::io::Error) -> Self {
+        StoreError::Io(e)
+    }
+}
+
+/// One chunk's entry in the trailing index: where it starts and what
+/// time span it covers, enough to seek without decoding.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChunkMeta {
+    /// Byte offset of the chunk frame from the start of the file.
+    pub offset: u64,
+    /// Number of events in the chunk (always > 0).
+    pub count: u32,
+    /// Timestamp of the chunk's first event.
+    pub t_first: Timestamp,
+    /// Timestamp of the chunk's last event.
+    pub t_last: Timestamp,
+}
+
+/// The decoded stream header of an `EBST` file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StoreHeader {
+    /// Sensor geometry the events were recorded on.
+    pub geometry: SensorGeometry,
+    /// Nominal recording span in microseconds (what replay hands to
+    /// `finish`); 0 when unknown.
+    pub span_us: u64,
+    /// Stream name (e.g. `"LT4-cam03"`); may be empty.
+    pub name: String,
+}
+
+// --- varint / zigzag ---------------------------------------------------
+
+/// Appends `v` as a little-endian base-128 varint (LEB128, ≤ 10 bytes).
+pub fn write_varint(out: &mut Vec<u8>, mut v: u64) {
+    loop {
+        let byte = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            out.push(byte);
+            return;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+/// Reads a varint from `buf` at `*pos`, advancing `*pos`.
+///
+/// Returns `None` on a truncated or over-long (> 10 byte) encoding.
+#[must_use]
+pub fn read_varint(buf: &[u8], pos: &mut usize) -> Option<u64> {
+    let mut value = 0u64;
+    let mut shift = 0u32;
+    loop {
+        let byte = *buf.get(*pos)?;
+        *pos += 1;
+        if shift == 63 && byte > 1 {
+            return None; // would overflow u64
+        }
+        value |= u64::from(byte & 0x7f) << shift;
+        if byte & 0x80 == 0 {
+            return Some(value);
+        }
+        shift += 7;
+        if shift > 63 {
+            return None;
+        }
+    }
+}
+
+/// Maps a signed delta onto an unsigned varint-friendly value
+/// (0, -1, 1, -2, … → 0, 1, 2, 3, …).
+#[must_use]
+pub const fn zigzag(v: i64) -> u64 {
+    ((v << 1) ^ (v >> 63)) as u64
+}
+
+/// Inverse of [`zigzag`].
+#[must_use]
+pub const fn unzigzag(v: u64) -> i64 {
+    ((v >> 1) as i64) ^ -((v & 1) as i64)
+}
+
+// --- CRC32 -------------------------------------------------------------
+
+const fn crc_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 { (crc >> 1) ^ 0xEDB8_8320 } else { crc >> 1 };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+}
+
+static CRC_TABLE: [u32; 256] = crc_table();
+
+/// CRC-32 (IEEE 802.3 polynomial) of `bytes`.
+#[must_use]
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut crc = !0u32;
+    for &b in bytes {
+        crc = CRC_TABLE[((crc ^ u32::from(b)) & 0xff) as usize] ^ (crc >> 8);
+    }
+    !crc
+}
+
+// --- chunk payload codec ----------------------------------------------
+
+/// Encodes one chunk's events into `out` (cleared first).
+///
+/// Within a chunk the stream is delta-coded against a running
+/// predecessor: the timestamp delta (from `t_first` for the first
+/// event) as a plain varint, the column delta zigzagged, and the row
+/// delta zigzagged with the polarity bit packed into bit 0. Chunks are
+/// therefore self-contained — decoding needs nothing but the frame's
+/// `t_first`.
+///
+/// # Panics
+///
+/// Panics when `events` is empty or not time-ordered — the writer
+/// validates both before framing a chunk.
+pub fn encode_chunk_payload(out: &mut Vec<u8>, events: &[Event]) {
+    out.clear();
+    let mut prev_t = events.first().expect("chunks are never empty").t;
+    let (mut prev_x, mut prev_y) = (0i64, 0i64);
+    for e in events {
+        assert!(e.t >= prev_t, "chunk events must be time-ordered");
+        write_varint(out, e.t - prev_t);
+        write_varint(out, zigzag(i64::from(e.x) - prev_x));
+        write_varint(out, zigzag(i64::from(e.y) - prev_y) << 1 | u64::from(e.polarity.bit()));
+        prev_t = e.t;
+        prev_x = i64::from(e.x);
+        prev_y = i64::from(e.y);
+    }
+}
+
+/// Decodes a chunk payload into `out` (cleared first), validating
+/// bounds against `geometry` and consistency with the frame's `count`,
+/// `t_first` and `t_last`.
+///
+/// # Errors
+///
+/// Returns [`StoreError::CorruptChunk`] or [`StoreError::OutOfBounds`]
+/// (tagged with `chunk`) on the first inconsistency.
+pub fn decode_chunk_payload(
+    out: &mut Vec<Event>,
+    payload: &[u8],
+    chunk: usize,
+    geometry: SensorGeometry,
+    count: u32,
+    t_first: Timestamp,
+    t_last: Timestamp,
+) -> Result<(), StoreError> {
+    let corrupt = |reason| StoreError::CorruptChunk { chunk, reason };
+    // Each event costs at least 3 payload bytes (three one-byte
+    // varints), so an attacker-controlled `count` far beyond the
+    // payload is corruption — reject it *before* reserving memory for
+    // it.
+    if (payload.len() as u64) < u64::from(count) * 3 {
+        return Err(corrupt("payload too short for event count"));
+    }
+    out.clear();
+    out.reserve(count as usize);
+    let mut pos = 0usize;
+    let mut t = t_first;
+    let (mut x, mut y) = (0i64, 0i64);
+    for i in 0..count {
+        let dt = read_varint(payload, &mut pos).ok_or_else(|| corrupt("truncated varint"))?;
+        let dx = read_varint(payload, &mut pos).ok_or_else(|| corrupt("truncated varint"))?;
+        let dyp = read_varint(payload, &mut pos).ok_or_else(|| corrupt("truncated varint"))?;
+        t = t.checked_add(dt).ok_or_else(|| corrupt("timestamp overflow"))?;
+        if i == 0 && dt != 0 {
+            return Err(corrupt("first event does not start at t_first"));
+        }
+        x = x.checked_add(unzigzag(dx)).ok_or_else(|| corrupt("column delta overflow"))?;
+        y = y.checked_add(unzigzag(dyp >> 1)).ok_or_else(|| corrupt("row delta overflow"))?;
+        let polarity = Polarity::from_bit((dyp & 1) as u8);
+        let on_array = (0..i64::from(geometry.width())).contains(&x)
+            && (0..i64::from(geometry.height())).contains(&y);
+        if !on_array {
+            return Err(StoreError::OutOfBounds { chunk, x, y });
+        }
+        out.push(Event::new(x as u16, y as u16, t, polarity));
+    }
+    if pos != payload.len() {
+        return Err(corrupt("trailing bytes after last event"));
+    }
+    if t != t_last {
+        return Err(corrupt("last event does not end at t_last"));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn varint_round_trips_boundary_values() {
+        for v in [0u64, 1, 127, 128, 300, u64::from(u32::MAX), u64::MAX] {
+            let mut buf = Vec::new();
+            write_varint(&mut buf, v);
+            let mut pos = 0;
+            assert_eq!(read_varint(&buf, &mut pos), Some(v));
+            assert_eq!(pos, buf.len());
+        }
+    }
+
+    #[test]
+    fn varint_rejects_truncation_and_overflow() {
+        let mut pos = 0;
+        assert_eq!(read_varint(&[0x80], &mut pos), None, "continuation with no next byte");
+        let mut pos = 0;
+        assert_eq!(read_varint(&[0xff; 11], &mut pos), None, "over-long encoding");
+        let mut pos = 0;
+        // 10th byte with a value that would push past 64 bits.
+        let mut buf = vec![0xff; 9];
+        buf.push(0x02);
+        assert_eq!(read_varint(&buf, &mut pos), None, "u64 overflow");
+    }
+
+    #[test]
+    fn zigzag_is_involutive_and_small_for_small_magnitudes() {
+        for v in [0i64, 1, -1, 2, -2, 239, -239, i64::MAX, i64::MIN] {
+            assert_eq!(unzigzag(zigzag(v)), v);
+        }
+        assert_eq!(zigzag(0), 0);
+        assert_eq!(zigzag(-1), 1);
+        assert_eq!(zigzag(1), 2);
+    }
+
+    #[test]
+    fn crc32_matches_known_vectors() {
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+    }
+
+    fn sample() -> Vec<Event> {
+        vec![
+            Event::on(10, 20, 1_000),
+            Event::off(11, 20, 1_000),
+            Event::on(0, 0, 1_005),
+            Event::off(239, 179, 66_000),
+        ]
+    }
+
+    #[test]
+    fn chunk_payload_round_trips() {
+        let events = sample();
+        let mut payload = Vec::new();
+        encode_chunk_payload(&mut payload, &events);
+        let mut decoded = Vec::new();
+        decode_chunk_payload(
+            &mut decoded,
+            &payload,
+            0,
+            SensorGeometry::davis240(),
+            events.len() as u32,
+            events[0].t,
+            events.last().unwrap().t,
+        )
+        .unwrap();
+        assert_eq!(decoded, events);
+        // Dense traffic-like deltas stay far below the flat 14 B/event.
+        assert!(payload.len() < events.len() * 8, "{} bytes", payload.len());
+    }
+
+    #[test]
+    fn decode_rejects_out_of_bounds_after_corruption() {
+        let events = sample();
+        let mut payload = Vec::new();
+        encode_chunk_payload(&mut payload, &events);
+        let mut decoded = Vec::new();
+        let err = decode_chunk_payload(
+            &mut decoded,
+            &payload,
+            3,
+            SensorGeometry::new(8, 8), // smaller array than encoded for
+            events.len() as u32,
+            events[0].t,
+            events.last().unwrap().t,
+        )
+        .unwrap_err();
+        assert!(matches!(err, StoreError::OutOfBounds { chunk: 3, .. }), "{err}");
+    }
+
+    #[test]
+    fn decode_rejects_truncated_and_trailing_payloads() {
+        let events = sample();
+        let mut payload = Vec::new();
+        encode_chunk_payload(&mut payload, &events);
+        let geometry = SensorGeometry::davis240();
+        let (n, t0, t1) = (events.len() as u32, events[0].t, events.last().unwrap().t);
+        let mut decoded = Vec::new();
+
+        let err = decode_chunk_payload(
+            &mut decoded,
+            &payload[..payload.len() - 1],
+            0,
+            geometry,
+            n,
+            t0,
+            t1,
+        )
+        .unwrap_err();
+        assert!(matches!(err, StoreError::CorruptChunk { .. }), "{err}");
+
+        let mut trailing = payload.clone();
+        trailing.push(0);
+        let err =
+            decode_chunk_payload(&mut decoded, &trailing, 0, geometry, n, t0, t1).unwrap_err();
+        assert!(matches!(err, StoreError::CorruptChunk { reason, .. }
+                if reason.contains("trailing")));
+    }
+
+    #[test]
+    fn decode_rejects_absurd_event_counts_before_allocating() {
+        // A corrupt frame can claim u32::MAX events with a tiny
+        // payload; that must be an error, not a ~68 GB reserve.
+        let mut decoded = Vec::new();
+        let err = decode_chunk_payload(
+            &mut decoded,
+            &[0, 0, 0],
+            0,
+            SensorGeometry::davis240(),
+            u32::MAX,
+            0,
+            0,
+        )
+        .unwrap_err();
+        assert!(matches!(err, StoreError::CorruptChunk { reason, .. }
+                if reason.contains("too short")));
+        assert_eq!(decoded.capacity(), 0, "nothing was reserved");
+    }
+
+    #[test]
+    fn decode_rejects_span_mismatch() {
+        let events = sample();
+        let mut payload = Vec::new();
+        encode_chunk_payload(&mut payload, &events);
+        let mut decoded = Vec::new();
+        let err = decode_chunk_payload(
+            &mut decoded,
+            &payload,
+            0,
+            SensorGeometry::davis240(),
+            events.len() as u32,
+            events[0].t,
+            events.last().unwrap().t + 7,
+        )
+        .unwrap_err();
+        assert!(matches!(err, StoreError::CorruptChunk { reason, .. }
+                if reason.contains("t_last")));
+    }
+
+    #[test]
+    fn error_display_is_informative() {
+        let e = StoreError::OutOfBounds { chunk: 2, x: -3, y: 400 };
+        assert!(e.to_string().contains("chunk 2"));
+        assert!(StoreError::BadFooter.to_string().contains("footer"));
+    }
+}

@@ -1,0 +1,444 @@
+//! [`ChunkReader`]: streams an `EBST` file back one chunk at a time.
+
+use std::fs::File;
+use std::io::{BufReader, Read, Seek, SeekFrom};
+use std::path::Path;
+
+use ebbiot_events::{codec::Recording, Event, Micros, SensorGeometry, Timestamp};
+
+use crate::format::{
+    crc32, decode_chunk_payload, ChunkMeta, StoreError, StoreHeader, CHUNK_FRAME_BYTES, END_MAGIC,
+    FOOTER_BYTES, HEADER_FIXED_BYTES, INDEX_ENTRY_BYTES, MAGIC, MAX_EVENT_BYTES, VERSION,
+};
+
+/// Streams chunks of a stored recording without ever holding more than
+/// one decoded chunk in memory.
+///
+/// Construction reads the header, footer and seek index (28 bytes per
+/// chunk); event payloads are only read and decoded as
+/// [`ChunkReader::next_chunk`] is called. [`ChunkReader::seek_to_time`]
+/// repositions the cursor using the index alone.
+#[derive(Debug)]
+pub struct ChunkReader<R> {
+    source: R,
+    header: StoreHeader,
+    index: Vec<ChunkMeta>,
+    total_events: u64,
+    /// Index position of the next chunk to decode.
+    next: usize,
+    /// Decode target, reused across chunks.
+    buffer: Vec<Event>,
+    /// Raw payload scratch, reused across chunks.
+    raw: Vec<u8>,
+    /// After a [`ChunkReader::seek_to_time`], events of the first
+    /// decoded chunk strictly before this instant are trimmed.
+    resume_from: Option<Timestamp>,
+}
+
+impl ChunkReader<BufReader<File>> {
+    /// Opens an `EBST` file for chunked reading.
+    ///
+    /// # Errors
+    ///
+    /// Returns an I/O or format error (bad magic/version/footer, index
+    /// CRC mismatch).
+    pub fn open(path: &Path) -> Result<Self, StoreError> {
+        Self::new(BufReader::new(File::open(path)?))
+    }
+}
+
+impl<R: Read + Seek> ChunkReader<R> {
+    /// Wraps a seekable source, reading header, footer and index.
+    ///
+    /// # Errors
+    ///
+    /// Returns an I/O or format error (bad magic/version/footer, index
+    /// CRC mismatch).
+    pub fn new(mut source: R) -> Result<Self, StoreError> {
+        // Header.
+        source.seek(SeekFrom::Start(0))?;
+        let mut fixed = [0u8; HEADER_FIXED_BYTES];
+        read_exact_or(&mut source, &mut fixed, StoreError::TruncatedHeader)?;
+        let magic: [u8; 4] = fixed[0..4].try_into().expect("len 4");
+        if magic != MAGIC {
+            return Err(StoreError::BadMagic(magic));
+        }
+        let version = u16::from_le_bytes(fixed[4..6].try_into().expect("len 2"));
+        if version != VERSION {
+            return Err(StoreError::UnsupportedVersion(version));
+        }
+        let width = u16::from_le_bytes(fixed[6..8].try_into().expect("len 2"));
+        let height = u16::from_le_bytes(fixed[8..10].try_into().expect("len 2"));
+        if width == 0 || height == 0 {
+            return Err(StoreError::TruncatedHeader);
+        }
+        let name_len = u16::from_le_bytes(fixed[10..12].try_into().expect("len 2"));
+        let span_us = u64::from_le_bytes(fixed[12..20].try_into().expect("len 8"));
+        let mut name_bytes = vec![0u8; usize::from(name_len)];
+        read_exact_or(&mut source, &mut name_bytes, StoreError::TruncatedHeader)?;
+        let name = String::from_utf8(name_bytes).map_err(|_| StoreError::BadName)?;
+        let first_chunk_offset = (HEADER_FIXED_BYTES + usize::from(name_len)) as u64;
+
+        // Footer.
+        let file_len = source.seek(SeekFrom::End(0))?;
+        if file_len < first_chunk_offset + FOOTER_BYTES as u64 {
+            return Err(StoreError::BadFooter);
+        }
+        source.seek(SeekFrom::End(-(FOOTER_BYTES as i64)))?;
+        let mut footer = [0u8; FOOTER_BYTES];
+        read_exact_or(&mut source, &mut footer, StoreError::BadFooter)?;
+        if footer[24..28] != END_MAGIC {
+            return Err(StoreError::BadFooter);
+        }
+        let total_events = u64::from_le_bytes(footer[0..8].try_into().expect("len 8"));
+        let index_offset = u64::from_le_bytes(footer[8..16].try_into().expect("len 8"));
+        let chunk_count = u32::from_le_bytes(footer[16..20].try_into().expect("len 4")) as usize;
+        let index_crc = u32::from_le_bytes(footer[20..24].try_into().expect("len 4"));
+
+        // Index. Checked arithmetic throughout: every field here is
+        // attacker-controlled and must fail as BadFooter, not overflow.
+        let index_bytes_len = chunk_count
+            .checked_mul(INDEX_ENTRY_BYTES)
+            .filter(|&len| (len as u64) < file_len)
+            .ok_or(StoreError::BadFooter)?;
+        let footer_offset = file_len - FOOTER_BYTES as u64;
+        if index_offset < first_chunk_offset
+            || index_offset.checked_add(index_bytes_len as u64) != Some(footer_offset)
+        {
+            return Err(StoreError::BadFooter);
+        }
+        source.seek(SeekFrom::Start(index_offset))?;
+        let mut index_bytes = vec![0u8; index_bytes_len];
+        read_exact_or(&mut source, &mut index_bytes, StoreError::BadFooter)?;
+        if crc32(&index_bytes) != index_crc {
+            return Err(StoreError::IndexCrcMismatch);
+        }
+        let mut index = Vec::with_capacity(chunk_count);
+        let mut indexed_events = 0u64;
+        for (chunk, entry) in index_bytes.chunks_exact(INDEX_ENTRY_BYTES).enumerate() {
+            let meta = ChunkMeta {
+                offset: u64::from_le_bytes(entry[0..8].try_into().expect("len 8")),
+                count: u32::from_le_bytes(entry[8..12].try_into().expect("len 4")),
+                t_first: u64::from_le_bytes(entry[12..20].try_into().expect("len 8")),
+                t_last: u64::from_le_bytes(entry[20..28].try_into().expect("len 8")),
+            };
+            let in_file = meta.offset >= first_chunk_offset && meta.offset < index_offset;
+            let ordered = index.last().is_none_or(|prev: &ChunkMeta| {
+                prev.offset < meta.offset && prev.t_last <= meta.t_first
+            });
+            if meta.count == 0 || meta.t_last < meta.t_first || !in_file || !ordered {
+                return Err(StoreError::CorruptChunk { chunk, reason: "inconsistent index entry" });
+            }
+            indexed_events += u64::from(meta.count);
+            index.push(meta);
+        }
+        if indexed_events != total_events {
+            return Err(StoreError::BadFooter);
+        }
+
+        Ok(Self {
+            source,
+            header: StoreHeader { geometry: SensorGeometry::new(width, height), span_us, name },
+            index,
+            total_events,
+            next: 0,
+            buffer: Vec::new(),
+            raw: Vec::new(),
+            resume_from: None,
+        })
+    }
+
+    /// The stored sensor geometry.
+    #[must_use]
+    pub fn geometry(&self) -> SensorGeometry {
+        self.header.geometry
+    }
+
+    /// The nominal recording span from the header (0 when unknown).
+    #[must_use]
+    pub const fn span_us(&self) -> Micros {
+        self.header.span_us
+    }
+
+    /// The stored stream name.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.header.name
+    }
+
+    /// Total events in the recording (from the footer).
+    #[must_use]
+    pub const fn num_events(&self) -> u64 {
+        self.total_events
+    }
+
+    /// Total chunks in the recording.
+    #[must_use]
+    pub fn num_chunks(&self) -> usize {
+        self.index.len()
+    }
+
+    /// Index metadata of the next chunk [`ChunkReader::next_chunk`]
+    /// would decode, or `None` at end of stream. Peeking costs no I/O —
+    /// replay schedulers use it to pick the stream with the earliest
+    /// pending chunk.
+    #[must_use]
+    pub fn peek_meta(&self) -> Option<&ChunkMeta> {
+        self.index.get(self.next)
+    }
+
+    /// Decodes the next chunk into the reader's internal buffer and
+    /// returns it, or `None` at end of stream. Only this one chunk is
+    /// ever resident.
+    ///
+    /// # Errors
+    ///
+    /// Returns an I/O error or a corruption error (CRC mismatch, frame
+    /// inconsistent with the index, out-of-bounds or disordered
+    /// events).
+    pub fn next_chunk(&mut self) -> Result<Option<&[Event]>, StoreError> {
+        let Some(meta) = self.index.get(self.next).copied() else {
+            return Ok(None);
+        };
+        let chunk = self.next;
+        let corrupt = |reason| StoreError::CorruptChunk { chunk, reason };
+        self.source.seek(SeekFrom::Start(meta.offset))?;
+        let mut frame = [0u8; CHUNK_FRAME_BYTES];
+        read_exact_or(&mut self.source, &mut frame, corrupt("truncated chunk frame"))?;
+        let count = u32::from_le_bytes(frame[0..4].try_into().expect("len 4"));
+        let t_first = u64::from_le_bytes(frame[4..12].try_into().expect("len 8"));
+        let t_last = u64::from_le_bytes(frame[12..20].try_into().expect("len 8"));
+        let payload_len = u32::from_le_bytes(frame[20..24].try_into().expect("len 4")) as usize;
+        let payload_crc = u32::from_le_bytes(frame[24..28].try_into().expect("len 4"));
+        if count != meta.count || t_first != meta.t_first || t_last != meta.t_last {
+            return Err(corrupt("chunk frame disagrees with index"));
+        }
+        if payload_len as u64 > u64::from(count) * MAX_EVENT_BYTES as u64 {
+            return Err(corrupt("payload length exceeds event bound"));
+        }
+        self.raw.resize(payload_len, 0);
+        read_exact_or(&mut self.source, &mut self.raw, corrupt("truncated chunk payload"))?;
+        if crc32(&self.raw) != payload_crc {
+            return Err(StoreError::ChunkCrcMismatch { chunk });
+        }
+        decode_chunk_payload(
+            &mut self.buffer,
+            &self.raw,
+            chunk,
+            self.header.geometry,
+            count,
+            t_first,
+            t_last,
+        )?;
+        if let Some(resume) = self.resume_from.take() {
+            let skip = self.buffer.partition_point(|e| e.t < resume);
+            self.buffer.drain(..skip);
+        }
+        self.next += 1;
+        Ok(Some(&self.buffer))
+    }
+
+    /// Repositions the cursor so that the next decoded events are
+    /// exactly those with `t >= instant` — reading from here yields the
+    /// same suffix a fresh full read (filtered to `t >= instant`)
+    /// would. Costs only an index lookup; no payload is touched.
+    pub fn seek_to_time(&mut self, instant: Timestamp) {
+        self.next = self.index.partition_point(|meta| meta.t_last < instant);
+        self.resume_from = Some(instant);
+    }
+
+    /// Rewinds to the first chunk.
+    pub fn rewind(&mut self) {
+        self.next = 0;
+        self.resume_from = None;
+    }
+
+    /// Reads the remaining chunks into one in-memory [`Recording`] —
+    /// the lossless interop path back to the flat `EAER` codec's type.
+    /// Unlike chunked reading this *is* memory-resident; it exists for
+    /// interop and tests, not for production replay.
+    ///
+    /// # Errors
+    ///
+    /// Returns any error [`ChunkReader::next_chunk`] can.
+    pub fn read_recording(&mut self) -> Result<Recording, StoreError> {
+        // Grow as chunks actually decode — the footer's event count is
+        // untrusted input and must not drive a pre-allocation.
+        let mut events = Vec::new();
+        while let Some(chunk) = self.next_chunk()? {
+            events.extend_from_slice(chunk);
+        }
+        Ok(Recording { geometry: self.header.geometry, events })
+    }
+}
+
+/// `read_exact` with a format-specific error for truncation.
+fn read_exact_or<R: Read>(
+    source: &mut R,
+    buf: &mut [u8],
+    on_eof: StoreError,
+) -> Result<(), StoreError> {
+    source.read_exact(buf).map_err(|e| {
+        if e.kind() == std::io::ErrorKind::UnexpectedEof {
+            on_eof
+        } else {
+            StoreError::Io(e)
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::writer::{RecordingWriter, StoreOptions};
+    use std::io::Cursor;
+
+    fn events(n: usize) -> Vec<Event> {
+        (0..n)
+            .map(|i| {
+                let x = (i * 7 % 240) as u16;
+                let y = (i * 13 % 180) as u16;
+                let t = (i as u64) * 97;
+                if i % 3 == 0 {
+                    Event::off(x, y, t)
+                } else {
+                    Event::on(x, y, t)
+                }
+            })
+            .collect()
+    }
+
+    fn store(events: &[Event], chunk_events: usize, span: u64) -> Vec<u8> {
+        let mut w = RecordingWriter::new(
+            Vec::new(),
+            SensorGeometry::davis240(),
+            "unit",
+            span,
+            StoreOptions { chunk_events },
+        )
+        .unwrap();
+        w.push_events(events).unwrap();
+        w.finish().unwrap().0
+    }
+
+    #[test]
+    fn round_trips_across_chunk_sizes() {
+        let original = events(1_000);
+        for chunk_events in [1usize, 7, 100, 10_000] {
+            let bytes = store(&original, chunk_events, 123);
+            let mut reader = ChunkReader::new(Cursor::new(bytes)).unwrap();
+            assert_eq!(reader.geometry(), SensorGeometry::davis240());
+            assert_eq!(reader.span_us(), 123);
+            assert_eq!(reader.name(), "unit");
+            assert_eq!(reader.num_events(), 1_000);
+            assert_eq!(reader.num_chunks(), 1_000usize.div_ceil(chunk_events));
+            let rec = reader.read_recording().unwrap();
+            assert_eq!(rec.events, original, "chunk size {chunk_events}");
+        }
+    }
+
+    #[test]
+    fn chunked_reading_holds_one_chunk_at_a_time() {
+        let original = events(500);
+        let bytes = store(&original, 64, 0);
+        let mut reader = ChunkReader::new(Cursor::new(bytes)).unwrap();
+        let mut total = 0;
+        while let Some(chunk) = reader.next_chunk().unwrap() {
+            assert!(!chunk.is_empty() && chunk.len() <= 64);
+            total += chunk.len();
+        }
+        assert_eq!(total, 500);
+        assert!(reader.next_chunk().unwrap().is_none(), "stays at end");
+    }
+
+    #[test]
+    fn seek_to_time_matches_filtered_fresh_read() {
+        let original = events(800);
+        let bytes = store(&original, 50, 0);
+        let mut reader = ChunkReader::new(Cursor::new(bytes)).unwrap();
+        for instant in [0u64, 1, 96, 97, 40_000, 77_600, 100_000] {
+            reader.seek_to_time(instant);
+            let resumed = reader.read_recording().unwrap().events;
+            let expected: Vec<Event> =
+                original.iter().copied().filter(|e| e.t >= instant).collect();
+            assert_eq!(resumed, expected, "seek to t={instant}");
+        }
+    }
+
+    #[test]
+    fn rewind_restarts_from_the_top() {
+        let original = events(100);
+        let bytes = store(&original, 16, 0);
+        let mut reader = ChunkReader::new(Cursor::new(bytes)).unwrap();
+        reader.seek_to_time(5_000);
+        let _ = reader.read_recording().unwrap();
+        reader.rewind();
+        assert_eq!(reader.read_recording().unwrap().events, original);
+    }
+
+    #[test]
+    fn empty_store_reads_back_empty() {
+        let bytes = store(&[], 16, 42);
+        let mut reader = ChunkReader::new(Cursor::new(bytes)).unwrap();
+        assert_eq!(reader.num_events(), 0);
+        assert_eq!(reader.span_us(), 42);
+        assert!(reader.next_chunk().unwrap().is_none());
+    }
+
+    #[test]
+    fn rejects_bad_magic_version_and_footer() {
+        let good = store(&events(10), 4, 0);
+
+        let mut bad = good.clone();
+        bad[0] = b'X';
+        assert!(matches!(ChunkReader::new(Cursor::new(bad)).unwrap_err(), StoreError::BadMagic(_)));
+
+        let mut bad = good.clone();
+        bad[4] = 9;
+        assert!(matches!(
+            ChunkReader::new(Cursor::new(bad)).unwrap_err(),
+            StoreError::UnsupportedVersion(9)
+        ));
+
+        let mut bad = good.clone();
+        let n = bad.len();
+        bad[n - 1] = b'?';
+        assert!(matches!(ChunkReader::new(Cursor::new(bad)).unwrap_err(), StoreError::BadFooter));
+
+        let bad = good[..good.len() - 3].to_vec();
+        assert!(matches!(ChunkReader::new(Cursor::new(bad)).unwrap_err(), StoreError::BadFooter));
+
+        assert!(matches!(
+            ChunkReader::new(Cursor::new(b"EB".to_vec())).unwrap_err(),
+            StoreError::TruncatedHeader
+        ));
+    }
+
+    #[test]
+    fn corrupt_payload_fails_its_crc() {
+        let original = events(100);
+        let bytes = store(&original, 100, 0);
+        // Flip one byte in the middle of the single chunk's payload.
+        let mut bad = bytes.clone();
+        let payload_mid = HEADER_FIXED_BYTES + 4 + CHUNK_FRAME_BYTES + 20;
+        bad[payload_mid] ^= 0xFF;
+        let mut reader = ChunkReader::new(Cursor::new(bad)).unwrap();
+        assert!(matches!(
+            reader.next_chunk().unwrap_err(),
+            StoreError::ChunkCrcMismatch { chunk: 0 }
+        ));
+    }
+
+    #[test]
+    fn corrupt_index_fails_its_crc() {
+        let bytes = store(&events(100), 10, 0);
+        let mut bad = bytes.clone();
+        let n = bad.len();
+        // Index sits right before the 28-byte footer.
+        bad[n - FOOTER_BYTES - 5] ^= 0x01;
+        assert!(matches!(
+            ChunkReader::new(Cursor::new(bad)).unwrap_err(),
+            StoreError::IndexCrcMismatch
+        ));
+    }
+}

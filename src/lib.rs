@@ -16,6 +16,8 @@
 //!   registry ([`ebbiot_baselines`])
 //! * [`engine`] — the multi-camera concurrent tracking engine with
 //!   deterministic fan-out ([`ebbiot_engine`])
+//! * [`store`] — the chunked `EBST` on-disk recording store, fleet
+//!   spool layout and paced replay ([`ebbiot_store`])
 //! * [`eval`] — IoU precision/recall evaluation ([`ebbiot_eval`])
 //! * [`resource`] — the paper's analytic cost models ([`ebbiot_resource`])
 //! * [`linalg`] — the small dense linear algebra used by the KF
@@ -59,6 +61,7 @@ pub use ebbiot_frame as frame;
 pub use ebbiot_linalg as linalg;
 pub use ebbiot_resource as resource;
 pub use ebbiot_sim as sim;
+pub use ebbiot_store as store;
 
 /// The most common imports in one place.
 pub mod prelude {
@@ -84,7 +87,12 @@ pub mod prelude {
     pub use ebbiot_frame::{BinaryImage, BoundingBox, EbbiAccumulator, MedianFilter, PixelBox};
     pub use ebbiot_resource::{fig5_comparison, PaperParams, PipelineCost};
     pub use ebbiot_sim::{
-        BackgroundNoise, DatasetPreset, DavisConfig, DavisSimulator, FleetConfig, ObjectClass,
-        Scene, SceneObject, SimulatedRecording, TrafficConfig, TrafficGenerator,
+        spool_fleet, spool_recording, BackgroundNoise, DatasetPreset, DavisConfig, DavisSimulator,
+        FleetConfig, ObjectClass, Scene, SceneObject, SimulatedRecording, TrafficConfig,
+        TrafficGenerator,
+    };
+    pub use ebbiot_store::{
+        ChunkReader, EngineReplay, FleetStore, PipelineReplay, RecordingWriter, ReplayMode,
+        Replayer, StoreError, StoreOptions, StoreSummary, StoredCamera,
     };
 }
