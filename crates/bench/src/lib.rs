@@ -8,6 +8,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod net;
+
 use ebbiot_baselines::registry::{self, BackendSpec};
 use ebbiot_core::{EbbiotConfig, RegionOfExclusion};
 use ebbiot_engine::{Engine, FleetOptions, FleetRun, FleetStream};

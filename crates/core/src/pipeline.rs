@@ -217,6 +217,29 @@ impl<T: Tracker> Pipeline<T> {
     /// [`Self::process_recording`] over the concatenated events — without
     /// ever holding more than one window of events in memory.
     ///
+    /// ```
+    /// use ebbiot_core::{EbbiotConfig, EbbiotPipeline};
+    /// use ebbiot_events::{Event, SensorGeometry};
+    ///
+    /// let config = EbbiotConfig::paper_default(SensorGeometry::davis240());
+    /// let events: Vec<Event> = (0..200_000)
+    ///     .step_by(1_000)
+    ///     .map(|t| Event::on(60 + (t / 10_000) as u16, 80, t))
+    ///     .collect();
+    ///
+    /// // Stream in arbitrary chunks…
+    /// let mut streamed = Vec::new();
+    /// let mut pipeline = EbbiotPipeline::new(config.clone());
+    /// for chunk in events.chunks(7) {
+    ///     streamed.extend(pipeline.push(chunk));
+    /// }
+    /// streamed.extend(pipeline.finish(250_000));
+    ///
+    /// // …and get bit-for-bit what the batch path produces.
+    /// let batch = EbbiotPipeline::new(config).process_recording(&events, 250_000);
+    /// assert_eq!(streamed, batch);
+    /// ```
+    ///
     /// # Panics
     ///
     /// Panics when events are not time-ordered (within the chunk or
@@ -247,6 +270,22 @@ impl<T: Tracker> Pipeline<T> {
     /// Ends the stream, emitting the still-open window and trailing empty
     /// frames so that at least `span_us` of time is covered — the
     /// streaming counterpart of [`Self::process_recording`]'s `span_us`.
+    ///
+    /// ```
+    /// use ebbiot_core::{EbbiotConfig, EbbiotPipeline};
+    /// use ebbiot_events::{Event, SensorGeometry};
+    ///
+    /// let config = EbbiotConfig::paper_default(SensorGeometry::davis240());
+    /// let mut pipeline = EbbiotPipeline::new(config.clone());
+    /// assert!(pipeline.push(&[Event::on(10, 10, 5)]).is_empty(), "window still open");
+    ///
+    /// // Finishing emits the open window plus trailing silent frames
+    /// // out to the requested span (here 3 x 66 ms paper frames).
+    /// let frames = pipeline.finish(3 * config.frame_us);
+    /// assert_eq!(frames.len(), 3);
+    /// assert_eq!(frames[0].num_events, 1);
+    /// assert_eq!(frames[2].num_events, 0);
+    /// ```
     pub fn finish(&mut self, span_us: Micros) -> Vec<FrameResult> {
         let from_events = self.next_index + usize::from(!self.pending.is_empty());
         let from_span = span_us.div_ceil(self.config.frame_us) as usize;
@@ -315,6 +354,27 @@ impl<T: Tracker> Pipeline<T> {
     #[must_use]
     pub fn active_trackers(&self) -> usize {
         self.tracker.active_count()
+    }
+
+    /// Type-erases the back-end, turning any concrete pipeline into the
+    /// [`DynPipeline`] shape the registry hands out and `ebbiot_server`
+    /// session factories return. All streaming state is preserved —
+    /// boxing mid-stream is safe.
+    #[must_use]
+    pub fn boxed(self) -> DynPipeline
+    where
+        T: Send + 'static,
+    {
+        Pipeline {
+            config: self.config,
+            frontend: self.frontend,
+            tracker: Box::new(self.tracker),
+            frames_processed: self.frames_processed,
+            next_index: self.next_index,
+            active_tracker_sum: self.active_tracker_sum,
+            pending: self.pending,
+            last_pushed_t: self.last_pushed_t,
+        }
     }
 
     /// Mean number of active trackers per frame (the paper's `NT ≈ 2`).

@@ -2,7 +2,7 @@
 
 use std::collections::HashMap;
 use std::sync::mpsc::{self, Receiver, Sender};
-use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError, RwLock};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -17,8 +17,10 @@ fn lock<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
     mutex.lock().unwrap_or_else(PoisonError::into_inner)
 }
 
-/// Identifies one camera stream; streams are numbered `0..num_streams`
-/// in the order their pipelines were handed to [`Engine::new`].
+/// Identifies one camera stream; streams are numbered in the order they
+/// were handed to [`Engine::new`] or attached with [`Engine::attach`].
+/// Stream ids are never reused within one engine, even after
+/// [`Engine::detach`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct StreamId(pub usize);
 
@@ -83,6 +85,9 @@ pub struct StreamSnapshot {
     pub queue_high_water: usize,
     /// Whether the stream's `finish` has been processed.
     pub finished: bool,
+    /// Whether the stream was detached (its pipeline dropped and its
+    /// results drained by [`Engine::detach`]).
+    pub detached: bool,
 }
 
 /// Point-in-time view of the whole engine, from [`Engine::snapshot`] or
@@ -138,7 +143,9 @@ impl Snapshot {
 pub struct EngineOutput {
     /// Per-stream frame sequences, indexed by [`StreamId`] — bit-for-bit
     /// identical to running each stream's pipeline sequentially,
-    /// regardless of worker count.
+    /// regardless of worker count. Frames already taken with
+    /// [`Engine::take_results`] or [`Engine::detach`] are not repeated
+    /// here.
     pub streams: Vec<Vec<FrameResult>>,
     /// Final statistics, taken after all workers drained.
     pub snapshot: Snapshot,
@@ -155,6 +162,10 @@ struct StreamCounters {
     closed: bool,
     /// Worker side: the finish job has been processed.
     finished: bool,
+    /// The pipeline was dropped and the slot retired.
+    detached: bool,
+    /// A worker thread failed; waiters must not block forever.
+    failed: bool,
 }
 
 /// Shared per-stream state: admission gate, counters and the collector's
@@ -163,23 +174,52 @@ struct StreamCounters {
 struct StreamState {
     gate: ChunkGate,
     counters: Mutex<StreamCounters>,
+    /// Signalled when `counters.finished` or `counters.failed` flips.
+    progress: Condvar,
     results: Mutex<Vec<FrameResult>>,
 }
 
-enum Job {
+/// Growable, append-only registry of stream slots. Slots are only ever
+/// appended (never removed or reordered), so a [`StreamId`] stays valid
+/// for the engine's whole lifetime.
+#[derive(Debug, Default)]
+struct StreamTable {
+    slots: RwLock<Vec<Arc<StreamState>>>,
+}
+
+impl StreamTable {
+    fn get(&self, id: usize) -> Option<Arc<StreamState>> {
+        self.slots.read().unwrap_or_else(PoisonError::into_inner).get(id).cloned()
+    }
+
+    fn len(&self) -> usize {
+        self.slots.read().unwrap_or_else(PoisonError::into_inner).len()
+    }
+
+    fn all(&self) -> Vec<Arc<StreamState>> {
+        self.slots.read().unwrap_or_else(PoisonError::into_inner).clone()
+    }
+}
+
+enum Job<T: Tracker> {
+    Attach(usize, Box<Pipeline<T>>),
     Chunk(usize, Vec<Event>),
     Finish(usize, Micros),
+    Detach(usize),
 }
 
 /// Poisons every stream gate when a worker thread unwinds, so producers
-/// blocked on a full queue fail fast instead of hanging forever.
-struct PoisonOnPanic(Arc<Vec<Arc<StreamState>>>);
+/// blocked on a full queue (and sessions blocked in
+/// [`Engine::wait_finished`]) fail fast instead of hanging forever.
+struct PoisonOnPanic(Arc<StreamTable>);
 
 impl Drop for PoisonOnPanic {
     fn drop(&mut self) {
         if std::thread::panicking() {
-            for stream in self.0.iter() {
+            for stream in self.0.all() {
                 stream.gate.poison();
+                lock(&stream.counters).failed = true;
+                stream.progress.notify_all();
             }
         }
     }
@@ -188,16 +228,23 @@ impl Drop for PoisonOnPanic {
 /// A multi-camera tracking engine: owns one [`Pipeline`] per stream and
 /// drives them on a fixed pool of worker threads.
 ///
+/// Streams are either handed over at construction ([`Engine::new`]) or
+/// attached to the *running* engine one at a time ([`Engine::attach`]) —
+/// the latter is how `ebbiot_server` maps network sessions onto engine
+/// streams — and both kinds obey the same determinism guarantee.
+///
 /// See the [crate docs](crate) for the determinism guarantee and an
 /// example.
 #[derive(Debug)]
 pub struct Engine<T: Tracker + Send + 'static = BoxedTracker> {
-    senders: Vec<Sender<Job>>,
+    senders: Vec<Sender<Job<T>>>,
     workers: Vec<JoinHandle<()>>,
-    streams: Arc<Vec<Arc<StreamState>>>,
+    streams: Arc<StreamTable>,
     config: EngineConfig,
     started: Instant,
-    _tracker: core::marker::PhantomData<T>,
+    /// Serialises `attach` so slot allocation and the attach job reach
+    /// the worker in a consistent order.
+    attach_lock: Mutex<()>,
 }
 
 impl<T: Tracker + Send + 'static> Engine<T> {
@@ -212,66 +259,85 @@ impl<T: Tracker + Send + 'static> Engine<T> {
     #[must_use]
     pub fn new(config: EngineConfig, pipelines: Vec<Pipeline<T>>) -> Self {
         assert!(config.workers > 0, "engine needs at least one worker");
-        // More workers than streams would only idle in `recv()` forever
-        // (pinning is `stream % workers`); clamp instead of spawning
-        // them. Determinism never depended on the worker count anyway.
-        let config = EngineConfig { workers: config.workers.min(pipelines.len()).max(1), ..config };
-        let streams: Arc<Vec<Arc<StreamState>>> = Arc::new(
-            (0..pipelines.len())
-                .map(|_| {
-                    Arc::new(StreamState {
-                        gate: ChunkGate::new(config.queue_capacity),
-                        counters: Mutex::new(StreamCounters::default()),
-                        results: Mutex::new(Vec::new()),
-                    })
-                })
-                .collect(),
-        );
-
-        // Deal the pipelines out to their pinned workers.
-        let mut owned: Vec<HashMap<usize, Pipeline<T>>> =
-            (0..config.workers).map(|_| HashMap::new()).collect();
-        for (id, pipeline) in pipelines.into_iter().enumerate() {
-            owned[id % config.workers].insert(id, pipeline);
-        }
+        // More workers than initial streams would only idle in `recv()`
+        // (pinning is `stream % workers`) unless sessions attach later;
+        // clamp to the construction-time stream count as the historical
+        // behaviour. Determinism never depended on the worker count.
+        let workers =
+            if pipelines.is_empty() { config.workers } else { config.workers.min(pipelines.len()) };
+        let config = EngineConfig { workers, ..config };
+        let streams: Arc<StreamTable> = Arc::new(StreamTable::default());
 
         let mut senders = Vec::with_capacity(config.workers);
-        let mut workers = Vec::with_capacity(config.workers);
-        for (w, pipelines) in owned.into_iter().enumerate() {
-            let (tx, rx) = mpsc::channel::<Job>();
+        let mut worker_handles = Vec::with_capacity(config.workers);
+        for w in 0..config.workers {
+            let (tx, rx) = mpsc::channel::<Job<T>>();
             let streams = Arc::clone(&streams);
             let handle = std::thread::Builder::new()
                 .name(format!("ebbiot-worker-{w}"))
-                .spawn(move || worker_loop(&rx, &streams, pipelines))
+                .spawn(move || worker_loop(&rx, &streams))
                 .expect("spawn engine worker");
             senders.push(tx);
-            workers.push(handle);
+            worker_handles.push(handle);
         }
 
-        Self {
+        let engine = Self {
             senders,
-            workers,
+            workers: worker_handles,
             streams,
             config,
             started: Instant::now(),
-            _tracker: core::marker::PhantomData,
+            attach_lock: Mutex::new(()),
+        };
+        for pipeline in pipelines {
+            let _ = engine.attach(pipeline);
         }
+        engine
     }
 
-    /// Number of streams (pipelines) owned by the engine.
+    /// Number of stream slots ever allocated (attached streams are
+    /// counted even after [`Engine::detach`] — ids are not reused).
     #[must_use]
     pub fn num_streams(&self) -> usize {
         self.streams.len()
     }
 
     /// Number of worker threads actually spawned (the configured count,
-    /// clamped to the stream count).
+    /// clamped to the construction-time stream count when pipelines were
+    /// handed to [`Engine::new`]).
     #[must_use]
     pub const fn num_workers(&self) -> usize {
         self.config.workers
     }
 
-    fn state(&self, stream: StreamId) -> &Arc<StreamState> {
+    /// Adds a stream to the *running* engine: allocates the next
+    /// [`StreamId`], hands `pipeline` to the id's pinned worker and
+    /// returns the id. Chunks may be pushed immediately — worker job
+    /// queues are FIFO, so the pipeline is guaranteed to arrive at the
+    /// worker before any chunk pushed after `attach` returned.
+    ///
+    /// This is how network sessions join: `ebbiot_server` attaches one
+    /// stream per accepted connection and detaches it when the session
+    /// ends.
+    pub fn attach(&self, pipeline: Pipeline<T>) -> StreamId {
+        let _guard = lock(&self.attach_lock);
+        let id = {
+            let mut slots = self.streams.slots.write().unwrap_or_else(PoisonError::into_inner);
+            slots.push(Arc::new(StreamState {
+                gate: ChunkGate::new(self.config.queue_capacity),
+                counters: Mutex::new(StreamCounters::default()),
+                progress: Condvar::new(),
+                results: Mutex::new(Vec::new()),
+            }));
+            slots.len() - 1
+        };
+        self.senders[id % self.config.workers]
+            .send(Job::Attach(id, Box::new(pipeline)))
+            .expect("engine worker hung up");
+        StreamId(id)
+    }
+
+    fn state(&self, stream: StreamId) -> Arc<StreamState> {
         self.streams.get(stream.0).unwrap_or_else(|| {
             panic!("unknown stream {stream}: engine has {} streams", self.streams.len())
         })
@@ -292,7 +358,8 @@ impl<T: Tracker + Send + 'static> Engine<T> {
 
     /// Routes a time-ordered chunk of events to `stream`, blocking while
     /// the stream's queue is at capacity (back-pressure). Chunks pushed
-    /// by one producer are processed in push order; nothing is dropped.
+    /// by one producer are processed in push order; nothing is ever
+    /// dropped.
     ///
     /// # Panics
     ///
@@ -334,13 +401,93 @@ impl<T: Tracker + Send + 'static> Engine<T> {
     /// same stream, or when a worker has failed.
     pub fn finish_stream(&self, stream: StreamId, span_us: Micros) {
         {
-            let mut counters = lock(&self.state(stream).counters);
+            let state = self.state(stream);
+            let mut counters = lock(&state.counters);
             assert!(!counters.closed, "finish_stream called twice for {stream}");
             counters.closed = true;
         }
         self.senders[stream.0 % self.config.workers]
             .send(Job::Finish(stream.0, span_us))
             .expect("engine worker hung up");
+    }
+
+    /// Blocks until the worker has processed `stream`'s finish job, so
+    /// every frame the stream will ever emit is available to
+    /// [`Self::take_results`]. Must be called after
+    /// [`Self::finish_stream`].
+    ///
+    /// # Panics
+    ///
+    /// Panics on an unknown stream, when `finish_stream` was never
+    /// called for it (the wait could block forever), or when a worker
+    /// has failed.
+    pub fn wait_finished(&self, stream: StreamId) {
+        let state = self.state(stream);
+        let mut counters = lock(&state.counters);
+        assert!(counters.closed, "wait_finished on {stream} before finish_stream");
+        while !counters.finished {
+            assert!(!counters.failed, "engine worker failed while {stream} awaited finish");
+            counters = state.progress.wait(counters).unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+
+    /// Drains and returns the frames `stream` has emitted since the last
+    /// take — the incremental counterpart of [`Self::join`]'s per-stream
+    /// output, used by sessions streaming results back to a client while
+    /// ingestion is still running. Frames are returned exactly once and
+    /// always in emission order.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an unknown stream.
+    #[must_use]
+    pub fn take_results(&self, stream: StreamId) -> Vec<FrameResult> {
+        let state = self.state(stream);
+        let taken = std::mem::take(&mut *lock(&state.results));
+        taken
+    }
+
+    /// The highest queue depth `stream` has seen — the per-stream
+    /// counterpart of [`Snapshot::max_queue_high_water`], without
+    /// snapshotting every stream.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an unknown stream.
+    #[must_use]
+    pub fn queue_high_water(&self, stream: StreamId) -> usize {
+        self.state(stream).gate.high_water()
+    }
+
+    /// Retires a finished stream from the running engine: drops its
+    /// pipeline on the pinned worker and returns any frames not yet
+    /// drained by [`Self::take_results`]. The [`StreamId`] stays
+    /// allocated (ids are never reused) but accepts no further pushes.
+    ///
+    /// A detached slot is retained as a small tombstone so ids stay
+    /// stable and its final counters remain visible to
+    /// [`Self::snapshot`]; an engine serving short-lived sessions
+    /// therefore grows by one (drained) slot per session over its
+    /// lifetime.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an unknown stream, when the stream has not finished
+    /// (call [`Self::finish_stream`] then [`Self::wait_finished`]
+    /// first), on a second detach, or when a worker has failed.
+    pub fn detach(&self, stream: StreamId) -> Vec<FrameResult> {
+        let state = self.state(stream);
+        {
+            let mut counters = lock(&state.counters);
+            assert!(counters.finished, "detach of {stream} before its finish was processed");
+            assert!(!counters.detached, "detach called twice for {stream}");
+            counters.detached = true;
+        }
+        self.senders[stream.0 % self.config.workers]
+            .send(Job::Detach(stream.0))
+            .expect("engine worker hung up");
+        let remaining = std::mem::take(&mut *lock(&state.results));
+        remaining
     }
 
     /// Current per-stream and aggregate statistics.
@@ -350,6 +497,7 @@ impl<T: Tracker + Send + 'static> Engine<T> {
             elapsed: self.started.elapsed(),
             streams: self
                 .streams
+                .all()
                 .iter()
                 .enumerate()
                 .map(|(i, state)| {
@@ -364,6 +512,7 @@ impl<T: Tracker + Send + 'static> Engine<T> {
                         queue_depth: state.gate.depth(),
                         queue_high_water: state.gate.high_water(),
                         finished: counters.finished,
+                        detached: counters.detached,
                     }
                 })
                 .collect(),
@@ -372,7 +521,9 @@ impl<T: Tracker + Send + 'static> Engine<T> {
 
     /// Shuts the engine down: closes the job queues, waits for the
     /// workers to drain, and returns every stream's re-sequenced frame
-    /// output plus a final [`Snapshot`].
+    /// output plus a final [`Snapshot`]. Streams already drained through
+    /// [`Self::take_results`] / [`Self::detach`] contribute only their
+    /// untaken frames (usually none).
     ///
     /// # Panics
     ///
@@ -386,19 +537,26 @@ impl<T: Tracker + Send + 'static> Engine<T> {
                 std::panic::resume_unwind(panic);
             }
         }
-        let streams = self.streams.iter().map(|s| std::mem::take(&mut *lock(&s.results))).collect();
+        let streams =
+            self.streams.all().iter().map(|s| std::mem::take(&mut *lock(&s.results))).collect();
         EngineOutput { streams, snapshot: self.snapshot() }
     }
 }
 
-fn worker_loop<T: Tracker>(
-    jobs: &Receiver<Job>,
-    streams: &Arc<Vec<Arc<StreamState>>>,
-    mut pipelines: HashMap<usize, Pipeline<T>>,
-) {
+fn worker_loop<T: Tracker>(jobs: &Receiver<Job<T>>, streams: &Arc<StreamTable>) {
     let _poison_guard = PoisonOnPanic(Arc::clone(streams));
+    let mut pipelines: HashMap<usize, Pipeline<T>> = HashMap::new();
     while let Ok(job) = jobs.recv() {
         let (id, frames, finished) = match job {
+            Job::Attach(id, pipeline) => {
+                let previous = pipelines.insert(id, *pipeline);
+                assert!(previous.is_none(), "stream {id} attached twice");
+                continue;
+            }
+            Job::Detach(id) => {
+                pipelines.remove(&id).expect("detached stream pinned to this worker");
+                continue;
+            }
             Job::Chunk(id, chunk) => {
                 let pipeline = pipelines.get_mut(&id).expect("stream pinned to this worker");
                 (id, pipeline.push(&chunk), false)
@@ -408,16 +566,24 @@ fn worker_loop<T: Tracker>(
                 (id, pipeline.finish(span_us), true)
             }
         };
-        let state = &streams[id];
+        let state = streams.get(id).expect("job for unknown stream");
+        let (frame_count, track_count) =
+            (frames.len() as u64, frames.iter().map(|f| f.tracks.len() as u64).sum::<u64>());
+        // Publish the frames *before* flipping `finished`: a waiter in
+        // `wait_finished` may observe the flag without ever blocking on
+        // the condvar, and its follow-up `take_results`/`detach` must
+        // already see every frame the stream will ever emit.
+        lock(&state.results).extend(frames);
         {
             let mut counters = lock(&state.counters);
-            counters.frames_out += frames.len() as u64;
-            counters.tracks_out += frames.iter().map(|f| f.tracks.len() as u64).sum::<u64>();
+            counters.frames_out += frame_count;
+            counters.tracks_out += track_count;
             counters.active_trackers = pipelines[&id].active_trackers();
             counters.finished |= finished;
         }
-        lock(&state.results).extend(frames);
-        if !finished {
+        if finished {
+            state.progress.notify_all();
+        } else {
             state.gate.release();
         }
     }
@@ -531,8 +697,10 @@ mod tests {
     fn workers_are_clamped_to_stream_count() {
         let engine = Engine::new(EngineConfig::with_workers(64), pipelines(2));
         assert_eq!(engine.num_workers(), 2);
-        let engine = Engine::new(EngineConfig::with_workers(64), pipelines(0));
-        assert_eq!(engine.num_workers(), 1);
+        // An engine built without initial pipelines keeps its configured
+        // worker count for streams attached later.
+        let engine = Engine::new(EngineConfig::with_workers(3), pipelines(0));
+        assert_eq!(engine.num_workers(), 3);
     }
 
     #[test]
@@ -548,5 +716,91 @@ mod tests {
     fn stream_id_displays_as_camera() {
         assert_eq!(StreamId(3).to_string(), "cam03");
         assert_eq!(StreamId(12).to_string(), "cam12");
+    }
+
+    #[test]
+    fn attached_sessions_match_construction_time_streams() {
+        // One stream from construction, one attached while running —
+        // identical inputs must give identical outputs.
+        let chunks: Vec<Vec<Event>> =
+            (0..4u64).map(|k| block_events(50 + 3 * k as u16, k * 66_000)).collect();
+        let span = 5 * 66_000;
+
+        let engine = Engine::new(EngineConfig::with_workers(2), pipelines(1));
+        for chunk in &chunks {
+            engine.push(StreamId(0), chunk.clone());
+        }
+        let attached = engine.attach(pipelines(1).pop().unwrap());
+        assert_eq!(attached, StreamId(1));
+        for chunk in &chunks {
+            engine.push(attached, chunk.clone());
+        }
+        engine.finish_stream(StreamId(0), span);
+        engine.finish_stream(attached, span);
+        let out = engine.join();
+        assert_eq!(out.streams[0], out.streams[1]);
+        assert!(!out.streams[0].is_empty());
+    }
+
+    #[test]
+    fn take_results_drains_incrementally_and_join_returns_the_rest() {
+        let engine = Engine::new(EngineConfig::with_workers(1), pipelines(1));
+        // Two windows: pushing the second window's events completes the
+        // first frame.
+        engine.push(StreamId(0), block_events(40, 0));
+        engine.push(StreamId(0), block_events(44, 66_000));
+        engine.finish_stream(StreamId(0), 2 * 66_000);
+        engine.wait_finished(StreamId(0));
+
+        let mut reference = pipelines(1).pop().unwrap();
+        let mut expected = Vec::new();
+        expected.extend(reference.push(&block_events(40, 0)));
+        expected.extend(reference.push(&block_events(44, 66_000)));
+        expected.extend(reference.finish(2 * 66_000));
+
+        let first = engine.take_results(StreamId(0));
+        assert_eq!(first, expected, "everything is available after wait_finished");
+        assert!(engine.take_results(StreamId(0)).is_empty(), "frames are taken exactly once");
+        let out = engine.join();
+        assert!(out.streams[0].is_empty(), "join does not repeat taken frames");
+        assert_eq!(out.snapshot.frames_out(), expected.len() as u64);
+    }
+
+    #[test]
+    fn detach_retires_a_stream_and_ids_are_not_reused() {
+        let engine = Engine::new(EngineConfig::with_workers(1), pipelines(2));
+        engine.push(StreamId(0), block_events(40, 0));
+        engine.finish_stream(StreamId(0), 66_000);
+        engine.wait_finished(StreamId(0));
+        let frames = engine.detach(StreamId(0));
+        assert!(!frames.is_empty());
+
+        // The slot survives as a tombstone; a new attach gets a new id.
+        let fresh = engine.attach(pipelines(1).pop().unwrap());
+        assert_eq!(fresh, StreamId(2));
+        assert_eq!(engine.num_streams(), 3);
+        let snap = engine.snapshot();
+        assert!(snap.streams[0].detached);
+        assert!(!snap.streams[1].detached);
+
+        engine.finish_stream(StreamId(1), 0);
+        engine.finish_stream(fresh, 0);
+        let out = engine.join();
+        assert_eq!(out.streams.len(), 3);
+        assert!(out.streams[0].is_empty(), "detached stream was already drained");
+    }
+
+    #[test]
+    #[should_panic(expected = "before its finish was processed")]
+    fn detach_before_finish_panics() {
+        let engine = Engine::new(EngineConfig::with_workers(1), pipelines(1));
+        engine.detach(StreamId(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "before finish_stream")]
+    fn wait_finished_without_finish_panics() {
+        let engine = Engine::new(EngineConfig::with_workers(1), pipelines(1));
+        engine.wait_finished(StreamId(0));
     }
 }

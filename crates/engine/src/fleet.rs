@@ -83,6 +83,34 @@ impl<T: Tracker + Send + 'static> Engine<T> {
     /// running each pipeline sequentially over its events, regardless of
     /// `options.workers`.
     ///
+    /// ```
+    /// use ebbiot_core::{EbbiotConfig, EbbiotPipeline};
+    /// use ebbiot_engine::{Engine, FleetOptions, FleetStream};
+    /// use ebbiot_events::{Event, SensorGeometry};
+    ///
+    /// let config = EbbiotConfig::paper_default(SensorGeometry::davis240());
+    /// let cameras: Vec<Vec<Event>> = (0..3u16)
+    ///     .map(|cam| (0..200).map(|i| Event::on(40 + cam * 8 + i % 16, 80, u64::from(i))).collect())
+    ///     .collect();
+    /// let streams: Vec<FleetStream> = cameras
+    ///     .iter()
+    ///     .map(|events| FleetStream { events, span_us: 132_000 })
+    ///     .collect();
+    ///
+    /// let pipelines = (0..3).map(|_| EbbiotPipeline::new(config.clone())).collect();
+    /// let run = Engine::run_fleet(
+    ///     pipelines,
+    ///     &streams,
+    ///     &FleetOptions { workers: 2, ..FleetOptions::default() },
+    /// );
+    /// assert_eq!(run.output.streams.len(), 3);
+    /// assert_eq!(run.events(), 600);
+    ///
+    /// // Identical to processing each camera alone, any worker count.
+    /// let alone = EbbiotPipeline::new(config).process_recording(&cameras[0], 132_000);
+    /// assert_eq!(run.output.streams[0], alone);
+    /// ```
+    ///
     /// # Panics
     ///
     /// Panics when `pipelines` and `streams` lengths differ, or when a

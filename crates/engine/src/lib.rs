@@ -21,10 +21,14 @@
 //!   `exp_fleet` experiment binary drives.
 //!
 //! The engine is source-agnostic: `run_fleet` feeds it from in-memory
-//! recordings, while `ebbiot_store`'s `Replayer` drives the same
+//! recordings, `ebbiot_store`'s `Replayer` drives the same
 //! [`Engine::push`]/[`Engine::finish_stream`] API from chunked on-disk
-//! `EBST` readers — `tests/store_replay_parity.rs` proves both paths
-//! produce bit-for-bit identical output.
+//! `EBST` readers, and `ebbiot_server` sessions [`Engine::attach`] /
+//! [`Engine::detach`] streams on the *running* engine as TCP
+//! connections come and go — `tests/store_replay_parity.rs` and
+//! `tests/server_parity.rs` prove all paths produce bit-for-bit
+//! identical output. `ARCHITECTURE.md` at the workspace root diagrams
+//! the fan-out.
 //!
 //! # Determinism guarantee
 //!

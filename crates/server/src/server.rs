@@ -1,0 +1,257 @@
+//! [`IngestServer`]: the TCP accept loop and per-connection threads
+//! around [`Session`].
+
+use std::io::{BufReader, BufWriter, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
+use std::thread::JoinHandle;
+
+use ebbiot_engine::{Engine, EngineConfig, Snapshot};
+use ebbiot_store::{FleetArchiver, StoreOptions};
+
+use crate::protocol::{read_frame, write_frame, Frame, WireError};
+use crate::session::{PipelineFactory, Session, SessionSummary};
+
+fn lock<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    mutex.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Server sizing and archival knobs.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Engine worker threads shared by every session's stream.
+    pub workers: usize,
+    /// Per-stream bound on chunks in flight; once a session's queue is
+    /// full its reader thread blocks, which propagates back-pressure to
+    /// the client socket as TCP flow control.
+    pub queue_capacity: usize,
+    /// When set, every session is teed into a [`FleetArchiver`] at this
+    /// directory — ingest once, replay forever.
+    pub archive_dir: Option<PathBuf>,
+    /// Chunking of the archival tee's `EBST` files.
+    pub archive_options: StoreOptions,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        let EngineConfig { workers, queue_capacity } = EngineConfig::default();
+        Self {
+            workers,
+            queue_capacity,
+            archive_dir: None,
+            archive_options: StoreOptions::default(),
+        }
+    }
+}
+
+/// One session's outcome in the server's shutdown report.
+#[derive(Debug, Clone)]
+pub struct SessionReport {
+    /// The peer's socket address.
+    pub peer: String,
+    /// What the session ingested and returned.
+    pub summary: SessionSummary,
+    /// `None` for a clean HELLO → FINISH exchange, else the error the
+    /// connection was closed with.
+    pub error: Option<String>,
+}
+
+/// Everything the server did, from [`IngestServer::shutdown`].
+#[derive(Debug, Clone)]
+pub struct ServerReport {
+    /// The engine's final statistics (per stream == per session).
+    pub snapshot: Snapshot,
+    /// Per-connection outcomes, in completion order.
+    pub sessions: Vec<SessionReport>,
+}
+
+#[derive(Default)]
+struct ServerShared {
+    /// Handles of spawned session threads (drained on shutdown).
+    handles: Mutex<Vec<JoinHandle<()>>>,
+    /// Completed sessions' reports.
+    reports: Mutex<Vec<SessionReport>>,
+}
+
+/// A TCP ingestion server speaking `EBWP`.
+///
+/// One accept-loop thread plus one reader thread per connection; every
+/// connection becomes a [`Session`] attached to one shared multi-stream
+/// [`Engine`], so concurrent cameras are tracked by the same worker
+/// pool that `Engine::run_fleet` uses — and produce bit-for-bit the
+/// same output (`tests/server_parity.rs` at the workspace root).
+///
+/// ```no_run
+/// use std::sync::Arc;
+/// use ebbiot_core::{EbbiotConfig, EbbiotPipeline};
+/// use ebbiot_server::{IngestServer, ServerConfig};
+///
+/// let server = IngestServer::bind(
+///     "127.0.0.1:0",
+///     ServerConfig::default(),
+///     Arc::new(|hello: &ebbiot_server::Hello| {
+///         Ok(EbbiotPipeline::new(EbbiotConfig::paper_default(hello.geometry)).boxed())
+///     }),
+/// )?;
+/// println!("serving EBWP on {}", server.local_addr());
+/// # Ok::<(), ebbiot_server::WireError>(())
+/// ```
+pub struct IngestServer {
+    engine: Arc<Engine>,
+    local_addr: SocketAddr,
+    accept: Option<JoinHandle<()>>,
+    stop: Arc<AtomicBool>,
+    shared: Arc<ServerShared>,
+}
+
+impl IngestServer {
+    /// Binds a listener (use port 0 for an ephemeral port), spawns the
+    /// shared engine and the accept loop, and starts serving.
+    ///
+    /// # Errors
+    ///
+    /// Returns a bind/listen I/O error, or the archiver's creation
+    /// error when `config.archive_dir` is set.
+    pub fn bind<A: ToSocketAddrs>(
+        addr: A,
+        config: ServerConfig,
+        factory: Arc<PipelineFactory>,
+    ) -> Result<Self, WireError> {
+        let listener = TcpListener::bind(addr).map_err(WireError::Io)?;
+        let local_addr = listener.local_addr().map_err(WireError::Io)?;
+        let archiver = match &config.archive_dir {
+            Some(dir) => Some(FleetArchiver::create(dir, config.archive_options)?),
+            None => None,
+        };
+        let engine = Arc::new(Engine::new(
+            EngineConfig { workers: config.workers, queue_capacity: config.queue_capacity },
+            Vec::new(),
+        ));
+        let stop = Arc::new(AtomicBool::new(false));
+        let shared = Arc::new(ServerShared::default());
+
+        let accept = {
+            let engine = Arc::clone(&engine);
+            let stop = Arc::clone(&stop);
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("ebwp-accept".into())
+                .spawn(move || {
+                    accept_loop(&listener, &engine, &factory, archiver.as_ref(), &stop, &shared);
+                })
+                .expect("spawn accept loop")
+        };
+        Ok(Self { engine, local_addr, accept: Some(accept), stop, shared })
+    }
+
+    /// The bound address (with the actual port when bound to port 0).
+    #[must_use]
+    pub const fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Live engine statistics: one stream per session ever attached.
+    #[must_use]
+    pub fn snapshot(&self) -> Snapshot {
+        self.engine.snapshot()
+    }
+
+    /// Reports of the sessions completed so far.
+    #[must_use]
+    pub fn session_reports(&self) -> Vec<SessionReport> {
+        lock(&self.shared.reports).clone()
+    }
+
+    /// Stops accepting, waits for in-flight sessions to end (clients
+    /// must disconnect or finish), drains the engine and returns the
+    /// final report.
+    ///
+    /// # Panics
+    ///
+    /// Re-raises an engine worker panic, like [`Engine::join`].
+    #[must_use]
+    pub fn shutdown(mut self) -> ServerReport {
+        self.stop.store(true, Ordering::SeqCst);
+        // Poke the listener so a blocked `accept` observes the flag.
+        let _ = TcpStream::connect(self.local_addr);
+        if let Some(accept) = self.accept.take() {
+            accept.join().expect("accept loop panicked");
+        }
+        for handle in lock(&self.shared.handles).drain(..) {
+            handle.join().expect("session thread panicked");
+        }
+        let engine = Arc::into_inner(self.engine).expect("sessions all ended");
+        let output = engine.join();
+        ServerReport { snapshot: output.snapshot, sessions: lock(&self.shared.reports).clone() }
+    }
+}
+
+fn accept_loop(
+    listener: &TcpListener,
+    engine: &Arc<Engine>,
+    factory: &Arc<PipelineFactory>,
+    archiver: Option<&FleetArchiver>,
+    stop: &Arc<AtomicBool>,
+    shared: &Arc<ServerShared>,
+) {
+    for connection in listener.incoming() {
+        if stop.load(Ordering::SeqCst) {
+            return; // the waking connection (or a raced client) is dropped
+        }
+        let Ok(connection) = connection else { continue };
+        let session = Session::new(Arc::clone(engine), Arc::clone(factory), archiver.cloned());
+        let shared_for_session = Arc::clone(shared);
+        let handle = std::thread::Builder::new()
+            .name("ebwp-session".into())
+            .spawn(move || {
+                let report = serve_connection(connection, session);
+                lock(&shared_for_session.reports).push(report);
+            })
+            .expect("spawn session thread");
+        lock(&shared.handles).push(handle);
+    }
+}
+
+/// Runs one connection to completion: frames in, responses out, an
+/// ERROR frame (best effort) on the way down.
+fn serve_connection(connection: TcpStream, mut session: Session) -> SessionReport {
+    let peer = connection.peer_addr().map_or_else(|_| "unknown".to_string(), |a| a.to_string());
+    let result = drive(&connection, &mut session);
+    if let Err(err) = &result {
+        // Tell the client why before hanging up; the socket may already
+        // be gone, so ignore failures.
+        let mut writer = BufWriter::new(&connection);
+        let _ = write_frame(&mut writer, &Frame::Error(err.to_string()));
+        let _ = writer.flush();
+        session.abort();
+    }
+    SessionReport {
+        peer,
+        summary: session.summary().clone(),
+        error: result.err().map(|e| e.to_string()),
+    }
+}
+
+fn drive(connection: &TcpStream, session: &mut Session) -> Result<(), WireError> {
+    connection.set_nodelay(true).map_err(WireError::Io)?;
+    let mut reader = BufReader::new(connection);
+    let mut writer = BufWriter::new(connection);
+    loop {
+        match read_frame(&mut reader)? {
+            Some(frame) => {
+                for response in session.on_frame(frame)? {
+                    write_frame(&mut writer, &response).map_err(WireError::Io)?;
+                }
+                writer.flush().map_err(WireError::Io)?;
+                if session.is_finished() {
+                    return Ok(());
+                }
+            }
+            // EOF: fine after FINISH (we already returned), an error in
+            // the middle of a session.
+            None => return Err(WireError::Truncated),
+        }
+    }
+}

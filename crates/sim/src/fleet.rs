@@ -49,21 +49,34 @@ impl FleetConfig {
         self.base_seed.wrapping_add((camera as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15))
     }
 
+    /// The name camera `k` records under (`"<SITE>-cam<k>"`).
+    #[must_use]
+    pub fn camera_name(&self, camera: usize) -> String {
+        format!("{}-cam{camera:02}", self.preset.name())
+    }
+
+    /// Generates camera `k` alone — bit-identical to entry `k` of
+    /// [`FleetConfig::generate`]. Network clients simulating one camera
+    /// per connection use this so every connection thread generates
+    /// only its own traffic.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `camera >= self.cameras`.
+    #[must_use]
+    pub fn generate_one(&self, camera: usize) -> SimulatedRecording {
+        assert!(camera < self.cameras, "camera {camera} out of range ({} cameras)", self.cameras);
+        let mut rec =
+            self.preset.config().with_duration_s(self.seconds).generate(self.camera_seed(camera));
+        rec.name = self.camera_name(camera);
+        rec
+    }
+
     /// Generates the fleet: one recording per camera, named
     /// `"<SITE>-cam<k>"`.
     #[must_use]
     pub fn generate(&self) -> Vec<SimulatedRecording> {
-        (0..self.cameras)
-            .map(|k| {
-                let mut rec = self
-                    .preset
-                    .config()
-                    .with_duration_s(self.seconds)
-                    .generate(self.camera_seed(k));
-                rec.name = format!("{}-cam{k:02}", self.preset.name());
-                rec
-            })
-            .collect()
+        (0..self.cameras).map(|k| self.generate_one(k)).collect()
     }
 }
 
@@ -92,6 +105,22 @@ mod tests {
         assert_ne!(a[0].events, a[1].events, "cameras are independently seeded");
         let other = cfg.with_base_seed(7).generate();
         assert_ne!(a[0].events, other[0].events);
+    }
+
+    #[test]
+    fn generate_one_matches_the_full_fleet_entry() {
+        let cfg = FleetConfig::new(DatasetPreset::Lt4, 3).with_seconds(0.5);
+        let fleet = cfg.generate();
+        for (k, expected) in fleet.iter().enumerate() {
+            assert_eq!(&cfg.generate_one(k), expected, "camera {k}");
+            assert_eq!(cfg.camera_name(k), expected.name);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn generate_one_rejects_out_of_range_cameras() {
+        let _ = FleetConfig::new(DatasetPreset::Lt4, 2).generate_one(2);
     }
 
     #[test]

@@ -47,6 +47,30 @@ pub struct FleetEntry {
     pub bytes: u64,
 }
 
+/// (Re)writes a fleet manifest for `entries` into `dir`. The manifest
+/// is small and rewritten whole, so callers growing a fleet one camera
+/// at a time (the [`FleetArchiver`](crate::FleetArchiver) tee) always
+/// leave a complete, openable manifest behind.
+pub(crate) fn write_manifest(dir: &Path, entries: &[FleetEntry]) -> Result<(), StoreError> {
+    let mut out = File::create(dir.join(MANIFEST_FILE))?;
+    writeln!(out, "{MANIFEST_HEADER}")?;
+    for e in entries {
+        writeln!(
+            out,
+            "camera {} {} {} {} {} {} {}",
+            e.file,
+            e.geometry.width(),
+            e.geometry.height(),
+            e.span_us,
+            e.events,
+            e.bytes,
+            e.name
+        )?;
+    }
+    out.flush()?;
+    Ok(())
+}
+
 /// A spooled fleet on disk: a directory of per-camera `EBST` files
 /// described by a [`MANIFEST_FILE`].
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -106,23 +130,7 @@ impl FleetStore {
     }
 
     fn write_manifest(&self) -> Result<(), StoreError> {
-        let mut out = File::create(self.dir.join(MANIFEST_FILE))?;
-        writeln!(out, "{MANIFEST_HEADER}")?;
-        for e in &self.entries {
-            writeln!(
-                out,
-                "camera {} {} {} {} {} {} {}",
-                e.file,
-                e.geometry.width(),
-                e.geometry.height(),
-                e.span_us,
-                e.events,
-                e.bytes,
-                e.name
-            )?;
-        }
-        out.flush()?;
-        Ok(())
+        write_manifest(&self.dir, &self.entries)
     }
 
     /// Opens a spooled fleet by reading its manifest.

@@ -16,7 +16,14 @@
 //! * [`Replayer`] — drives a `Pipeline<T>` or a whole `Engine` from
 //!   readers, in [`ReplayMode::MaxSpeed`] or [`ReplayMode::Paced`];
 //! * [`FleetStore`] — one file per camera plus a manifest, the spool
-//!   layout `ebbiot_sim`'s fleet generator writes.
+//!   layout `ebbiot_sim`'s fleet generator writes;
+//! * [`FleetArchiver`] — the streaming counterpart of
+//!   [`FleetStore::write`] for concurrently arriving streams, used as
+//!   `ebbiot_server`'s archival tee.
+//!
+//! The byte-level `EBST` specification also lives in
+//! `ARCHITECTURE.md` at the workspace root, next to the `EBWP` wire
+//! protocol that reuses its chunk payload codec.
 //!
 //! # The `EBST` format (version 1)
 //!
@@ -91,12 +98,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod archive;
 pub mod fleet;
 pub mod format;
 pub mod reader;
 pub mod replay;
 pub mod writer;
 
+pub use archive::{ArchiveStream, FleetArchiver};
 pub use fleet::{FleetEntry, FleetStore, StoredCamera, MANIFEST_FILE};
 pub use format::{ChunkMeta, StoreError, StoreHeader};
 pub use reader::ChunkReader;

@@ -101,6 +101,28 @@ impl EngineReplay {
 /// processing layers: it feeds [`Pipeline::push`]/`finish` (single
 /// stream) or [`Engine::push`]/`finish_stream` (a whole fleet) straight
 /// from [`ChunkReader`]s, so no recording is ever memory-resident.
+///
+/// ```
+/// use ebbiot_core::{EbbiotConfig, EbbiotPipeline};
+/// use ebbiot_events::{Event, SensorGeometry};
+/// use ebbiot_store::{ChunkReader, RecordingWriter, ReplayMode, Replayer, StoreOptions};
+///
+/// // Spool a tiny recording (normally a file; any Write sink works)…
+/// let geometry = SensorGeometry::davis240();
+/// let mut writer = RecordingWriter::new(Vec::new(), geometry, "demo", 66_000,
+///     StoreOptions::default())?;
+/// writer.push_events(&[Event::on(10, 20, 0), Event::on(11, 20, 40_000)])?;
+/// let (bytes, _) = writer.finish()?;
+///
+/// // …and replay it through a pipeline at maximum speed.
+/// let mut reader = ChunkReader::new(std::io::Cursor::new(bytes))?;
+/// let mut pipeline = EbbiotPipeline::new(EbbiotConfig::paper_default(geometry));
+/// let run = Replayer::new(ReplayMode::MaxSpeed).replay_pipeline(&mut reader, &mut pipeline)?;
+/// assert_eq!(run.stats.events, 2);
+/// assert_eq!(run.frames, EbbiotPipeline::new(EbbiotConfig::paper_default(geometry))
+///     .process_recording(&[Event::on(10, 20, 0), Event::on(11, 20, 40_000)], 66_000));
+/// # Ok::<(), ebbiot_store::StoreError>(())
+/// ```
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Replayer {
     mode: ReplayMode,

@@ -1,7 +1,7 @@
 //! [`RecordingWriter`]: streams events into a chunked `EBST` file.
 
 use std::fs::File;
-use std::io::{BufWriter, Write};
+use std::io::{BufWriter, Seek, SeekFrom, Write};
 use std::path::Path;
 
 use ebbiot_events::{codec::Recording, Event, Micros, SensorGeometry, Timestamp};
@@ -63,6 +63,20 @@ impl StoreSummary {
 /// The writer is append-only (`W: Write` suffices — no seeking): the
 /// footer carries the index offset, so readers find the index from the
 /// end of the file.
+///
+/// ```
+/// use ebbiot_events::{Event, SensorGeometry};
+/// use ebbiot_store::{RecordingWriter, StoreOptions};
+///
+/// let geometry = SensorGeometry::davis240();
+/// let options = StoreOptions::default().with_chunk_events(100);
+/// let mut writer = RecordingWriter::new(Vec::new(), geometry, "cam00", 66_000, options)?;
+/// writer.push_events(&[Event::on(10, 20, 0), Event::off(11, 20, 900)])?;
+/// let (bytes, summary) = writer.finish()?;
+/// assert_eq!(summary.events, 2);
+/// assert_eq!(&bytes[..4], b"EBST");
+/// # Ok::<(), ebbiot_store::StoreError>(())
+/// ```
 #[derive(Debug)]
 pub struct RecordingWriter<W: Write> {
     sink: W,
@@ -205,7 +219,13 @@ impl<W: Write> RecordingWriter<W> {
     /// # Errors
     ///
     /// Returns an I/O error from the sink.
-    pub fn finish(mut self) -> Result<(W, StoreSummary), StoreError> {
+    pub fn finish(self) -> Result<(W, StoreSummary), StoreError> {
+        let mut this = self;
+        let summary = this.write_tail()?;
+        Ok((this.sink, summary))
+    }
+
+    fn write_tail(&mut self) -> Result<StoreSummary, StoreError> {
         self.flush_chunk()?;
         let index_offset = self.offset;
         let mut index_bytes =
@@ -225,7 +245,31 @@ impl<W: Write> RecordingWriter<W> {
         self.sink.flush()?;
         let bytes = index_offset + index_bytes.len() as u64 + crate::format::FOOTER_BYTES as u64;
         let summary = StoreSummary { events: self.total_events, chunks: self.index.len(), bytes };
-        Ok((self.sink, summary))
+        Ok(summary)
+    }
+}
+
+impl<W: Write + Seek> RecordingWriter<W> {
+    /// Like [`RecordingWriter::finish`], but first patches the header's
+    /// `span_us` field to `span_us` — for sources that only learn the
+    /// authoritative span at the end of the stream (a network session's
+    /// FINISH frame), while the append-only header was written with a
+    /// provisional hint. Requires a seekable sink; plain `finish` never
+    /// seeks.
+    ///
+    /// # Errors
+    ///
+    /// Returns an I/O error from the sink.
+    pub fn finish_with_span(self, span_us: Micros) -> Result<(W, StoreSummary), StoreError> {
+        let mut this = self;
+        let summary = this.write_tail()?;
+        // span_us sits at fixed offset 12 (after magic, version, width,
+        // height, name_len — see the crate-level header spec).
+        this.sink.seek(SeekFrom::Start(12))?;
+        this.sink.write_all(&span_us.to_le_bytes())?;
+        this.sink.seek(SeekFrom::End(0))?;
+        this.sink.flush()?;
+        Ok((this.sink, summary))
     }
 }
 

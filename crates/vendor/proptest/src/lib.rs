@@ -156,7 +156,7 @@ pub mod collection {
     use core::ops::Range;
     use rand::{rngs::StdRng, Rng};
 
-    /// Strategy producing `Vec`s (see [`vec`]).
+    /// Strategy producing `Vec`s (see [`vec()`](fn@vec)).
     #[derive(Debug, Clone)]
     pub struct VecStrategy<S> {
         element: S,

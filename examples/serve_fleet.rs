@@ -1,0 +1,66 @@
+//! Serve a camera fleet over TCP: bind an `EBWP` ingestion server on a
+//! loopback port, stream two simulated cameras into it over real
+//! sockets (one connection each), and print the tracker output that
+//! comes back.
+//!
+//! ```text
+//! cargo run --release --example serve_fleet
+//! ```
+//!
+//! The README's "serve over TCP" quickstart snippet is this example.
+
+use std::sync::Arc;
+
+use ebbiot::prelude::*;
+use ebbiot_bench::net::stream_camera;
+
+fn main() {
+    // Any registered back-end can serve; sessions get one pipeline each.
+    let factory = Arc::new(|hello: &Hello| {
+        registry::build_pipeline("ebbiot", EbbiotConfig::paper_default(hello.geometry))
+            .ok_or_else(|| "backend not registered".to_string())
+    });
+    let server = IngestServer::bind("127.0.0.1:0", ServerConfig::default(), factory)
+        .expect("bind EBWP server");
+    println!("serving EBWP on {}", server.local_addr());
+
+    // Two independently seeded LT4 cameras, streamed concurrently over
+    // their own connections (a real deployment would be remote sensors;
+    // `ebbiot_bench::net` is the same client the parity tests use).
+    let fleet = FleetConfig::new(DatasetPreset::Lt4, 2).with_seconds(1.0);
+    let addr = server.local_addr();
+    let runs: Vec<_> = std::thread::scope(|scope| {
+        (0..2)
+            .map(|k| {
+                let fleet = &fleet;
+                scope.spawn(move || {
+                    let rec = fleet.generate_one(k);
+                    stream_camera(addr, &rec.name, rec.geometry, rec.duration_us, &rec.events, 4096)
+                        .expect("stream camera")
+                })
+            })
+            .collect::<Vec<_>>()
+            .into_iter()
+            .map(|h| h.join().expect("client thread"))
+            .collect()
+    });
+
+    for (k, run) in runs.iter().enumerate() {
+        let tracked: usize = run.frames.iter().map(|f| f.tracks.len()).sum();
+        println!(
+            "cam{k:02}: {} events in, {} frames back, {} track boxes, queue HWM {}",
+            run.finished.events,
+            run.frames.len(),
+            tracked,
+            run.finished.queue_high_water,
+        );
+    }
+
+    let report = server.shutdown();
+    println!(
+        "server: {} sessions, {} events, {} frames total",
+        report.sessions.len(),
+        report.snapshot.events_in(),
+        report.snapshot.frames_out(),
+    );
+}

@@ -18,10 +18,17 @@
 //!   deterministic fan-out ([`ebbiot_engine`])
 //! * [`store`] — the chunked `EBST` on-disk recording store, fleet
 //!   spool layout and paced replay ([`ebbiot_store`])
+//! * [`server`] — the TCP ingestion server speaking the framed `EBWP`
+//!   wire protocol ([`ebbiot_server`])
 //! * [`eval`] — IoU precision/recall evaluation ([`ebbiot_eval`])
 //! * [`resource`] — the paper's analytic cost models ([`ebbiot_resource`])
 //! * [`linalg`] — the small dense linear algebra used by the KF
 //!   ([`ebbiot_linalg`])
+//!
+//! `ARCHITECTURE.md` at the workspace root is the guided tour: the
+//! FrontEnd/Tracker/Pipeline layering, the engine's deterministic
+//! fan-out, and normative field-by-field specifications of the `EBST`
+//! disk format and the `EBWP` wire protocol.
 //!
 //! ## Quickstart
 //!
@@ -60,6 +67,7 @@ pub use ebbiot_filters as filters;
 pub use ebbiot_frame as frame;
 pub use ebbiot_linalg as linalg;
 pub use ebbiot_resource as resource;
+pub use ebbiot_server as server;
 pub use ebbiot_sim as sim;
 pub use ebbiot_store as store;
 
@@ -86,13 +94,16 @@ pub mod prelude {
     pub use ebbiot_filters::{EventFilter, FilterChain, NnFilter, RefractoryFilter};
     pub use ebbiot_frame::{BinaryImage, BoundingBox, EbbiAccumulator, MedianFilter, PixelBox};
     pub use ebbiot_resource::{fig5_comparison, PaperParams, PipelineCost};
+    pub use ebbiot_server::{
+        Frame, Hello, IngestServer, ServerConfig, Session, SessionSummary, WireError,
+    };
     pub use ebbiot_sim::{
         spool_fleet, spool_recording, BackgroundNoise, DatasetPreset, DavisConfig, DavisSimulator,
         FleetConfig, ObjectClass, Scene, SceneObject, SimulatedRecording, TrafficConfig,
         TrafficGenerator,
     };
     pub use ebbiot_store::{
-        ChunkReader, EngineReplay, FleetStore, PipelineReplay, RecordingWriter, ReplayMode,
-        Replayer, StoreError, StoreOptions, StoreSummary, StoredCamera,
+        ChunkReader, EngineReplay, FleetArchiver, FleetStore, PipelineReplay, RecordingWriter,
+        ReplayMode, Replayer, StoreError, StoreOptions, StoreSummary, StoredCamera,
     };
 }
