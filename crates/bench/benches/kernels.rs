@@ -1,0 +1,64 @@
+//! Frame-kernel benches: word-parallel hot kernels vs their scalar
+//! references on a realistic 240x180 EBBI (a few vehicle blobs plus
+//! ~3% salt noise), per-kernel pixel throughput.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use ebbiot_bench::{synthetic_traffic_ebbi, tracker_box_tiling};
+use ebbiot_events::{OpsCounter, SensorGeometry};
+use ebbiot_frame::{reference, BinaryImage, CountImage, MedianFilter};
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_kernels(c: &mut Criterion) {
+    let geometry = SensorGeometry::davis240();
+    let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+    let img = synthetic_traffic_ebbi(geometry, 0.03, &mut rng);
+    let mut scratch = BinaryImage::new(geometry);
+
+    let mut group = c.benchmark_group("kernels_240x180");
+    group.throughput(Throughput::Elements(geometry.num_pixels() as u64));
+
+    let mut filter = MedianFilter::paper_default();
+    group.bench_function("median3_word", |b| {
+        b.iter(|| filter.apply_into(black_box(&img), &mut scratch));
+    });
+    let mut ops = OpsCounter::new();
+    group.bench_function("median3_reference", |b| {
+        b.iter(|| reference::median_into(black_box(&img), 3, &mut scratch, &mut ops));
+    });
+
+    group.bench_function("downsample6x3_word", |b| {
+        b.iter(|| black_box(CountImage::downsample(black_box(&img), 6, 3, &mut ops)));
+    });
+    group.bench_function("downsample6x3_reference", |b| {
+        b.iter(|| black_box(reference::downsample(black_box(&img), 6, 3, &mut ops)));
+    });
+
+    let boxes = tracker_box_tiling(geometry);
+    group.bench_function("count_in_box_word", |b| {
+        b.iter(|| {
+            let mut total = 0usize;
+            for bx in &boxes {
+                total += img.count_in_box(bx);
+            }
+            black_box(total)
+        });
+    });
+    group.bench_function("count_in_box_reference", |b| {
+        b.iter(|| {
+            let mut total = 0usize;
+            for bx in &boxes {
+                total += reference::count_in_box(&img, bx);
+            }
+            black_box(total)
+        });
+    });
+
+    group.bench_function("readout_copy", |b| {
+        b.iter(|| scratch.copy_from(black_box(&img)));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_kernels);
+criterion_main!(benches);

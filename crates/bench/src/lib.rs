@@ -144,6 +144,46 @@ pub fn run_fleet_sequential(
         .collect()
 }
 
+/// A traffic-like synthetic EBBI for kernel benchmarking: a few
+/// vehicle-sized blobs plus uniform salt noise at roughly `density`.
+/// Shared by `exp_hotpath` and the `kernels` criterion bench so both
+/// measure the same input distribution.
+#[must_use]
+pub fn synthetic_traffic_ebbi(
+    geometry: ebbiot_events::SensorGeometry,
+    density: f64,
+    rng: &mut rand::rngs::StdRng,
+) -> ebbiot_frame::BinaryImage {
+    use rand::Rng;
+    let mut img = ebbiot_frame::BinaryImage::new(geometry);
+    let (w, h) = (geometry.width(), geometry.height());
+    for _ in 0..4 {
+        let bw = rng.random_range(12u16..40);
+        let bh = rng.random_range(8u16..20);
+        let x = rng.random_range(0..w.saturating_sub(bw).max(1));
+        let y = rng.random_range(0..h.saturating_sub(bh).max(1));
+        img.fill_box(&ebbiot_frame::PixelBox::new(x, y, (x + bw).min(w), (y + bh).min(h)));
+    }
+    let noise = (geometry.num_pixels() as f64 * density) as usize;
+    for _ in 0..noise {
+        img.set(rng.random_range(0..w), rng.random_range(0..h), true);
+    }
+    img
+}
+
+/// An 8x8 tiling of tracker-sized boxes across the frame, the shared
+/// workload for the box-counting kernel measurements.
+#[must_use]
+pub fn tracker_box_tiling(geometry: ebbiot_events::SensorGeometry) -> Vec<ebbiot_frame::PixelBox> {
+    (0..64u16)
+        .map(|i| {
+            let x = (i % 8) * (geometry.width() / 8);
+            let y = (i / 8) * (geometry.height() / 8);
+            ebbiot_frame::PixelBox::new(x, y, x + geometry.width() / 6, y + geometry.height() / 6)
+        })
+        .collect()
+}
+
 /// Minimal ordered JSON-object builder for the machine-readable
 /// `BENCH_*.json` artifacts the experiment binaries emit (the
 /// workspace is offline — no serde). Insertion order is preserved so

@@ -15,6 +15,14 @@
 //! pipeline performs no per-frame frame-sized allocations. Each block
 //! keeps its own [`OpsCounter`] so the resource harness can cross-check
 //! the paper's Eqs. 1 and 5 against measured numbers.
+//!
+//! The frame kernels under these blocks (median, downsample, box
+//! queries) run **word-parallel** over `ebbiot_frame`'s row-aligned
+//! bit layout — 64 pixels per `u64` operation (see ARCHITECTURE.md,
+//! "Frame memory layout"). The [`OpsCounter`] numbers are *logical*
+//! Eq. 1 / Eq. 5 charges, deliberately independent of the physical
+//! instruction count, so the resource cross-checks and the paper-number
+//! suites are unchanged by kernel optimizations.
 
 use ebbiot_events::{Event, OpsCounter};
 use ebbiot_frame::{BinaryImage, BoundingBox, EbbiAccumulator, MedianFilter};

@@ -1,9 +1,12 @@
 //! Event-density region-proposal network (§II-B).
 //!
-//! Pipeline per frame: downsample the denoised EBBI by `(s1, s2)` (Eq. 3),
-//! project `H_X` and `H_Y` (Eq. 4), find contiguous runs at or above a
-//! threshold (the paper sets it to 1), and propose the Cartesian
-//! intersections of X-runs and Y-runs as regions. When multiple runs exist
+//! Pipeline per frame: downsample the denoised EBBI by `(s1, s2)` (Eq. 3,
+//! extended with partial edge cells so non-divisible geometries such as
+//! the DAVIS346 have no blind strip at the right/bottom edge — proposals
+//! from partial cells are clamped back to the frame), project `H_X` and
+//! `H_Y` (Eq. 4), find contiguous runs at or above a threshold (the paper
+//! sets it to 1), and propose the Cartesian intersections of X-runs and
+//! Y-runs as regions. When multiple runs exist
 //! on *both* axes, the product contains false intersections; the paper
 //! prescribes "a check ... in the original image to see if there are any
 //! valid pixels in that region" — we check the downsampled count image,
@@ -113,10 +116,11 @@ impl RegionProposalNetwork {
     /// Proposes regions for one denoised EBBI.
     #[must_use]
     pub fn propose(&mut self, image: &BinaryImage) -> Vec<BoundingBox> {
+        let frame = (image.width(), image.height());
         let scaled = CountImage::downsample(image, self.config.s1, self.config.s2, &mut self.ops);
         let proposals = match self.config.mode {
-            RpnMode::Histogram => self.propose_histogram(&scaled),
-            RpnMode::ConnectedComponents => self.propose_cca(&scaled),
+            RpnMode::Histogram => self.propose_histogram(&scaled, frame),
+            RpnMode::ConnectedComponents => self.propose_cca(&scaled, frame),
         };
         self.refine_all(image, proposals)
     }
@@ -127,10 +131,11 @@ impl RegionProposalNetwork {
         &mut self,
         image: &BinaryImage,
     ) -> (Vec<BoundingBox>, CountImage, Histogram, Histogram) {
+        let frame = (image.width(), image.height());
         let scaled = CountImage::downsample(image, self.config.s1, self.config.s2, &mut self.ops);
         let hx = Histogram::project(&scaled, Axis::X, &mut self.ops);
         let hy = Histogram::project(&scaled, Axis::Y, &mut self.ops);
-        let proposals = self.intersect_runs(&scaled, &hx, &hy);
+        let proposals = self.intersect_runs(&scaled, &hx, &hy, frame);
         let proposals = self.refine_all(image, proposals);
         (proposals, scaled, hx, hy)
     }
@@ -150,27 +155,28 @@ impl RegionProposalNetwork {
     }
 
     /// Bounding box of set pixels inside the proposal, or `None` when the
-    /// region is actually empty.
+    /// region is actually empty. Scans word-parallel: only the set bits
+    /// of each covered row are visited (empty words are skipped), while
+    /// the op accounting keeps the paper's logical one-comparison-per-
+    /// region-pixel charge.
     fn refine(&mut self, image: &BinaryImage, b: &BoundingBox) -> Option<BoundingBox> {
         let x0 = b.x.max(0.0) as u16;
         let y0 = b.y.max(0.0) as u16;
         let x1 = (b.x_max().ceil().max(0.0) as u16).min(image.width());
         let y1 = (b.y_max().ceil().max(0.0) as u16).min(image.height());
+        self.ops.compare(u64::from(x1.saturating_sub(x0)) * u64::from(y1.saturating_sub(y0)));
         let mut min_x = u16::MAX;
         let mut min_y = u16::MAX;
         let mut max_x = 0u16;
         let mut max_y = 0u16;
         let mut any = false;
         for y in y0..y1 {
-            for x in x0..x1 {
-                self.ops.compare(1);
-                if image.get(x, y) {
-                    any = true;
-                    min_x = min_x.min(x);
-                    min_y = min_y.min(y);
-                    max_x = max_x.max(x);
-                    max_y = max_y.max(y);
-                }
+            for x in image.set_pixels_in_row(y).skip_while(|&x| x < x0).take_while(|&x| x < x1) {
+                any = true;
+                min_x = min_x.min(x);
+                min_y = min_y.min(y);
+                max_x = max_x.max(x);
+                max_y = max_y.max(y);
             }
         }
         if !any {
@@ -184,10 +190,10 @@ impl RegionProposalNetwork {
         ))
     }
 
-    fn propose_histogram(&mut self, scaled: &CountImage) -> Vec<BoundingBox> {
+    fn propose_histogram(&mut self, scaled: &CountImage, frame: (u16, u16)) -> Vec<BoundingBox> {
         let hx = Histogram::project(scaled, Axis::X, &mut self.ops);
         let hy = Histogram::project(scaled, Axis::Y, &mut self.ops);
-        self.intersect_runs(scaled, &hx, &hy)
+        self.intersect_runs(scaled, &hx, &hy, frame)
     }
 
     fn intersect_runs(
@@ -195,6 +201,7 @@ impl RegionProposalNetwork {
         scaled: &CountImage,
         hx: &Histogram,
         hy: &Histogram,
+        frame: (u16, u16),
     ) -> Vec<BoundingBox> {
         let x_runs = hx.runs_at_least(self.config.threshold, &mut self.ops);
         let y_runs = hy.runs_at_least(self.config.threshold, &mut self.ops);
@@ -220,6 +227,7 @@ impl RegionProposalNetwork {
                     rx.end as u16,
                     ry.start as u16,
                     ry.end as u16,
+                    frame,
                 );
                 self.ops.compare(1);
                 if bbox.area() >= self.config.min_area {
@@ -230,7 +238,7 @@ impl RegionProposalNetwork {
         proposals
     }
 
-    fn propose_cca(&mut self, scaled: &CountImage) -> Vec<BoundingBox> {
+    fn propose_cca(&mut self, scaled: &CountImage, frame: (u16, u16)) -> Vec<BoundingBox> {
         // Binarize the count image at the threshold, then label.
         let geom =
             ebbiot_events::SensorGeometry::new(scaled.width().max(1), scaled.height().max(1));
@@ -247,18 +255,29 @@ impl RegionProposalNetwork {
         let comps = connected_components(&binary, Connectivity::Eight, &mut self.ops);
         comps
             .into_iter()
-            .map(|c| self.cells_to_box(c.bbox.x_min, c.bbox.x_max, c.bbox.y_min, c.bbox.y_max))
+            .map(|c| {
+                self.cells_to_box(c.bbox.x_min, c.bbox.x_max, c.bbox.y_min, c.bbox.y_max, frame)
+            })
             .filter(|b| b.area() >= self.config.min_area)
             .collect()
     }
 
-    /// Converts a half-open cell rectangle back to full-resolution pixels.
-    fn cells_to_box(&self, i_min: u16, i_max: u16, j_min: u16, j_max: u16) -> BoundingBox {
-        BoundingBox::new(
+    /// Converts a half-open cell rectangle back to full-resolution pixels,
+    /// clamping to the frame: a trailing *partial* cell (non-divisible
+    /// geometry, Eq. 3 extension) maps to only the pixels that exist.
+    fn cells_to_box(
+        &self,
+        i_min: u16,
+        i_max: u16,
+        j_min: u16,
+        j_max: u16,
+        frame: (u16, u16),
+    ) -> BoundingBox {
+        BoundingBox::from_corners(
             f32::from(i_min) * f32::from(self.config.s1),
             f32::from(j_min) * f32::from(self.config.s2),
-            f32::from(i_max - i_min) * f32::from(self.config.s1),
-            f32::from(j_max - j_min) * f32::from(self.config.s2),
+            (f32::from(i_max) * f32::from(self.config.s1)).min(f32::from(frame.0)),
+            (f32::from(j_max) * f32::from(self.config.s2)).min(f32::from(frame.1)),
         )
     }
 
@@ -435,6 +454,42 @@ mod tests {
         assert_eq!(proposals.len(), 1);
         let p = &proposals[0];
         assert!(p.x_max() <= 240.0 && p.y_max() <= 180.0);
+    }
+
+    #[test]
+    fn davis346_right_edge_object_yields_a_proposal() {
+        // 346 = 57 * 6 + 4: with Eq. 3's floor division the RPN never saw
+        // columns 342..346, so an object hugging the right edge produced
+        // no proposal at all. Partial edge cells fix that blind strip.
+        let mut img = BinaryImage::new(SensorGeometry::davis346());
+        img.fill_box(&PixelBox::new(342, 100, 346, 118));
+        let proposals = rpn().propose(&img);
+        assert_eq!(proposals.len(), 1, "edge-hugging object must be proposed");
+        let p = &proposals[0];
+        assert!(p.x >= 336.0 && p.x_max() <= 346.0, "clamped to the frame: {p}");
+        assert!(p.x_max() > 342.0, "covers the former blind strip: {p}");
+
+        // Same for the 2-pixel bottom strip (260 = 86 * 3 + 2).
+        let mut img = BinaryImage::new(SensorGeometry::davis346());
+        img.fill_box(&PixelBox::new(100, 258, 130, 260));
+        let proposals = rpn().propose(&img);
+        assert_eq!(proposals.len(), 1, "bottom-edge object must be proposed");
+        let p = &proposals[0];
+        assert!(p.y_max() <= 260.0 && p.y_max() > 258.0, "clamped, covers the strip: {p}");
+    }
+
+    #[test]
+    fn paper_geometry_is_unaffected_by_the_edge_cell_extension() {
+        // 240 x 180 divides exactly by (6, 3): cell grid and proposals are
+        // bit-identical to strict Eq. 3.
+        let mut img = davis_image();
+        img.fill_box(&PixelBox::new(61, 91, 99, 107));
+        let (proposals, scaled, hx, hy) = rpn().propose_with_intermediates(&img);
+        assert_eq!((scaled.width(), scaled.height()), (40, 60));
+        assert_eq!((hx.len(), hy.len()), (40, 60));
+        assert_eq!(proposals.len(), 1);
+        let p = &proposals[0];
+        assert!(p.x % 6.0 == 0.0 && p.y % 3.0 == 0.0, "still cell aligned");
     }
 
     #[test]

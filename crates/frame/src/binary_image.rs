@@ -1,18 +1,33 @@
-//! Bit-packed binary images.
+//! Bit-packed binary images with a row-aligned word layout.
 //!
 //! The EBBI is a one-bit-per-pixel frame ("one possible event per pixel,
-//! ignoring polarity"). Packing 64 pixels per word keeps the memory
-//! footprint at the paper's figure — `A x B` bits = 5.4 kB per DAVIS240
-//! frame, 10.8 kB for the original + filtered pair of Eq. 1.
+//! ignoring polarity"). Pixels are packed 64 per `u64` word with **each
+//! row starting on a word boundary**: a row occupies
+//! `ceil(width / 64)` words and the bits of the last word at or past
+//! `width` (the *tail bits*) are an always-zero invariant. The alignment
+//! costs at most 63 bits of padding per row but lets every hot kernel
+//! (median, downsampling, box counting, CCA scans) process 64 pixels per
+//! instruction without any cross-row carry logic — the word-parallel
+//! frame processing the paper's Eqs. 1 and 5 price out as "cheap".
+//!
+//! The paper's *accounting* is unchanged by the physical layout:
+//! [`BinaryImage::payload_bits`] still reports `A x B` bits (5.4 kB per
+//! DAVIS240 frame, 10.8 kB for the original + filtered pair of Eq. 1);
+//! padding words are an implementation detail, not payload. See
+//! ARCHITECTURE.md ("Frame memory layout") for the full invariant list.
 
 use ebbiot_events::SensorGeometry;
 
 use crate::PixelBox;
 
-/// A binary image bit-packed into `u64` words, row-major.
+/// A binary image bit-packed into `u64` words, row-major, with each row
+/// aligned to a word boundary (see the module docs for the layout).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct BinaryImage {
     geometry: SensorGeometry,
+    /// Words per row: `ceil(width / 64)`.
+    words_per_row: usize,
+    /// `height * words_per_row` words; tail bits are always zero.
     words: Vec<u64>,
 }
 
@@ -20,8 +35,9 @@ impl BinaryImage {
     /// Creates an all-zero image for the given geometry.
     #[must_use]
     pub fn new(geometry: SensorGeometry) -> Self {
-        let words = geometry.num_pixels().div_ceil(64);
-        Self { geometry, words: vec![0; words] }
+        let words_per_row = (geometry.width() as usize).div_ceil(64);
+        let words = vec![0; words_per_row * geometry.height() as usize];
+        Self { geometry, words_per_row, words }
     }
 
     /// The image geometry.
@@ -42,16 +58,68 @@ impl BinaryImage {
         self.geometry.height()
     }
 
+    /// Number of `u64` words backing each row: `ceil(width / 64)`.
+    #[must_use]
+    pub const fn words_per_row(&self) -> usize {
+        self.words_per_row
+    }
+
+    /// The words of row `y`. Bit `x % 64` of word `x / 64` is pixel
+    /// `(x, y)`; bits at or past `width` in the last word are zero.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `y` is out of bounds.
+    #[must_use]
+    pub fn row_words(&self, y: u16) -> &[u64] {
+        let start = y as usize * self.words_per_row;
+        &self.words[start..start + self.words_per_row]
+    }
+
+    /// Mutable access to the words of row `y` for in-crate kernels.
+    /// Writers must uphold the tail-bit invariant.
+    pub(crate) fn row_words_mut(&mut self, y: u16) -> &mut [u64] {
+        let start = y as usize * self.words_per_row;
+        &mut self.words[start..start + self.words_per_row]
+    }
+
+    /// Mask of the valid bits in the *last* word of every row: ones below
+    /// `width % 64`, or all ones when the width is a word multiple.
+    pub(crate) const fn tail_mask(&self) -> u64 {
+        Self::below_mask(self.geometry.width())
+    }
+
+    /// Whether the row-tail invariant holds: every bit at or past `width`
+    /// in the last word of each row is zero. Word-parallel kernels rely
+    /// on this (popcounts would otherwise over-count); every mutating
+    /// operation preserves it, and the kernel-parity proptests assert it.
+    #[must_use]
+    pub fn tail_bits_zero(&self) -> bool {
+        let spill = !self.tail_mask();
+        (0..self.height()).all(|y| self.row_words(y)[self.words_per_row - 1] & spill == 0)
+    }
+
+    #[inline]
+    fn bit_position(&self, x: u16, y: u16) -> (usize, u32) {
+        // A real (not debug) assert: with the row-aligned layout an
+        // out-of-bounds x could land on a tail bit of a valid word and
+        // silently break the tail-bit invariant every word-parallel
+        // kernel relies on. These accessors are off the hot paths (the
+        // kernels read whole row slices), so the check is cheap.
+        assert!(self.geometry.contains(x, y), "pixel ({x}, {y}) out of bounds");
+        (y as usize * self.words_per_row + (x as usize >> 6), u32::from(x) & 63)
+    }
+
     /// Reads pixel `(x, y)`.
     ///
     /// # Panics
     ///
-    /// Panics in debug builds when out of bounds.
+    /// Panics when out of bounds.
     #[must_use]
     #[inline]
     pub fn get(&self, x: u16, y: u16) -> bool {
-        let idx = self.geometry.index_of(x, y);
-        (self.words[idx / 64] >> (idx % 64)) & 1 == 1
+        let (word, bit) = self.bit_position(x, y);
+        (self.words[word] >> bit) & 1 == 1
     }
 
     /// Reads pixel `(x, y)`, returning `false` outside the array (the
@@ -70,25 +138,33 @@ impl BinaryImage {
     }
 
     /// Sets pixel `(x, y)` to `value`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when out of bounds.
     #[inline]
     pub fn set(&mut self, x: u16, y: u16, value: bool) {
-        let idx = self.geometry.index_of(x, y);
-        let mask = 1u64 << (idx % 64);
+        let (word, bit) = self.bit_position(x, y);
+        let mask = 1u64 << bit;
         if value {
-            self.words[idx / 64] |= mask;
+            self.words[word] |= mask;
         } else {
-            self.words[idx / 64] &= !mask;
+            self.words[word] &= !mask;
         }
     }
 
     /// Sets pixel `(x, y)` to one, returning whether it was previously zero
     /// (i.e. whether this write latched a new pixel — the sensor-as-memory
     /// semantics of the EBBI readout).
+    ///
+    /// # Panics
+    ///
+    /// Panics when out of bounds.
     #[inline]
     pub fn latch(&mut self, x: u16, y: u16) -> bool {
-        let idx = self.geometry.index_of(x, y);
-        let mask = 1u64 << (idx % 64);
-        let word = &mut self.words[idx / 64];
+        let (word, bit) = self.bit_position(x, y);
+        let mask = 1u64 << bit;
+        let word = &mut self.words[word];
         let was_zero = *word & mask == 0;
         *word |= mask;
         was_zero
@@ -100,7 +176,8 @@ impl BinaryImage {
     }
 
     /// Copies `source` into `self` without reallocating — the buffer-reuse
-    /// primitive behind the streaming front-end's readout.
+    /// primitive behind the streaming front-end's readout. With the
+    /// row-aligned layout this is a straight word copy.
     ///
     /// # Panics
     ///
@@ -110,7 +187,8 @@ impl BinaryImage {
         self.words.copy_from_slice(&source.words);
     }
 
-    /// Number of set pixels.
+    /// Number of set pixels (a popcount over the words; exact because tail
+    /// bits are zero).
     #[must_use]
     pub fn count_ones(&self) -> usize {
         self.words.iter().map(|w| w.count_ones() as usize).sum()
@@ -123,70 +201,129 @@ impl BinaryImage {
         self.count_ones() as f64 / self.geometry.num_pixels() as f64
     }
 
-    /// Iterator over the `(x, y)` coordinates of all set pixels in
-    /// row-major order.
-    pub fn set_pixels(&self) -> impl Iterator<Item = (u16, u16)> + '_ {
-        let geometry = self.geometry;
-        self.words.iter().enumerate().flat_map(move |(wi, &word)| {
+    /// Iterator over the x coordinates of all set pixels in row `y`, in
+    /// ascending order (word-parallel scan: all-zero words are skipped
+    /// with one test each).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `y` is out of bounds.
+    pub fn set_pixels_in_row(&self, y: u16) -> impl Iterator<Item = u16> + '_ {
+        self.row_words(y).iter().enumerate().flat_map(|(wi, &word)| {
             let mut bits = word;
             core::iter::from_fn(move || {
                 if bits == 0 {
                     return None;
                 }
-                let bit = bits.trailing_zeros() as usize;
+                let bit = bits.trailing_zeros();
                 bits &= bits - 1;
-                Some(wi * 64 + bit)
+                Some((wi * 64) as u16 + bit as u16)
             })
-            .filter(move |&idx| idx < geometry.num_pixels())
-            .map(move |idx| geometry.pixel_at(idx))
         })
     }
 
+    /// Iterator over the `(x, y)` coordinates of all set pixels in
+    /// row-major order.
+    pub fn set_pixels(&self) -> impl Iterator<Item = (u16, u16)> + '_ {
+        (0..self.height()).flat_map(move |y| self.set_pixels_in_row(y).map(move |x| (x, y)))
+    }
+
+    /// Set-pixel count of row `y` restricted to columns `[x0, x1)`, via
+    /// masked word popcounts. `x1` must not exceed the width.
+    pub(crate) fn count_in_row_span(&self, y: u16, x0: u16, x1: u16) -> u32 {
+        debug_assert!(x1 <= self.width());
+        if x0 >= x1 {
+            return 0;
+        }
+        let row = self.row_words(y);
+        let w0 = x0 as usize >> 6;
+        let w1 = (x1 as usize - 1) >> 6;
+        let first = !0u64 << (u32::from(x0) & 63);
+        let last = Self::below_mask(x1);
+        if w0 == w1 {
+            (row[w0] & first & last).count_ones()
+        } else {
+            let mut n = (row[w0] & first).count_ones() + (row[w1] & last).count_ones();
+            for &w in &row[w0 + 1..w1] {
+                n += w.count_ones();
+            }
+            n
+        }
+    }
+
+    /// Mask of the bits strictly below column `x` within `x`'s word
+    /// (all ones when `x` is a word multiple, i.e. "the whole word below").
+    const fn below_mask(x: u16) -> u64 {
+        let rem = x % 64;
+        if rem == 0 {
+            !0
+        } else {
+            (1u64 << rem) - 1
+        }
+    }
+
     /// Counts set pixels inside a pixel box (exclusive max corner, clipped
-    /// to the array).
+    /// to the array), one masked popcount span per covered row.
     #[must_use]
     pub fn count_in_box(&self, b: &PixelBox) -> usize {
         let x_end = b.x_max.min(self.width());
         let y_end = b.y_max.min(self.height());
-        let mut count = 0;
+        if b.x_min >= x_end || b.y_min >= y_end {
+            return 0;
+        }
+        let mut count = 0usize;
         for y in b.y_min..y_end {
-            for x in b.x_min..x_end {
-                if self.get(x, y) {
-                    count += 1;
-                }
-            }
+            count += self.count_in_row_span(y, b.x_min, x_end) as usize;
         }
         count
     }
 
-    /// Whether any set pixel lies inside the pixel box.
+    /// Whether any set pixel lies inside the pixel box (masked word tests
+    /// with early exit).
     #[must_use]
     pub fn any_in_box(&self, b: &PixelBox) -> bool {
         let x_end = b.x_max.min(self.width());
         let y_end = b.y_max.min(self.height());
+        if b.x_min >= x_end || b.y_min >= y_end {
+            return false;
+        }
         for y in b.y_min..y_end {
-            for x in b.x_min..x_end {
-                if self.get(x, y) {
-                    return true;
-                }
+            if self.count_in_row_span(y, b.x_min, x_end) > 0 {
+                return true;
             }
         }
         false
     }
 
-    /// Paints a filled rectangle of ones (used by tests and the simulator).
+    /// Paints a filled rectangle of ones (used by tests and the simulator)
+    /// by OR-ing span masks row by row.
     pub fn fill_box(&mut self, b: &PixelBox) {
         let x_end = b.x_max.min(self.width());
         let y_end = b.y_max.min(self.height());
+        if b.x_min >= x_end || b.y_min >= y_end {
+            return;
+        }
+        let w0 = b.x_min as usize >> 6;
+        let w1 = (x_end as usize - 1) >> 6;
+        let first = !0u64 << (u32::from(b.x_min) & 63);
+        let last = Self::below_mask(x_end);
         for y in b.y_min..y_end {
-            for x in b.x_min..x_end {
-                self.set(x, y, true);
+            let row = self.row_words_mut(y);
+            if w0 == w1 {
+                row[w0] |= first & last;
+            } else {
+                row[w0] |= first;
+                row[w1] |= last;
+                for w in &mut row[w0 + 1..w1] {
+                    *w = !0;
+                }
             }
         }
     }
 
     /// Memory footprint of the pixel payload in bits (`A * B`, matching the
-    /// paper's accounting of one bit per pixel).
+    /// paper's accounting of one bit per pixel; row-alignment padding is an
+    /// implementation detail and is not counted).
     #[must_use]
     pub fn payload_bits(&self) -> usize {
         self.geometry.num_pixels()
@@ -232,6 +369,24 @@ mod tests {
         assert_eq!(img.count_ones(), 0);
         assert_eq!(img.density(), 0.0);
         assert!(!img.get(0, 0));
+    }
+
+    #[test]
+    fn rows_are_word_aligned() {
+        let img = BinaryImage::new(SensorGeometry::new(130, 3));
+        assert_eq!(img.words_per_row(), 3, "130 columns need 3 words");
+        assert_eq!(img.row_words(0).len(), 3);
+        let narrow = BinaryImage::new(SensorGeometry::new(64, 2));
+        assert_eq!(narrow.words_per_row(), 1);
+    }
+
+    #[test]
+    fn row_words_expose_the_packed_bits() {
+        let mut img = BinaryImage::new(SensorGeometry::new(70, 2));
+        img.set(0, 1, true);
+        img.set(65, 1, true);
+        assert_eq!(img.row_words(0), &[0, 0]);
+        assert_eq!(img.row_words(1), &[1, 1 << 1]);
     }
 
     #[test]
@@ -299,6 +454,17 @@ mod tests {
     }
 
     #[test]
+    fn set_pixels_in_row_scans_across_word_boundaries() {
+        let mut img = BinaryImage::new(SensorGeometry::new(150, 2));
+        for &x in &[0u16, 63, 64, 127, 128, 149] {
+            img.set(x, 1, true);
+        }
+        let xs: Vec<u16> = img.set_pixels_in_row(1).collect();
+        assert_eq!(xs, vec![0, 63, 64, 127, 128, 149]);
+        assert_eq!(img.set_pixels_in_row(0).count(), 0);
+    }
+
+    #[test]
     fn box_counting_and_any() {
         let mut img = small();
         img.fill_box(&PixelBox::new(2, 2, 5, 5));
@@ -306,6 +472,19 @@ mod tests {
         assert_eq!(img.count_in_box(&PixelBox::new(2, 2, 4, 4)), 4);
         assert!(img.any_in_box(&PixelBox::new(4, 4, 10, 8)));
         assert!(!img.any_in_box(&PixelBox::new(6, 6, 10, 8)));
+    }
+
+    #[test]
+    fn box_ops_handle_word_straddling_spans() {
+        let mut img = BinaryImage::new(SensorGeometry::new(200, 4));
+        img.fill_box(&PixelBox::new(60, 1, 140, 3));
+        assert_eq!(img.count_ones(), 80 * 2);
+        assert_eq!(img.count_in_box(&PixelBox::new(60, 1, 140, 3)), 160);
+        assert_eq!(img.count_in_box(&PixelBox::new(63, 1, 65, 2)), 2);
+        assert_eq!(img.count_in_box(&PixelBox::new(0, 0, 200, 1)), 0);
+        assert!(img.any_in_box(&PixelBox::new(128, 2, 200, 4)));
+        assert!(!img.any_in_box(&PixelBox::new(140, 1, 200, 3)));
+        assert!(img.tail_bits_zero());
     }
 
     #[test]
@@ -318,9 +497,54 @@ mod tests {
     }
 
     #[test]
+    fn degenerate_boxes_are_empty() {
+        let mut img = small();
+        img.fill_box(&PixelBox::new(0, 0, 10, 8));
+        assert_eq!(img.count_in_box(&PixelBox::new(5, 5, 5, 8)), 0);
+        assert!(!img.any_in_box(&PixelBox::new(3, 2, 3, 2)));
+        // Degenerate fill is a no-op.
+        let mut img2 = small();
+        img2.fill_box(&PixelBox::new(4, 4, 4, 8));
+        assert_eq!(img2.count_ones(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn out_of_bounds_set_panics_in_all_build_modes() {
+        // An OOB x could otherwise land on a tail bit of a valid word and
+        // silently corrupt the invariant; the assert is unconditional.
+        let mut img = BinaryImage::new(SensorGeometry::new(100, 4));
+        img.set(110, 1, true);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn out_of_bounds_get_panics_in_all_build_modes() {
+        let img = BinaryImage::new(SensorGeometry::new(100, 4));
+        let _ = img.get(0, 4);
+    }
+
+    #[test]
     fn payload_bits_matches_pixel_count() {
         assert_eq!(small().payload_bits(), 80);
         assert_eq!(BinaryImage::new(SensorGeometry::davis240()).payload_bits(), 43_200);
+    }
+
+    #[test]
+    fn tail_invariant_holds_after_mutations() {
+        let mut img = BinaryImage::new(SensorGeometry::new(67, 3));
+        assert!(img.tail_bits_zero());
+        img.fill_box(&PixelBox::new(0, 0, 67, 3));
+        assert!(img.tail_bits_zero());
+        assert_eq!(img.count_ones(), 67 * 3);
+        img.set(66, 2, false);
+        img.latch(66, 1);
+        assert!(img.tail_bits_zero());
+        let mut copy = BinaryImage::new(SensorGeometry::new(67, 3));
+        copy.copy_from(&img);
+        assert!(copy.tail_bits_zero());
+        img.clear();
+        assert!(img.tail_bits_zero());
     }
 
     #[test]
@@ -348,13 +572,14 @@ mod tests {
 
     #[test]
     fn geometry_not_multiple_of_64_works() {
-        // 43_200 pixels for DAVIS240 is not a multiple of 64 either; use a
-        // tiny odd geometry and exercise the word-boundary logic.
+        // 13 columns leave 51 tail bits per row word; exercise the
+        // tail-masking logic.
         let mut img = BinaryImage::new(SensorGeometry::new(13, 5));
         for (x, y) in img.geometry().pixels().collect::<Vec<_>>() {
             img.set(x, y, true);
         }
         assert_eq!(img.count_ones(), 65);
         assert_eq!(img.set_pixels().count(), 65);
+        assert!(img.tail_bits_zero());
     }
 }

@@ -40,12 +40,19 @@ impl BoundingBox {
 
     /// Creates a box from inclusive minimum and exclusive maximum corners.
     ///
+    /// Inverted corners (`max < min` on an axis) clamp to a zero extent
+    /// at the minimum corner rather than producing a negative width or
+    /// height, so downstream `area`/`iou`/`overlap_fraction` algebra can
+    /// never go negative. Callers that consider inverted corners a bug
+    /// should check before calling; callers computing intersections or
+    /// clips get a well-defined empty box.
+    ///
     /// # Panics
     ///
-    /// Panics if `max < min` on either axis.
+    /// Panics if any corner is non-finite.
     #[must_use]
     pub fn from_corners(x_min: f32, y_min: f32, x_max: f32, y_max: f32) -> Self {
-        Self::new(x_min, y_min, x_max - x_min, y_max - y_min)
+        Self::new(x_min, y_min, (x_max - x_min).max(0.0), (y_max - y_min).max(0.0))
     }
 
     /// Maximum x (right edge).
@@ -165,7 +172,10 @@ impl BoundingBox {
     }
 
     /// Clips the box to `[0, width) x [0, height)`. Returns an empty box at
-    /// the nearest corner when fully outside.
+    /// the nearest corner when fully outside. The explicit `max` guards
+    /// (plus the clamping in [`Self::from_corners`]) keep the result's
+    /// extents non-negative even when floating-point rounding inverts the
+    /// clamped corners.
     #[must_use]
     pub fn clipped_to(&self, width: f32, height: f32) -> Self {
         let x_min = self.x.clamp(0.0, width);
@@ -369,6 +379,20 @@ mod tests {
     #[should_panic(expected = "non-negative")]
     fn negative_extent_panics() {
         let _ = bb(0.0, 0.0, -1.0, 1.0);
+    }
+
+    #[test]
+    fn inverted_corners_clamp_to_empty() {
+        let b = BoundingBox::from_corners(5.0, 7.0, 2.0, 3.0);
+        assert_eq!((b.x, b.y, b.w, b.h), (5.0, 7.0, 0.0, 0.0));
+        assert!(b.is_empty());
+        assert_eq!(b.area(), 0.0);
+        // Degenerate boxes participate safely in the overlap algebra.
+        let other = bb(0.0, 0.0, 10.0, 10.0);
+        assert_eq!(b.iou(&other), 0.0);
+        assert_eq!(other.iou(&b), 0.0);
+        assert_eq!(b.overlap_fraction(&other), 0.0);
+        assert!(b.intersection(&other).is_none());
     }
 
     #[test]

@@ -1,11 +1,22 @@
-//! Block-sum downsampling (Eq. 3 of the paper).
+//! Block-sum downsampling (Eq. 3 of the paper, extended to cover edges).
 //!
 //! The RPN does not operate on the full-resolution EBBI: it first produces
 //! a scaled image `I_{s1,s2}(i, j) = sum of the (s1 x s2) block` of binary
-//! pixels, for `i < floor(A / s1)`, `j < floor(B / s2)`. Following Eq. 3
-//! exactly, trailing rows/columns that do not fill a whole block are
-//! dropped (for the paper's 240x180 with s1 = 6, s2 = 3 the division is
-//! exact, so nothing is lost).
+//! pixels. Eq. 3 as written stops at `floor(A / s1) x floor(B / s2)`
+//! cells, which on non-divisible geometries silently drops a right/bottom
+//! strip of up to `s - 1` pixels — on a DAVIS346 (346 x 260, `s1 = 6`)
+//! the RPN would be blind to a 4-pixel-wide strip and objects entering
+//! from the right edge would be proposed late or never. We therefore
+//! produce `ceil(A / s1) x ceil(B / s2)` cells, with trailing *partial*
+//! cells summing only the pixels that exist. For the paper's 240 x 180
+//! with `s1 = 6`, `s2 = 3` the division is exact and the result is
+//! bit-identical to Eq. 3.
+//!
+//! The kernel is word-parallel over the row-aligned [`BinaryImage`]: each
+//! input row contributes one masked-span popcount per cell instead of a
+//! per-pixel scan. Op accounting keeps the paper's logical Eq. 5 charge —
+//! one addition per input pixel and one write per cell — regardless of
+//! the physical instruction count.
 
 use ebbiot_events::OpsCounter;
 
@@ -27,9 +38,11 @@ pub struct CountImage {
 impl CountImage {
     /// Downsamples a binary image by factors `s1` (x) and `s2` (y).
     ///
-    /// Each output cell holds the number of set pixels in its block. The
-    /// `ops` counter is charged one addition per *input* pixel (the
-    /// `A * B` term dominating `C_RPN` in Eq. 5) and one write per cell.
+    /// Each output cell holds the number of set pixels in its block;
+    /// trailing cells that hang over the right/bottom edge sum only the
+    /// pixels that exist (partial blocks). The `ops` counter is charged
+    /// one addition per *input* pixel (the `A * B` term dominating
+    /// `C_RPN` in Eq. 5) and one write per cell.
     ///
     /// # Panics
     ///
@@ -38,35 +51,64 @@ impl CountImage {
     pub fn downsample(input: &BinaryImage, s1: u16, s2: u16, ops: &mut OpsCounter) -> Self {
         assert!(s1 > 0 && s2 > 0, "scale factors must be non-zero");
         assert!(s1 <= input.width() && s2 <= input.height(), "scale factors larger than the image");
-        let width = input.width() / s1;
-        let height = input.height() / s2;
+        let width = input.width().div_ceil(s1);
+        let height = input.height().div_ceil(s2);
+        let a = u32::from(input.width());
         let mut data = vec![0u32; width as usize * height as usize];
-        for j in 0..height {
-            for i in 0..width {
-                let mut sum = 0u32;
-                for dy in 0..s2 {
-                    for dx in 0..s1 {
-                        if input.get(i * s1 + dx, j * s2 + dy) {
-                            sum += 1;
-                        }
+        if s1 <= 64 {
+            // Rolling bit cursor: each cell's row slice is at most one
+            // word-straddling extraction plus a popcount.
+            let full_mask = if s1 == 64 { !0u64 } else { (1u64 << s1) - 1 };
+            for y in 0..input.height() {
+                let row = input.row_words(y);
+                let base = (y / s2) as usize * width as usize;
+                let mut bit = 0u32;
+                for cell in &mut data[base..base + width as usize] {
+                    let span = u32::from(s1).min(a - bit);
+                    let w0 = (bit >> 6) as usize;
+                    let off = bit & 63;
+                    let mut bits = row[w0] >> off;
+                    if off + span > 64 {
+                        bits |= row[w0 + 1] << (64 - off);
                     }
+                    let mask = if span == u32::from(s1) { full_mask } else { (1u64 << span) - 1 };
+                    *cell += (bits & mask).count_ones();
+                    bit += u32::from(s1);
                 }
-                // One addition per input pixel scanned, one write per cell.
-                ops.add(u64::from(s1) * u64::from(s2));
-                ops.write(1);
-                data[j as usize * width as usize + i as usize] = sum;
+            }
+        } else {
+            // Blocks wider than a word: masked multi-word span popcounts.
+            for y in 0..input.height() {
+                let base = (y / s2) as usize * width as usize;
+                for i in 0..width {
+                    let x0 = i * s1;
+                    let x1 = (u32::from(x0) + u32::from(s1)).min(a) as u16;
+                    data[base + i as usize] += input.count_in_row_span(y, x0, x1);
+                }
             }
         }
+        // Logical Eq. 5 accounting: every input pixel belongs to exactly
+        // one block, so the block sums cost one addition per input pixel;
+        // one memory write per cell.
+        ops.add(input.geometry().num_pixels() as u64);
+        ops.write(u64::from(width) * u64::from(height));
         Self { width, height, data, s1, s2 }
     }
 
-    /// Downsampled width `floor(A / s1)`.
+    /// Builds a count image from raw parts — the in-crate constructor
+    /// used by the scalar reference kernel and tests.
+    pub(crate) fn from_raw(width: u16, height: u16, data: Vec<u32>, s1: u16, s2: u16) -> Self {
+        assert_eq!(data.len(), width as usize * height as usize, "cell data shape mismatch");
+        Self { width, height, data, s1, s2 }
+    }
+
+    /// Downsampled width `ceil(A / s1)` (the last cell may be partial).
     #[must_use]
     pub const fn width(&self) -> u16 {
         self.width
     }
 
-    /// Downsampled height `floor(B / s2)`.
+    /// Downsampled height `ceil(B / s2)` (the last cell may be partial).
     #[must_use]
     pub const fn height(&self) -> u16 {
         self.height
@@ -83,8 +125,8 @@ impl CountImage {
         self.data[j as usize * self.width as usize + i as usize]
     }
 
-    /// Sum of all cells (equals the number of set pixels in the covered
-    /// region of the source image).
+    /// Sum of all cells (equals the number of set pixels in the source
+    /// image — partial edge cells mean no pixel is ever dropped).
     #[must_use]
     pub fn total(&self) -> u64 {
         self.data.iter().map(|&v| u64::from(v)).sum()
@@ -128,21 +170,34 @@ mod tests {
     }
 
     #[test]
-    fn dimensions_follow_floor_division() {
+    fn dimensions_follow_ceil_division() {
         let img = image(240, 180);
         let mut ops = OpsCounter::new();
         let ds = CountImage::downsample(&img, 6, 3, &mut ops);
         assert_eq!(ds.width(), 40);
         assert_eq!(ds.height(), 60);
+        // DAVIS346: 346 / 6 and 260 / 3 do not divide; the remainder gets
+        // partial edge cells instead of a blind strip.
+        let img = image(346, 260);
+        let ds = CountImage::downsample(&img, 6, 3, &mut ops);
+        assert_eq!(ds.width(), 58);
+        assert_eq!(ds.height(), 87);
     }
 
     #[test]
-    fn trailing_partial_blocks_are_dropped() {
-        let img = image(10, 10);
+    fn trailing_partial_blocks_are_covered() {
+        let mut img = image(10, 10);
+        // One pixel in the 1-wide rightmost partial column and one in the
+        // 2-tall bottom partial row: formerly invisible to the RPN.
+        img.set(9, 0, true);
+        img.set(0, 9, true);
         let mut ops = OpsCounter::new();
         let ds = CountImage::downsample(&img, 3, 4, &mut ops);
-        assert_eq!(ds.width(), 3);
-        assert_eq!(ds.height(), 2);
+        assert_eq!(ds.width(), 4, "ceil(10 / 3)");
+        assert_eq!(ds.height(), 3, "ceil(10 / 4)");
+        assert_eq!(ds.get(3, 0), 1, "right-edge partial cell sees the pixel");
+        assert_eq!(ds.get(0, 2), 1, "bottom-edge partial cell sees the pixel");
+        assert_eq!(ds.total(), 2, "no pixel is dropped");
     }
 
     #[test]
@@ -159,7 +214,7 @@ mod tests {
     }
 
     #[test]
-    fn total_matches_count_ones_when_division_exact() {
+    fn total_matches_count_ones_always() {
         let mut img = image(24, 12);
         img.set(0, 0, true);
         img.set(23, 11, true);
@@ -167,6 +222,11 @@ mod tests {
         let mut ops = OpsCounter::new();
         let ds = CountImage::downsample(&img, 6, 3, &mut ops);
         assert_eq!(ds.total(), 3);
+        // Non-divisible geometry conserves mass too (the Eq. 3 fix).
+        let mut img = image(13, 7);
+        img.fill_box(&PixelBox::new(0, 0, 13, 7));
+        let ds = CountImage::downsample(&img, 6, 3, &mut ops);
+        assert_eq!(ds.total(), 13 * 7);
     }
 
     #[test]

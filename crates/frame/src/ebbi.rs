@@ -104,7 +104,9 @@ impl EbbiAccumulator {
 
     /// Reads out the EBBI into a caller-owned frame and resets the
     /// latches — the allocation-free variant of [`Self::readout`] used by
-    /// the streaming front-end (`out` is a reused scratch buffer).
+    /// the streaming front-end (`out` is a reused scratch buffer). With
+    /// the row-aligned layout this is a straight word copy plus a word
+    /// fill — no per-pixel work.
     ///
     /// # Panics
     ///

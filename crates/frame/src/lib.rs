@@ -4,7 +4,9 @@
 //! *event-based binary images* (EBBI) and does all further processing in
 //! the frame domain. This crate provides that domain:
 //!
-//! * [`BinaryImage`] — bit-packed one-bit-per-pixel frames,
+//! * [`BinaryImage`] — bit-packed one-bit-per-pixel frames with a
+//!   row-aligned `u64` layout (each row starts on a word boundary; tail
+//!   bits past `width` are an always-zero invariant),
 //! * [`EbbiAccumulator`] — sensor-as-memory event accumulation (§II-A),
 //! * [`MedianFilter`] — `p x p` binary median denoising (§II-A, Eq. 1),
 //! * [`CountImage`] — block-sum downsampling (Eq. 3),
@@ -14,7 +16,16 @@
 //!   baseline and future-work RPN),
 //! * [`morphology`] — binary dilate/erode/open/close,
 //! * [`BoundingBox`] / [`PixelBox`] — the box geometry (incl. IoU, Eq. 9)
-//!   shared by the RPN, the trackers and the evaluator.
+//!   shared by the RPN, the trackers and the evaluator,
+//! * [`mod@reference`] — scalar per-pixel transcriptions of the hot kernels,
+//!   kept as the bit-exactness oracle for the word-parallel paths.
+//!
+//! The hot kernels (median, downsampling, box counting, CCA scans) are
+//! **word-parallel**: they process 64 pixels per `u64` operation on top
+//! of the row-aligned layout. The paper's Eq. 1 / Eq. 5 op accounting and
+//! the `A x B` payload-bit figures are *logical* and unchanged by the
+//! physical layout; see ARCHITECTURE.md ("Frame memory layout") at the
+//! repository root for the layout contract and the tail-bit invariant.
 //!
 //! # Example: events → EBBI → denoised frame
 //!
@@ -40,6 +51,7 @@ pub mod ebbi;
 pub mod histogram;
 pub mod median;
 pub mod morphology;
+pub mod reference;
 pub mod rle;
 
 pub use binary_image::BinaryImage;

@@ -6,6 +6,21 @@
 //! is 1 exactly when more than `floor(p^2 / 2)` patch pixels are 1, so the
 //! filter is a popcount followed by one comparison per pixel — the cost
 //! model of Eq. 1.
+//!
+//! # Word-parallel implementation
+//!
+//! The paper's default `p = 3` runs 64 pixels at a time over the
+//! row-aligned [`BinaryImage`] layout: for each row word the three
+//! horizontal neighbour bits are summed with a carry-save adder
+//! (`ones`/`twos` bit-planes), the three vertical 2-bit partial sums are
+//! summed the same way into four bit-planes (`1/2/4/8`), and the
+//! majority test `count > 4` becomes one boolean expression over those
+//! planes. Other odd patch sizes fall back to a sliding column-count
+//! scan (per-column vertical sums updated incrementally, horizontal
+//! window slid across each row). Both paths are bit-exact against
+//! [`crate::reference::median_into`], including the zero-padding at
+//! borders, and both charge the *logical* per-pixel op counts of Eq. 1 —
+//! the physical layout never changes the paper's accounting.
 
 use ebbiot_events::OpsCounter;
 
@@ -16,6 +31,57 @@ use crate::BinaryImage;
 pub struct MedianFilter {
     patch: u16,
     ops: OpsCounter,
+    scratch: Scratch,
+}
+
+/// Reused per-filter scratch buffers, lazily sized to the input geometry
+/// so the streaming front-end's "no per-frame frame-sized allocations"
+/// contract holds through the word-parallel kernel.
+#[derive(Debug, Clone, Default)]
+struct Scratch {
+    /// Three (ones, twos) horizontal bit-plane pairs for rows
+    /// `y - 1`, `y`, `y + 1` of the 3x3 kernel.
+    prev: (Vec<u64>, Vec<u64>),
+    cur: (Vec<u64>, Vec<u64>),
+    next: (Vec<u64>, Vec<u64>),
+    /// Per-column vertical window counts of the generic fallback.
+    col: Vec<u32>,
+}
+
+impl Scratch {
+    /// Zeroes and (re)sizes the bit planes for `wpr` words per row.
+    fn reset_planes(&mut self, wpr: usize) {
+        for plane in [
+            &mut self.prev.0,
+            &mut self.prev.1,
+            &mut self.cur.0,
+            &mut self.cur.1,
+            &mut self.next.0,
+            &mut self.next.1,
+        ] {
+            plane.clear();
+            plane.resize(wpr, 0);
+        }
+    }
+}
+
+/// Writes the horizontal 3-neighbour sums of row `y` as 2-bit planes
+/// (`ones`, `twos`); rows outside the image are all-zero (zero padding).
+fn horizontal_planes(input: &BinaryImage, y: u32, ones: &mut [u64], twos: &mut [u64]) {
+    if y >= u32::from(input.height()) {
+        ones.fill(0);
+        twos.fill(0);
+        return;
+    }
+    let row = input.row_words(y as u16);
+    let wpr = row.len();
+    for i in 0..wpr {
+        let c = row[i];
+        let l = (c << 1) | if i > 0 { row[i - 1] >> 63 } else { 0 };
+        let r = (c >> 1) | if i + 1 < wpr { row[i + 1] << 63 } else { 0 };
+        ones[i] = l ^ c ^ r;
+        twos[i] = (l & c) | (r & (l ^ c));
+    }
 }
 
 impl MedianFilter {
@@ -23,11 +89,13 @@ impl MedianFilter {
     ///
     /// # Panics
     ///
-    /// Panics when `patch` is even or zero.
+    /// Panics when `patch` is zero ("must be at least 1") or even
+    /// ("must be odd").
     #[must_use]
     pub fn new(patch: u16) -> Self {
+        assert!(patch >= 1, "median patch size must be at least 1");
         assert!(patch % 2 == 1, "median patch size must be odd");
-        Self { patch, ops: OpsCounter::new() }
+        Self { patch, ops: OpsCounter::new(), scratch: Scratch::default() }
     }
 
     /// The paper's default `p = 3` filter.
@@ -55,7 +123,9 @@ impl MedianFilter {
     /// Op accounting follows Eq. 1: for each output pixel, one increment
     /// per active patch pixel ("incrementing a counter every time a 1 is
     /// encountered") plus one comparison against the majority threshold,
-    /// plus one memory write per set output pixel.
+    /// plus one memory write per set output pixel. The word-parallel
+    /// kernel executes far fewer machine instructions but charges exactly
+    /// these logical counts.
     #[must_use]
     pub fn apply(&mut self, input: &BinaryImage) -> BinaryImage {
         let mut out = BinaryImage::new(input.geometry());
@@ -73,23 +143,109 @@ impl MedianFilter {
     pub fn apply_into(&mut self, input: &BinaryImage, out: &mut BinaryImage) {
         assert_eq!(input.geometry(), out.geometry(), "geometry mismatch in apply_into");
         out.clear();
-        let half = i32::from(self.patch / 2);
+        self.ops.compare(input.geometry().num_pixels() as u64);
+        if self.patch == 3 {
+            self.apply3_words(input, out);
+        } else {
+            self.apply_sliding(input, out);
+        }
+    }
+
+    /// Bit-sliced carry-save 3x3 kernel: 64 patch counts per word triple.
+    fn apply3_words(&mut self, input: &BinaryImage, out: &mut BinaryImage) {
+        let wpr = input.words_per_row();
+        let height = input.height();
+        let tail = input.tail_mask();
+
+        // Reused (ones, twos) plane pairs; `prev` starts zeroed = the
+        // zero-padding row above the image.
+        let scr = &mut self.scratch;
+        scr.reset_planes(wpr);
+        horizontal_planes(input, 0, &mut scr.cur.0, &mut scr.cur.1);
+        horizontal_planes(input, 1, &mut scr.next.0, &mut scr.next.1);
+
+        let mut additions = 0u64;
+        let mut writes = 0u64;
+        for y in 0..height {
+            let out_row = out.row_words_mut(y);
+            for (i, slot) in out_row.iter_mut().enumerate() {
+                // Vertical sum of three 2-bit horizontal counts into
+                // bit-planes of weight 1/2/4/8 (patch count 0..=9).
+                let (oa, ta) = (scr.prev.0[i], scr.prev.1[i]);
+                let (om, tm) = (scr.cur.0[i], scr.cur.1[i]);
+                let (ob, tb) = (scr.next.0[i], scr.next.1[i]);
+                let bit0 = oa ^ om ^ ob;
+                let c0 = (oa & om) | (ob & (oa ^ om));
+                let s1 = ta ^ tm ^ tb;
+                let c1 = (ta & tm) | (tb & (ta ^ tm));
+                let bit1 = s1 ^ c0;
+                let c2 = s1 & c0;
+                let bit2 = c1 ^ c2;
+                let bit3 = c1 & c2;
+                let mask = if i == wpr - 1 { tail } else { !0 };
+                // count > 4 <=> 8-plane set, or 4-plane set with a 1 or 2.
+                let out_word = (bit3 | (bit2 & (bit1 | bit0))) & mask;
+                additions += u64::from((bit0 & mask).count_ones())
+                    + 2 * u64::from((bit1 & mask).count_ones())
+                    + 4 * u64::from((bit2 & mask).count_ones())
+                    + 8 * u64::from((bit3 & mask).count_ones());
+                writes += u64::from(out_word.count_ones());
+                *slot = out_word;
+            }
+            // Rotate the row windows; fetch row y + 2.
+            core::mem::swap(&mut scr.prev, &mut scr.cur);
+            core::mem::swap(&mut scr.cur, &mut scr.next);
+            horizontal_planes(input, u32::from(y) + 2, &mut scr.next.0, &mut scr.next.1);
+        }
+        self.ops.add(additions);
+        self.ops.write(writes);
+    }
+
+    /// Generic odd-`p` fallback: per-column counts of the vertical window
+    /// are maintained incrementally row to row, and a horizontal window
+    /// of those counts is slid across each row.
+    fn apply_sliding(&mut self, input: &BinaryImage, out: &mut BinaryImage) {
+        let width = input.width();
+        let height = input.height();
+        let half = self.patch / 2;
         let majority = self.majority();
-        for y in 0..input.height() {
-            for x in 0..input.width() {
-                let mut count = 0u32;
-                for dy in -half..=half {
-                    for dx in -half..=half {
-                        if input.get_padded(i32::from(x) + dx, i32::from(y) + dy) {
-                            count += 1;
-                        }
-                    }
-                }
-                self.ops.add(u64::from(count));
-                self.ops.compare(1);
-                if count > majority {
+        let col = &mut self.scratch.col;
+        col.clear();
+        col.resize(width as usize, 0);
+        // Prime the column counts for the window centred on row 0.
+        for y in 0..=half.min(height - 1) {
+            for x in input.set_pixels_in_row(y) {
+                col[x as usize] += 1;
+            }
+        }
+        for y in 0..height {
+            // Horizontal window [x - half, x + half] clipped, slid along.
+            let mut acc: u32 = col[..((half as usize) + 1).min(width as usize)].iter().sum();
+            for x in 0..width {
+                self.ops.add(u64::from(acc));
+                if acc > majority {
                     out.set(x, y, true);
                     self.ops.write(1);
+                }
+                let leaving = i32::from(x) - i32::from(half);
+                if leaving >= 0 {
+                    acc -= col[leaving as usize];
+                }
+                let entering = u32::from(x) + u32::from(half) + 1;
+                if entering < u32::from(width) {
+                    acc += col[entering as usize];
+                }
+            }
+            // Slide the vertical window: drop row y - half, add y + half + 1.
+            if y >= half {
+                for x in input.set_pixels_in_row(y - half) {
+                    col[x as usize] -= 1;
+                }
+            }
+            let incoming = u32::from(y) + u32::from(half) + 1;
+            if incoming < u32::from(height) {
+                for x in input.set_pixels_in_row(incoming as u16) {
+                    col[x as usize] += 1;
                 }
             }
         }
@@ -183,6 +339,20 @@ mod tests {
     }
 
     #[test]
+    fn word_boundary_neighbours_are_seen() {
+        // A solid 3-wide vertical bar straddling the bit-63/64 boundary:
+        // its centre column survives only if horizontal carries propagate
+        // across words.
+        let mut img = image(130, 8);
+        img.fill_box(&PixelBox::new(63, 2, 66, 7));
+        let out = MedianFilter::paper_default().apply(&img);
+        assert!(out.get(64, 4), "centre of the bar survives");
+        assert!(out.get(63, 4) && out.get(65, 4), "bar edges have count 6");
+        assert!(!out.get(62, 4) && !out.get(66, 4), "outside the bar");
+        assert!(out.tail_bits_zero());
+    }
+
+    #[test]
     fn ops_counting_matches_eq1_structure() {
         let mut img = image(10, 10);
         img.set(5, 5, true); // one active pixel contributes 9 patch hits
@@ -212,11 +382,28 @@ mod tests {
     }
 
     #[test]
+    #[should_panic(expected = "at least 1")]
+    fn zero_patch_size_panics_with_its_own_message() {
+        let _ = MedianFilter::new(0);
+    }
+
+    #[test]
     fn p1_filter_is_identity() {
         let mut img = image(8, 8);
         img.set(2, 3, true);
         img.set(7, 7, true);
         let out = MedianFilter::new(1).apply(&img);
         assert_eq!(out, img);
+    }
+
+    #[test]
+    fn p5_filter_requires_13_of_25() {
+        let mut img = image(20, 20);
+        img.fill_box(&PixelBox::new(5, 5, 15, 15));
+        let out = MedianFilter::new(5).apply(&img);
+        // Deep interior survives (25 of 25), the block corner has only
+        // 9 of 25 and erodes.
+        assert!(out.get(10, 10));
+        assert!(!out.get(5, 5));
     }
 }

@@ -30,6 +30,19 @@ fn arb_box() -> impl Strategy<Value = BoundingBox> {
         .prop_map(|(x, y, w, h)| BoundingBox::new(x, y, w, h))
 }
 
+/// Boxes built from corners in *arbitrary order* — roughly one in four
+/// draws is degenerate (inverted corners clamp to zero extent) and axis
+/// collapses (`x0 == x1`) occur, exercising the empty-box algebra.
+fn arb_any_box() -> impl Strategy<Value = BoundingBox> {
+    (-50.0f32..250.0, -40.0f32..190.0, -50.0f32..250.0, -40.0f32..190.0, 0u8..4).prop_map(
+        |(x0, y0, x1, y1, collapse)| {
+            let x1 = if collapse == 1 { x0 } else { x1 };
+            let y1 = if collapse == 2 { y0 } else { y1 };
+            BoundingBox::from_corners(x0, y0, x1, y1)
+        },
+    )
+}
+
 /// Pixel boxes whose corners may lie well outside the `W x H` sensor, so
 /// the clipped code paths of `count_in_box`/`any_in_box` are exercised
 /// (including boxes entirely off the array and degenerate boxes).
@@ -84,11 +97,18 @@ proptest! {
     }
 
     #[test]
-    fn downsample_conserves_mass_when_exact(pixels in arb_pixels()) {
-        // W and H chosen divisible by the factors.
+    fn downsample_conserves_mass_for_any_factors(
+        pixels in arb_pixels(),
+        s1 in 1u16..12,
+        s2 in 1u16..12,
+    ) {
+        // Partial edge cells (the extended Eq. 3) mean no pixel is ever
+        // dropped, whether or not the factors divide the geometry.
         let img = image_of(&pixels);
         let mut ops = OpsCounter::new();
-        let ds = CountImage::downsample(&img, 6, 3, &mut ops);
+        let ds = CountImage::downsample(&img, s1, s2, &mut ops);
+        prop_assert_eq!(ds.width(), W.div_ceil(s1));
+        prop_assert_eq!(ds.height(), H.div_ceil(s2));
         prop_assert_eq!(ds.total(), img.count_ones() as u64);
     }
 
@@ -207,6 +227,44 @@ proptest! {
         prop_assert!((0.0..=1.0 + 1e-3).contains(&iou));
         prop_assert!((iou - b.iou(&a)).abs() < 1e-3);
         prop_assert!((a.iou(&a) - 1.0).abs() < 5e-3);
+    }
+
+    #[test]
+    fn iou_stays_in_unit_interval_even_for_degenerate_boxes(
+        a in arb_any_box(),
+        b in arb_any_box(),
+    ) {
+        // Inverted corners clamp to empty boxes; the overlap algebra must
+        // stay total: iou in [0, 1], symmetric, never NaN.
+        let iou = a.iou(&b);
+        prop_assert!(iou.is_finite());
+        prop_assert!((0.0..=1.0 + 1e-3).contains(&iou), "iou {} for {} vs {}", iou, a, b);
+        prop_assert!((iou - b.iou(&a)).abs() < 1e-3);
+        let of = a.overlap_fraction(&b);
+        prop_assert!(of.is_finite() && (0.0..=1.0 + 1e-3).contains(&of));
+        prop_assert!(a.area() >= 0.0 && b.area() >= 0.0);
+    }
+
+    #[test]
+    fn intersection_is_contained_in_both_boxes(a in arb_any_box(), b in arb_any_box()) {
+        if let Some(i) = a.intersection(&b) {
+            prop_assert!(i.x + 1e-4 >= a.x.max(b.x));
+            prop_assert!(i.y + 1e-4 >= a.y.max(b.y));
+            prop_assert!(i.x_max() <= a.x_max().min(b.x_max()) + 1e-4);
+            prop_assert!(i.y_max() <= a.y_max().min(b.y_max()) + 1e-4);
+            prop_assert!(i.area() <= a.area().min(b.area()) + 1e-2);
+        } else {
+            prop_assert_eq!(a.intersection_area(&b), 0.0);
+        }
+    }
+
+    #[test]
+    fn clipping_degenerate_boxes_never_goes_negative(a in arb_any_box()) {
+        let c = a.clipped_to(240.0, 180.0);
+        prop_assert!(c.w >= 0.0 && c.h >= 0.0);
+        prop_assert!(c.x >= 0.0 && c.y >= 0.0);
+        prop_assert!(c.x_max() <= 240.0 + 1e-4 && c.y_max() <= 180.0 + 1e-4);
+        prop_assert!(c.area() >= 0.0);
     }
 
     #[test]
