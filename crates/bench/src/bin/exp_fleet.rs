@@ -6,7 +6,7 @@
 //! cargo run --release -p ebbiot_bench --bin exp_fleet -- \
 //!     [--cameras K] [--workers W] [--seconds S] [--seed N] \
 //!     [--backend ebbiot|ebbi-kf|nn-ebms] [--preset LT4|ENG] \
-//!     [--chunk E] [--queue C]
+//!     [--chunk E] [--queue C] [--smoke]
 //! ```
 //!
 //! Defaults: 16 cameras, 8 workers, 2 s per camera, the `ebbiot`
@@ -15,7 +15,8 @@
 //! determinism check of engine output against the sequential baseline.
 //! Speedup scales with physical cores — on a single-core host expect
 //! ~1x regardless of worker count; the determinism check must hold
-//! everywhere.
+//! everywhere. `--smoke` shrinks the run to CI size and skips the
+//! `BENCH_fleet.json` artifact while still asserting parity.
 
 use std::time::Instant;
 
@@ -34,6 +35,7 @@ struct Args {
     preset: DatasetPreset,
     chunk: usize,
     queue: usize,
+    smoke: bool,
 }
 
 fn parse_args(args: &[String]) -> Args {
@@ -46,6 +48,7 @@ fn parse_args(args: &[String]) -> Args {
         preset: DatasetPreset::Lt4,
         chunk: 4096,
         queue: 32,
+        smoke: false,
     };
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -58,6 +61,7 @@ fn parse_args(args: &[String]) -> Args {
             "--backend" => parsed.backend = value(),
             "--chunk" => parsed.chunk = value().parse().expect("--chunk <usize>"),
             "--queue" => parsed.queue = value().parse().expect("--queue <usize>"),
+            "--smoke" => parsed.smoke = true,
             "--preset" => {
                 parsed.preset = match value().to_uppercase().as_str() {
                     "ENG" => DatasetPreset::Eng,
@@ -73,7 +77,14 @@ fn parse_args(args: &[String]) -> Args {
 
 fn main() {
     let argv: Vec<String> = std::env::args().skip(1).collect();
-    let args = parse_args(&argv);
+    let mut args = parse_args(&argv);
+    if args.smoke {
+        // CI-sized: exercise engine vs sequential parity in a couple of
+        // seconds, without touching the BENCH artifact.
+        args.cameras = args.cameras.min(2);
+        args.workers = args.workers.min(2);
+        args.seconds = args.seconds.min(0.25);
+    }
     let spec = registry::find_backend(&args.backend)
         .unwrap_or_else(|| panic!("unknown backend {:?}", args.backend));
 
@@ -154,22 +165,27 @@ fn main() {
     );
     println!("\nDeterminism: engine output bit-for-bit identical to sequential: {identical}");
 
-    // Machine-readable artifact for the perf trajectory.
-    JsonReport::new()
-        .str("experiment", "fleet")
-        .str("backend", spec.name)
-        .str("preset", args.preset.name())
-        .u64("cameras", args.cameras as u64)
-        .u64("workers", workers as u64)
-        .f64("seconds_per_camera", args.seconds)
-        .u64("events", total_events)
-        .f64("engine_events_per_sec", engine_rate)
-        .f64("sequential_events_per_sec", seq_rate)
-        .f64("speedup", speedup)
-        .bool("identical", identical)
-        .write(std::path::Path::new("BENCH_fleet.json"))
-        .expect("write BENCH_fleet.json");
-    println!("wrote BENCH_fleet.json");
+    // Machine-readable artifact for the perf trajectory (skipped in
+    // smoke mode so CI-sized runs never clobber the tracked numbers).
+    if args.smoke {
+        println!("--smoke: skipping BENCH_fleet.json");
+    } else {
+        JsonReport::new()
+            .str("experiment", "fleet")
+            .str("backend", spec.name)
+            .str("preset", args.preset.name())
+            .u64("cameras", args.cameras as u64)
+            .u64("workers", workers as u64)
+            .f64("seconds_per_camera", args.seconds)
+            .u64("events", total_events)
+            .f64("engine_events_per_sec", engine_rate)
+            .f64("sequential_events_per_sec", seq_rate)
+            .f64("speedup", speedup)
+            .bool("identical", identical)
+            .write(std::path::Path::new("BENCH_fleet.json"))
+            .expect("write BENCH_fleet.json");
+        println!("wrote BENCH_fleet.json");
+    }
 
     assert!(identical, "engine output diverged from sequential processing");
 }

@@ -8,17 +8,22 @@
 //! cargo run --release -p ebbiot_bench --bin exp_replay -- \
 //!     [--cameras K] [--workers W] [--seconds S] [--seed N] \
 //!     [--backend ebbiot|ebbi-kf|nn-ebms] [--preset LT4|ENG] \
-//!     [--chunk E] [--rate R] [--dir PATH] [--keep]
+//!     [--chunk E] [--rate R] [--dir PATH] [--keep] [--smoke]
 //! ```
 //!
 //! Defaults: 8 cameras, 4 workers, 2 s per camera, the `ebbiot`
 //! back-end on LT4, 16384-event chunks, max-speed replay (`--rate R`
 //! paces at R× real time), spool under the system temp dir (removed
-//! afterwards unless `--keep`). Emits `BENCH_replay.json` with the
-//! compression ratio and replay throughput so the perf trajectory is
-//! tracked across PRs.
+//! afterwards unless `--keep`). Replay uses the resident
+//! (whole-file-in-memory) readers and the decode-ahead parallel
+//! replayer; a separate decode-only pass isolates `EBST` → `Event`
+//! throughput from tracker cost. Emits `BENCH_replay.json` with the
+//! compression ratio and both throughputs so the perf trajectory is
+//! tracked across PRs. `--smoke` shrinks the run to CI size and skips
+//! the JSON artifact while still asserting bit-for-bit parity.
 
 use std::path::PathBuf;
+use std::time::Instant;
 
 use ebbiot_baselines::registry;
 use ebbiot_bench::{ebbiot_config_for, run_fleet_backend, JsonReport};
@@ -39,6 +44,7 @@ struct Args {
     rate: Option<f64>,
     dir: Option<PathBuf>,
     keep: bool,
+    smoke: bool,
 }
 
 fn parse_args(args: &[String]) -> Args {
@@ -53,6 +59,7 @@ fn parse_args(args: &[String]) -> Args {
         rate: None,
         dir: None,
         keep: false,
+        smoke: false,
     };
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -67,6 +74,7 @@ fn parse_args(args: &[String]) -> Args {
             "--rate" => parsed.rate = Some(value().parse().expect("--rate <f64>")),
             "--dir" => parsed.dir = Some(PathBuf::from(value())),
             "--keep" => parsed.keep = true,
+            "--smoke" => parsed.smoke = true,
             "--preset" => {
                 parsed.preset = match value().to_uppercase().as_str() {
                     "ENG" => DatasetPreset::Eng,
@@ -82,7 +90,14 @@ fn parse_args(args: &[String]) -> Args {
 
 fn main() {
     let argv: Vec<String> = std::env::args().skip(1).collect();
-    let args = parse_args(&argv);
+    let mut args = parse_args(&argv);
+    if args.smoke {
+        // CI-sized: exercise spool → decode → parallel replay → parity
+        // in a couple of seconds, without touching the BENCH artifact.
+        args.cameras = args.cameras.min(2);
+        args.workers = args.workers.min(2);
+        args.seconds = args.seconds.min(0.25);
+    }
     let spec = registry::find_backend(&args.backend)
         .unwrap_or_else(|| panic!("unknown backend {:?}", args.backend));
     let workers = args.workers.min(args.cameras).max(1);
@@ -149,17 +164,40 @@ fn main() {
     let options = FleetOptions { workers, queue_capacity: 32, chunk_events: args.chunk.max(1) };
     let in_memory = run_fleet_backend(spec, args.preset, &fleet, &options);
 
-    // 4. Replay from disk through a fresh engine.
+    // 4. Decode-only pass: CRC + varint decode of every chunk into a
+    //    reused buffer, no engine behind it — the store's raw read
+    //    throughput, isolated from tracker cost.
+    let mut decode_readers = store.mapped_readers().expect("open mapped readers");
+    let mut decoded = Vec::new();
+    let decode_started = Instant::now();
+    let mut decoded_events = 0u64;
+    for reader in &mut decode_readers {
+        while reader.next_chunk_into(&mut decoded).expect("decode chunk") {
+            decoded_events += decoded.len() as u64;
+        }
+    }
+    let decode_elapsed = decode_started.elapsed();
+    let decode_only_rate = decoded_events as f64 / decode_elapsed.as_secs_f64().max(1e-9);
+    assert_eq!(decoded_events, total_events, "decode-only pass must see every spooled event");
+
+    // 5. Replay from disk through a fresh engine: resident readers,
+    //    decode running ahead of the engine push on its own threads.
     let config = ebbiot_config_for(args.preset, &fleet[0]).with_frame_us(fleet[0].frame_us);
-    let mut readers = store.readers().expect("open fleet readers");
+    let mut readers = store.mapped_readers().expect("open fleet readers");
     let engine = Engine::new(
         EngineConfig { workers, queue_capacity: 32 },
         spec.build_fleet(&config, fleet.len()),
     );
-    let replay = Replayer::new(mode).replay_engine(&mut readers, engine).expect("replay fleet");
+    let replay =
+        Replayer::new(mode).replay_engine_parallel(&mut readers, engine).expect("replay fleet");
 
     let identical = replay.output.streams == in_memory.output.streams;
     println!("replay ({:?}):", mode);
+    println!(
+        "  decode:    {:>10.1} k ev/s  ({:.3} s wall, no engine)",
+        decode_only_rate / 1e3,
+        decode_elapsed.as_secs_f64()
+    );
     println!(
         "  disk:      {:>10.1} k ev/s  ({:.3} s wall, {} chunks)",
         replay.events_per_sec() / 1e3,
@@ -173,26 +211,32 @@ fn main() {
     );
     println!("\nDeterminism: disk replay bit-for-bit identical to in-memory: {identical}");
 
-    // 5. Machine-readable artifact for the perf trajectory.
-    JsonReport::new()
-        .str("experiment", "replay")
-        .str("backend", spec.name)
-        .str("preset", args.preset.name())
-        .u64("cameras", args.cameras as u64)
-        .u64("workers", workers as u64)
-        .f64("seconds_per_camera", args.seconds)
-        .u64("chunk_events", args.chunk as u64)
-        .u64("events", total_events)
-        .u64("ebst_bytes", ebst_bytes)
-        .u64("eaer_bytes", eaer_total)
-        .f64("bytes_per_event", bytes_per_event)
-        .f64("compression_vs_eaer", compression)
-        .f64("replay_events_per_sec", replay.events_per_sec())
-        .f64("in_memory_events_per_sec", in_memory.events_per_sec())
-        .bool("identical", identical)
-        .write(std::path::Path::new("BENCH_replay.json"))
-        .expect("write BENCH_replay.json");
-    println!("wrote BENCH_replay.json");
+    // 6. Machine-readable artifact for the perf trajectory (skipped in
+    //    smoke mode so CI-sized runs never clobber the tracked numbers).
+    if args.smoke {
+        println!("--smoke: skipping BENCH_replay.json");
+    } else {
+        JsonReport::new()
+            .str("experiment", "replay")
+            .str("backend", spec.name)
+            .str("preset", args.preset.name())
+            .u64("cameras", args.cameras as u64)
+            .u64("workers", workers as u64)
+            .f64("seconds_per_camera", args.seconds)
+            .u64("chunk_events", args.chunk as u64)
+            .u64("events", total_events)
+            .u64("ebst_bytes", ebst_bytes)
+            .u64("eaer_bytes", eaer_total)
+            .f64("bytes_per_event", bytes_per_event)
+            .f64("compression_vs_eaer", compression)
+            .f64("decode_only_events_per_sec", decode_only_rate)
+            .f64("replay_events_per_sec", replay.events_per_sec())
+            .f64("in_memory_events_per_sec", in_memory.events_per_sec())
+            .bool("identical", identical)
+            .write(std::path::Path::new("BENCH_replay.json"))
+            .expect("write BENCH_replay.json");
+        println!("wrote BENCH_replay.json");
+    }
 
     if args.keep || args.dir.is_some() {
         println!("spool kept at {}", dir.display());

@@ -7,24 +7,29 @@
 //! cargo run --release -p ebbiot_bench --bin exp_server -- \
 //!     [--cameras K] [--workers W] [--seconds S] [--seed N] \
 //!     [--backend ebbiot|ebbi-kf|nn-ebms] [--preset LT4|ENG] \
-//!     [--chunk E] [--queue C] [--archive PATH]
+//!     [--chunk E] [--queue C] [--archive PATH] [--smoke]
 //! ```
 //!
 //! Defaults: 4 cameras, 4 workers, 2 s per camera, the `ebbiot`
 //! back-end on LT4, 4096-event EVENTS frames, queue capacity 32, no
-//! archival tee. Emits `BENCH_server.json` (events/s ingested, frames/s
-//! returned, per-connection queue high-water) so the serving-layer perf
-//! trajectory is tracked across PRs.
+//! archival tee. A decode-only pass times CRC + varint decode of the
+//! same wire-sized EVENTS bodies without sockets or trackers behind
+//! them. Emits `BENCH_server.json` (events/s ingested and decoded,
+//! frames/s returned, per-connection queue high-water) so the
+//! serving-layer perf trajectory is tracked across PRs. `--smoke`
+//! shrinks the run to CI size and skips the JSON artifact while still
+//! asserting bit-for-bit parity.
 
 use std::path::PathBuf;
 
 use ebbiot_baselines::registry;
-use ebbiot_bench::net::{server_factory, stream_fleet};
+use ebbiot_bench::net::{encode_session, server_factory, stream_fleet_bytes};
 use ebbiot_bench::{ebbiot_config_for, run_fleet_backend, JsonReport};
 use ebbiot_engine::FleetOptions;
 use ebbiot_eval::report::render_table;
 use ebbiot_server::{IngestServer, ServerConfig};
 use ebbiot_sim::{DatasetPreset, FleetConfig};
+use ebbiot_store::format::{crc32, decode_chunk_payload_fast, encode_chunk_payload};
 
 struct Args {
     cameras: usize,
@@ -36,6 +41,7 @@ struct Args {
     chunk: usize,
     queue: usize,
     archive: Option<PathBuf>,
+    smoke: bool,
 }
 
 fn parse_args(args: &[String]) -> Args {
@@ -49,6 +55,7 @@ fn parse_args(args: &[String]) -> Args {
         chunk: 4096,
         queue: 32,
         archive: None,
+        smoke: false,
     };
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -62,6 +69,7 @@ fn parse_args(args: &[String]) -> Args {
             "--chunk" => parsed.chunk = value().parse().expect("--chunk <usize>"),
             "--queue" => parsed.queue = value().parse().expect("--queue <usize>"),
             "--archive" => parsed.archive = Some(PathBuf::from(value())),
+            "--smoke" => parsed.smoke = true,
             "--preset" => {
                 parsed.preset = match value().to_uppercase().as_str() {
                     "ENG" => DatasetPreset::Eng,
@@ -77,7 +85,14 @@ fn parse_args(args: &[String]) -> Args {
 
 fn main() {
     let argv: Vec<String> = std::env::args().skip(1).collect();
-    let args = parse_args(&argv);
+    let mut args = parse_args(&argv);
+    if args.smoke {
+        // CI-sized: exercise sockets → decode → engine → parity in a
+        // couple of seconds, without touching the BENCH artifact.
+        args.cameras = args.cameras.min(2);
+        args.workers = args.workers.min(2);
+        args.seconds = args.seconds.min(0.25);
+    }
     let spec = registry::find_backend(&args.backend)
         .unwrap_or_else(|| panic!("unknown backend {:?}", args.backend));
     let workers = args.workers.max(1);
@@ -106,8 +121,46 @@ fn main() {
     let options = FleetOptions { workers, queue_capacity: args.queue, chunk_events: chunk };
     let in_memory = run_fleet_backend(spec, args.preset, &fleet, &options);
 
-    // 3. Serve on an ephemeral loopback port and stream every camera
-    //    over its own real TCP connection, concurrently.
+    // 3. Decode-only pass: encode every camera's stream into the same
+    //    wire-sized EVENTS bodies the clients will send, then time
+    //    CRC + varint decode into a reused buffer — the protocol's
+    //    decode cost isolated from sockets and trackers.
+    let bodies: Vec<(u32, u64, u64, Vec<u8>)> = fleet
+        .iter()
+        .flat_map(|rec| rec.events.chunks(chunk))
+        .map(|events| {
+            let mut body = Vec::new();
+            encode_chunk_payload(&mut body, events);
+            let t_first = events.first().expect("chunks are never empty").t;
+            let t_last = events.last().expect("chunks are never empty").t;
+            (events.len() as u32, t_first, t_last, body)
+        })
+        .collect();
+    let geometry = fleet[0].geometry;
+    let expected_crcs: Vec<u32> = bodies.iter().map(|(_, _, _, body)| crc32(body)).collect();
+    let mut decoded = Vec::new();
+    let decode_started = std::time::Instant::now();
+    let mut decoded_events = 0u64;
+    for (idx, (count, t_first, t_last, body)) in bodies.iter().enumerate() {
+        assert_eq!(crc32(body), expected_crcs[idx], "wire chunk CRC");
+        decode_chunk_payload_fast(&mut decoded, body, idx, geometry, *count, *t_first, *t_last)
+            .expect("decode wire chunk");
+        decoded_events += decoded.len() as u64;
+    }
+    let decode_elapsed = decode_started.elapsed();
+    let decode_only_rate = decoded_events as f64 / decode_elapsed.as_secs_f64().max(1e-9);
+    let fleet_events: u64 = fleet.iter().map(|r| r.events.len() as u64).sum();
+    assert_eq!(decoded_events, fleet_events, "decode-only pass must see every simulated event");
+
+    // 4. Serve on an ephemeral loopback port and stream every camera
+    //    over its own real TCP connection, concurrently. Sessions are
+    //    encoded up front — a real sensor encodes on-device, so the
+    //    timed window measures ingest, not client-side varint encoding
+    //    racing the server for the same cores.
+    let sessions: Vec<Vec<u8>> = fleet
+        .iter()
+        .map(|rec| encode_session(&rec.name, rec.geometry, rec.duration_us, &rec.events, chunk))
+        .collect();
     let server = IngestServer::bind(
         "127.0.0.1:0",
         ServerConfig {
@@ -121,11 +174,11 @@ fn main() {
     .expect("bind ingestion server");
     let addr = server.local_addr();
     let started = std::time::Instant::now();
-    let runs = stream_fleet(addr, &fleet, chunk).expect("stream fleet over TCP");
+    let runs = stream_fleet_bytes(addr, &fleet, &sessions).expect("stream fleet over TCP");
     let elapsed = started.elapsed();
     let report = server.shutdown();
 
-    // 4. Parity: per-camera server output == in-process output, matched
+    // 5. Parity: per-camera server output == in-process output, matched
     //    by camera name (concurrent sessions attach in arrival order).
     let mut identical = true;
     for (k, (rec, run)) in fleet.iter().zip(&runs).enumerate() {
@@ -140,7 +193,7 @@ fn main() {
         }
     }
 
-    // 5. Per-connection table: events, frames, queue high-water.
+    // 6. Per-connection table: events, frames, queue high-water.
     let rows: Vec<Vec<String>> = fleet
         .iter()
         .zip(&runs)
@@ -167,6 +220,11 @@ fn main() {
         args.cameras
     );
     println!(
+        "  decode:    {:>10.1} k ev/s  ({:.3} s wall, no sockets)",
+        decode_only_rate / 1e3,
+        decode_elapsed.as_secs_f64()
+    );
+    println!(
         "  socket:    {:>10.1} k ev/s  ({frames_per_sec:.1} frames/s, max queue HWM {max_hwm})",
         events_per_sec / 1e3
     );
@@ -189,26 +247,32 @@ fn main() {
         "\nDeterminism: TCP ingestion bit-for-bit identical to in-process run_fleet: {identical}"
     );
 
-    // 6. Machine-readable artifact for the perf trajectory.
-    JsonReport::new()
-        .str("experiment", "server")
-        .str("backend", spec.name)
-        .str("preset", args.preset.name())
-        .u64("cameras", args.cameras as u64)
-        .u64("workers", workers as u64)
-        .f64("seconds_per_camera", args.seconds)
-        .u64("chunk_events", chunk as u64)
-        .u64("queue_capacity", args.queue as u64)
-        .u64("events", events)
-        .u64("frames", frames)
-        .f64("ingest_events_per_sec", events_per_sec)
-        .f64("tracks_frames_per_sec", frames_per_sec)
-        .u64("max_queue_high_water", u64::from(max_hwm))
-        .f64("in_memory_events_per_sec", in_memory.events_per_sec())
-        .bool("identical", identical)
-        .write(std::path::Path::new("BENCH_server.json"))
-        .expect("write BENCH_server.json");
-    println!("wrote BENCH_server.json");
+    // 7. Machine-readable artifact for the perf trajectory (skipped in
+    //    smoke mode so CI-sized runs never clobber the tracked numbers).
+    if args.smoke {
+        println!("--smoke: skipping BENCH_server.json");
+    } else {
+        JsonReport::new()
+            .str("experiment", "server")
+            .str("backend", spec.name)
+            .str("preset", args.preset.name())
+            .u64("cameras", args.cameras as u64)
+            .u64("workers", workers as u64)
+            .f64("seconds_per_camera", args.seconds)
+            .u64("chunk_events", chunk as u64)
+            .u64("queue_capacity", args.queue as u64)
+            .u64("events", events)
+            .u64("frames", frames)
+            .f64("decode_only_events_per_sec", decode_only_rate)
+            .f64("ingest_events_per_sec", events_per_sec)
+            .f64("tracks_frames_per_sec", frames_per_sec)
+            .u64("max_queue_high_water", u64::from(max_hwm))
+            .f64("in_memory_events_per_sec", in_memory.events_per_sec())
+            .bool("identical", identical)
+            .write(std::path::Path::new("BENCH_server.json"))
+            .expect("write BENCH_server.json");
+        println!("wrote BENCH_server.json");
+    }
 
     assert!(identical, "server-side output diverged from in-process run_fleet");
 }

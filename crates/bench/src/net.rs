@@ -50,7 +50,58 @@ pub fn stream_camera(
     events: &[Event],
     chunk_events: usize,
 ) -> Result<ClientRun, WireError> {
+    let bytes = encode_session(name, geometry, span_us, events, chunk_events);
+    stream_session_bytes(addr, name, &bytes)
+}
+
+/// Encodes a complete client session — HELLO, `chunk_events`-sized
+/// EVENTS frames, FINISH — into one wire-ready byte buffer.
+///
+/// Splitting encoding from transmission lets benchmarks price the two
+/// separately: a real sensor encodes on-device, so server ingest
+/// throughput is measured against pre-encoded bytes
+/// ([`stream_session_bytes`]), not against a client racing to varint-
+/// encode on the same host.
+///
+/// # Panics
+///
+/// Panics when `events` is not time-ordered (clients frame validated
+/// streams) or `chunk_events` is zero.
+#[must_use]
+pub fn encode_session(
+    name: &str,
+    geometry: SensorGeometry,
+    span_us: Micros,
+    events: &[Event],
+    chunk_events: usize,
+) -> Vec<u8> {
     assert!(chunk_events > 0, "chunk_events must be at least 1");
+    let mut bytes = Vec::new();
+    let hello = Hello { geometry, span_us, name: name.to_string() };
+    write_frame(&mut bytes, &Frame::Hello(hello)).expect("Vec write cannot fail");
+    for chunk in events.chunks(chunk_events) {
+        write_frame(&mut bytes, &Frame::Events(EventsChunk::encode(chunk)))
+            .expect("Vec write cannot fail");
+    }
+    write_frame(&mut bytes, &Frame::Finish { span_us }).expect("Vec write cannot fail");
+    bytes
+}
+
+/// Streams a pre-encoded session ([`encode_session`]) to the server
+/// and returns everything it sent back.
+///
+/// # Errors
+///
+/// Returns the first connection, protocol or server-reported error.
+///
+/// # Panics
+///
+/// Panics when the client reader thread cannot be spawned.
+pub fn stream_session_bytes(
+    addr: SocketAddr,
+    name: &str,
+    bytes: &[u8],
+) -> Result<ClientRun, WireError> {
     let started = Instant::now();
     let connection = TcpStream::connect(addr).map_err(WireError::Io)?;
     connection.set_nodelay(true).map_err(WireError::Io)?;
@@ -62,16 +113,10 @@ pub fn stream_camera(
         .spawn(move || collect_responses(read_half))
         .expect("spawn client reader");
 
-    // Writer: HELLO, EVENTS chunks, FINISH.
+    // Writer: the session is already framed, just push the bytes.
     let write_result = (|| -> Result<(), WireError> {
         let mut writer = BufWriter::new(&connection);
-        let hello = Hello { geometry, span_us, name: name.to_string() };
-        write_frame(&mut writer, &Frame::Hello(hello)).map_err(WireError::Io)?;
-        for chunk in events.chunks(chunk_events) {
-            write_frame(&mut writer, &Frame::Events(EventsChunk::encode(chunk)))
-                .map_err(WireError::Io)?;
-        }
-        write_frame(&mut writer, &Frame::Finish { span_us }).map_err(WireError::Io)?;
+        writer.write_all(bytes).map_err(WireError::Io)?;
         writer.flush().map_err(WireError::Io)
     })();
 
@@ -131,6 +176,34 @@ pub fn stream_fleet(
                     )
                 })
             })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("client thread panicked")).collect()
+    });
+    runs.into_iter().collect()
+}
+
+/// Streams a fleet of pre-encoded sessions ([`encode_session`], one
+/// buffer per camera in camera order) concurrently — the timed half of
+/// [`stream_fleet`] with client-side encoding already paid.
+///
+/// # Errors
+///
+/// Returns the first camera's error (by camera order).
+///
+/// # Panics
+///
+/// Panics when `sessions` and `fleet` differ in length.
+pub fn stream_fleet_bytes(
+    addr: SocketAddr,
+    fleet: &[ebbiot_sim::SimulatedRecording],
+    sessions: &[Vec<u8>],
+) -> Result<Vec<ClientRun>, WireError> {
+    assert_eq!(fleet.len(), sessions.len(), "one pre-encoded session per camera");
+    let runs: Vec<Result<ClientRun, WireError>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = fleet
+            .iter()
+            .zip(sessions)
+            .map(|(rec, bytes)| scope.spawn(move || stream_session_bytes(addr, &rec.name, bytes)))
             .collect();
         handles.into_iter().map(|h| h.join().expect("client thread panicked")).collect()
     });

@@ -73,6 +73,15 @@
 //! all close the connection with an ERROR frame — the serving engine is
 //! never panicked by network input.
 //!
+//! The EVENTS receive path is zero-copy: [`FrameReader`] keeps one
+//! payload buffer per connection, reads each frame into it, and hands
+//! the session an [`EventsRef`] **borrowing** those bytes — the CRC
+//! check and the varint decode
+//! ([`ebbiot_store::format::decode_chunk_payload_fast`]) run directly
+//! out of the connection buffer into the `Vec<Event>` that is then
+//! moved into the engine. No per-frame allocation, no intermediate
+//! copy of wire bytes or events.
+//!
 //! The field-by-field specification (with byte offsets and varint /
 //! zigzag rules) also lives in `ARCHITECTURE.md` at the workspace root,
 //! next to the `EBST` on-disk format it shares its chunk codec with.
@@ -85,8 +94,8 @@ pub mod server;
 pub mod session;
 
 pub use protocol::{
-    read_frame, write_frame, EventsChunk, Finished, Frame, Hello, WireError, MAX_FRAME_BYTES,
-    VERSION,
+    read_frame, write_frame, EventsChunk, EventsRef, Finished, Frame, FrameReader, FrameRef, Hello,
+    WireError, MAX_FRAME_BYTES, VERSION,
 };
 pub use server::{IngestServer, ServerConfig, ServerReport, SessionReport};
 pub use session::{PipelineFactory, Session, SessionSummary};

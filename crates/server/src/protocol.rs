@@ -11,7 +11,7 @@ use std::io::{self, Read, Write};
 use ebbiot_core::{FrameResult, TrackBox};
 use ebbiot_events::{Event, Micros, SensorGeometry};
 use ebbiot_frame::BoundingBox;
-use ebbiot_store::format::{crc32, decode_chunk_payload, encode_chunk_payload};
+use ebbiot_store::format::{crc32, decode_chunk_payload_fast, encode_chunk_payload};
 use ebbiot_store::StoreError;
 
 /// Magic bytes opening a HELLO payload.
@@ -216,8 +216,94 @@ impl EventsChunk {
         out: &mut Vec<Event>,
         geometry: SensorGeometry,
     ) -> Result<(), WireError> {
-        decode_chunk_payload(out, &self.body, 0, geometry, self.count, self.t_first, self.t_last)?;
+        decode_chunk_payload_fast(
+            out,
+            &self.body,
+            0,
+            geometry,
+            self.count,
+            self.t_first,
+            self.t_last,
+        )?;
         Ok(())
+    }
+}
+
+/// A borrowed view of one EVENTS frame: the fixed fields plus the
+/// delta-varint body **still sitting in the [`FrameReader`]'s read
+/// buffer**. Its CRC-32 was verified in place on read; no byte of the
+/// body was copied to produce this view.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EventsRef<'a> {
+    /// Number of events in the body (> 0).
+    pub count: u32,
+    /// Timestamp of the first event.
+    pub t_first: u64,
+    /// Timestamp of the last event.
+    pub t_last: u64,
+    /// Delta-varint body, borrowed from the connection read buffer.
+    pub body: &'a [u8],
+}
+
+impl EventsRef<'_> {
+    /// Decodes and validates the body against `geometry` into `out`
+    /// (cleared first) — same checks as [`EventsChunk::decode_into`],
+    /// straight out of the read buffer.
+    ///
+    /// # Errors
+    ///
+    /// Returns the store codec's corruption errors as
+    /// [`WireError::Store`].
+    pub fn decode_into(
+        &self,
+        out: &mut Vec<Event>,
+        geometry: SensorGeometry,
+    ) -> Result<(), WireError> {
+        decode_chunk_payload_fast(
+            out,
+            self.body,
+            0,
+            geometry,
+            self.count,
+            self.t_first,
+            self.t_last,
+        )?;
+        Ok(())
+    }
+
+    /// Copies the view into an owned [`EventsChunk`].
+    #[must_use]
+    pub fn to_owned(&self) -> EventsChunk {
+        EventsChunk {
+            count: self.count,
+            t_first: self.t_first,
+            t_last: self.t_last,
+            body: self.body.to_vec(),
+        }
+    }
+}
+
+/// One frame as produced by [`FrameReader::read_from`]: EVENTS stays a
+/// borrowed [`EventsRef`] into the reader's buffer, everything else is
+/// decoded to an owned [`Frame`] (control frames are small and rare).
+#[derive(Debug)]
+pub enum FrameRef<'a> {
+    /// An EVENTS frame, body borrowed from the read buffer.
+    Events(EventsRef<'a>),
+    /// Any other frame kind, decoded to its owned form.
+    Control(Frame),
+}
+
+impl FrameRef<'_> {
+    /// Converts to an owned [`Frame`], copying an EVENTS body out of
+    /// the read buffer. This is the compatibility bridge [`read_frame`]
+    /// is built on; the server's hot loop never calls it.
+    #[must_use]
+    pub fn into_owned(self) -> Frame {
+        match self {
+            FrameRef::Events(events) => Frame::Events(events.to_owned()),
+            FrameRef::Control(frame) => frame,
+        }
     }
 }
 
@@ -423,7 +509,9 @@ fn decode_hello(payload: &[u8]) -> Result<Frame, WireError> {
     Ok(Frame::Hello(Hello { geometry: SensorGeometry::new(width, height), span_us, name }))
 }
 
-fn decode_events(payload: &[u8]) -> Result<Frame, WireError> {
+/// Parses an EVENTS payload in place: fixed fields, then the CRC-32
+/// checked directly over the borrowed body — no copy anywhere.
+fn decode_events_ref(payload: &[u8]) -> Result<EventsRef<'_>, WireError> {
     let mut c = Cursor { buf: payload, pos: 0, frame: "EVENTS" };
     let count = c.u32()?;
     if count == 0 {
@@ -435,11 +523,11 @@ fn decode_events(payload: &[u8]) -> Result<Frame, WireError> {
         return Err(WireError::Malformed { frame: "EVENTS", reason: "t_last before t_first" });
     }
     let crc = c.u32()?;
-    let body = c.take(c.remaining())?.to_vec();
-    if crc32(&body) != crc {
+    let body = c.take(c.remaining())?;
+    if crc32(body) != crc {
         return Err(WireError::ChunkCrcMismatch);
     }
-    Ok(Frame::Events(EventsChunk { count, t_first, t_last, body }))
+    Ok(EventsRef { count, t_first, t_last, body })
 }
 
 fn decode_finish(payload: &[u8]) -> Result<Frame, WireError> {
@@ -504,9 +592,91 @@ fn decode_finished(payload: &[u8]) -> Result<Frame, WireError> {
     Ok(Frame::Finished(Finished { events, frames, queue_high_water }))
 }
 
-/// Reads one frame from `source`. `Ok(None)` is a clean end of stream
-/// (EOF exactly on a frame boundary); EOF anywhere inside a frame is
-/// [`WireError::Truncated`].
+/// Reusable frame reader: owns one payload buffer that every frame of
+/// a connection is read into, so the hot EVENTS path costs **zero
+/// copies and zero per-frame allocations** — the CRC is checked and the
+/// chunk decoded straight out of this buffer via the borrowed
+/// [`FrameRef::Events`] view.
+///
+/// [`read_frame`] is the owned-`Frame` convenience wrapper over this
+/// type; servers keep one `FrameReader` per connection instead.
+#[derive(Debug, Default)]
+pub struct FrameReader {
+    payload: Vec<u8>,
+}
+
+impl FrameReader {
+    /// A reader with an empty buffer; it grows to the largest frame
+    /// seen (capped by [`MAX_FRAME_BYTES`]) and is then reused.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Reads one frame from `source` into the internal buffer.
+    /// `Ok(None)` is a clean end of stream (EOF exactly on a frame
+    /// boundary); EOF anywhere inside a frame is
+    /// [`WireError::Truncated`]. An EVENTS frame is returned as a
+    /// borrowed [`EventsRef`]; every other kind is decoded to an owned
+    /// [`Frame`].
+    ///
+    /// # Errors
+    ///
+    /// Returns an I/O error, or a decode error for a malformed frame.
+    /// No input — truncated, corrupt or hostile — panics or
+    /// over-allocates: payload lengths are capped by
+    /// [`MAX_FRAME_BYTES`] before any allocation.
+    pub fn read_from<R: Read>(
+        &mut self,
+        source: &mut R,
+    ) -> Result<Option<FrameRef<'_>>, WireError> {
+        let mut envelope = [0u8; ENVELOPE_BYTES];
+        // Distinguish clean EOF (no bytes at all) from a torn envelope.
+        loop {
+            match source.read(&mut envelope[..1]) {
+                Ok(0) => return Ok(None),
+                Ok(_) => break,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(e) => return Err(e.into()),
+            }
+        }
+        source.read_exact(&mut envelope[1..])?;
+        let kind = envelope[0];
+        let len = u32::from_le_bytes(envelope[1..5].try_into().expect("len 4"));
+        if len as usize > MAX_FRAME_BYTES {
+            return Err(WireError::FrameTooLarge { kind, len });
+        }
+        self.payload.resize(len as usize, 0);
+        source.read_exact(&mut self.payload)?;
+        let payload = &self.payload[..];
+        match kind {
+            KIND_EVENTS => return decode_events_ref(payload).map(|e| Some(FrameRef::Events(e))),
+            KIND_HELLO => decode_hello(payload),
+            KIND_FLUSH => {
+                if payload.is_empty() {
+                    Ok(Frame::Flush)
+                } else {
+                    Err(WireError::Malformed { frame: "FLUSH", reason: "non-empty payload" })
+                }
+            }
+            KIND_FINISH => decode_finish(payload),
+            KIND_TRACKS => decode_tracks(payload),
+            KIND_FINISHED => decode_finished(payload),
+            KIND_ERROR => Ok(Frame::Error(String::from_utf8_lossy(payload).into_owned())),
+            other => Err(WireError::UnknownKind(other)),
+        }
+        .map(|frame| Some(FrameRef::Control(frame)))
+    }
+}
+
+/// Reads one frame from `source` into an owned [`Frame`]. `Ok(None)` is
+/// a clean end of stream (EOF exactly on a frame boundary); EOF
+/// anywhere inside a frame is [`WireError::Truncated`].
+///
+/// This is the convenience wrapper over [`FrameReader`] (one internal
+/// buffer per call, EVENTS bodies copied out); connection loops that
+/// care about throughput hold a [`FrameReader`] and consume
+/// [`FrameRef`]s instead.
 ///
 /// # Errors
 ///
@@ -515,39 +685,7 @@ fn decode_finished(payload: &[u8]) -> Result<Frame, WireError> {
 /// payload lengths are capped by [`MAX_FRAME_BYTES`] before any
 /// allocation.
 pub fn read_frame<R: Read>(source: &mut R) -> Result<Option<Frame>, WireError> {
-    let mut envelope = [0u8; ENVELOPE_BYTES];
-    // Distinguish clean EOF (no bytes at all) from a torn envelope.
-    match source.read(&mut envelope[..1]) {
-        Ok(0) => return Ok(None),
-        Ok(_) => {}
-        Err(e) if e.kind() == io::ErrorKind::Interrupted => return read_frame(source),
-        Err(e) => return Err(e.into()),
-    }
-    source.read_exact(&mut envelope[1..])?;
-    let kind = envelope[0];
-    let len = u32::from_le_bytes(envelope[1..5].try_into().expect("len 4"));
-    if len as usize > MAX_FRAME_BYTES {
-        return Err(WireError::FrameTooLarge { kind, len });
-    }
-    let mut payload = vec![0u8; len as usize];
-    source.read_exact(&mut payload)?;
-    match kind {
-        KIND_HELLO => decode_hello(&payload),
-        KIND_EVENTS => decode_events(&payload),
-        KIND_FLUSH => {
-            if payload.is_empty() {
-                Ok(Frame::Flush)
-            } else {
-                Err(WireError::Malformed { frame: "FLUSH", reason: "non-empty payload" })
-            }
-        }
-        KIND_FINISH => decode_finish(&payload),
-        KIND_TRACKS => decode_tracks(&payload),
-        KIND_FINISHED => decode_finished(&payload),
-        KIND_ERROR => Ok(Frame::Error(String::from_utf8_lossy(&payload).into_owned())),
-        other => Err(WireError::UnknownKind(other)),
-    }
-    .map(Some)
+    Ok(FrameReader::new().read_from(source)?.map(FrameRef::into_owned))
 }
 
 #[cfg(test)]
@@ -615,6 +753,55 @@ mod tests {
         let mut decoded = Vec::new();
         let err = chunk.decode_into(&mut decoded, SensorGeometry::new(4, 4)).unwrap_err();
         assert!(matches!(err, WireError::Store(StoreError::OutOfBounds { .. })), "{err}");
+    }
+
+    #[test]
+    fn frame_reader_returns_borrowed_events_and_owned_controls() {
+        let events = sample_events();
+        let mut bytes = Vec::new();
+        write_frame(&mut bytes, &Frame::Events(EventsChunk::encode(&events))).unwrap();
+        write_frame(&mut bytes, &Frame::Flush).unwrap();
+        write_frame(&mut bytes, &Frame::Events(EventsChunk::encode(&events[..2]))).unwrap();
+        let mut cursor = io::Cursor::new(bytes);
+        let mut reader = FrameReader::new();
+
+        let Some(FrameRef::Events(chunk)) = reader.read_from(&mut cursor).unwrap() else {
+            panic!("expected EVENTS")
+        };
+        assert_eq!((chunk.count, chunk.t_first, chunk.t_last), (3, 100, 250));
+        let mut decoded = Vec::new();
+        chunk.decode_into(&mut decoded, SensorGeometry::new(64, 48)).unwrap();
+        assert_eq!(decoded, events);
+        assert_eq!(chunk.to_owned(), EventsChunk::encode(&events));
+
+        assert!(matches!(
+            reader.read_from(&mut cursor).unwrap(),
+            Some(FrameRef::Control(Frame::Flush))
+        ));
+        // The buffer is reused for the second, smaller EVENTS frame.
+        let Some(FrameRef::Events(chunk)) = reader.read_from(&mut cursor).unwrap() else {
+            panic!("expected EVENTS")
+        };
+        assert_eq!(chunk.count, 2);
+        assert!(reader.read_from(&mut cursor).unwrap().is_none(), "clean EOF");
+    }
+
+    #[test]
+    fn frame_reader_rejects_what_read_frame_rejects() {
+        // Corrupt EVENTS body: same CRC error through both entry points.
+        let mut bytes = Vec::new();
+        write_frame(&mut bytes, &Frame::Events(EventsChunk::encode(&sample_events()))).unwrap();
+        let n = bytes.len();
+        bytes[n - 1] ^= 0x40;
+        let err = FrameReader::new().read_from(&mut io::Cursor::new(bytes.clone())).unwrap_err();
+        assert!(matches!(err, WireError::ChunkCrcMismatch), "{err}");
+        // Truncations anywhere are Truncated, never a panic.
+        for cut in 1..bytes.len() {
+            let err = FrameReader::new()
+                .read_from(&mut io::Cursor::new(bytes[..cut].to_vec()))
+                .unwrap_err();
+            assert!(matches!(err, WireError::Truncated | WireError::ChunkCrcMismatch), "cut {cut}");
+        }
     }
 
     #[test]

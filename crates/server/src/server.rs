@@ -11,7 +11,7 @@ use std::thread::JoinHandle;
 use ebbiot_engine::{Engine, EngineConfig, Snapshot};
 use ebbiot_store::{FleetArchiver, StoreOptions};
 
-use crate::protocol::{read_frame, write_frame, Frame, WireError};
+use crate::protocol::{write_frame, Frame, FrameReader, FrameRef, WireError};
 use crate::session::{PipelineFactory, Session, SessionSummary};
 
 fn lock<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
@@ -238,20 +238,24 @@ fn drive(connection: &TcpStream, session: &mut Session) -> Result<(), WireError>
     connection.set_nodelay(true).map_err(WireError::Io)?;
     let mut reader = BufReader::new(connection);
     let mut writer = BufWriter::new(connection);
+    // One payload buffer for the whole connection: EVENTS chunks are
+    // CRC-checked and decoded straight out of it (`Session::on_events`),
+    // never copied into an intermediate Vec.
+    let mut frames = FrameReader::new();
     loop {
-        match read_frame(&mut reader)? {
-            Some(frame) => {
-                for response in session.on_frame(frame)? {
-                    write_frame(&mut writer, &response).map_err(WireError::Io)?;
-                }
-                writer.flush().map_err(WireError::Io)?;
-                if session.is_finished() {
-                    return Ok(());
-                }
-            }
+        let responses = match frames.read_from(&mut reader)? {
+            Some(FrameRef::Events(chunk)) => session.on_events(&chunk)?,
+            Some(FrameRef::Control(frame)) => session.on_frame(frame)?,
             // EOF: fine after FINISH (we already returned), an error in
             // the middle of a session.
             None => return Err(WireError::Truncated),
+        };
+        for response in &responses {
+            write_frame(&mut writer, response).map_err(WireError::Io)?;
+        }
+        writer.flush().map_err(WireError::Io)?;
+        if session.is_finished() {
+            return Ok(());
         }
     }
 }

@@ -14,7 +14,7 @@ use ebbiot_core::{DynPipeline, FrameResult};
 use ebbiot_engine::{Engine, StreamId};
 use ebbiot_store::{ArchiveStream, FleetArchiver};
 
-use crate::protocol::{EventsChunk, Finished, Frame, Hello, WireError};
+use crate::protocol::{EventsRef, Finished, Frame, Hello, WireError};
 
 /// Builds one pipeline per accepted session from its HELLO. The factory
 /// decides the back-end and configuration; rejecting a HELLO (unknown
@@ -180,7 +180,13 @@ impl Session {
                 Err(WireError::Protocol { reason: "second HELLO on one connection" })
             }
             (State::Streaming(active), Frame::Events(chunk)) => {
-                let frames = Self::ingest(&self.engine, active, &chunk)?;
+                let view = EventsRef {
+                    count: chunk.count,
+                    t_first: chunk.t_first,
+                    t_last: chunk.t_last,
+                    body: &chunk.body,
+                };
+                let frames = Self::ingest(&self.engine, active, &view)?;
                 self.summary.events += u64::from(chunk.count);
                 self.summary.frames += frames.len() as u64;
                 Ok(if frames.is_empty() { Vec::new() } else { vec![Frame::Tracks(frames)] })
@@ -221,11 +227,46 @@ impl Session {
         }
     }
 
+    /// Feeds one EVENTS frame as a borrowed [`EventsRef`] — the
+    /// zero-copy hot path the TCP loop uses: the chunk body is still
+    /// sitting in the connection's read buffer and is decoded from
+    /// there straight into the `Vec` the engine takes by value.
+    /// Equivalent to `on_frame(Frame::Events(...))` in every observable
+    /// way (responses, summary, error and failure-state behaviour).
+    ///
+    /// # Errors
+    ///
+    /// Returns the first protocol, validation or engine-side error;
+    /// like [`Session::on_frame`], the session is aborted and accepts
+    /// no further frames afterwards.
+    pub fn on_events(&mut self, chunk: &EventsRef<'_>) -> Result<Vec<Frame>, WireError> {
+        let result = match &mut self.state {
+            State::Streaming(active) => Self::ingest(&self.engine, active, chunk),
+            State::AwaitingHello => {
+                Err(WireError::Protocol { reason: "first frame must be HELLO" })
+            }
+            State::Finished => Err(WireError::Protocol { reason: "frame after FINISH" }),
+            State::Failed => Err(WireError::Protocol { reason: "frame after a session error" }),
+        };
+        match result {
+            Ok(frames) => {
+                self.summary.events += u64::from(chunk.count);
+                self.summary.frames += frames.len() as u64;
+                Ok(if frames.is_empty() { Vec::new() } else { vec![Frame::Tracks(frames)] })
+            }
+            Err(e) => {
+                self.abort();
+                self.state = State::Failed;
+                Err(e)
+            }
+        }
+    }
+
     /// Validates and pushes one chunk, returning newly available frames.
     fn ingest(
         engine: &Engine,
         active: &mut Active,
-        chunk: &EventsChunk,
+        chunk: &EventsRef<'_>,
     ) -> Result<Vec<FrameResult>, WireError> {
         if let Some(prev) = active.last_t_last {
             if chunk.t_first < prev {
@@ -292,6 +333,7 @@ impl Drop for Session {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::protocol::EventsChunk;
     use ebbiot_core::{EbbiotConfig, EbbiotPipeline};
     use ebbiot_engine::EngineConfig;
     use ebbiot_events::{Event, SensorGeometry};
@@ -359,6 +401,73 @@ mod tests {
         expected.extend(reference.finish(5 * 66_000));
         let expected: Vec<FrameResult> = expected;
         assert_eq!(collected, expected, "session output is bit-for-bit the pipeline's");
+    }
+
+    #[test]
+    fn on_events_is_observably_identical_to_on_frame() {
+        let engine = engine();
+        let mut by_frame = Session::new(Arc::clone(&engine), factory(), None);
+        let mut by_view = Session::new(Arc::clone(&engine), factory(), None);
+        by_frame.on_frame(hello("a")).unwrap();
+        by_view.on_frame(hello("b")).unwrap();
+        for k in 0..3u64 {
+            let chunk = EventsChunk::encode(&block(k * 66_000));
+            let view = EventsRef {
+                count: chunk.count,
+                t_first: chunk.t_first,
+                t_last: chunk.t_last,
+                body: &chunk.body,
+            };
+            let via_view = by_view.on_events(&view).unwrap();
+            let via_frame = by_frame.on_frame(Frame::Events(chunk)).unwrap();
+            assert_eq!(via_view, via_frame, "chunk {k}");
+        }
+        let f1 = by_frame.on_frame(Frame::Finish { span_us: 4 * 66_000 }).unwrap();
+        let f2 = by_view.on_frame(Frame::Finish { span_us: 4 * 66_000 }).unwrap();
+        assert_eq!(f1, f2);
+        assert_eq!(by_frame.summary().events, by_view.summary().events);
+        assert_eq!(by_frame.summary().frames, by_view.summary().frames);
+    }
+
+    #[test]
+    fn on_events_errors_fail_the_session_like_on_frame() {
+        let engine = engine();
+        let mut session = Session::new(Arc::clone(&engine), factory(), None);
+        // Before HELLO: protocol error, session dead afterwards.
+        let chunk = EventsChunk::encode(&block(0));
+        let view = EventsRef {
+            count: chunk.count,
+            t_first: chunk.t_first,
+            t_last: chunk.t_last,
+            body: &chunk.body,
+        };
+        let err = session.on_events(&view).unwrap_err();
+        assert!(matches!(err, WireError::Protocol { reason } if reason.contains("HELLO")));
+        assert!(session.on_frame(hello("late")).is_err());
+
+        // Out-of-order chunks through the view path abort the stream.
+        let mut session = Session::new(engine, factory(), None);
+        session.on_frame(hello("ooo")).unwrap();
+        let late = EventsChunk::encode(&block(66_000));
+        let early = EventsChunk::encode(&block(0));
+        let late_view = EventsRef {
+            count: late.count,
+            t_first: late.t_first,
+            t_last: late.t_last,
+            body: &late.body,
+        };
+        let early_view = EventsRef {
+            count: early.count,
+            t_first: early.t_first,
+            t_last: early.t_last,
+            body: &early.body,
+        };
+        session.on_events(&late_view).unwrap();
+        assert!(matches!(
+            session.on_events(&early_view).unwrap_err(),
+            WireError::OutOfOrder { .. }
+        ));
+        assert!(session.on_frame(Frame::Flush).is_err(), "failed session accepts nothing");
     }
 
     #[test]

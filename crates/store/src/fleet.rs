@@ -3,7 +3,7 @@
 //! times.
 
 use std::fs::{self, File};
-use std::io::{BufRead, BufReader, Write};
+use std::io::{BufRead, BufReader, Cursor, Write};
 use std::path::{Path, PathBuf};
 
 use ebbiot_events::{Event, Micros, SensorGeometry};
@@ -236,6 +236,33 @@ impl FleetStore {
     /// Returns the first open error.
     pub fn readers(&self) -> Result<Vec<ChunkReader<BufReader<File>>>, StoreError> {
         (0..self.entries.len()).map(|k| self.reader(k)).collect()
+    }
+
+    /// Opens one camera memory-resident via
+    /// [`ChunkReader::open_mapped`]: payloads are borrowed in place
+    /// instead of copied per chunk — the fast replay path.
+    ///
+    /// # Errors
+    ///
+    /// Returns an I/O or format error opening the camera file.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `camera` is out of range.
+    pub fn mapped_reader(&self, camera: usize) -> Result<ChunkReader<Cursor<Vec<u8>>>, StoreError> {
+        let entry = &self.entries[camera];
+        ChunkReader::open_mapped(&self.dir.join(&entry.file))
+    }
+
+    /// Opens every camera memory-resident, in camera order — the input
+    /// shape [`crate::Replayer::replay_engine_parallel`] wants when the
+    /// fleet fits in memory.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first open error.
+    pub fn mapped_readers(&self) -> Result<Vec<ChunkReader<Cursor<Vec<u8>>>>, StoreError> {
+        (0..self.entries.len()).map(|k| self.mapped_reader(k)).collect()
     }
 }
 

@@ -195,6 +195,46 @@ pub fn read_varint(buf: &[u8], pos: &mut usize) -> Option<u64> {
     }
 }
 
+/// Continuation-bit mask over eight little-endian varint bytes.
+const VARINT_CONT: u64 = 0x8080_8080_8080_8080;
+
+/// Branch-light varint read via one unaligned little-endian `u64` load
+/// and trailing-zero dispatch on the continuation bits. The caller must
+/// guarantee **at least 8 readable bytes** at `*pos`; varints longer
+/// than 8 bytes (values ≥ 2^56) fall back to [`read_varint`], which
+/// also owns the overflow/over-length rejection.
+///
+/// Bit-for-bit equivalent to [`read_varint`] whenever both apply: same
+/// `Some`/`None` outcome, same value, same `*pos` advance — the decode
+/// parity suite depends on that.
+#[inline]
+fn read_varint_word(buf: &[u8], pos: &mut usize) -> Option<u64> {
+    let p = *pos;
+    let word = u64::from_le_bytes(buf[p..p + 8].try_into().expect("len 8"));
+    let stops = !word & VARINT_CONT;
+    if stops == 0 {
+        // 9- or 10-byte encoding (or corruption): rare, let the byte
+        // loop handle it together with its overflow checks.
+        return read_varint(buf, pos);
+    }
+    // First byte with a clear continuation bit ends the varint.
+    let len = (stops.trailing_zeros() >> 3) + 1; // 1..=8
+    let keep = word & (u64::MAX >> (64 - 8 * len));
+    // Strip the continuation bits: byte i contributes its low 7 bits at
+    // bit position 7*i, i.e. (keep >> 8i & 0x7f) << 7i == keep >> i
+    // masked to the 7-bit lane. Constant 8 ops, no per-byte branch.
+    let value = (keep & 0x7f)
+        | ((keep >> 1) & (0x7f << 7))
+        | ((keep >> 2) & (0x7f << 14))
+        | ((keep >> 3) & (0x7f << 21))
+        | ((keep >> 4) & (0x7f << 28))
+        | ((keep >> 5) & (0x7f << 35))
+        | ((keep >> 6) & (0x7f << 42))
+        | ((keep >> 7) & (0x7f << 49));
+    *pos = p + len as usize;
+    Some(value)
+}
+
 /// Maps a signed delta onto an unsigned varint-friendly value
 /// (0, -1, 1, -2, … → 0, 1, 2, 3, …).
 #[must_use]
@@ -210,8 +250,12 @@ pub const fn unzigzag(v: u64) -> i64 {
 
 // --- CRC32 -------------------------------------------------------------
 
-const fn crc_table() -> [u32; 256] {
-    let mut table = [0u32; 256];
+/// Slice-by-8 lookup tables: `CRC_TABLES[0]` is the classic one-byte
+/// table; `CRC_TABLES[k][b]` is the CRC of byte `b` followed by `k`
+/// zero bytes, which is what lets eight input bytes be folded per
+/// iteration instead of one.
+const fn crc_tables() -> [[u32; 256]; 8] {
+    let mut tables = [[0u32; 256]; 8];
     let mut i = 0;
     while i < 256 {
         let mut crc = i as u32;
@@ -220,20 +264,62 @@ const fn crc_table() -> [u32; 256] {
             crc = if crc & 1 != 0 { (crc >> 1) ^ 0xEDB8_8320 } else { crc >> 1 };
             bit += 1;
         }
-        table[i] = crc;
+        tables[0][i] = crc;
         i += 1;
     }
-    table
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = tables[0][i];
+        let mut k = 1;
+        while k < 8 {
+            crc = tables[0][(crc & 0xff) as usize] ^ (crc >> 8);
+            tables[k][i] = crc;
+            k += 1;
+        }
+        i += 1;
+    }
+    tables
 }
 
-static CRC_TABLE: [u32; 256] = crc_table();
+static CRC_TABLES: [[u32; 256]; 8] = crc_tables();
 
 /// CRC-32 (IEEE 802.3 polynomial) of `bytes`.
+///
+/// Folds eight bytes per table round (slice-by-8) — it runs over every
+/// chunk payload and index on both the store and wire paths, so it is
+/// hot. Bit-identical to [`crc32_reference`], which the property tests
+/// enforce.
 #[must_use]
 pub fn crc32(bytes: &[u8]) -> u32 {
+    let t = &CRC_TABLES;
+    let mut crc = !0u32;
+    let mut chunks = bytes.chunks_exact(8);
+    for chunk in &mut chunks {
+        let lo = u32::from_le_bytes(chunk[0..4].try_into().expect("len 4")) ^ crc;
+        let hi = u32::from_le_bytes(chunk[4..8].try_into().expect("len 4"));
+        crc = t[7][(lo & 0xff) as usize]
+            ^ t[6][((lo >> 8) & 0xff) as usize]
+            ^ t[5][((lo >> 16) & 0xff) as usize]
+            ^ t[4][(lo >> 24) as usize]
+            ^ t[3][(hi & 0xff) as usize]
+            ^ t[2][((hi >> 8) & 0xff) as usize]
+            ^ t[1][((hi >> 16) & 0xff) as usize]
+            ^ t[0][(hi >> 24) as usize];
+    }
+    for &b in chunks.remainder() {
+        crc = t[0][((crc ^ u32::from(b)) & 0xff) as usize] ^ (crc >> 8);
+    }
+    !crc
+}
+
+/// Byte-at-a-time CRC-32 — the obviously-correct reference the
+/// slice-by-8 [`crc32`] is property-tested against. Not used on any hot
+/// path.
+#[must_use]
+pub fn crc32_reference(bytes: &[u8]) -> u32 {
     let mut crc = !0u32;
     for &b in bytes {
-        crc = CRC_TABLE[((crc ^ u32::from(b)) & 0xff) as usize] ^ (crc >> 8);
+        crc = CRC_TABLES[0][((crc ^ u32::from(b)) & 0xff) as usize] ^ (crc >> 8);
     }
     !crc
 }
@@ -271,6 +357,12 @@ pub fn encode_chunk_payload(out: &mut Vec<u8>, events: &[Event]) {
 /// Decodes a chunk payload into `out` (cleared first), validating
 /// bounds against `geometry` and consistency with the frame's `count`,
 /// `t_first` and `t_last`.
+///
+/// This is the **scalar reference decoder** — one byte-loop varint at a
+/// time, kept deliberately simple. Hot paths (the store reader and the
+/// `EBWP` EVENTS path) use [`decode_chunk_payload_fast`], which is
+/// property-tested bit-exact against this function, accepted payloads
+/// and rejected ones alike.
 ///
 /// # Errors
 ///
@@ -325,6 +417,98 @@ pub fn decode_chunk_payload(
     Ok(())
 }
 
+/// Batched, branch-light variant of [`decode_chunk_payload`]: the hot
+/// decoder behind [`ChunkReader`](crate::ChunkReader) and the `EBWP`
+/// EVENTS path.
+///
+/// While at least [`MAX_EVENT_BYTES`] × 2 bytes remain, the three
+/// varints of an event are read via unaligned `u64` loads and
+/// trailing-zero dispatch (`read_varint_word`) with the slice bound
+/// hoisted to one per-event check; the payload tail falls back to the
+/// byte loop. Decodes straight into the reused `out` buffer with one
+/// upfront `reserve`.
+///
+/// Bit-for-bit equivalent to the scalar reference: identical events for
+/// every valid payload and the identical error (variant, reason and
+/// position of first rejection) for every corrupt one —
+/// `tests/decode_parity.rs` proves both properties over random and
+/// hostile inputs.
+///
+/// # Errors
+///
+/// Exactly those of [`decode_chunk_payload`].
+pub fn decode_chunk_payload_fast(
+    out: &mut Vec<Event>,
+    payload: &[u8],
+    chunk: usize,
+    geometry: SensorGeometry,
+    count: u32,
+    t_first: Timestamp,
+    t_last: Timestamp,
+) -> Result<(), StoreError> {
+    let corrupt = |reason| StoreError::CorruptChunk { chunk, reason };
+    if (payload.len() as u64) < u64::from(count) * 3 {
+        return Err(corrupt("payload too short for event count"));
+    }
+    out.clear();
+    out.reserve(count as usize);
+    // Hoisted per-chunk constants: geometry as i64 bounds and the
+    // fast-loop watermark. Three varints cost at most 10 + 3 + 3 bytes
+    // (MAX_EVENT_BYTES), but each word read wants ≥ 8 readable bytes
+    // after a ≤ 10-byte predecessor, so 2 × MAX_EVENT_BYTES is a safe
+    // (and still tight) floor for a whole event.
+    let width = i64::from(geometry.width());
+    let height = i64::from(geometry.height());
+    let mut pos = 0usize;
+    let mut t = t_first;
+    let (mut x, mut y) = (0i64, 0i64);
+    let mut i = 0u32;
+    while i < count {
+        let (dt, dx, dyp);
+        if payload.len() - pos >= 2 * MAX_EVENT_BYTES {
+            let word = u64::from_le_bytes(payload[pos..pos + 8].try_into().expect("len 8"));
+            if word & 0x0080_8080 == 0 {
+                // The modal event: all three varints are single-byte
+                // (dt < 128, |dx| ≤ 63, |dy| ≤ 31 with the polarity
+                // bit) — decode the whole triple from the one load.
+                dt = word & 0x7f;
+                dx = (word >> 8) & 0x7f;
+                dyp = (word >> 16) & 0x7f;
+                pos += 3;
+            } else {
+                dt = read_varint_word(payload, &mut pos)
+                    .ok_or_else(|| corrupt("truncated varint"))?;
+                dx = read_varint_word(payload, &mut pos)
+                    .ok_or_else(|| corrupt("truncated varint"))?;
+                dyp = read_varint_word(payload, &mut pos)
+                    .ok_or_else(|| corrupt("truncated varint"))?;
+            }
+        } else {
+            dt = read_varint(payload, &mut pos).ok_or_else(|| corrupt("truncated varint"))?;
+            dx = read_varint(payload, &mut pos).ok_or_else(|| corrupt("truncated varint"))?;
+            dyp = read_varint(payload, &mut pos).ok_or_else(|| corrupt("truncated varint"))?;
+        }
+        t = t.checked_add(dt).ok_or_else(|| corrupt("timestamp overflow"))?;
+        if i == 0 && dt != 0 {
+            return Err(corrupt("first event does not start at t_first"));
+        }
+        x = x.checked_add(unzigzag(dx)).ok_or_else(|| corrupt("column delta overflow"))?;
+        y = y.checked_add(unzigzag(dyp >> 1)).ok_or_else(|| corrupt("row delta overflow"))?;
+        if !((0..width).contains(&x) && (0..height).contains(&y)) {
+            return Err(StoreError::OutOfBounds { chunk, x, y });
+        }
+        out.push(Event::new(x as u16, y as u16, t, Polarity::from_bit((dyp & 1) as u8)));
+        i += 1;
+    }
+    if pos != payload.len() {
+        return Err(corrupt("trailing bytes after last event"));
+    }
+    if t != t_last {
+        return Err(corrupt("last event does not end at t_last"));
+    }
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -367,6 +551,51 @@ mod tests {
     fn crc32_matches_known_vectors() {
         assert_eq!(crc32(b""), 0);
         assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32_reference(b""), 0);
+        assert_eq!(crc32_reference(b"123456789"), 0xCBF4_3926);
+    }
+
+    #[test]
+    fn crc32_slice_by_8_matches_reference_across_lengths() {
+        // Every length 0..64 exercises all remainder sizes around the
+        // 8-byte folding boundary.
+        let bytes: Vec<u8> = (0..64u32).map(|i| (i.wrapping_mul(97) ^ (i >> 3)) as u8).collect();
+        for len in 0..=bytes.len() {
+            assert_eq!(crc32(&bytes[..len]), crc32_reference(&bytes[..len]), "len {len}");
+        }
+    }
+
+    #[test]
+    fn varint_word_read_matches_byte_loop() {
+        // Boundary values at every varint length, padded so the word
+        // loader always has 8 readable bytes.
+        for v in [
+            0u64,
+            1,
+            127,
+            128,
+            16_383,
+            16_384,
+            (1 << 28) - 1,
+            1 << 35,
+            (1 << 56) - 1,
+            (1 << 56),
+            u64::MAX,
+        ] {
+            let mut buf = Vec::new();
+            write_varint(&mut buf, v);
+            buf.resize(buf.len() + 10, 0x55);
+            let (mut fast_pos, mut slow_pos) = (0usize, 0usize);
+            assert_eq!(read_varint_word(&buf, &mut fast_pos), Some(v));
+            assert_eq!(read_varint(&buf, &mut slow_pos), Some(v));
+            assert_eq!(fast_pos, slow_pos, "value {v}");
+        }
+        // Non-canonical (padded) encodings decode identically too.
+        let buf = [0x80, 0x80, 0x00, 0, 0, 0, 0, 0, 0, 0];
+        let (mut fast_pos, mut slow_pos) = (0usize, 0usize);
+        assert_eq!(read_varint_word(&buf, &mut fast_pos), Some(0));
+        assert_eq!(read_varint(&buf, &mut slow_pos), Some(0));
+        assert_eq!(fast_pos, slow_pos);
     }
 
     fn sample() -> Vec<Event> {

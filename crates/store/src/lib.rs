@@ -12,9 +12,12 @@
 //!
 //! * [`RecordingWriter`] — append-only chunked writer (`W: Write`);
 //! * [`ChunkReader`] — one-chunk-at-a-time reader with
-//!   [`ChunkReader::seek_to_time`] over the chunk index;
+//!   [`ChunkReader::seek_to_time`] over the chunk index, generic over a
+//!   [`ChunkSource`] (streamed `BufReader` or resident `Cursor`);
 //! * [`Replayer`] — drives a `Pipeline<T>` or a whole `Engine` from
-//!   readers, in [`ReplayMode::MaxSpeed`] or [`ReplayMode::Paced`];
+//!   readers, in [`ReplayMode::MaxSpeed`] or [`ReplayMode::Paced`],
+//!   sequentially or with per-stream decode-ahead threads
+//!   ([`Replayer::replay_engine_parallel`]);
 //! * [`FleetStore`] — one file per camera plus a manifest, the spool
 //!   layout `ebbiot_sim`'s fleet generator writes;
 //! * [`FleetArchiver`] — the streaming counterpart of
@@ -69,6 +72,38 @@
 //! flat `EAER` codec's 14, and decoding validates CRC, bounds,
 //! ordering and span, so corruption is detected rather than tracked.
 //!
+//! # The decode fast path
+//!
+//! Decoding is the store's hot loop, so two implementations of the
+//! chunk codec live in [`format`](mod@format):
+//!
+//! * [`format::decode_chunk_payload`] — the byte-at-a-time **scalar
+//!   reference** the rejection rules are written against;
+//! * [`format::decode_chunk_payload_fast`] — the production decoder:
+//!   while ≥ 32 bytes remain, varints are read via an unaligned `u64`
+//!   load (continuation bits isolated with one mask, varint length
+//!   from `trailing_zeros`, 7-bit groups extracted branch-free), with
+//!   the scalar loop handling 9/10-byte varints and the payload tail.
+//!
+//! `crates/store/tests/decode_parity.rs` pins the two together by
+//! property test: same events out of every valid payload, same error
+//! out of every corrupt one (hostile tails, bit flips, truncation at
+//! every byte boundary, lying frame metadata). CRC-32 is slice-by-8
+//! with a one-byte [`format::crc32_reference`] under the same contract.
+//!
+//! Where the payload bytes live is a [`ChunkSource`] property:
+//! streamed sources (`BufReader`) copy each payload into a reused
+//! scratch buffer, resident sources (`Cursor`, from
+//! [`ChunkReader::open_mapped`] / [`FleetStore::mapped_readers`])
+//! lend the payload **in place** with no copy. Decoding goes straight
+//! into a caller-supplied `Vec<Event>`
+//! ([`ChunkReader::next_chunk_into`]) that replay then *moves* into
+//! the engine, so events are materialised exactly once on the disk →
+//! tracker path; [`Replayer::replay_engine_parallel`] additionally
+//! overlaps decode with tracking (one decode-ahead thread per stream)
+//! without perturbing push order — replayed output stays bit-for-bit
+//! identical.
+//!
 //! # Example
 //!
 //! ```
@@ -108,7 +143,7 @@ pub mod writer;
 pub use archive::{ArchiveStream, FleetArchiver};
 pub use fleet::{FleetEntry, FleetStore, StoredCamera, MANIFEST_FILE};
 pub use format::{ChunkMeta, StoreError, StoreHeader};
-pub use reader::ChunkReader;
+pub use reader::{ChunkReader, ChunkSource};
 pub use replay::{EngineReplay, PipelineReplay, ReplayMode, ReplayStats, Replayer};
 pub use writer::{encode_recording, RecordingWriter, StoreOptions, StoreSummary};
 

@@ -1,15 +1,143 @@
-//! [`ChunkReader`]: streams an `EBST` file back one chunk at a time.
+//! [`ChunkReader`]: streams an `EBST` file back one chunk at a time,
+//! from a streamed file handle or a memory-resident image via
+//! [`ChunkSource`].
 
 use std::fs::File;
-use std::io::{BufReader, Read, Seek, SeekFrom};
+use std::io::{BufReader, Cursor, Read, Seek, SeekFrom};
 use std::path::Path;
 
 use ebbiot_events::{codec::Recording, Event, Micros, SensorGeometry, Timestamp};
 
 use crate::format::{
-    crc32, decode_chunk_payload, ChunkMeta, StoreError, StoreHeader, CHUNK_FRAME_BYTES, END_MAGIC,
-    FOOTER_BYTES, HEADER_FIXED_BYTES, INDEX_ENTRY_BYTES, MAGIC, MAX_EVENT_BYTES, VERSION,
+    crc32, decode_chunk_payload_fast, ChunkMeta, StoreError, StoreHeader, CHUNK_FRAME_BYTES,
+    END_MAGIC, FOOTER_BYTES, HEADER_FIXED_BYTES, INDEX_ENTRY_BYTES, MAGIC, MAX_EVENT_BYTES,
+    VERSION,
 };
+
+/// Random-access byte supply for a [`ChunkReader`].
+///
+/// The one interesting method is [`ChunkSource::payload`]: a resident
+/// source ([`Cursor`] over anything `AsRef<[u8]>`) returns a slice
+/// **borrowed straight from the underlying bytes** — CRC and decode
+/// then run in place with zero copies — while a streamed source
+/// ([`BufReader`]) copies into the caller's reusable scratch buffer.
+/// Both uphold the same contract: exactly `len` bytes at `offset`, or
+/// the caller's error when the source is too short.
+pub trait ChunkSource {
+    /// Total length of the source in bytes.
+    ///
+    /// # Errors
+    ///
+    /// Returns an I/O error from the underlying source.
+    fn source_len(&mut self) -> Result<u64, StoreError>;
+
+    /// Reads exactly `buf.len()` bytes at `offset` into `buf`.
+    ///
+    /// # Errors
+    ///
+    /// Returns `on_eof` when the source ends before `buf` is full, or
+    /// an I/O error.
+    fn read_at(
+        &mut self,
+        offset: u64,
+        buf: &mut [u8],
+        on_eof: StoreError,
+    ) -> Result<(), StoreError>;
+
+    /// Provides `len` bytes at `offset`: borrowed in place when the
+    /// source is resident, else copied into `scratch` and returned from
+    /// there.
+    ///
+    /// # Errors
+    ///
+    /// Returns `on_eof` when the source ends before `len` bytes, or an
+    /// I/O error.
+    fn payload<'a>(
+        &'a mut self,
+        scratch: &'a mut Vec<u8>,
+        offset: u64,
+        len: usize,
+        on_eof: StoreError,
+    ) -> Result<&'a [u8], StoreError>;
+}
+
+/// Streamed source: seeks and copies. `seek_relative` keeps the read
+/// buffer whenever the target is already buffered (the common
+/// sequential-chunk case).
+impl<R: Read + Seek> ChunkSource for BufReader<R> {
+    fn source_len(&mut self) -> Result<u64, StoreError> {
+        Ok(self.seek(SeekFrom::End(0))?)
+    }
+
+    fn read_at(
+        &mut self,
+        offset: u64,
+        buf: &mut [u8],
+        on_eof: StoreError,
+    ) -> Result<(), StoreError> {
+        let cur = self.stream_position()?;
+        match (i64::try_from(offset), i64::try_from(cur)) {
+            (Ok(to), Ok(from)) => self.seek_relative(to - from)?,
+            _ => {
+                self.seek(SeekFrom::Start(offset))?;
+            }
+        }
+        read_exact_or(self, buf, on_eof)
+    }
+
+    fn payload<'a>(
+        &'a mut self,
+        scratch: &'a mut Vec<u8>,
+        offset: u64,
+        len: usize,
+        on_eof: StoreError,
+    ) -> Result<&'a [u8], StoreError> {
+        scratch.resize(len, 0);
+        self.read_at(offset, scratch, on_eof)?;
+        Ok(scratch)
+    }
+}
+
+/// Resident source: [`ChunkSource::payload`] borrows from the
+/// underlying bytes, so chunk payloads are CRC-checked and decoded with
+/// zero copies. Covers `Cursor<Vec<u8>>`, `Cursor<&[u8]>`, …
+impl<T: AsRef<[u8]>> ChunkSource for Cursor<T> {
+    fn source_len(&mut self) -> Result<u64, StoreError> {
+        Ok(self.get_ref().as_ref().len() as u64)
+    }
+
+    fn read_at(
+        &mut self,
+        offset: u64,
+        buf: &mut [u8],
+        on_eof: StoreError,
+    ) -> Result<(), StoreError> {
+        let bytes = self.get_ref().as_ref();
+        match usize::try_from(offset) {
+            Ok(start) if start <= bytes.len() && bytes.len() - start >= buf.len() => {
+                buf.copy_from_slice(&bytes[start..start + buf.len()]);
+                Ok(())
+            }
+            _ => Err(on_eof),
+        }
+    }
+
+    fn payload<'a>(
+        &'a mut self,
+        _scratch: &'a mut Vec<u8>,
+        offset: u64,
+        len: usize,
+        on_eof: StoreError,
+    ) -> Result<&'a [u8], StoreError> {
+        let bytes = self.get_ref().as_ref();
+        match usize::try_from(offset) {
+            Ok(start) if start <= bytes.len() && bytes.len() - start >= len => {
+                Ok(&bytes[start..start + len])
+            }
+            _ => Err(on_eof),
+        }
+    }
+}
 
 /// Streams chunks of a stored recording without ever holding more than
 /// one decoded chunk in memory.
@@ -18,6 +146,13 @@ use crate::format::{
 /// chunk); event payloads are only read and decoded as
 /// [`ChunkReader::next_chunk`] is called. [`ChunkReader::seek_to_time`]
 /// repositions the cursor using the index alone.
+///
+/// The source is any [`ChunkSource`]. [`ChunkReader::open`] gives the
+/// streamed flavour (payloads are copied into an internal scratch
+/// buffer before decode); [`ChunkReader::open_mapped`] and
+/// [`ChunkReader::new`] over a [`Cursor`] give the resident flavour,
+/// where payload bytes are borrowed in place and decode is the only
+/// pass over them.
 #[derive(Debug)]
 pub struct ChunkReader<R> {
     source: R,
@@ -28,7 +163,7 @@ pub struct ChunkReader<R> {
     next: usize,
     /// Decode target, reused across chunks.
     buffer: Vec<Event>,
-    /// Raw payload scratch, reused across chunks.
+    /// Raw payload scratch for streamed sources, reused across chunks.
     raw: Vec<u8>,
     /// After a [`ChunkReader::seek_to_time`], events of the first
     /// decoded chunk strictly before this instant are trimmed.
@@ -36,7 +171,7 @@ pub struct ChunkReader<R> {
 }
 
 impl ChunkReader<BufReader<File>> {
-    /// Opens an `EBST` file for chunked reading.
+    /// Opens an `EBST` file for streamed chunked reading.
     ///
     /// # Errors
     ///
@@ -47,8 +182,25 @@ impl ChunkReader<BufReader<File>> {
     }
 }
 
-impl<R: Read + Seek> ChunkReader<R> {
-    /// Wraps a seekable source, reading header, footer and index.
+impl ChunkReader<Cursor<Vec<u8>>> {
+    /// Opens an `EBST` file memory-resident: the whole file is read
+    /// once up front (the crate's `forbid(unsafe_code)` stand-in for
+    /// `mmap`) and every chunk payload is thereafter borrowed in place
+    /// — no per-chunk read or copy, decode is the only pass over the
+    /// bytes. This is the fast replay path; prefer it whenever the
+    /// recording fits in memory.
+    ///
+    /// # Errors
+    ///
+    /// Returns an I/O or format error (bad magic/version/footer, index
+    /// CRC mismatch).
+    pub fn open_mapped(path: &Path) -> Result<Self, StoreError> {
+        Self::new(Cursor::new(std::fs::read(path)?))
+    }
+}
+
+impl<R: ChunkSource> ChunkReader<R> {
+    /// Wraps a [`ChunkSource`], reading header, footer and index.
     ///
     /// # Errors
     ///
@@ -56,9 +208,8 @@ impl<R: Read + Seek> ChunkReader<R> {
     /// CRC mismatch).
     pub fn new(mut source: R) -> Result<Self, StoreError> {
         // Header.
-        source.seek(SeekFrom::Start(0))?;
         let mut fixed = [0u8; HEADER_FIXED_BYTES];
-        read_exact_or(&mut source, &mut fixed, StoreError::TruncatedHeader)?;
+        source.read_at(0, &mut fixed, StoreError::TruncatedHeader)?;
         let magic: [u8; 4] = fixed[0..4].try_into().expect("len 4");
         if magic != MAGIC {
             return Err(StoreError::BadMagic(magic));
@@ -75,18 +226,17 @@ impl<R: Read + Seek> ChunkReader<R> {
         let name_len = u16::from_le_bytes(fixed[10..12].try_into().expect("len 2"));
         let span_us = u64::from_le_bytes(fixed[12..20].try_into().expect("len 8"));
         let mut name_bytes = vec![0u8; usize::from(name_len)];
-        read_exact_or(&mut source, &mut name_bytes, StoreError::TruncatedHeader)?;
+        source.read_at(HEADER_FIXED_BYTES as u64, &mut name_bytes, StoreError::TruncatedHeader)?;
         let name = String::from_utf8(name_bytes).map_err(|_| StoreError::BadName)?;
         let first_chunk_offset = (HEADER_FIXED_BYTES + usize::from(name_len)) as u64;
 
         // Footer.
-        let file_len = source.seek(SeekFrom::End(0))?;
+        let file_len = source.source_len()?;
         if file_len < first_chunk_offset + FOOTER_BYTES as u64 {
             return Err(StoreError::BadFooter);
         }
-        source.seek(SeekFrom::End(-(FOOTER_BYTES as i64)))?;
         let mut footer = [0u8; FOOTER_BYTES];
-        read_exact_or(&mut source, &mut footer, StoreError::BadFooter)?;
+        source.read_at(file_len - FOOTER_BYTES as u64, &mut footer, StoreError::BadFooter)?;
         if footer[24..28] != END_MAGIC {
             return Err(StoreError::BadFooter);
         }
@@ -107,9 +257,8 @@ impl<R: Read + Seek> ChunkReader<R> {
         {
             return Err(StoreError::BadFooter);
         }
-        source.seek(SeekFrom::Start(index_offset))?;
         let mut index_bytes = vec![0u8; index_bytes_len];
-        read_exact_or(&mut source, &mut index_bytes, StoreError::BadFooter)?;
+        source.read_at(index_offset, &mut index_bytes, StoreError::BadFooter)?;
         if crc32(&index_bytes) != index_crc {
             return Err(StoreError::IndexCrcMismatch);
         }
@@ -187,6 +336,14 @@ impl<R: Read + Seek> ChunkReader<R> {
         self.index.get(self.next)
     }
 
+    /// Index metadata of every not-yet-decoded chunk, in decode order —
+    /// what the parallel replayer builds its global merge schedule
+    /// from, again without any I/O.
+    #[must_use]
+    pub fn pending_metas(&self) -> &[ChunkMeta] {
+        &self.index[self.next.min(self.index.len())..]
+    }
+
     /// Decodes the next chunk into the reader's internal buffer and
     /// returns it, or `None` at end of stream. Only this one chunk is
     /// ever resident.
@@ -197,14 +354,35 @@ impl<R: Read + Seek> ChunkReader<R> {
     /// inconsistent with the index, out-of-bounds or disordered
     /// events).
     pub fn next_chunk(&mut self) -> Result<Option<&[Event]>, StoreError> {
+        let mut buffer = std::mem::take(&mut self.buffer);
+        let got = self.next_chunk_into(&mut buffer);
+        self.buffer = buffer;
+        match got? {
+            true => Ok(Some(&self.buffer)),
+            false => Ok(None),
+        }
+    }
+
+    /// Like [`ChunkReader::next_chunk`], but decodes into the caller's
+    /// buffer (cleared first) instead of the reader's internal one,
+    /// returning whether a chunk was decoded. This is the
+    /// move-don't-copy path: replay decodes straight into the `Vec`
+    /// that is then handed to the engine by value, so no event is ever
+    /// memcpy'd after decode. At end of stream `out` is left untouched.
+    ///
+    /// # Errors
+    ///
+    /// Returns an I/O error or a corruption error (CRC mismatch, frame
+    /// inconsistent with the index, out-of-bounds or disordered
+    /// events).
+    pub fn next_chunk_into(&mut self, out: &mut Vec<Event>) -> Result<bool, StoreError> {
         let Some(meta) = self.index.get(self.next).copied() else {
-            return Ok(None);
+            return Ok(false);
         };
         let chunk = self.next;
         let corrupt = |reason| StoreError::CorruptChunk { chunk, reason };
-        self.source.seek(SeekFrom::Start(meta.offset))?;
         let mut frame = [0u8; CHUNK_FRAME_BYTES];
-        read_exact_or(&mut self.source, &mut frame, corrupt("truncated chunk frame"))?;
+        self.source.read_at(meta.offset, &mut frame, corrupt("truncated chunk frame"))?;
         let count = u32::from_le_bytes(frame[0..4].try_into().expect("len 4"));
         let t_first = u64::from_le_bytes(frame[4..12].try_into().expect("len 8"));
         let t_last = u64::from_le_bytes(frame[12..20].try_into().expect("len 8"));
@@ -216,14 +394,21 @@ impl<R: Read + Seek> ChunkReader<R> {
         if payload_len as u64 > u64::from(count) * MAX_EVENT_BYTES as u64 {
             return Err(corrupt("payload length exceeds event bound"));
         }
-        self.raw.resize(payload_len, 0);
-        read_exact_or(&mut self.source, &mut self.raw, corrupt("truncated chunk payload"))?;
-        if crc32(&self.raw) != payload_crc {
+        // Resident sources lend the payload in place; streamed ones
+        // copy it into `raw`. Either way CRC and decode make one pass
+        // each over the same bytes, straight into `out`.
+        let payload = self.source.payload(
+            &mut self.raw,
+            meta.offset + CHUNK_FRAME_BYTES as u64,
+            payload_len,
+            corrupt("truncated chunk payload"),
+        )?;
+        if crc32(payload) != payload_crc {
             return Err(StoreError::ChunkCrcMismatch { chunk });
         }
-        decode_chunk_payload(
-            &mut self.buffer,
-            &self.raw,
+        decode_chunk_payload_fast(
+            out,
+            payload,
             chunk,
             self.header.geometry,
             count,
@@ -231,11 +416,11 @@ impl<R: Read + Seek> ChunkReader<R> {
             t_last,
         )?;
         if let Some(resume) = self.resume_from.take() {
-            let skip = self.buffer.partition_point(|e| e.t < resume);
-            self.buffer.drain(..skip);
+            let skip = out.partition_point(|e| e.t < resume);
+            out.drain(..skip);
         }
         self.next += 1;
-        Ok(Some(&self.buffer))
+        Ok(true)
     }
 
     /// Repositions the cursor so that the next decoded events are
@@ -291,7 +476,6 @@ fn read_exact_or<R: Read>(
 mod tests {
     use super::*;
     use crate::writer::{RecordingWriter, StoreOptions};
-    use std::io::Cursor;
 
     fn events(n: usize) -> Vec<Event> {
         (0..n)
@@ -335,6 +519,64 @@ mod tests {
             let rec = reader.read_recording().unwrap();
             assert_eq!(rec.events, original, "chunk size {chunk_events}");
         }
+    }
+
+    #[test]
+    fn streamed_and_resident_sources_agree() {
+        let original = events(700);
+        let bytes = store(&original, 53, 9);
+        // Streamed: BufReader over an in-memory Cursor as the raw
+        // Read+Seek, exactly the file path minus the filesystem.
+        let mut streamed = ChunkReader::new(BufReader::new(Cursor::new(bytes.clone()))).unwrap();
+        // Resident: Cursor directly, payloads borrowed in place.
+        let mut resident = ChunkReader::new(Cursor::new(bytes)).unwrap();
+        assert_eq!(
+            streamed.read_recording().unwrap().events,
+            resident.read_recording().unwrap().events
+        );
+    }
+
+    #[test]
+    fn open_mapped_matches_open() {
+        let original = events(300);
+        let bytes = store(&original, 41, 0);
+        let path = std::env::temp_dir()
+            .join(format!("ebbiot_store_test_mapped_{}.ebst", std::process::id()));
+        std::fs::write(&path, &bytes).unwrap();
+        let streamed = ChunkReader::open(&path).unwrap().read_recording().unwrap();
+        let mapped = ChunkReader::open_mapped(&path).unwrap().read_recording().unwrap();
+        assert_eq!(streamed, mapped);
+        assert_eq!(mapped.events, original);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn next_chunk_into_moves_decoded_chunks() {
+        let original = events(500);
+        let bytes = store(&original, 64, 0);
+        let mut reader = ChunkReader::new(Cursor::new(bytes)).unwrap();
+        let mut all = Vec::new();
+        let mut chunk = Vec::new();
+        while reader.next_chunk_into(&mut chunk).unwrap() {
+            assert!(!chunk.is_empty() && chunk.len() <= 64);
+            all.extend_from_slice(&chunk);
+        }
+        assert_eq!(all, original);
+        // At end of stream the caller's buffer is left untouched.
+        assert!(!chunk.is_empty());
+        assert!(!reader.next_chunk_into(&mut chunk).unwrap());
+    }
+
+    #[test]
+    fn pending_metas_shrink_as_chunks_decode() {
+        let bytes = store(&events(100), 30, 0);
+        let mut reader = ChunkReader::new(Cursor::new(bytes)).unwrap();
+        assert_eq!(reader.pending_metas().len(), 4);
+        assert_eq!(reader.pending_metas()[0].t_first, reader.peek_meta().unwrap().t_first);
+        let _ = reader.next_chunk().unwrap();
+        assert_eq!(reader.pending_metas().len(), 3);
+        let _ = reader.read_recording().unwrap();
+        assert!(reader.pending_metas().is_empty());
     }
 
     #[test]
@@ -412,6 +654,19 @@ mod tests {
             ChunkReader::new(Cursor::new(b"EB".to_vec())).unwrap_err(),
             StoreError::TruncatedHeader
         ));
+    }
+
+    #[test]
+    fn streamed_source_rejects_the_same_corruption() {
+        let good = store(&events(10), 4, 0);
+        let via = |bytes: Vec<u8>| ChunkReader::new(BufReader::new(Cursor::new(bytes)));
+
+        let mut bad = good.clone();
+        bad[0] = b'X';
+        assert!(matches!(via(bad).unwrap_err(), StoreError::BadMagic(_)));
+        let bad = good[..good.len() - 3].to_vec();
+        assert!(matches!(via(bad).unwrap_err(), StoreError::BadFooter));
+        assert!(matches!(via(b"EB".to_vec()).unwrap_err(), StoreError::TruncatedHeader));
     }
 
     #[test]

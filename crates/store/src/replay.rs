@@ -1,14 +1,19 @@
 //! [`Replayer`]: drives pipelines and engines from stored recordings,
 //! at maximum speed or paced against the wall clock.
 
-use std::io::{Read, Seek};
+use std::sync::mpsc::sync_channel;
 use std::time::{Duration, Instant};
 
 use ebbiot_core::{FrameResult, Pipeline, Tracker};
 use ebbiot_engine::{Engine, EngineOutput, StreamId};
+use ebbiot_events::Event;
 
-use crate::reader::ChunkReader;
+use crate::reader::{ChunkReader, ChunkSource};
 use crate::StoreError;
+
+/// Chunks each decoder thread may run ahead of the engine push in
+/// [`Replayer::replay_engine_parallel`] before blocking.
+const DECODE_AHEAD_CHUNKS: usize = 4;
 
 /// How replay time relates to wall-clock time.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -150,7 +155,7 @@ impl Replayer {
     ///
     /// Returns the first read/decode error; the pipeline is left where
     /// the error struck.
-    pub fn replay_pipeline<T: Tracker, R: Read + Seek>(
+    pub fn replay_pipeline<T: Tracker, R: ChunkSource>(
         &self,
         reader: &mut ChunkReader<R>,
         pipeline: &mut Pipeline<T>,
@@ -193,7 +198,7 @@ impl Replayer {
     ///
     /// Panics when `readers` does not have exactly one reader per
     /// engine stream.
-    pub fn replay_engine<T: Tracker + Send + 'static, R: Read + Seek>(
+    pub fn replay_engine<T: Tracker + Send + 'static, R: ChunkSource>(
         &self,
         readers: &mut [ChunkReader<R>],
         engine: Engine<T>,
@@ -213,19 +218,112 @@ impl Replayer {
         };
         while let Some((stream, t_first)) = earliest(readers) {
             self.mode.pace(started, t_first);
-            let chunk = readers[stream].next_chunk()?.expect("peeked chunk exists");
-            stats[stream].events += chunk.len() as u64;
-            stats[stream].chunks += 1;
-            if let Some(last) = chunk.last() {
-                stats[stream].last_t = last.t;
-            }
-            engine.push(StreamId(stream), chunk.to_vec());
+            // Decode straight into the Vec the engine takes by value:
+            // the chunk is moved to the worker, never copied.
+            let mut chunk = Vec::new();
+            let got = readers[stream].next_chunk_into(&mut chunk)?;
+            debug_assert!(got, "peeked chunk exists");
+            note_chunk(&mut stats[stream], &chunk);
+            engine.push(StreamId(stream), chunk);
         }
         for (i, reader) in readers.iter().enumerate() {
             engine.finish_stream(StreamId(i), reader.span_us());
         }
         let output = engine.join();
         Ok(EngineReplay { output, stats, elapsed: started.elapsed() })
+    }
+
+    /// [`Replayer::replay_engine`] with parallel chunk decode
+    /// (`par_decode`): one decoder thread per reader runs up to
+    /// `DECODE_AHEAD_CHUNKS` chunks ahead through a bounded channel,
+    /// while this thread paces and pushes in the exact global order the
+    /// sequential replayer uses.
+    ///
+    /// The push schedule is computed up front from index metadata
+    /// alone: a stable sort of all pending chunks by
+    /// `(t_first, stream)` — identical to the sequential
+    /// earliest-pending pick because each stream's `t_first`s are
+    /// non-decreasing (the reader validates that at open). Per-stream
+    /// push order is therefore unchanged too, so engine output is
+    /// bit-for-bit the sequential (and in-memory) result.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first read/decode error. The engine is dropped
+    /// without joining in that case; its workers exit as their queues
+    /// close.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `readers` does not have exactly one reader per
+    /// engine stream.
+    pub fn replay_engine_parallel<T: Tracker + Send + 'static, R: ChunkSource + Send>(
+        &self,
+        readers: &mut [ChunkReader<R>],
+        engine: Engine<T>,
+    ) -> Result<EngineReplay, StoreError> {
+        assert_eq!(readers.len(), engine.num_streams(), "one reader per engine stream");
+        let started = Instant::now();
+        let mut stats: Vec<ReplayStats> = (0..readers.len())
+            .map(|stream| ReplayStats { stream, events: 0, chunks: 0, last_t: 0 })
+            .collect();
+        let mut schedule: Vec<(u64, usize)> = readers
+            .iter()
+            .enumerate()
+            .flat_map(|(i, r)| r.pending_metas().iter().map(move |m| (m.t_first, i)))
+            .collect();
+        schedule.sort_by_key(|&order| order);
+
+        let mode = self.mode;
+        let pushed: Result<(), StoreError> = std::thread::scope(|scope| {
+            let mut chunk_rx = Vec::with_capacity(readers.len());
+            for reader in readers.iter_mut() {
+                let (tx, rx) = sync_channel::<Result<Vec<Event>, StoreError>>(DECODE_AHEAD_CHUNKS);
+                chunk_rx.push(rx);
+                scope.spawn(move || loop {
+                    let mut chunk = Vec::new();
+                    match reader.next_chunk_into(&mut chunk) {
+                        // A send fails only when the replay loop bailed
+                        // out on another stream's error; stop decoding.
+                        Ok(true) => {
+                            if tx.send(Ok(chunk)).is_err() {
+                                return;
+                            }
+                        }
+                        Ok(false) => return,
+                        Err(e) => {
+                            let _ = tx.send(Err(e));
+                            return;
+                        }
+                    }
+                });
+            }
+            for &(t_first, stream) in &schedule {
+                mode.pace(started, t_first);
+                let chunk =
+                    chunk_rx[stream].recv().expect("decoder sends every scheduled chunk")?;
+                note_chunk(&mut stats[stream], &chunk);
+                engine.push(StreamId(stream), chunk);
+            }
+            // Dropping the receivers here unblocks any decoder still
+            // parked on a full channel after an early error return.
+            Ok(())
+        });
+        pushed?;
+        for (i, reader) in readers.iter().enumerate() {
+            engine.finish_stream(StreamId(i), reader.span_us());
+        }
+        let output = engine.join();
+        Ok(EngineReplay { output, stats, elapsed: started.elapsed() })
+    }
+}
+
+/// Folds one pushed chunk into a stream's progress counters.
+fn note_chunk(stats: &mut ReplayStats, chunk: &[Event]) {
+    stats.events += chunk.len() as u64;
+    stats.chunks += 1;
+    if let Some(last) = chunk.last() {
+        stats.last_t = last.t;
     }
 }
 
@@ -303,6 +401,54 @@ mod tests {
         assert_eq!(run.events(), 2 * events.len() as u64);
         assert!(run.events_per_sec() > 0.0);
         assert_eq!(run.stats[0].chunks, (events.len() as u64).div_ceil(91));
+    }
+
+    #[test]
+    fn parallel_engine_replay_matches_sequential_and_in_memory() {
+        let events = recording();
+        let expected = pipeline().process_recording(&events, SPAN);
+        // Deliberately unequal chunk sizes so the merge schedule
+        // interleaves streams unevenly.
+        let mut readers = vec![stored(&events, 91), stored(&events, 1_024), stored(&events, 17)];
+        let engine =
+            Engine::new(EngineConfig::with_workers(2), vec![pipeline(), pipeline(), pipeline()]);
+        let run = Replayer::new(ReplayMode::MaxSpeed)
+            .replay_engine_parallel(&mut readers, engine)
+            .unwrap();
+        for (i, frames) in run.output.streams.iter().enumerate() {
+            assert_eq!(frames, &expected, "stream {i}");
+        }
+        assert_eq!(run.events(), 3 * events.len() as u64);
+        assert_eq!(run.stats[2].chunks, (events.len() as u64).div_ceil(17));
+        assert_eq!(run.stats[0].last_t, events.last().unwrap().t);
+    }
+
+    #[test]
+    fn parallel_engine_replay_surfaces_decode_errors() {
+        let events = recording();
+        let mut w = RecordingWriter::new(
+            Vec::new(),
+            SensorGeometry::davis240(),
+            "bad",
+            SPAN,
+            StoreOptions { chunk_events: 64 },
+        )
+        .unwrap();
+        w.push_events(&events).unwrap();
+        let mut bytes = w.finish().unwrap().0;
+        // Corrupt a payload byte mid-file: open succeeds (the index is
+        // intact), decode of that chunk fails its CRC.
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0xFF;
+        let mut readers = vec![stored(&events, 64), ChunkReader::new(Cursor::new(bytes)).unwrap()];
+        let engine = Engine::new(EngineConfig::with_workers(1), vec![pipeline(), pipeline()]);
+        let err = Replayer::new(ReplayMode::MaxSpeed)
+            .replay_engine_parallel(&mut readers, engine)
+            .unwrap_err();
+        assert!(
+            matches!(err, StoreError::ChunkCrcMismatch { .. } | StoreError::CorruptChunk { .. }),
+            "{err}"
+        );
     }
 
     #[test]

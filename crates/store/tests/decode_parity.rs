@@ -1,0 +1,188 @@
+//! Property tests pinning the batched word-parallel chunk decoder
+//! ([`decode_chunk_payload_fast`]) to the scalar reference
+//! ([`decode_chunk_payload`]): identical events out on every valid
+//! payload, and identical errors on every corrupt one — hostile tails,
+//! 1-byte and 10-byte varints, chunk-boundary truncation, bit flips and
+//! lying frame metadata. The slice-by-8 CRC gets the same treatment
+//! against its one-byte-at-a-time reference.
+
+use ebbiot_events::{Event, Polarity, SensorGeometry};
+use ebbiot_store::format::{
+    crc32, crc32_reference, decode_chunk_payload, decode_chunk_payload_fast, encode_chunk_payload,
+};
+use ebbiot_store::StoreError;
+use proptest::prelude::*;
+
+const W: u16 = 240;
+const H: u16 = 180;
+
+/// A time-ordered in-bounds chunk whose varint widths span the whole
+/// range: `dt_shift` scales the time deltas from always-1-byte varints
+/// (`dt < 128`) up to forced 10-byte varints (`dt >= 1 << 63`).
+fn arb_chunk(max_len: usize) -> impl Strategy<Value = Vec<Event>> {
+    let step = (0u64..128, 0u32..64, 0..W, 0..H, any::<bool>());
+    (proptest::collection::vec(step, 1..max_len), 0u32..8).prop_map(|(steps, width_mix)| {
+        let mut t = 0u64;
+        steps
+            .into_iter()
+            .map(|(dt, dt_shift, x, y, on)| {
+                // Mix varint widths within one chunk: shift some deltas
+                // into the 2..10-byte LEB128 range, saturating so the
+                // running timestamp never overflows.
+                let shift = (dt_shift * width_mix) % 64;
+                t = t.saturating_add(dt << shift);
+                Event::new(x, y, t, if on { Polarity::On } else { Polarity::Off })
+            })
+            .collect()
+    })
+}
+
+/// Encodes a chunk and returns `(payload, count, t_first, t_last)` —
+/// the frame fields a well-formed `EBST` chunk or `EBWP` EVENTS frame
+/// would carry for it.
+fn encode(events: &[Event]) -> (Vec<u8>, u32, u64, u64) {
+    let mut payload = Vec::new();
+    encode_chunk_payload(&mut payload, events);
+    let count = u32::try_from(events.len()).unwrap();
+    (payload, count, events[0].t, events[events.len() - 1].t)
+}
+
+/// Both decoders on the same input; errors compared by debug rendering
+/// (variant and payload), results by value.
+fn both(
+    payload: &[u8],
+    geometry: SensorGeometry,
+    count: u32,
+    t_first: u64,
+    t_last: u64,
+) -> (Result<Vec<Event>, StoreError>, Result<Vec<Event>, StoreError>) {
+    let mut scalar = Vec::new();
+    let mut fast = Vec::new();
+    let a = decode_chunk_payload(&mut scalar, payload, 3, geometry, count, t_first, t_last)
+        .map(|()| scalar);
+    let b = decode_chunk_payload_fast(&mut fast, payload, 3, geometry, count, t_first, t_last)
+        .map(|()| fast);
+    (a, b)
+}
+
+fn assert_parity(payload: &[u8], geometry: SensorGeometry, count: u32, t_first: u64, t_last: u64) {
+    let (scalar, fast) = both(payload, geometry, count, t_first, t_last);
+    match (scalar, fast) {
+        (Ok(a), Ok(b)) => assert_eq!(a, b, "decoded events diverge"),
+        (Err(a), Err(b)) => assert_eq!(format!("{a:?}"), format!("{b:?}"), "errors diverge"),
+        (a, b) => panic!("acceptance diverges: scalar {a:?} vs fast {b:?}"),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    // Valid payloads: both decoders accept and produce the original
+    // events, across the full 1..=10-byte varint width range.
+    #[test]
+    fn fast_decoder_matches_scalar_on_valid_chunks(events in arb_chunk(200)) {
+        let geometry = SensorGeometry::new(W, H);
+        let (payload, count, t_first, t_last) = encode(&events);
+        let (scalar, fast) = both(&payload, geometry, count, t_first, t_last);
+        prop_assert_eq!(scalar.unwrap(), events.clone());
+        prop_assert_eq!(fast.unwrap(), events);
+    }
+
+    // Truncation at *every* byte boundary of a valid payload — the
+    // hostile-tail sweep. Both decoders must agree byte for byte,
+    // including truncations that land mid-varint or mid-event.
+    #[test]
+    fn truncated_payloads_are_rejected_identically(events in arb_chunk(40)) {
+        let geometry = SensorGeometry::new(W, H);
+        let (payload, count, t_first, t_last) = encode(&events);
+        for cut in 0..payload.len() {
+            assert_parity(&payload[..cut], geometry, count, t_first, t_last);
+        }
+    }
+
+    // Single-byte corruption anywhere in the payload: whatever the
+    // scalar decoder makes of it (accept, reject, reject later), the
+    // fast decoder must make of it too.
+    #[test]
+    fn bit_flips_are_handled_identically(
+        events in arb_chunk(100),
+        at in any::<u64>(),
+        xor in 0u8..255,
+    ) {
+        let geometry = SensorGeometry::new(W, H);
+        let (mut payload, count, t_first, t_last) = encode(&events);
+        let at = usize::try_from(at).unwrap_or(usize::MAX) % payload.len();
+        payload[at] ^= xor + 1;
+        assert_parity(&payload, geometry, count, t_first, t_last);
+    }
+
+    // Lying frame metadata (count / t_first / t_last off by some
+    // delta) against a well-formed payload.
+    #[test]
+    fn wrong_frame_metadata_is_rejected_identically(
+        events in arb_chunk(60),
+        dcount in -2i64..3,
+        dfirst in -2i64..3,
+        dlast in -2i64..3,
+    ) {
+        let geometry = SensorGeometry::new(W, H);
+        let (payload, count, t_first, t_last) = encode(&events);
+        let count = u32::try_from(i64::from(count).saturating_add(dcount).max(0)).unwrap();
+        let t_first = t_first.saturating_add_signed(dfirst);
+        let t_last = t_last.saturating_add_signed(dlast);
+        assert_parity(&payload, geometry, count, t_first, t_last);
+    }
+
+    // A smaller sensor than the events were generated for: bounds
+    // violations must surface identically, at the same event.
+    #[test]
+    fn out_of_geometry_events_are_rejected_identically(
+        events in arb_chunk(60),
+        w in 1..W,
+        h in 1..H,
+    ) {
+        let (payload, count, t_first, t_last) = encode(&events);
+        assert_parity(&payload, SensorGeometry::new(w, h), count, t_first, t_last);
+    }
+
+    // Arbitrary garbage bytes with arbitrary frame metadata: the fast
+    // path must never accept (or panic on) anything the scalar
+    // reference rejects, and vice versa.
+    #[test]
+    fn arbitrary_bytes_are_handled_identically(
+        payload in proptest::collection::vec(any::<u8>(), 0..400),
+        count in 0u32..200,
+        t_first in 0u64..1 << 48,
+        span in 0u64..1 << 20,
+    ) {
+        let geometry = SensorGeometry::new(W, H);
+        assert_parity(&payload, geometry, count, t_first, t_first.saturating_add(span));
+    }
+
+    // Slice-by-8 CRC == one-byte-at-a-time reference on arbitrary
+    // bytes (lengths cross the 8-byte fold boundary both ways).
+    #[test]
+    fn crc32_matches_reference(bytes in proptest::collection::vec(any::<u8>(), 0..300)) {
+        prop_assert_eq!(crc32(&bytes), crc32_reference(&bytes));
+    }
+}
+
+/// Deterministic corner cases the generators only hit probabilistically.
+#[test]
+fn varint_width_extremes_decode_identically() {
+    let geometry = SensorGeometry::new(W, H);
+    // Forced 10-byte time-delta varint: dt >= 1 << 63.
+    let ten = vec![Event::on(0, 0, 1), Event::off(W - 1, H - 1, 1 + (1u64 << 63))];
+    // All 1-byte varints: dt < 128, |dx|, |dy| < 64.
+    let one = vec![Event::on(10, 10, 0), Event::off(11, 9, 127)];
+    for events in [ten, one] {
+        let (payload, count, t_first, t_last) = encode(&events);
+        let (scalar, fast) = both(&payload, geometry, count, t_first, t_last);
+        assert_eq!(scalar.unwrap(), events.clone());
+        assert_eq!(fast.unwrap(), events);
+        // And every truncation of it.
+        for cut in 0..payload.len() {
+            assert_parity(&payload[..cut], geometry, count, t_first, t_last);
+        }
+    }
+}

@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# Smoke-run the exp_* bench binaries on tiny inputs.
+#
+# `--smoke` shrinks each experiment to CI size and skips writing the
+# tracked BENCH_*.json artifacts, while still asserting the experiments'
+# invariants internally: engine == sequential (exp_fleet), TCP ingestion
+# == in-process run_fleet (exp_server), disk replay == in-memory plus
+# EBST compression > EAER (exp_replay), and word-parallel kernel parity
+# plus the >= 3x median speedup floor (exp_hotpath).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo build --release -p ebbiot_bench --bins
+
+for exp in exp_fleet exp_server exp_replay exp_hotpath; do
+    echo "== smoke: ${exp} =="
+    cargo run --release -p ebbiot_bench --bin "${exp}" -- --smoke
+done
+
+echo "smoke_bench: all experiments passed"
