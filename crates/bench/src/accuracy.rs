@@ -1,0 +1,306 @@
+//! The accuracy gate: CLEAR-MOT and precision/recall over the named
+//! scenario matrix × tracker back-end matrix, with per-cell metric
+//! floors.
+//!
+//! `exp_accuracy` drives this module over every scenario in
+//! [`ebbiot_sim::SCENARIO_MATRIX`] and every back-end in
+//! [`ebbiot_baselines::registry::BACKENDS`]. Each (scenario, back-end)
+//! cell yields a [`CellMetrics`]; [`floors_for`] supplies the
+//! regression floor the cell must clear. Floors are *tripwires*, not
+//! aspirations: they sit safely below the currently measured values
+//! (including the weak baselines' negative MOTAs) so that only a real
+//! quality regression — e.g. a kernel optimization that changes tracker
+//! output — trips them. See ARCHITECTURE.md §6 for how to add a
+//! scenario or recalibrate a floor.
+
+use ebbiot_baselines::registry::BackendSpec;
+use ebbiot_core::{EbbiotConfig, RegionOfExclusion};
+use ebbiot_eval::{evaluate_frames, evaluate_recording, IdentifiedBox};
+use ebbiot_frame::BoundingBox;
+use ebbiot_sim::{ScriptedScenario, SimulatedRecording};
+
+/// The IoU threshold the accuracy gate evaluates at — the mid-grid
+/// point of the paper's Fig. 4 sweep, and the threshold the existing
+/// identity tests use.
+pub const MOT_IOU: f32 = 0.3;
+
+/// Builds the pipeline configuration for a scripted scenario, deriving
+/// the ROE from the scenario's flicker distractors exactly as
+/// [`crate::ebbiot_config_for`] does for the presets (the paper's
+/// manually drawn ROE; our "manual" knowledge is the scenario script).
+#[must_use]
+pub fn scenario_config(scenario: &ScriptedScenario) -> EbbiotConfig {
+    let roe_boxes: Vec<BoundingBox> = scenario
+        .scene
+        .flickers
+        .iter()
+        .map(|f| {
+            let b = f.region;
+            // One RPN cell of margin so cell-aligned proposals of the
+            // flicker are reliably caught.
+            BoundingBox::new(
+                f32::from(b.x_min) - 6.0,
+                f32::from(b.y_min) - 3.0,
+                f32::from(b.width()) + 12.0,
+                f32::from(b.height()) + 6.0,
+            )
+        })
+        .collect();
+    EbbiotConfig::paper_default(scenario.scene.geometry)
+        .with_roe(RegionOfExclusion::new(roe_boxes))
+        .with_frame_us(scenario.frame_us)
+}
+
+/// Runs one back-end over a scenario recording, keeping track ids —
+/// the identity-aware sibling of [`crate::run_backend`].
+#[must_use]
+pub fn run_backend_identified(
+    spec: &BackendSpec,
+    config: EbbiotConfig,
+    rec: &SimulatedRecording,
+) -> Vec<Vec<IdentifiedBox>> {
+    let mut pipeline = spec.build(config);
+    pipeline
+        .process_recording(&rec.events, rec.duration_us)
+        .into_iter()
+        .map(|f| f.tracks.into_iter().map(|t| IdentifiedBox::new(t.track_id, t.bbox)).collect())
+        .collect()
+}
+
+/// Per-frame identified ground truth of a scenario recording.
+#[must_use]
+pub fn gt_identified(rec: &SimulatedRecording) -> Vec<Vec<IdentifiedBox>> {
+    rec.ground_truth
+        .iter()
+        .map(|f| {
+            f.boxes.iter().map(|b| IdentifiedBox::new(u64::from(b.object_id), b.bbox)).collect()
+        })
+        .collect()
+}
+
+/// All metrics of one (scenario, back-end) matrix cell.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CellMetrics {
+    /// Scenario registry name.
+    pub scenario: &'static str,
+    /// Back-end registry name.
+    pub backend: &'static str,
+    /// CLEAR-MOT accuracy (can be negative; 1.0 is perfect).
+    pub mota: f64,
+    /// Mean IoU of matched pairs.
+    pub motp: f64,
+    /// Detection precision at [`MOT_IOU`].
+    pub precision: f64,
+    /// Detection recall at [`MOT_IOU`].
+    pub recall: f64,
+    /// Identity switches.
+    pub id_switches: u64,
+    /// Matched → unmatched transitions.
+    pub fragmentations: u64,
+    /// Ground truths with no matching tracker box.
+    pub misses: u64,
+    /// Tracker boxes matching nothing.
+    pub false_positives: u64,
+    /// Total ground-truth boxes.
+    pub total_gt: u64,
+}
+
+/// Evaluates one back-end on one scenario recording.
+#[must_use]
+pub fn evaluate_cell(
+    scenario: &ScriptedScenario,
+    spec: &BackendSpec,
+    rec: &SimulatedRecording,
+) -> CellMetrics {
+    let predictions = run_backend_identified(spec, scenario_config(scenario), rec);
+    let gt = gt_identified(rec);
+    let mot = evaluate_recording(&gt, &predictions, MOT_IOU);
+    let strip = |frames: &[Vec<IdentifiedBox>]| -> Vec<Vec<BoundingBox>> {
+        frames.iter().map(|f| f.iter().map(|b| b.bbox).collect()).collect()
+    };
+    let det = evaluate_frames(&strip(&gt), &strip(&predictions), MOT_IOU);
+    CellMetrics {
+        scenario: scenario.name,
+        backend: spec.name,
+        mota: mot.mota(),
+        motp: mot.motp(),
+        precision: det.pr.precision,
+        recall: det.pr.recall,
+        id_switches: mot.id_switches(),
+        fragmentations: mot.fragmentations(),
+        misses: mot.misses(),
+        false_positives: mot.false_positives(),
+        total_gt: mot.total_ground_truths(),
+    }
+}
+
+/// The regression floor of one matrix cell.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MetricFloors {
+    /// MOTA must be at least this (negative floors are legitimate for
+    /// the weak baselines on hostile scenes).
+    pub min_mota: f64,
+    /// Precision must be at least this.
+    pub min_precision: f64,
+    /// Recall must be at least this.
+    pub min_recall: f64,
+    /// Identity switches must not exceed this.
+    pub max_id_switches: u64,
+}
+
+/// The floor for one (scenario, back-end) cell.
+///
+/// Values were calibrated from measured seed-42 runs at both the full
+/// and the `--smoke` durations, with margin (MOTA −0.15…−0.25, P/R
+/// −0.10…−0.15, id switches ×2 + 2) for cross-platform float drift and
+/// seed sensitivity. A regression that trips one of these changed
+/// tracker behaviour, not measurement noise.
+#[must_use]
+pub fn floors_for(scenario: &str, backend: &str) -> MetricFloors {
+    // Placeholder-permissive default for cells without a calibrated
+    // entry; every registered cell below overrides it.
+    let loose = MetricFloors {
+        min_mota: f64::NEG_INFINITY,
+        min_precision: 0.0,
+        min_recall: 0.0,
+        max_id_switches: u64::MAX,
+    };
+    let f = |min_mota: f64, min_precision: f64, min_recall: f64, max_id_switches: u64| {
+        MetricFloors { min_mota, min_precision, min_recall, max_id_switches }
+    };
+    match (scenario, backend) {
+        // EBBIOT (the paper pipeline). Dense crossings merge proposals
+        // heavily at 0.3 IoU against per-object ground truth, so the
+        // honest floor there is "stays near break-even", not "tracks
+        // cleanly" — same for the KF baseline below.
+        ("dense-crossing", "ebbiot") => f(-0.20, 0.38, 0.40, 6),
+        ("long-occlusion", "ebbiot") => f(0.45, 0.80, 0.50, 2),
+        ("mid-stall", "ebbiot") => f(0.50, 0.80, 0.58, 4),
+        ("burst-rate", "ebbiot") => f(0.65, 0.78, 0.80, 2),
+        ("night-noise", "ebbiot") => f(0.75, 0.80, 0.85, 2),
+        ("flicker-distractor", "ebbiot") => f(0.45, 0.60, 0.75, 2),
+        ("geometry-davis240", "ebbiot") => f(0.70, 0.80, 0.83, 2),
+        ("geometry-davis346", "ebbiot") => f(0.70, 0.80, 0.82, 2),
+        ("geometry-hd", "ebbiot") => f(0.75, 0.84, 0.82, 2),
+        // EBBI + Kalman filter baseline: tracks nearly as well as
+        // EBBIOT on these scenes.
+        ("dense-crossing", "ebbi-kf") => f(-0.20, 0.38, 0.32, 8),
+        ("long-occlusion", "ebbi-kf") => f(0.45, 0.80, 0.50, 2),
+        ("mid-stall", "ebbi-kf") => f(0.50, 0.80, 0.58, 4),
+        ("burst-rate", "ebbi-kf") => f(0.65, 0.78, 0.80, 4),
+        ("night-noise", "ebbi-kf") => f(0.70, 0.78, 0.85, 2),
+        ("flicker-distractor", "ebbi-kf") => f(0.40, 0.58, 0.75, 4),
+        ("geometry-davis240", "ebbi-kf") => f(0.70, 0.80, 0.83, 2),
+        ("geometry-davis346", "ebbi-kf") => f(0.70, 0.80, 0.82, 2),
+        ("geometry-hd", "ebbi-kf") => f(0.75, 0.84, 0.82, 6),
+        // NN-filt + EBMS: high recall, terrible precision, identity
+        // churn — its MOTA is legitimately negative on hostile scenes
+        // (and its mean-shift kernel loses the 3x-scaled HD objects
+        // almost entirely). The floors bound how bad it is allowed to
+        // get, which is what a weak-baseline regression gate can do.
+        ("dense-crossing", "nn-ebms") => f(-1.0, 0.35, 0.70, 170),
+        ("long-occlusion", "nn-ebms") => f(-4.0, 0.10, 0.45, 50),
+        ("mid-stall", "nn-ebms") => f(-0.7, 0.38, 0.45, 28),
+        ("burst-rate", "nn-ebms") => f(-1.0, 0.32, 0.70, 116),
+        ("night-noise", "nn-ebms") => f(-1.5, 0.25, 0.75, 6),
+        ("flicker-distractor", "nn-ebms") => f(-4.5, 0.10, 0.65, 44),
+        ("geometry-davis240", "nn-ebms") => f(-0.6, 0.40, 0.75, 56),
+        ("geometry-davis346", "nn-ebms") => f(-0.7, 0.40, 0.75, 52),
+        ("geometry-hd", "nn-ebms") => f(-6.0, 0.0, 0.0, 6),
+        _ => loose,
+    }
+}
+
+impl MetricFloors {
+    /// Human-readable floor violations of `m`, empty when the cell
+    /// clears its floor.
+    #[must_use]
+    pub fn violations(&self, m: &CellMetrics) -> Vec<String> {
+        let cell = format!("{}/{}", m.scenario, m.backend);
+        let mut v = Vec::new();
+        if m.mota < self.min_mota {
+            v.push(format!("{cell}: MOTA {:.3} < floor {:.3}", m.mota, self.min_mota));
+        }
+        if m.precision < self.min_precision {
+            v.push(format!(
+                "{cell}: precision {:.3} < floor {:.3}",
+                m.precision, self.min_precision
+            ));
+        }
+        if m.recall < self.min_recall {
+            v.push(format!("{cell}: recall {:.3} < floor {:.3}", m.recall, self.min_recall));
+        }
+        if m.id_switches > self.max_id_switches {
+            v.push(format!("{cell}: id switches {} > cap {}", m.id_switches, self.max_id_switches));
+        }
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ebbiot_baselines::registry;
+    use ebbiot_sim::find_scenario;
+
+    #[test]
+    fn every_matrix_cell_has_a_calibrated_floor() {
+        for scenario in ebbiot_sim::SCENARIO_MATRIX {
+            for backend in registry::BACKENDS {
+                let floors = floors_for(scenario.name, backend.name);
+                assert!(
+                    floors.min_mota.is_finite() && floors.max_id_switches < u64::MAX,
+                    "{}/{} lacks a calibrated floor",
+                    scenario.name,
+                    backend.name
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn scenario_config_derives_roe_from_flickers() {
+        let with = (find_scenario("flicker-distractor").unwrap().build)();
+        let cfg = scenario_config(&with);
+        assert_eq!(cfg.roe.regions().len(), with.scene.flickers.len());
+        let without = (find_scenario("night-noise").unwrap().build)();
+        assert!(scenario_config(&without).roe.regions().is_empty());
+    }
+
+    #[test]
+    fn evaluate_cell_produces_consistent_counts() {
+        let scenario = (find_scenario("dense-crossing").unwrap().build)();
+        let rec = scenario.generate_with_duration(1, 1_500_000);
+        let spec = registry::find_backend("ebbiot").unwrap();
+        let cell = evaluate_cell(&scenario, spec, &rec);
+        assert_eq!(cell.scenario, "dense-crossing");
+        assert_eq!(cell.backend, "ebbiot");
+        assert!(cell.misses <= cell.total_gt);
+        assert!(cell.mota <= 1.0);
+        assert!((0.0..=1.0).contains(&cell.precision));
+        assert!((0.0..=1.0).contains(&cell.recall));
+    }
+
+    #[test]
+    fn violations_fire_only_below_the_floor() {
+        let m = CellMetrics {
+            scenario: "dense-crossing",
+            backend: "ebbiot",
+            mota: 0.5,
+            motp: 0.6,
+            precision: 0.8,
+            recall: 0.7,
+            id_switches: 3,
+            fragmentations: 1,
+            misses: 10,
+            false_positives: 5,
+            total_gt: 100,
+        };
+        let clear =
+            MetricFloors { min_mota: 0.4, min_precision: 0.7, min_recall: 0.6, max_id_switches: 5 };
+        assert!(clear.violations(&m).is_empty());
+        let trip =
+            MetricFloors { min_mota: 0.6, min_precision: 0.9, min_recall: 0.8, max_id_switches: 2 };
+        assert_eq!(trip.violations(&m).len(), 4);
+    }
+}

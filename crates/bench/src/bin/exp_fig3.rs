@@ -33,6 +33,7 @@ fn main() {
         height: ch,
         trajectory: LinearTrajectory::horizontal(60.0, 95.0, 70.0, 0),
         z_order: 1,
+        stall: None,
     });
     let (bw, bh) = ObjectClass::Bus.nominal_size();
     scene.objects.push(SceneObject {
@@ -42,6 +43,7 @@ fn main() {
         height: bh,
         trajectory: LinearTrajectory::horizontal(140.0, 40.0, -45.0, 0),
         z_order: 2,
+        stall: None,
     });
 
     let sim = DavisSimulator::new(DavisConfig::default());

@@ -8,6 +8,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod accuracy;
 pub mod net;
 
 use ebbiot_baselines::registry::{self, BackendSpec};

@@ -16,6 +16,11 @@
 //! The crate is deliberately decoupled from the trackers: everything is
 //! slices of [`ebbiot_frame::BoundingBox`] per frame, so EBBIOT, EBBI+KF and
 //! NN-filt+EBMS are evaluated by identical code.
+//!
+//! Beyond detection metrics, [`mot`] implements the CLEAR-MOT identity
+//! metrics (MOTA/MOTP, id switches, fragmentations) that power the
+//! scenario-matrix accuracy gate in `ebbiot_bench::accuracy` — see
+//! ARCHITECTURE.md §6 "Scenario matrix & accuracy gate".
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -28,5 +33,5 @@ pub mod sweep;
 
 pub use matching::{greedy_matches, match_count, InstantCounts};
 pub use metrics::{EvalAccumulator, PrecisionRecall};
-pub use mot::{IdentifiedBox, MotAccumulator};
+pub use mot::{evaluate_recording, IdentifiedBox, MotAccumulator};
 pub use sweep::{evaluate_frames, sweep_thresholds, weighted_average, RecordingEval};

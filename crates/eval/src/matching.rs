@@ -43,7 +43,9 @@ pub fn greedy_matches(
             }
         }
     }
-    candidates.sort_by(|a, b| b.2.partial_cmp(&a.2).expect("IoU values are finite"));
+    // total_cmp keeps the sort total even if a degenerate box ever
+    // produced a non-finite IoU — hostile input must not panic here.
+    candidates.sort_by(|a, b| b.2.total_cmp(&a.2));
     let mut gt_used = vec![false; ground_truth.len()];
     let mut pred_used = vec![false; predictions.len()];
     let mut matches = Vec::new();

@@ -156,6 +156,32 @@ impl MotAccumulator {
     }
 }
 
+/// Accumulates CLEAR-MOT metrics over parallel per-frame lists of
+/// identified ground truth and tracker output.
+///
+/// `ground_truth` and `predictions` are parallel: entry `k` holds the
+/// boxes at instant `k`. When lengths differ, the shorter list is
+/// treated as having empty frames beyond its end (the same semantics as
+/// [`crate::sweep::evaluate_frames`]: a tracker that stopped early
+/// simply misses everything after; ground truth that ends early turns
+/// trailing tracker boxes into false positives).
+#[must_use]
+pub fn evaluate_recording(
+    ground_truth: &[Vec<IdentifiedBox>],
+    predictions: &[Vec<IdentifiedBox>],
+    iou_threshold: f32,
+) -> MotAccumulator {
+    let frames = ground_truth.len().max(predictions.len());
+    let empty: Vec<IdentifiedBox> = Vec::new();
+    let mut acc = MotAccumulator::new();
+    for k in 0..frames {
+        let gt = ground_truth.get(k).unwrap_or(&empty);
+        let pred = predictions.get(k).unwrap_or(&empty);
+        acc.add_frame(gt, pred, iou_threshold);
+    }
+    acc
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -240,6 +266,36 @@ mod tests {
         let mut acc = MotAccumulator::new();
         acc.add_frame(&[], &[ib(100, 0.0)], 0.5);
         assert_eq!(acc.mota(), f64::NEG_INFINITY);
+    }
+
+    #[test]
+    fn evaluate_recording_matches_manual_accumulation() {
+        let gt = vec![vec![ib(1, 0.0)], vec![ib(1, 3.0)], vec![ib(1, 6.0)]];
+        let pred = vec![vec![ib(100, 0.0)], vec![], vec![ib(100, 6.0)]];
+        let rec = evaluate_recording(&gt, &pred, 0.5);
+        let mut manual = MotAccumulator::new();
+        for (g, p) in gt.iter().zip(&pred) {
+            manual.add_frame(g, p, 0.5);
+        }
+        assert_eq!(rec.misses(), manual.misses());
+        assert_eq!(rec.mota(), manual.mota());
+    }
+
+    #[test]
+    fn evaluate_recording_pads_short_predictions_with_misses() {
+        let gt = vec![vec![ib(1, 0.0)]; 4];
+        let pred = vec![vec![ib(100, 0.0)]; 2];
+        let rec = evaluate_recording(&gt, &pred, 0.5);
+        assert_eq!(rec.total_ground_truths(), 4);
+        assert_eq!(rec.misses(), 2, "frames beyond the tracker's end are misses");
+    }
+
+    #[test]
+    fn evaluate_recording_pads_short_ground_truth_with_false_positives() {
+        let gt = vec![vec![ib(1, 0.0)]; 2];
+        let pred = vec![vec![ib(100, 0.0)]; 4];
+        let rec = evaluate_recording(&gt, &pred, 0.5);
+        assert_eq!(rec.false_positives(), 2);
     }
 
     #[test]

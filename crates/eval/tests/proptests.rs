@@ -1,0 +1,223 @@
+//! Property-based tests for the evaluation metrics.
+//!
+//! The CLEAR-MOT accumulator is checked against a naive per-frame oracle
+//! built on a *slot* scheme: boxes live in well-separated slots (100 px
+//! apart, 20 px wide), so two boxes match exactly when they share a slot
+//! and never otherwise. That makes the expected misses, false positives,
+//! identity switches and fragmentations computable by direct bookkeeping
+//! with no matching logic at all.
+
+use ebbiot_eval::{evaluate_frames, evaluate_recording, greedy_matches, IdentifiedBox};
+use ebbiot_frame::BoundingBox;
+use proptest::prelude::*;
+
+const SLOTS: usize = 4;
+const IOU: f32 = 0.5;
+
+fn slot_box(slot: usize) -> BoundingBox {
+    BoundingBox::new(slot as f32 * 100.0, 0.0, 20.0, 20.0)
+}
+
+/// One frame in the slot scheme: per slot, whether the ground truth is
+/// present and which track id (if any) the tracker reported there.
+type SlotFrame = Vec<(bool, Option<u64>)>;
+
+fn arb_slot_frames() -> impl Strategy<Value = Vec<SlotFrame>> {
+    proptest::collection::vec(
+        proptest::collection::vec((any::<bool>(), proptest::option::of(0u64..3)), SLOTS..SLOTS + 1),
+        1..12,
+    )
+}
+
+fn slot_gt(frame: &SlotFrame) -> Vec<IdentifiedBox> {
+    frame
+        .iter()
+        .enumerate()
+        .filter(|(_, (gt, _))| *gt)
+        .map(|(slot, _)| IdentifiedBox::new(slot as u64 + 1, slot_box(slot)))
+        .collect()
+}
+
+fn slot_pred(frame: &SlotFrame) -> Vec<IdentifiedBox> {
+    frame
+        .iter()
+        .enumerate()
+        .filter_map(|(slot, (_, pred))| pred.map(|id| IdentifiedBox::new(100 + id, slot_box(slot))))
+        .collect()
+}
+
+/// The oracle: explicit per-slot match tables, no IoU matching at all.
+#[derive(Debug, Default, PartialEq, Eq)]
+struct Oracle {
+    total_gt: u64,
+    misses: u64,
+    false_positives: u64,
+    id_switches: u64,
+    fragmentations: u64,
+}
+
+fn oracle(frames: &[SlotFrame]) -> Oracle {
+    let mut o = Oracle::default();
+    let mut last_match: [Option<u64>; SLOTS] = [None; SLOTS];
+    let mut was_matched: [Option<bool>; SLOTS] = [None; SLOTS];
+    for frame in frames {
+        for (slot, &(gt, pred)) in frame.iter().enumerate() {
+            match (gt, pred) {
+                (true, Some(id)) => {
+                    o.total_gt += 1;
+                    let track = 100 + id;
+                    if last_match[slot].is_some_and(|prev| prev != track) {
+                        o.id_switches += 1;
+                    }
+                    last_match[slot] = Some(track);
+                    was_matched[slot] = Some(true);
+                }
+                (true, None) => {
+                    o.total_gt += 1;
+                    o.misses += 1;
+                    if was_matched[slot] == Some(true) {
+                        o.fragmentations += 1;
+                    }
+                    was_matched[slot] = Some(false);
+                }
+                (false, Some(_)) => o.false_positives += 1,
+                (false, None) => {}
+            }
+        }
+    }
+    o
+}
+
+fn arb_boxes() -> impl Strategy<Value = Vec<IdentifiedBox>> {
+    proptest::collection::vec(
+        (0u64..4, -20.0f32..240.0, -20.0f32..180.0, 0.0f32..60.0, 0.0f32..30.0),
+        0..6,
+    )
+    .prop_map(|specs| {
+        specs
+            .into_iter()
+            .map(|(id, x, y, w, h)| IdentifiedBox::new(id, BoundingBox::new(x, y, w, h)))
+            .collect()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn mot_counts_match_the_slot_oracle(frames in arb_slot_frames()) {
+        let gt: Vec<Vec<IdentifiedBox>> = frames.iter().map(slot_gt).collect();
+        let pred: Vec<Vec<IdentifiedBox>> = frames.iter().map(slot_pred).collect();
+        let acc = evaluate_recording(&gt, &pred, IOU);
+        let expect = oracle(&frames);
+        prop_assert_eq!(acc.total_ground_truths(), expect.total_gt);
+        prop_assert_eq!(acc.misses(), expect.misses);
+        prop_assert_eq!(acc.false_positives(), expect.false_positives);
+        prop_assert_eq!(acc.id_switches(), expect.id_switches);
+        prop_assert_eq!(acc.fragmentations(), expect.fragmentations);
+        // And the MOTA formula itself.
+        let errors = expect.misses + expect.false_positives + expect.id_switches;
+        if expect.total_gt > 0 {
+            let mota = 1.0 - errors as f64 / expect.total_gt as f64;
+            prop_assert!((acc.mota() - mota).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn mota_never_exceeds_one(
+        gt in proptest::collection::vec(arb_boxes(), 0..8),
+        pred in proptest::collection::vec(arb_boxes(), 0..8),
+    ) {
+        // Hostile input: duplicate ids, zero-area boxes, off-screen
+        // coordinates, mismatched lengths. Must not panic, and the
+        // aggregate invariants must hold.
+        let acc = evaluate_recording(&gt, &pred, 0.3);
+        prop_assert!(acc.mota() <= 1.0);
+        prop_assert!(acc.misses() <= acc.total_ground_truths());
+        prop_assert!((0.0..=1.0).contains(&acc.motp()));
+    }
+
+    #[test]
+    fn fragmentations_count_gap_starts(mask in proptest::collection::vec(any::<bool>(), 1..24)) {
+        // One ground truth present every frame; the tracker drops out
+        // according to `mask`. Fragmentations = matched -> unmatched
+        // transitions; misses = dropped frames; no identity churn.
+        let gt: Vec<Vec<IdentifiedBox>> =
+            mask.iter().map(|_| vec![IdentifiedBox::new(1, slot_box(0))]).collect();
+        let pred: Vec<Vec<IdentifiedBox>> = mask
+            .iter()
+            .map(|&on| if on { vec![IdentifiedBox::new(100, slot_box(0))] } else { vec![] })
+            .collect();
+        let acc = evaluate_recording(&gt, &pred, IOU);
+        let frags = mask.windows(2).filter(|w| w[0] && !w[1]).count() as u64;
+        let drops = mask.iter().filter(|&&on| !on).count() as u64;
+        prop_assert_eq!(acc.fragmentations(), frags);
+        prop_assert_eq!(acc.misses(), drops);
+        prop_assert_eq!(acc.id_switches(), 0);
+    }
+
+    #[test]
+    fn truncated_predictions_equal_explicit_empty_padding(
+        frames in arb_slot_frames(),
+        cut in 0usize..12,
+    ) {
+        // evaluate_recording's length-mismatch contract: a shorter
+        // prediction list behaves exactly like one padded with empty
+        // frames (and symmetrically for shorter ground truth).
+        let gt: Vec<Vec<IdentifiedBox>> = frames.iter().map(slot_gt).collect();
+        let pred: Vec<Vec<IdentifiedBox>> = frames.iter().map(slot_pred).collect();
+        let cut = cut.min(pred.len());
+        let mut padded = pred[..cut].to_vec();
+        padded.resize(gt.len().max(cut), Vec::new());
+        let short = evaluate_recording(&gt, &pred[..cut], IOU);
+        let explicit = evaluate_recording(&gt, &padded, IOU);
+        prop_assert_eq!(short.misses(), explicit.misses());
+        prop_assert_eq!(short.false_positives(), explicit.false_positives());
+        prop_assert_eq!(short.id_switches(), explicit.id_switches());
+        prop_assert_eq!(short.mota(), explicit.mota());
+
+        let gt_cut = evaluate_recording(&gt[..cut.min(gt.len())], &pred, IOU);
+        let mut gt_padded = gt[..cut.min(gt.len())].to_vec();
+        gt_padded.resize(pred.len().max(cut.min(gt.len())), Vec::new());
+        let gt_explicit = evaluate_recording(&gt_padded, &pred, IOU);
+        prop_assert_eq!(gt_cut.false_positives(), gt_explicit.false_positives());
+        prop_assert_eq!(gt_cut.total_ground_truths(), gt_explicit.total_ground_truths());
+    }
+
+    #[test]
+    fn greedy_matching_is_one_to_one_and_above_threshold(
+        gt in arb_boxes(),
+        pred in arb_boxes(),
+        threshold in 0.0f32..0.9,
+    ) {
+        let gt_boxes: Vec<BoundingBox> = gt.iter().map(|b| b.bbox).collect();
+        let pred_boxes: Vec<BoundingBox> = pred.iter().map(|b| b.bbox).collect();
+        let matches = greedy_matches(&gt_boxes, &pred_boxes, threshold);
+        let mut gs: Vec<usize> = matches.iter().map(|m| m.0).collect();
+        let mut ps: Vec<usize> = matches.iter().map(|m| m.1).collect();
+        gs.sort_unstable();
+        gs.dedup();
+        ps.sort_unstable();
+        ps.dedup();
+        prop_assert_eq!(gs.len(), matches.len(), "each gt claimed at most once");
+        prop_assert_eq!(ps.len(), matches.len(), "each prediction claimed at most once");
+        for (g, p, iou) in &matches {
+            prop_assert!(*iou > threshold);
+            prop_assert!((gt_boxes[*g].iou(&pred_boxes[*p]) - iou).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn detection_metrics_survive_degenerate_boxes(
+        gt in proptest::collection::vec(arb_boxes(), 0..6),
+        pred in proptest::collection::vec(arb_boxes(), 0..6),
+    ) {
+        let strip = |frames: &[Vec<IdentifiedBox>]| -> Vec<Vec<BoundingBox>> {
+            frames.iter().map(|f| f.iter().map(|b| b.bbox).collect()).collect()
+        };
+        let e = evaluate_frames(&strip(&gt), &strip(&pred), 0.3);
+        prop_assert!(e.true_positives <= e.proposals.min(e.ground_truths));
+        prop_assert!((0.0..=1.0).contains(&e.pr.precision));
+        prop_assert!((0.0..=1.0).contains(&e.pr.recall));
+    }
+}

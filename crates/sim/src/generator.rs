@@ -163,6 +163,7 @@ impl TrafficGenerator {
             height,
             trajectory: LinearTrajectory::horizontal(start_x, lane.y_center - height / 2.0, vx, t0),
             z_order: lane.z_order,
+            stall: None,
         }
     }
 }

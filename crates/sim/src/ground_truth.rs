@@ -149,6 +149,7 @@ mod tests {
             height: h,
             trajectory: LinearTrajectory::horizontal(x, y, vx, t0),
             z_order: z,
+            stall: None,
         }
     }
 
@@ -190,6 +191,7 @@ mod tests {
             height: h,
             trajectory: LinearTrajectory::horizontal(100.0, 80.0, 5.0, 0),
             z_order: 1,
+            stall: None,
         };
         let scene = scene_with(vec![human]);
         let default_frames =

@@ -20,10 +20,12 @@
 //! * exact per-frame ground-truth boxes, replacing manual annotation.
 //!
 //! Entry points: [`DatasetPreset`] regenerates ENG/LT4-like recordings for
-//! the experiment harnesses; [`FleetConfig`] generates K independently
-//! seeded camera recordings for the engine's fleet experiments;
-//! [`TrafficGenerator`] and [`DavisSimulator`] expose the pieces for
-//! custom scenes.
+//! the experiment harnesses; [`SCENARIO_MATRIX`] enumerates the named,
+//! seeded stress scenarios behind the accuracy gate (see ARCHITECTURE.md
+//! §6 "Scenario matrix & accuracy gate"); [`FleetConfig`] generates K
+//! independently seeded camera recordings for the engine's fleet
+//! experiments; [`TrafficGenerator`] and [`DavisSimulator`] expose the
+//! pieces for custom scenes.
 //!
 //! # Example
 //!
@@ -41,6 +43,7 @@
 pub mod fleet;
 pub mod generator;
 pub mod ground_truth;
+pub mod matrix;
 pub mod noise;
 pub mod object;
 pub mod preset;
@@ -53,13 +56,14 @@ pub mod trajectory;
 
 pub use fleet::FleetConfig;
 pub use generator::{LaneConfig, TrafficConfig, TrafficGenerator};
-pub use ground_truth::{GroundTruthBox, GroundTruthFrame};
+pub use ground_truth::{GroundTruthBox, GroundTruthConfig, GroundTruthFrame};
+pub use matrix::{find_scenario, scenario_names, ScenarioSpec, ScriptedScenario, SCENARIO_MATRIX};
 pub use noise::BackgroundNoise;
 pub use object::ObjectClass;
 pub use preset::{DatasetPreset, SimulationConfig};
 pub use recording::SimulatedRecording;
 pub use scenario::ScenarioBuilder;
-pub use scene::{Flicker, Scene, SceneObject};
+pub use scene::{Flicker, Scene, SceneObject, Stall};
 pub use sensor::{DavisConfig, DavisSimulator};
 pub use spool::{spool_fleet, spool_recording};
 pub use trajectory::LinearTrajectory;

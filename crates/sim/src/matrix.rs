@@ -1,0 +1,388 @@
+//! The named scenario matrix: seeded, scripted scenes with ground truth,
+//! used by the accuracy gate (`exp_accuracy`) and the regression tests.
+//!
+//! [`ScenarioBuilder`] gives individual tests
+//! one-liner scenes; this module goes one step further and packages a
+//! *scene plus its simulation parameters* (duration, noise level, sensor
+//! model, annotation policy) into a named, registry-enumerable
+//! [`ScriptedScenario`]. Every scenario is fully deterministic per seed:
+//! `generate(seed)` always returns a bit-identical
+//! [`SimulatedRecording`].
+//!
+//! The registry ([`SCENARIO_MATRIX`]) stresses one tracking failure mode
+//! per entry — dense crossings, long occlusions, mid-frame stalls, event
+//! rate bursts, night-level noise, flicker distractors — plus a geometry
+//! sweep (DAVIS240, DAVIS346, HD) whose edge-hugging objects exercise
+//! the partial-edge-cell RPN path on sensors whose dimensions are not
+//! multiples of the `(s1, s2)` cell size.
+//!
+//! To add a scenario: write a `fn() -> ScriptedScenario` builder here,
+//! append a [`ScenarioSpec`] to [`SCENARIO_MATRIX`], and add a floors
+//! row in `ebbiot_bench::accuracy` (see ARCHITECTURE.md §6).
+
+use ebbiot_events::{Micros, SensorGeometry, DEFAULT_FRAME_DURATION_US};
+use ebbiot_frame::PixelBox;
+use rand::{rngs::StdRng, SeedableRng};
+
+use crate::{
+    ground_truth::{ground_truth_frames, GroundTruthConfig},
+    BackgroundNoise, DavisConfig, DavisSimulator, LinearTrajectory, ObjectClass, ScenarioBuilder,
+    Scene, SceneObject, SimulatedRecording, Stall,
+};
+
+/// A named, seeded scenario: a scripted scene plus everything needed to
+/// simulate it into a [`SimulatedRecording`] with ground truth.
+#[derive(Debug, Clone)]
+pub struct ScriptedScenario {
+    /// Registry name (kebab-case, stable across releases).
+    pub name: &'static str,
+    /// The scripted scene.
+    pub scene: Scene,
+    /// Full evaluation duration, microseconds.
+    pub duration_us: Micros,
+    /// CI-sized duration used by `--smoke` runs, microseconds.
+    pub smoke_duration_us: Micros,
+    /// Frame duration for ground-truth annotation, microseconds.
+    pub frame_us: Micros,
+    /// Background noise model.
+    pub noise: BackgroundNoise,
+    /// Sensor event-generation model.
+    pub davis: DavisConfig,
+    /// Annotation policy.
+    pub ground_truth: GroundTruthConfig,
+}
+
+impl ScriptedScenario {
+    /// Simulates the full-duration recording for `seed`. Bit-identical
+    /// across calls with the same seed.
+    #[must_use]
+    pub fn generate(&self, seed: u64) -> SimulatedRecording {
+        self.generate_with_duration(seed, self.duration_us)
+    }
+
+    /// Simulates the CI-sized (`--smoke`) recording for `seed`.
+    #[must_use]
+    pub fn generate_smoke(&self, seed: u64) -> SimulatedRecording {
+        self.generate_with_duration(seed, self.smoke_duration_us)
+    }
+
+    /// Simulates `duration_us` of the scenario for `seed`.
+    #[must_use]
+    pub fn generate_with_duration(&self, seed: u64, duration_us: Micros) -> SimulatedRecording {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let sim = DavisSimulator::new(self.davis);
+        let events = sim.simulate(&self.scene, duration_us, self.noise, &mut rng);
+        let ground_truth =
+            ground_truth_frames(&self.scene, duration_us, self.frame_us, &self.ground_truth);
+        SimulatedRecording {
+            name: self.name.to_string(),
+            lens_mm: 6.0,
+            geometry: self.scene.geometry,
+            frame_us: self.frame_us,
+            events,
+            ground_truth,
+            duration_us,
+        }
+    }
+}
+
+/// One registry entry: a named scenario and how to build it.
+#[derive(Debug, Clone, Copy)]
+pub struct ScenarioSpec {
+    /// Stable registry name.
+    pub name: &'static str,
+    /// One-line description of the failure mode the scenario stresses.
+    pub summary: &'static str,
+    /// Builds the scenario.
+    pub build: fn() -> ScriptedScenario,
+}
+
+/// All registered scenarios, in gate-report order.
+pub const SCENARIO_MATRIX: &[ScenarioSpec] = &[
+    ScenarioSpec {
+        name: "dense-crossing",
+        summary: "four vehicles crossing mid-frame in opposite directions",
+        build: dense_crossing,
+    },
+    ScenarioSpec {
+        name: "long-occlusion",
+        summary: "a near bus slowly overtakes and covers a far car",
+        build: long_occlusion,
+    },
+    ScenarioSpec {
+        name: "mid-stall",
+        summary: "a car stops mid-frame (event silence), then resumes",
+        build: mid_stall,
+    },
+    ScenarioSpec {
+        name: "burst-rate",
+        summary: "simultaneous multi-lane arrival waves with quiet gaps",
+        build: burst_rate,
+    },
+    ScenarioSpec {
+        name: "night-noise",
+        summary: "one car under heavy background noise",
+        build: night_noise,
+    },
+    ScenarioSpec {
+        name: "flicker-distractor",
+        summary: "two flicker regions (ROE material) plus crossing traffic",
+        build: flicker_distractor,
+    },
+    ScenarioSpec {
+        name: "geometry-davis240",
+        summary: "edge-hugging cars on the 240x180 baseline geometry",
+        build: geometry_davis240,
+    },
+    ScenarioSpec {
+        name: "geometry-davis346",
+        summary: "edge-hugging cars on 346x260 (partial RPN edge cells)",
+        build: geometry_davis346,
+    },
+    ScenarioSpec {
+        name: "geometry-hd",
+        summary: "scaled-up cars on 1280x720 (partial right-edge cells)",
+        build: geometry_hd,
+    },
+];
+
+/// Looks a scenario up by registry name.
+#[must_use]
+pub fn find_scenario(name: &str) -> Option<&'static ScenarioSpec> {
+    SCENARIO_MATRIX.iter().find(|s| s.name == name)
+}
+
+/// All registry names, in gate-report order.
+#[must_use]
+pub fn scenario_names() -> Vec<&'static str> {
+    SCENARIO_MATRIX.iter().map(|s| s.name).collect()
+}
+
+/// Common wrapper: scene + durations + noise, defaults elsewhere.
+fn scripted(
+    name: &'static str,
+    scene: Scene,
+    duration_us: Micros,
+    smoke_duration_us: Micros,
+    noise_hz_per_pixel: f64,
+) -> ScriptedScenario {
+    ScriptedScenario {
+        name,
+        scene,
+        duration_us,
+        smoke_duration_us,
+        frame_us: DEFAULT_FRAME_DURATION_US,
+        noise: BackgroundNoise::new(noise_hz_per_pixel),
+        davis: DavisConfig::default(),
+        ground_truth: GroundTruthConfig::default(),
+    }
+}
+
+fn dense_crossing() -> ScriptedScenario {
+    let scene = ScenarioBuilder::davis240()
+        .entering_left(ObjectClass::Car, 70.0, 65.0, 0, 1)
+        .entering_right(ObjectClass::Car, 85.0, 60.0, 200_000, 2)
+        .entering_left(ObjectClass::Van, 120.0, 55.0, 400_000, 2)
+        .entering_right(ObjectClass::Car, 135.0, 70.0, 0, 3)
+        .build();
+    scripted("dense-crossing", scene, 5_500_000, 2_000_000, 0.05)
+}
+
+fn long_occlusion() -> ScriptedScenario {
+    // The far car (z = 1) enters first at 45 px/s; the near bus (z = 2)
+    // enters 1.2 s later at 75 px/s, catches it and — being 85 px long
+    // against the car's 40 — covers it completely for well over a
+    // second before pulling clear.
+    let scene = ScenarioBuilder::davis240()
+        .entering_left(ObjectClass::Car, 95.0, 45.0, 0, 1)
+        .entering_left(ObjectClass::Bus, 100.0, 75.0, 1_200_000, 2)
+        .build();
+    scripted("long-occlusion", scene, 6_500_000, 2_500_000, 0.05)
+}
+
+fn mid_stall() -> ScriptedScenario {
+    let mut scene =
+        ScenarioBuilder::davis240().entering_left(ObjectClass::Car, 90.0, 70.0, 0, 1).build();
+    // Stop 1.5 s in (the car is ~65 px into the frame), stay silent for
+    // 0.8 s, then resume. An event camera sees *nothing* of a stopped
+    // object, so the tracker must coast or re-acquire without an
+    // identity switch.
+    scene.objects[0].stall = Some(Stall { at_us: 1_500_000, for_us: 800_000 });
+    scripted("mid-stall", scene, 5_200_000, 2_500_000, 0.05)
+}
+
+fn burst_rate() -> ScriptedScenario {
+    // Two three-lane arrival waves separated by a quiet gap: the event
+    // rate swings from near-zero to its maximum within one frame.
+    let scene = ScenarioBuilder::davis240()
+        .entering_left(ObjectClass::Car, 70.0, 65.0, 0, 1)
+        .entering_right(ObjectClass::Van, 105.0, 60.0, 0, 2)
+        .entering_left(ObjectClass::Car, 140.0, 70.0, 0, 3)
+        .entering_left(ObjectClass::Car, 70.0, 70.0, 2_500_000, 1)
+        .entering_right(ObjectClass::Car, 105.0, 65.0, 2_500_000, 2)
+        .entering_left(ObjectClass::Van, 140.0, 60.0, 2_500_000, 3)
+        .build();
+    scripted("burst-rate", scene, 7_500_000, 2_000_000, 0.05)
+}
+
+fn night_noise() -> ScriptedScenario {
+    let scene =
+        ScenarioBuilder::davis240().entering_left(ObjectClass::Car, 90.0, 60.0, 0, 1).build();
+    // ~0.65 Hz/px background: an order of magnitude above the presets,
+    // the shot-noise regime of a night scene.
+    scripted("night-noise", scene, 5_000_000, 2_000_000, 0.65)
+}
+
+fn flicker_distractor() -> ScriptedScenario {
+    let scene = ScenarioBuilder::davis240()
+        .entering_left(ObjectClass::Car, 120.0, 60.0, 0, 1)
+        .entering_right(ObjectClass::Van, 90.0, 55.0, 500_000, 2)
+        .flicker(PixelBox::new(8, 8, 48, 40), 12.0)
+        .flicker(PixelBox::new(196, 16, 232, 52), 8.0)
+        .build();
+    scripted("flicker-distractor", scene, 5_500_000, 2_000_000, 0.05)
+}
+
+fn geometry_davis240() -> ScriptedScenario {
+    // y-centres put the car boxes flush against the top and bottom
+    // sensor rows (car height 18 -> y in [0, 18] and [162, 180]).
+    let scene = ScenarioBuilder::davis240()
+        .entering_left(ObjectClass::Car, 9.0, 65.0, 0, 1)
+        .entering_left(ObjectClass::Car, 171.0, 60.0, 300_000, 1)
+        .build();
+    scripted("geometry-davis240", scene, 5_500_000, 2_000_000, 0.05)
+}
+
+fn geometry_davis346() -> ScriptedScenario {
+    // 346 x 260 is divisible by neither s1 = 6 nor s2 = 3: the rightmost
+    // RPN cell is 4 px wide and the bottom cell 2 px tall. Edge-hugging
+    // cars sweep straight through those partial cells — the strip the
+    // pre-PR 5 RPN was blind to.
+    let scene = ScenarioBuilder::new(SensorGeometry::davis346())
+        .entering_left(ObjectClass::Car, 9.0, 80.0, 0, 1)
+        .entering_left(ObjectClass::Car, 251.0, 75.0, 300_000, 1)
+        .build();
+    scripted("geometry-davis346", scene, 5_500_000, 2_000_000, 0.05)
+}
+
+fn geometry_hd() -> ScriptedScenario {
+    // 1280 = 6 * 213 + 2: the right-edge RPN column is a 2 px sliver.
+    // Objects are scaled ~3x to keep apparent size proportionate to the
+    // wider field of view.
+    let geometry = SensorGeometry::new(1280, 720);
+    let mut scene = Scene::new(geometry);
+    let (nw, nh) = ObjectClass::Car.nominal_size();
+    let (w, h) = (nw * 3.0, nh * 3.0);
+    scene.objects.push(SceneObject {
+        id: 1,
+        class: ObjectClass::Car,
+        width: w,
+        height: h,
+        trajectory: LinearTrajectory::horizontal(-w, 0.0, 260.0, 0),
+        z_order: 1,
+        stall: None,
+    });
+    scene.objects.push(SceneObject {
+        id: 2,
+        class: ObjectClass::Car,
+        width: w,
+        height: h,
+        trajectory: LinearTrajectory::horizontal(-w, 720.0 - h, 240.0, 300_000),
+        z_order: 1,
+        stall: None,
+    });
+    scripted("geometry-hd", scene, 5_600_000, 1_800_000, 0.02)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_has_at_least_eight_unique_scenarios() {
+        assert!(SCENARIO_MATRIX.len() >= 8, "matrix size {}", SCENARIO_MATRIX.len());
+        let names = scenario_names();
+        let mut deduped = names.clone();
+        deduped.sort_unstable();
+        deduped.dedup();
+        assert_eq!(deduped.len(), names.len(), "scenario names must be unique");
+    }
+
+    #[test]
+    fn find_scenario_resolves_every_registered_name() {
+        for spec in SCENARIO_MATRIX {
+            assert_eq!(find_scenario(spec.name).unwrap().name, spec.name);
+        }
+        assert!(find_scenario("no-such-scenario").is_none());
+    }
+
+    #[test]
+    fn every_scenario_builds_and_names_match() {
+        for spec in SCENARIO_MATRIX {
+            let scenario = (spec.build)();
+            assert_eq!(scenario.name, spec.name);
+            assert!(!scenario.scene.objects.is_empty(), "{}", spec.name);
+            assert!(scenario.smoke_duration_us < scenario.duration_us, "{}", spec.name);
+            assert!(scenario.frame_us > 0, "{}", spec.name);
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        let scenario = (find_scenario("dense-crossing").unwrap().build)();
+        let a = scenario.generate_with_duration(7, 500_000);
+        let b = scenario.generate_with_duration(7, 500_000);
+        assert_eq!(a, b);
+        let c = scenario.generate_with_duration(8, 500_000);
+        assert_ne!(a.events, c.events);
+    }
+
+    #[test]
+    fn smoke_recording_is_a_shorter_run() {
+        let scenario = (find_scenario("night-noise").unwrap().build)();
+        let smoke = scenario.generate_smoke(3);
+        assert_eq!(smoke.duration_us, scenario.smoke_duration_us);
+        assert!(!smoke.events.is_empty());
+        assert!(!smoke.ground_truth.is_empty());
+    }
+
+    #[test]
+    fn mid_stall_scenario_has_a_stall_window() {
+        let scenario = (find_scenario("mid-stall").unwrap().build)();
+        let stall = scenario.scene.objects[0].stall.expect("stall configured");
+        assert!(stall.at_us > 0 && stall.for_us > 0);
+        assert!(
+            stall.at_us + stall.for_us < scenario.smoke_duration_us,
+            "the stall must fit inside the smoke run"
+        );
+    }
+
+    #[test]
+    fn geometry_sweep_covers_non_divisible_sensors() {
+        let g346 = (find_scenario("geometry-davis346").unwrap().build)().scene.geometry;
+        assert_eq!((g346.width(), g346.height()), (346, 260));
+        assert!(!g346.width().is_multiple_of(6) && !g346.height().is_multiple_of(3));
+        let hd = (find_scenario("geometry-hd").unwrap().build)().scene.geometry;
+        assert_eq!((hd.width(), hd.height()), (1280, 720));
+        assert!(!hd.width().is_multiple_of(6));
+    }
+
+    #[test]
+    fn edge_hugging_objects_touch_the_sensor_border() {
+        for name in ["geometry-davis240", "geometry-davis346", "geometry-hd"] {
+            let scenario = (find_scenario(name).unwrap().build)();
+            let h = f32::from(scenario.scene.geometry.height());
+            let touches_top = scenario
+                .scene
+                .objects
+                .iter()
+                .any(|o| o.bbox_at(1_000_000).is_some_and(|b| b.y <= 0.5));
+            let touches_bottom = scenario
+                .scene
+                .objects
+                .iter()
+                .any(|o| o.bbox_at(1_000_000).is_some_and(|b| b.y_max() >= h - 0.5));
+            assert!(touches_top && touches_bottom, "{name} must hug both borders");
+        }
+    }
+}

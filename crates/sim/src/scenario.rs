@@ -50,6 +50,7 @@ impl ScenarioBuilder {
             height: h,
             trajectory: LinearTrajectory::horizontal(-w, y_center - h / 2.0, speed_px_s, t0),
             z_order,
+            stall: None,
         });
         self.next_id += 1;
         self
@@ -74,6 +75,7 @@ impl ScenarioBuilder {
             height: h,
             trajectory: LinearTrajectory::horizontal(width, y_center - h / 2.0, -speed_px_s, t0),
             z_order,
+            stall: None,
         });
         self.next_id += 1;
         self

@@ -1,9 +1,23 @@
 //! Scene model: objects on lanes, z-order occlusion, flicker distractors.
 
-use ebbiot_events::{SensorGeometry, Timestamp};
+use ebbiot_events::{Micros, SensorGeometry, Timestamp};
 use ebbiot_frame::{BoundingBox, PixelBox};
 
 use crate::{LinearTrajectory, ObjectClass};
+
+/// A temporary mid-trajectory stop: the object freezes at `at_us` for
+/// `for_us` microseconds, then resumes along the same line (the motion
+/// is time-warped, not re-targeted). Because an event camera only fires
+/// on relative motion, a stalled object emits no edge events — the
+/// tracker must survive the silence and re-acquire the same identity
+/// when motion resumes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Stall {
+    /// When the object stops, in absolute scene time.
+    pub at_us: Timestamp,
+    /// How long it stays stopped.
+    pub for_us: Micros,
+}
 
 /// One moving object in the scene.
 #[derive(Debug, Clone, PartialEq)]
@@ -21,13 +35,35 @@ pub struct SceneObject {
     /// Depth order: larger values are nearer the camera and occlude
     /// smaller ones (a side view of multi-lane traffic).
     pub z_order: u8,
+    /// Optional mid-trajectory stop (see [`Stall`]).
+    pub stall: Option<Stall>,
 }
 
 impl SceneObject {
+    /// Scene time remapped through the optional [`Stall`]: identity
+    /// before the stall, frozen at its start during it, shifted by its
+    /// length afterwards. Monotone non-decreasing, so span scans stay
+    /// valid.
+    #[must_use]
+    pub fn warped_time(&self, t_us: Timestamp) -> Timestamp {
+        match self.stall {
+            None => t_us,
+            Some(s) if t_us < s.at_us => t_us,
+            Some(s) if t_us < s.at_us.saturating_add(s.for_us) => s.at_us,
+            Some(s) => t_us - s.for_us,
+        }
+    }
+
+    /// Stall-aware position at `t_us`, or `None` before activation.
+    #[must_use]
+    pub fn position_at(&self, t_us: Timestamp) -> Option<(f32, f32)> {
+        self.trajectory.position(self.warped_time(t_us))
+    }
+
     /// Bounding box at `t_us`, or `None` before activation.
     #[must_use]
     pub fn bbox_at(&self, t_us: Timestamp) -> Option<BoundingBox> {
-        let (x, y) = self.trajectory.position(t_us)?;
+        let (x, y) = self.position_at(t_us)?;
         Some(BoundingBox::new(x, y, self.width, self.height))
     }
 
@@ -155,6 +191,7 @@ mod tests {
             height: h,
             trajectory: LinearTrajectory::horizontal(-w, y, vx, t0),
             z_order: z,
+            stall: None,
         }
     }
 
@@ -234,6 +271,30 @@ mod tests {
         // The near car itself is fully visible.
         let near_ref = scene.objects[1].clone();
         assert!((scene.visible_fraction(&near_ref, 1_000_000) - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn stall_freezes_then_resumes_shifted() {
+        let mut c = car(1, 80.0, 60.0, 0, 1);
+        c.stall = Some(Stall { at_us: 1_000_000, for_us: 500_000 });
+        let before = c.bbox_at(900_000).unwrap();
+        let plain = car(1, 80.0, 60.0, 0, 1);
+        assert_eq!(before, plain.bbox_at(900_000).unwrap(), "identical before the stall");
+        // Frozen throughout the stall window.
+        let frozen = c.bbox_at(1_000_000).unwrap();
+        assert_eq!(c.bbox_at(1_250_000).unwrap(), frozen);
+        assert_eq!(c.bbox_at(1_499_999).unwrap(), frozen);
+        // Resumes exactly where it stopped, shifted by the stall length.
+        assert_eq!(c.bbox_at(1_500_000).unwrap(), frozen);
+        assert_eq!(c.bbox_at(2_000_000).unwrap(), plain.bbox_at(1_500_000).unwrap());
+    }
+
+    #[test]
+    fn no_stall_is_the_identity_warp() {
+        let c = car(1, 80.0, 60.0, 0, 1);
+        for t in [0, 123_456, 4_000_000] {
+            assert_eq!(c.warped_time(t), t);
+        }
     }
 
     #[test]

@@ -128,8 +128,11 @@ impl DavisSimulator {
         out: &mut Vec<Event>,
         rng: &mut impl Rng,
     ) {
-        let Some((x0, y0)) = obj.trajectory.position(t) else { return };
-        let Some((x1, _)) = obj.trajectory.position(t + step) else { return };
+        // Stall-aware positions: during a stall dx is zero, so the edge
+        // and interior terms vanish and the object falls silent, exactly
+        // like a real stopped vehicle in front of a DVS.
+        let Some((x0, y0)) = obj.position_at(t) else { return };
+        let Some((x1, _)) = obj.position_at(t + step) else { return };
         let geom = scene.geometry;
         let (w, h) = (obj.width, obj.height);
 
@@ -401,6 +404,7 @@ mod tests {
             height: h,
             trajectory: LinearTrajectory::horizontal(20.0, 80.0, vx, 0),
             z_order: 1,
+            stall: None,
         });
         scene
     }
@@ -439,6 +443,20 @@ mod tests {
         let scene = car_scene(0.0);
         let events = simulate(&scene, 500_000, 2);
         assert!(events.is_empty(), "no contrast change without motion, got {}", events.len());
+    }
+
+    #[test]
+    fn stalled_object_goes_quiet_then_resumes() {
+        use crate::Stall;
+        let mut scene = car_scene(60.0);
+        scene.objects[0].stall = Some(Stall { at_us: 300_000, for_us: 400_000 });
+        let events = simulate(&scene, 1_000_000, 13);
+        let during = events.iter().filter(|e| e.t >= 320_000 && e.t < 680_000).count();
+        let before = events.iter().filter(|e| e.t < 300_000).count();
+        let after = events.iter().filter(|e| e.t >= 700_000).count();
+        assert!(before > 100, "moving before the stall: {before}");
+        assert!(after > 100, "moving after the stall: {after}");
+        assert_eq!(during, 0, "silent while stalled, got {during} events");
     }
 
     #[test]
@@ -511,6 +529,7 @@ mod tests {
             height: h,
             trajectory: LinearTrajectory::horizontal(40.0, 70.0, 45.0, 0),
             z_order: 1,
+            stall: None,
         });
         let events = simulate(&scene, 66_000, 6);
         let obj = &scene.objects[0];
@@ -554,6 +573,7 @@ mod tests {
             height: h,
             trajectory: LinearTrajectory::horizontal(50.0, 80.0, 60.0, 0),
             z_order: 1,
+            stall: None,
         });
         let (bw, bh) = ObjectClass::Bus.nominal_size();
         scene.objects.push(SceneObject {
@@ -563,6 +583,7 @@ mod tests {
             height: bh,
             trajectory: LinearTrajectory::horizontal(40.0, 75.0, 60.0, 0),
             z_order: 2,
+            stall: None,
         });
         let events = simulate(&scene, 200_000, 7);
         // No event should come from a pixel covered by the bus but outside
@@ -607,6 +628,7 @@ mod tests {
             height: h,
             trajectory: LinearTrajectory::horizontal(100.0, 80.0, 6.0, 0),
             z_order: 1,
+            stall: None,
         });
         let events = simulate(&scene, 66_000, 11);
         // Over one frame the human covers 0.4 px: far fewer events than a

@@ -50,6 +50,7 @@ fn scene_of(specs: &[ObjSpec]) -> Scene {
             height: h,
             trajectory: LinearTrajectory::horizontal(start_x, s.y, s.vx, s.t0),
             z_order: s.z,
+            stall: None,
         });
     }
     scene

@@ -179,6 +179,38 @@ pub mod collection {
     }
 }
 
+/// `Option` strategies.
+pub mod option {
+    use super::strategy::Strategy;
+    use rand::{rngs::StdRng, Rng};
+
+    /// Strategy producing `Option<S::Value>` (see [`of`]).
+    #[derive(Debug, Clone)]
+    pub struct OptionStrategy<S> {
+        inner: S,
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+
+        fn generate(&self, rng: &mut StdRng) -> Option<S::Value> {
+            // Upstream defaults to 50% `Some`; the inner strategy is
+            // drawn only when needed so `None` cases stay cheap.
+            if rng.random() {
+                Some(self.inner.generate(rng))
+            } else {
+                None
+            }
+        }
+    }
+
+    /// `None` or `Some` of a value drawn from `inner`, evenly split.
+    #[must_use]
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy { inner }
+    }
+}
+
 /// Fixed-size array strategies.
 pub mod array {
     use super::strategy::Strategy;

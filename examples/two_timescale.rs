@@ -23,6 +23,7 @@ fn main() {
         height: ch,
         trajectory: LinearTrajectory::horizontal(-cw, 60.0, 55.0, 0),
         z_order: 1,
+        stall: None,
     });
     let (hw, hh) = ObjectClass::Human.nominal_size();
     scene.objects.push(SceneObject {
@@ -32,6 +33,7 @@ fn main() {
         height: hh,
         trajectory: LinearTrajectory::horizontal(40.0, 120.0, 6.0, 0),
         z_order: 2,
+        stall: None,
     });
 
     let duration = 10_000_000u64;

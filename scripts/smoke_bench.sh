@@ -5,14 +5,15 @@
 # tracked BENCH_*.json artifacts, while still asserting the experiments'
 # invariants internally: engine == sequential (exp_fleet), TCP ingestion
 # == in-process run_fleet (exp_server), disk replay == in-memory plus
-# EBST compression > EAER (exp_replay), and word-parallel kernel parity
-# plus the >= 3x median speedup floor (exp_hotpath).
+# EBST compression > EAER (exp_replay), word-parallel kernel parity
+# plus the >= 3x median speedup floor (exp_hotpath), and the
+# scenario-matrix accuracy floors (exp_accuracy).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 cargo build --release -p ebbiot_bench --bins
 
-for exp in exp_fleet exp_server exp_replay exp_hotpath; do
+for exp in exp_fleet exp_server exp_replay exp_hotpath exp_accuracy; do
     echo "== smoke: ${exp} =="
     cargo run --release -p ebbiot_bench --bin "${exp}" -- --smoke
 done

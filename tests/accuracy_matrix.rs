@@ -1,0 +1,98 @@
+//! Scenario-matrix reproducibility: every named scenario is bit-exact
+//! per seed, and every back-end produces identical frames — and hence
+//! identical accuracy metrics — whether its events arrive in one batch
+//! or in arbitrary chunks (the streaming contract the accuracy gate's
+//! numbers rest on).
+
+use ebbiot::baselines::registry::BACKENDS;
+use ebbiot::core::FrameResult;
+use ebbiot::eval::{evaluate_recording, IdentifiedBox};
+use ebbiot::sim::{find_scenario, ScriptedScenario, SCENARIO_MATRIX};
+use ebbiot_bench::accuracy::{evaluate_cell, scenario_config, MOT_IOU};
+
+/// Debug-build-friendly duration: long enough to exercise tracking,
+/// short enough that simulating all nine scenarios (including HD) twice
+/// stays in CI budget.
+fn test_duration(scenario: &ScriptedScenario) -> u64 {
+    scenario.smoke_duration_us.min(1_200_000)
+}
+
+#[test]
+fn every_scenario_is_bit_identical_per_seed() {
+    for spec in SCENARIO_MATRIX {
+        let scenario = (spec.build)();
+        let d = test_duration(&scenario);
+        let a = scenario.generate_with_duration(42, d);
+        let b = scenario.generate_with_duration(42, d);
+        assert_eq!(a, b, "scenario {} is not deterministic", spec.name);
+        assert!(!a.events.is_empty(), "scenario {} generated no events", spec.name);
+        let c = scenario.generate_with_duration(43, d);
+        assert_ne!(a.events, c.events, "scenario {} ignores its seed", spec.name);
+    }
+}
+
+#[test]
+fn evaluate_cell_is_deterministic() {
+    let spec = find_scenario("dense-crossing").expect("registered");
+    let scenario = (spec.build)();
+    let rec = scenario.generate_with_duration(42, test_duration(&scenario));
+    for backend in BACKENDS {
+        let a = evaluate_cell(&scenario, backend, &rec);
+        let b = evaluate_cell(&scenario, backend, &rec);
+        assert_eq!(a, b, "backend {} metrics are not reproducible", backend.name);
+    }
+}
+
+#[test]
+fn chunked_streaming_preserves_frames_and_metrics_for_every_backend() {
+    // One busy scene and one partial-edge-cell geometry; every back-end;
+    // two unaligned chunk sizes.
+    for scenario_name in ["dense-crossing", "geometry-davis346"] {
+        let spec = find_scenario(scenario_name).expect("registered");
+        let scenario = (spec.build)();
+        let rec = scenario.generate_with_duration(42, test_duration(&scenario));
+        let gt: Vec<Vec<IdentifiedBox>> = rec
+            .ground_truth
+            .iter()
+            .map(|f| {
+                f.boxes.iter().map(|b| IdentifiedBox::new(u64::from(b.object_id), b.bbox)).collect()
+            })
+            .collect();
+        for backend in BACKENDS {
+            let config = scenario_config(&scenario);
+            let batch: Vec<FrameResult> =
+                backend.build(config.clone()).process_recording(&rec.events, rec.duration_us);
+            let identify = |frames: &[FrameResult]| -> Vec<Vec<IdentifiedBox>> {
+                frames
+                    .iter()
+                    .map(|f| {
+                        f.tracks.iter().map(|t| IdentifiedBox::new(t.track_id, t.bbox)).collect()
+                    })
+                    .collect()
+            };
+            let batch_mot = evaluate_recording(&gt, &identify(&batch), MOT_IOU);
+
+            for chunk_size in [997usize, 10_000] {
+                let mut streaming = backend.build(config.clone());
+                let mut chunked = Vec::new();
+                for chunk in rec.events.chunks(chunk_size) {
+                    chunked.extend(streaming.push(chunk));
+                }
+                chunked.extend(streaming.finish(rec.duration_us));
+                assert_eq!(
+                    chunked, batch,
+                    "{scenario_name}/{} diverges at chunk size {chunk_size}",
+                    backend.name
+                );
+                // The metrics the gate reports must be *exactly* equal,
+                // down to the f64 bit pattern.
+                let chunked_mot = evaluate_recording(&gt, &identify(&chunked), MOT_IOU);
+                assert_eq!(batch_mot.mota().to_bits(), chunked_mot.mota().to_bits());
+                assert_eq!(batch_mot.motp().to_bits(), chunked_mot.motp().to_bits());
+                assert_eq!(batch_mot.id_switches(), chunked_mot.id_switches());
+                assert_eq!(batch_mot.misses(), chunked_mot.misses());
+                assert_eq!(batch_mot.false_positives(), chunked_mot.false_positives());
+            }
+        }
+    }
+}

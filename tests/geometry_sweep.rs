@@ -1,0 +1,72 @@
+//! Geometry-sweep regressions: edge-hugging objects on sensors whose
+//! dimensions are **not** multiples of the RPN cell size (346×260, HD
+//! 1280×720) must be proposed and tracked end-to-end. Guards the
+//! partial-edge-cell RPN path — before that fix, the blind strip at the
+//! bottom/right edge silently dropped exactly these objects.
+
+use ebbiot::baselines::registry::find_backend;
+use ebbiot::sim::find_scenario;
+use ebbiot_bench::accuracy::scenario_config;
+
+/// Fraction of border-strip ground-truth boxes that some tracked box
+/// overlaps at IoU > 0.3, separately for the top and bottom strips.
+fn edge_tracking_rates(scenario_name: &str) -> (f64, f64) {
+    let spec = find_scenario(scenario_name).expect("registered scenario");
+    let scenario = (spec.build)();
+    let rec = scenario.generate_with_duration(42, scenario.smoke_duration_us.min(1_200_000));
+    let backend = find_backend("ebbiot").expect("registered backend");
+    let frames =
+        backend.build(scenario_config(&scenario)).process_recording(&rec.events, rec.duration_us);
+    assert!(
+        frames.iter().any(|f| f.num_proposals > 0),
+        "{scenario_name}: the RPN never proposed anything"
+    );
+
+    let height = f32::from(rec.geometry.height());
+    let mut seen = [0u64; 2];
+    let mut tracked = [0u64; 2];
+    for (frame, gt) in frames.iter().zip(&rec.ground_truth) {
+        for b in &gt.boxes {
+            // The scenarios script one object hugging each horizontal
+            // border; classify by which border the box touches.
+            let strip = if b.bbox.y <= 2.0 {
+                0
+            } else if b.bbox.y_max() >= height - 2.0 {
+                1
+            } else {
+                continue;
+            };
+            seen[strip] += 1;
+            if frame.tracks.iter().any(|t| t.bbox.iou(&b.bbox) > 0.3) {
+                tracked[strip] += 1;
+            }
+        }
+    }
+    assert!(seen[0] > 5, "{scenario_name}: no top-edge ground truth generated");
+    assert!(seen[1] > 5, "{scenario_name}: no bottom-edge ground truth generated");
+    (tracked[0] as f64 / seen[0] as f64, tracked[1] as f64 / seen[1] as f64)
+}
+
+#[test]
+fn edge_huggers_are_tracked_on_davis346() {
+    let (top, bottom) = edge_tracking_rates("geometry-davis346");
+    assert!(top > 0.4, "top-edge object lost on 346x260 (rate {top:.2})");
+    assert!(bottom > 0.4, "bottom-edge object lost on 346x260 (rate {bottom:.2})");
+}
+
+#[test]
+fn edge_huggers_are_tracked_on_hd() {
+    let (top, bottom) = edge_tracking_rates("geometry-hd");
+    assert!(top > 0.4, "top-edge object lost on 1280x720 (rate {top:.2})");
+    assert!(bottom > 0.4, "bottom-edge object lost on 1280x720 (rate {bottom:.2})");
+}
+
+#[test]
+fn edge_huggers_are_tracked_on_davis240_baseline() {
+    // The evenly divisible geometry: same scene shape, no partial cells.
+    // If this passes and the others fail, the partial-edge-cell path is
+    // the culprit.
+    let (top, bottom) = edge_tracking_rates("geometry-davis240");
+    assert!(top > 0.4, "top-edge object lost on 240x180 (rate {top:.2})");
+    assert!(bottom > 0.4, "bottom-edge object lost on 240x180 (rate {bottom:.2})");
+}

@@ -28,6 +28,7 @@ fn object(id: u32, class: ObjectClass, x: f32, y: f32, vx: f32, z: u8) -> SceneO
         height: h,
         trajectory: LinearTrajectory::horizontal(x, y, vx, 0),
         z_order: z,
+        stall: None,
     }
 }
 
