@@ -6,25 +6,36 @@
 //! cargo run --release -p ebbiot_bench --bin exp_fleet -- \
 //!     [--cameras K] [--workers W] [--seconds S] [--seed N] \
 //!     [--backend ebbiot|ebbi-kf|nn-ebms] [--preset LT4|ENG] \
-//!     [--chunk E] [--queue C] [--smoke]
+//!     [--chunk E] [--queue C] [--smoke] [--overhead]
 //! ```
 //!
 //! Defaults: 16 cameras, 8 workers, 2 s per camera, the `ebbiot`
-//! back-end on LT4. The report prints per-camera stats, aggregate
+//! back-end on LT4. The report prints per-camera stats, the
+//! stage/contention breakdown of ARCHITECTURE.md §7.3, aggregate
 //! events/s for both drive modes, the speedup, and a bit-for-bit
 //! determinism check of engine output against the sequential baseline.
 //! Speedup scales with physical cores — on a single-core host expect
 //! ~1x regardless of worker count; the determinism check must hold
 //! everywhere. `--smoke` shrinks the run to CI size and skips the
 //! `BENCH_fleet.json` artifact while still asserting parity.
+//! `--overhead` runs only the telemetry-overhead bench: best-of-N
+//! plain vs stage-instrumented sequential passes, asserting the
+//! instrumentation costs ≤ 3% of throughput.
 
+use std::sync::Arc;
 use std::time::Instant;
 
 use ebbiot_baselines::registry;
-use ebbiot_bench::{run_fleet_backend, run_fleet_sequential, JsonReport};
-use ebbiot_engine::FleetOptions;
+use ebbiot_bench::breakdown::{
+    append_contention_fields, histogram_summary, run_fleet_backend_instrumented,
+    run_fleet_sequential_instrumented, stage_rows, worker_rows, STAGE_HEADER, WORKER_HEADER,
+};
+use ebbiot_bench::{run_fleet_sequential, JsonReport};
+use ebbiot_core::StageTelemetry;
+use ebbiot_engine::{EngineTelemetry, FleetOptions};
 use ebbiot_eval::report::render_table;
 use ebbiot_sim::{DatasetPreset, FleetConfig};
+use ebbiot_telemetry::Registry;
 
 struct Args {
     cameras: usize,
@@ -36,6 +47,7 @@ struct Args {
     chunk: usize,
     queue: usize,
     smoke: bool,
+    overhead: bool,
 }
 
 fn parse_args(args: &[String]) -> Args {
@@ -49,6 +61,7 @@ fn parse_args(args: &[String]) -> Args {
         chunk: 4096,
         queue: 32,
         smoke: false,
+        overhead: false,
     };
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -62,6 +75,7 @@ fn parse_args(args: &[String]) -> Args {
             "--chunk" => parsed.chunk = value().parse().expect("--chunk <usize>"),
             "--queue" => parsed.queue = value().parse().expect("--queue <usize>"),
             "--smoke" => parsed.smoke = true,
+            "--overhead" => parsed.overhead = true,
             "--preset" => {
                 parsed.preset = match value().to_uppercase().as_str() {
                     "ENG" => DatasetPreset::Eng,
@@ -73,6 +87,47 @@ fn parse_args(args: &[String]) -> Args {
         }
     }
     parsed
+}
+
+/// Times `iters` plain and `iters` stage-instrumented sequential fleet
+/// passes (interleaved, best-of-N to shave scheduler noise), returning
+/// `(plain_min_s, instrumented_min_s, overhead_pct)`. Also asserts the
+/// instrumented output is bit-identical to the plain one.
+fn measure_overhead(
+    spec: &registry::BackendSpec,
+    preset: DatasetPreset,
+    fleet: &[ebbiot_sim::SimulatedRecording],
+    iters: usize,
+) -> (f64, f64, f64) {
+    let mut plain_min = f64::INFINITY;
+    let mut inst_min = f64::INFINITY;
+    let mut plain_out = None;
+    let mut inst_out = None;
+    for _ in 0..iters.max(1) {
+        let started = Instant::now();
+        plain_out = Some(run_fleet_sequential(spec, preset, fleet));
+        plain_min = plain_min.min(started.elapsed().as_secs_f64());
+
+        let stage = StageTelemetry::register(&Registry::new());
+        let started = Instant::now();
+        inst_out = Some(run_fleet_sequential_instrumented(spec, preset, fleet, &stage));
+        inst_min = inst_min.min(started.elapsed().as_secs_f64());
+    }
+    assert_eq!(inst_out, plain_out, "stage telemetry changed sequential output");
+    let pct = 100.0 * (inst_min - plain_min) / plain_min.max(1e-9);
+    (plain_min, inst_min, pct)
+}
+
+/// The ≤3% overhead gate, with an absolute floor so micro-workloads
+/// (where one scheduler tick exceeds 3%) cannot flake: a delta under
+/// 10 ms is below timing resolution and passes regardless of its
+/// percentage.
+fn assert_overhead_budget(plain_s: f64, inst_s: f64, pct: f64) {
+    assert!(
+        pct <= 3.0 || (inst_s - plain_s) <= 0.010,
+        "stage telemetry cost {pct:.2}% of sequential throughput \
+         ({plain_s:.3} s plain vs {inst_s:.3} s instrumented; budget 3%)"
+    );
 }
 
 fn main() {
@@ -103,6 +158,20 @@ fn main() {
         .with_seconds(args.seconds)
         .with_base_seed(args.seed)
         .generate();
+
+    if args.overhead {
+        // Overhead-only mode (scripts/smoke_bench.sh): best-of-3 plain
+        // vs instrumented sequential, gate at 3%, no artifacts.
+        let (plain_s, inst_s, pct) = measure_overhead(spec, args.preset, &fleet, 3);
+        println!(
+            "telemetry overhead (best of 3): {pct:+.2}% \
+             ({plain_s:.3} s plain, {inst_s:.3} s instrumented)"
+        );
+        assert_overhead_budget(plain_s, inst_s, pct);
+        println!("telemetry overhead within budget (<= 3% or <= 10 ms absolute)");
+        return;
+    }
+
     let total_events: u64 = fleet.iter().map(|r| r.events.len() as u64).sum();
     println!(
         "generated {} recordings, {} events total ({:.1} k ev/s offered)\n",
@@ -111,9 +180,13 @@ fn main() {
         total_events as f64 / args.seconds / 1e3
     );
 
-    // Concurrent engine run.
+    // Concurrent engine run, fully instrumented: engine contention
+    // metrics plus per-stage pipeline timings in one registry.
     let options = FleetOptions { workers, queue_capacity: args.queue, chunk_events: args.chunk };
-    let run = run_fleet_backend(spec, args.preset, &fleet, &options);
+    let metrics = Arc::new(Registry::new());
+    let (run, stage) =
+        run_fleet_backend_instrumented(spec, args.preset, &fleet, &options, &metrics);
+    let engine_metrics = EngineTelemetry::register(Arc::clone(&metrics));
 
     let rows: Vec<Vec<String>> = run
         .output
@@ -128,18 +201,53 @@ fn main() {
                 s.frames_out.to_string(),
                 s.tracks_out.to_string(),
                 s.queue_high_water.to_string(),
+                format!("{:.2}", s.queue_wait_ns as f64 / 1e6),
+                format!("{:.2}", s.producer_block_ns as f64 / 1e6),
             ]
         })
         .collect();
     println!(
         "{}",
-        render_table(&["Camera", "Events", "Chunks", "Frames", "Tracks", "Queue HWM"], &rows)
+        render_table(
+            &[
+                "Camera",
+                "Events",
+                "Chunks",
+                "Frames",
+                "Tracks",
+                "Queue HWM",
+                "Queue-wait ms",
+                "Blocked ms"
+            ],
+            &rows
+        )
+    );
+
+    // Where each worker's wall clock went (busy + idle == wall exactly).
+    println!("{}", render_table(&WORKER_HEADER, &worker_rows(&run.output.snapshot)));
+
+    // Per-stage cost across the whole fleet.
+    println!("{}", render_table(&STAGE_HEADER, &stage_rows(&stage)));
+    println!("chunk enqueue→dequeue: {}", histogram_summary(&engine_metrics.queue_wait, "ns"));
+    println!(
+        "queue depth at admission: {}",
+        histogram_summary(&engine_metrics.queue_depth, "chunks")
+    );
+    println!(
+        "collector buffer occupancy: {}\n",
+        histogram_summary(&engine_metrics.collector_buffered, "frames")
     );
 
     // Sequential baseline over the identical fleet.
     let seq_started = Instant::now();
     let sequential = run_fleet_sequential(spec, args.preset, &fleet);
     let seq_elapsed = seq_started.elapsed();
+
+    // Telemetry overhead on the same sequential workload: instrumented
+    // twin vs plain, best-of-2. Stage timers are two `Instant` reads
+    // and two relaxed atomic adds per stage per frame, so the delta
+    // should vanish into noise (≤ ~3%, asserted on full runs).
+    let (plain_s, inst_s, overhead_pct) = measure_overhead(spec, args.preset, &fleet, 2);
 
     let identical = run.output.streams == sequential;
     let engine_rate = run.events_per_sec();
@@ -163,6 +271,10 @@ fn main() {
         "  speedup: {speedup:.2}x on {} core(s) (target >= 4x with 16 cameras / 8 workers on >= 8 cores)",
         std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
     );
+    println!(
+        "  telemetry overhead: {overhead_pct:+.2}% on sequential \
+         ({plain_s:.3} s plain, {inst_s:.3} s instrumented, best of 2)"
+    );
     println!("\nDeterminism: engine output bit-for-bit identical to sequential: {identical}");
 
     // Machine-readable artifact for the perf trajectory (skipped in
@@ -170,7 +282,7 @@ fn main() {
     if args.smoke {
         println!("--smoke: skipping BENCH_fleet.json");
     } else {
-        JsonReport::new()
+        let report = JsonReport::new()
             .str("experiment", "fleet")
             .str("backend", spec.name)
             .str("preset", args.preset.name())
@@ -181,10 +293,15 @@ fn main() {
             .f64("engine_events_per_sec", engine_rate)
             .f64("sequential_events_per_sec", seq_rate)
             .f64("speedup", speedup)
-            .bool("identical", identical)
+            .f64("telemetry_overhead_pct", overhead_pct)
+            .bool("identical", identical);
+        append_contention_fields(report, &run.output.snapshot, &stage, &engine_metrics)
             .write(std::path::Path::new("BENCH_fleet.json"))
             .expect("write BENCH_fleet.json");
         println!("wrote BENCH_fleet.json");
+        // Overhead gate only on full (non-smoke) runs: smoke workloads
+        // are too short to time a ≤3% delta above scheduler noise.
+        assert_overhead_budget(plain_s, inst_s, overhead_pct);
     }
 
     assert!(identical, "engine output diverged from sequential processing");

@@ -21,15 +21,21 @@
 //! asserting bit-for-bit parity.
 
 use std::path::PathBuf;
+use std::sync::Arc;
 
 use ebbiot_baselines::registry;
+use ebbiot_bench::breakdown::{
+    append_contention_fields, stage_rows, worker_rows, STAGE_HEADER, WORKER_HEADER,
+};
 use ebbiot_bench::net::{encode_session, server_factory, stream_fleet_bytes};
 use ebbiot_bench::{ebbiot_config_for, run_fleet_backend, JsonReport};
-use ebbiot_engine::FleetOptions;
+use ebbiot_core::StageTelemetry;
+use ebbiot_engine::{EngineTelemetry, FleetOptions};
 use ebbiot_eval::report::render_table;
-use ebbiot_server::{IngestServer, ServerConfig};
+use ebbiot_server::{scrape_stats, IngestServer, ServerConfig};
 use ebbiot_sim::{DatasetPreset, FleetConfig};
 use ebbiot_store::format::{crc32, decode_chunk_payload_fast, encode_chunk_payload};
+use ebbiot_telemetry::validate_exposition;
 
 struct Args {
     cameras: usize,
@@ -168,15 +174,39 @@ fn main() {
             queue_capacity: args.queue,
             archive_dir: args.archive.clone(),
             archive_options: ebbiot_store::StoreOptions::default(),
+            stats_addr: Some("127.0.0.1:0".parse().expect("loopback addr")),
         },
         server_factory(spec, config),
     )
     .expect("bind ingestion server");
     let addr = server.local_addr();
+    let stats_addr = server.stats_addr().expect("stats listener requested");
     let started = std::time::Instant::now();
     let runs = stream_fleet_bytes(addr, &fleet, &sessions).expect("stream fleet over TCP");
     let elapsed = started.elapsed();
+
+    // Scrape the live STATS surface while the server is still up and
+    // assert it is a parseable exposition carrying every layer's metric
+    // families — the CI "Telemetry" step greps for this line.
+    let exposition = scrape_stats(stats_addr).expect("scrape STATS listener");
+    let stats_samples =
+        validate_exposition(&exposition).expect("STATS exposition must parse") as u64;
+    for family in [
+        "ebbiot_server_connections_total",
+        "ebbiot_engine_worker_busy_nanoseconds_total",
+        "ebbiot_engine_chunk_queue_wait_nanoseconds",
+        "ebbiot_stage_duration_nanoseconds",
+    ] {
+        assert!(exposition.contains(family), "STATS scrape is missing {family}");
+    }
+    println!("STATS scrape OK: {stats_samples} samples from {stats_addr}\n");
+
+    let metrics = Arc::clone(server.registry());
     let report = server.shutdown();
+    // Idempotent registration returns the live instruments the server
+    // recorded into — the handles for the breakdown tables below.
+    let stage = StageTelemetry::register(&metrics);
+    let engine_metrics = EngineTelemetry::register(Arc::clone(&metrics));
 
     // 5. Parity: per-camera server output == in-process output, matched
     //    by camera name (concurrent sessions attach in arrival order).
@@ -208,6 +238,10 @@ fn main() {
         })
         .collect();
     println!("{}", render_table(&["Camera", "Events", "Frames", "Queue HWM", "Session s"], &rows));
+
+    // Contention breakdown of the serving engine (final, post-join).
+    println!("{}", render_table(&WORKER_HEADER, &worker_rows(&report.snapshot)));
+    println!("{}", render_table(&STAGE_HEADER, &stage_rows(&stage)));
 
     let events: u64 = runs.iter().map(|r| r.finished.events).sum();
     let frames: u64 = runs.iter().map(|r| r.finished.frames).sum();
@@ -252,7 +286,7 @@ fn main() {
     if args.smoke {
         println!("--smoke: skipping BENCH_server.json");
     } else {
-        JsonReport::new()
+        let json = JsonReport::new()
             .str("experiment", "server")
             .str("backend", spec.name)
             .str("preset", args.preset.name())
@@ -268,7 +302,9 @@ fn main() {
             .f64("tracks_frames_per_sec", frames_per_sec)
             .u64("max_queue_high_water", u64::from(max_hwm))
             .f64("in_memory_events_per_sec", in_memory.events_per_sec())
-            .bool("identical", identical)
+            .u64("stats_samples", stats_samples)
+            .bool("identical", identical);
+        append_contention_fields(json, &report.snapshot, &stage, &engine_metrics)
             .write(std::path::Path::new("BENCH_server.json"))
             .expect("write BENCH_server.json");
         println!("wrote BENCH_server.json");

@@ -9,6 +9,7 @@
 #![warn(missing_docs)]
 
 pub mod accuracy;
+pub mod breakdown;
 pub mod net;
 
 use ebbiot_baselines::registry::{self, BackendSpec};

@@ -26,8 +26,12 @@
 
 use ebbiot_events::{Event, OpsCounter};
 use ebbiot_frame::{BinaryImage, BoundingBox, EbbiAccumulator, MedianFilter};
+use ebbiot_telemetry::timed;
 
-use crate::{config::EbbiotConfig, roe::RegionOfExclusion, rpn::RegionProposalNetwork};
+use crate::{
+    config::EbbiotConfig, roe::RegionOfExclusion, rpn::RegionProposalNetwork,
+    telemetry::StageTelemetry,
+};
 
 /// Per-block operation counts of the front-end.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -54,6 +58,8 @@ pub struct FrontEnd {
     denoised_scratch: BinaryImage,
     /// Scratch list receiving the ROE-filtered proposals (reused).
     proposals: Vec<BoundingBox>,
+    /// Opt-in per-stage duration histograms (`None` = record nothing).
+    telemetry: Option<StageTelemetry>,
 }
 
 impl FrontEnd {
@@ -69,7 +75,14 @@ impl FrontEnd {
             ebbi_scratch: BinaryImage::new(config.geometry),
             denoised_scratch: BinaryImage::new(config.geometry),
             proposals: Vec::new(),
+            telemetry: None,
         }
+    }
+
+    /// Attaches (or detaches) per-stage duration telemetry. Observation
+    /// only: the produced proposals are identical either way.
+    pub fn set_telemetry(&mut self, telemetry: Option<StageTelemetry>) {
+        self.telemetry = telemetry;
     }
 
     /// Runs one frame's worth of events through the block chain and
@@ -78,11 +91,25 @@ impl FrontEnd {
     /// The returned slice borrows the front-end's internal scratch list;
     /// it is valid until the next call.
     pub fn process(&mut self, events: &[Event]) -> &[BoundingBox] {
-        self.accumulator.accumulate_all(events);
-        self.accumulator.readout_into(&mut self.ebbi_scratch);
-        self.median.apply_into(&self.ebbi_scratch, &mut self.denoised_scratch);
-        let raw = self.rpn.propose(&self.denoised_scratch);
-        self.roe.filter_into(&raw, &mut self.proposals, &mut self.roe_ops);
+        if let Some(t) = self.telemetry.clone() {
+            timed(&t.ebbi, || {
+                self.accumulator.accumulate_all(events);
+                self.accumulator.readout_into(&mut self.ebbi_scratch);
+            });
+            timed(&t.median, || {
+                self.median.apply_into(&self.ebbi_scratch, &mut self.denoised_scratch);
+            });
+            let raw = timed(&t.rpn, || self.rpn.propose(&self.denoised_scratch));
+            timed(&t.roe, || {
+                self.roe.filter_into(&raw, &mut self.proposals, &mut self.roe_ops);
+            });
+        } else {
+            self.accumulator.accumulate_all(events);
+            self.accumulator.readout_into(&mut self.ebbi_scratch);
+            self.median.apply_into(&self.ebbi_scratch, &mut self.denoised_scratch);
+            let raw = self.rpn.propose(&self.denoised_scratch);
+            self.roe.filter_into(&raw, &mut self.proposals, &mut self.roe_ops);
+        }
         &self.proposals
     }
 

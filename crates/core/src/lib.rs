@@ -18,6 +18,9 @@
 //! * [`pipeline`] — the generic streaming [`Pipeline`]: `FrontEnd` +
 //!   any `Tracker`, driven per-frame, per-recording, or by arbitrary
 //!   event chunks ([`Pipeline::push`] / [`Pipeline::finish`]).
+//! * [`telemetry`] — opt-in per-stage duration histograms
+//!   ([`StageTelemetry`]): observation-only timing of the five Fig. 1
+//!   stages, feeding the `ebbiot_telemetry` registry (ARCHITECTURE.md §7).
 //! * [`duty_cycle`] — the interrupt-driven sensing model of Fig. 2
 //!   (processor sleeps between `tF` interrupts; the sensor is the memory).
 //! * [`two_timescale`] — the conclusion's future-work extension: a second
@@ -49,6 +52,7 @@ pub mod frontend;
 pub mod pipeline;
 pub mod roe;
 pub mod rpn;
+pub mod telemetry;
 pub mod tracker;
 pub mod two_timescale;
 
@@ -59,5 +63,6 @@ pub use frontend::{FrontEnd, FrontEndOps};
 pub use pipeline::{DynPipeline, EbbiotPipeline, FrameResult, Pipeline, PipelineOps, TrackBox};
 pub use roe::RegionOfExclusion;
 pub use rpn::{RegionProposalNetwork, RpnMode};
+pub use telemetry::{StageTelemetry, STAGES, STAGE_DURATION_METRIC};
 pub use tracker::{OtConfig, OverlapTracker, Track};
 pub use two_timescale::{TwoTimescaleConfig, TwoTimescalePipeline};

@@ -24,10 +24,13 @@ use ebbiot_events::stream::FrameWindows;
 use ebbiot_events::{Event, Micros, OpsCounter, Timestamp};
 use ebbiot_frame::BoundingBox;
 
+use ebbiot_telemetry::timed;
+
 use crate::{
     backend::{BoxedTracker, FrameInput, Tracker, TrackerInput},
     config::EbbiotConfig,
     frontend::FrontEnd,
+    telemetry::StageTelemetry,
     tracker::OverlapTracker,
 };
 
@@ -100,6 +103,8 @@ pub struct Pipeline<T: Tracker = BoxedTracker> {
     /// Streaming state: timestamp of the last pushed event, for the
     /// cross-chunk ordering check.
     last_pushed_t: Option<Timestamp>,
+    /// Opt-in per-stage duration telemetry (`None` = record nothing).
+    telemetry: Option<StageTelemetry>,
 }
 
 /// The EBBIOT pipeline of the paper: shared front-end + overlap tracker.
@@ -144,8 +149,27 @@ impl<T: Tracker> Pipeline<T> {
             active_tracker_sum: 0,
             pending: Vec::new(),
             last_pushed_t: None,
+            telemetry: None,
             config,
         }
+    }
+
+    /// Attaches (or detaches) per-stage duration telemetry, covering the
+    /// front-end blocks and the tracker step. Observation-only: results
+    /// are bit-identical with or without it (the determinism suites
+    /// assert this), and `None` costs one branch per stage.
+    pub fn set_stage_telemetry(&mut self, telemetry: Option<StageTelemetry>) {
+        if let Some(frontend) = &mut self.frontend {
+            frontend.set_telemetry(telemetry.clone());
+        }
+        self.telemetry = telemetry;
+    }
+
+    /// Builder form of [`Self::set_stage_telemetry`].
+    #[must_use]
+    pub fn with_stage_telemetry(mut self, telemetry: StageTelemetry) -> Self {
+        self.set_stage_telemetry(Some(telemetry));
+        self
     }
 
     /// The configuration.
@@ -185,7 +209,10 @@ impl<T: Tracker> Pipeline<T> {
         };
         let input =
             FrameInput { index, t_start, duration: self.config.frame_us, events, proposals };
-        let tracks = self.tracker.step(&input);
+        let tracks = match &self.telemetry {
+            Some(t) => timed(&t.tracker, || self.tracker.step(&input)),
+            None => self.tracker.step(&input),
+        };
         self.active_tracker_sum += self.tracker.active_count() as u64;
         self.frames_processed += 1;
 
@@ -374,6 +401,7 @@ impl<T: Tracker> Pipeline<T> {
             active_tracker_sum: self.active_tracker_sum,
             pending: self.pending,
             last_pushed_t: self.last_pushed_t,
+            telemetry: self.telemetry,
         }
     }
 
@@ -583,6 +611,25 @@ mod tests {
             }
             got.extend(streaming.finish(span));
             assert_eq!(got, expected, "chunk size {chunk_size}");
+        }
+    }
+
+    #[test]
+    fn stage_telemetry_is_observation_only() {
+        let events = streaming_fixture();
+        let span = 8 * 66_000;
+        let expected = pipeline().process_recording(&events, span);
+
+        let registry = ebbiot_telemetry::Registry::new();
+        let telemetry = StageTelemetry::register(&registry);
+        let mut instrumented = pipeline().with_stage_telemetry(telemetry.clone());
+        let got = instrumented.process_recording(&events, span);
+
+        assert_eq!(got, expected, "telemetry must not change any result");
+        let frames = got.len() as u64;
+        assert_eq!(telemetry.frames_observed(), frames);
+        for (label, histogram) in telemetry.stages() {
+            assert_eq!(histogram.count(), frames, "stage {label} runs once per frame");
         }
     }
 

@@ -56,42 +56,45 @@ impl ChunkGate {
         self.capacity
     }
 
-    /// Acquires one slot, blocking while the stream is at capacity.
+    /// Acquires one slot, blocking while the stream is at capacity, and
+    /// returns the in-flight depth *including* the admitted chunk (the
+    /// sample the engine's queue-depth histogram records).
     ///
     /// # Panics
     ///
     /// Panics when the gate was [`poisoned`](Self::poison) by a worker
     /// failure — a blocked producer must not wait forever on an engine
     /// that can no longer drain it.
-    pub fn acquire(&self) {
+    pub fn acquire(&self) -> usize {
         let mut state = lock(&self.state);
         loop {
             assert!(!state.poisoned, "engine worker failed; stream queue will never drain");
             if state.in_flight < self.capacity {
                 state.in_flight += 1;
                 state.high_water = state.high_water.max(state.in_flight);
-                return;
+                return state.in_flight;
             }
             state = self.available.wait(state).unwrap_or_else(PoisonError::into_inner);
         }
     }
 
-    /// Acquires one slot without blocking; `false` means the stream is at
-    /// capacity and the chunk was *not* admitted.
+    /// Acquires one slot without blocking; `None` means the stream is at
+    /// capacity and the chunk was *not* admitted, `Some(depth)` reports
+    /// the in-flight depth like [`Self::acquire`].
     ///
     /// # Panics
     ///
     /// Panics when the gate was poisoned, like [`Self::acquire`].
     #[must_use]
-    pub fn try_acquire(&self) -> bool {
+    pub fn try_acquire(&self) -> Option<usize> {
         let mut state = lock(&self.state);
         assert!(!state.poisoned, "engine worker failed; stream queue will never drain");
         if state.in_flight < self.capacity {
             state.in_flight += 1;
             state.high_water = state.high_water.max(state.in_flight);
-            true
+            Some(state.in_flight)
         } else {
-            false
+            None
         }
     }
 
@@ -139,14 +142,14 @@ mod tests {
     fn slots_are_counted_and_high_water_tracked() {
         let gate = ChunkGate::new(2);
         assert_eq!(gate.capacity(), 2);
-        assert!(gate.try_acquire());
-        assert!(gate.try_acquire());
-        assert!(!gate.try_acquire(), "full gate rejects");
+        assert_eq!(gate.try_acquire(), Some(1));
+        assert_eq!(gate.try_acquire(), Some(2));
+        assert_eq!(gate.try_acquire(), None, "full gate rejects");
         assert_eq!(gate.depth(), 2);
         assert_eq!(gate.high_water(), 2);
         gate.release();
         assert_eq!(gate.depth(), 1);
-        assert!(gate.try_acquire());
+        assert_eq!(gate.try_acquire(), Some(2));
         assert_eq!(gate.high_water(), 2, "high water is monotone");
     }
 

@@ -8,8 +8,10 @@ use std::time::{Duration, Instant};
 
 use ebbiot_core::{BoxedTracker, FrameResult, Pipeline, Tracker};
 use ebbiot_events::{Event, Micros};
+use ebbiot_telemetry::Registry;
 
 use crate::backpressure::ChunkGate;
+use crate::telemetry::{EngineTelemetry, StreamTelemetry, WorkerTelemetry};
 
 /// Recovers a mutex guard regardless of std poisoning; the engine's own
 /// poison flag (on the gates) governs producer liveness.
@@ -83,11 +85,38 @@ pub struct StreamSnapshot {
     pub queue_depth: usize,
     /// Highest queue depth observed since start.
     pub queue_high_water: usize,
+    /// Total nanoseconds this stream's chunks sat queued before a worker
+    /// picked them up.
+    pub queue_wait_ns: u64,
+    /// Total nanoseconds producers spent blocked on this stream's
+    /// admission gate (back-pressure).
+    pub producer_block_ns: u64,
     /// Whether the stream's `finish` has been processed.
     pub finished: bool,
     /// Whether the stream was detached (its pipeline dropped and its
     /// results drained by [`Engine::detach`]).
     pub detached: bool,
+}
+
+/// Point-in-time statistics for one worker thread.
+///
+/// Time is attributed with telescoping timestamps inside the worker
+/// loop, so after [`Engine::join`] the identity
+/// `busy_ns + idle_ns == wall_ns` holds exactly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WorkerSnapshot {
+    /// Worker index (streams are pinned `stream % workers`).
+    pub id: usize,
+    /// Nanoseconds spent processing jobs.
+    pub busy_ns: u64,
+    /// Nanoseconds spent blocked waiting for jobs.
+    pub idle_ns: u64,
+    /// Summed queue wait of the chunks this worker dequeued.
+    pub queue_wait_ns: u64,
+    /// Worker lifetime in nanoseconds (0 until the worker exits).
+    pub wall_ns: u64,
+    /// Chunks processed.
+    pub chunks: u64,
 }
 
 /// Point-in-time view of the whole engine, from [`Engine::snapshot`] or
@@ -98,6 +127,19 @@ pub struct Snapshot {
     pub elapsed: Duration,
     /// Per-stream statistics, indexed by [`StreamId`].
     pub streams: Vec<StreamSnapshot>,
+    /// Per-worker time accounting, indexed by worker.
+    pub workers: Vec<WorkerSnapshot>,
+}
+
+/// `count / elapsed`, with a zero-duration run reported as 0 instead of
+/// NaN or a nonsense near-infinite rate.
+fn rate(count: u64, elapsed: Duration) -> f64 {
+    let secs = elapsed.as_secs_f64();
+    if secs > 0.0 {
+        count as f64 / secs
+    } else {
+        0.0
+    }
 }
 
 impl Snapshot {
@@ -119,16 +161,24 @@ impl Snapshot {
         self.streams.iter().map(|s| s.active_trackers).sum()
     }
 
-    /// Aggregate event throughput since start, events/second.
+    /// Aggregate event throughput since start, events/second (0 for a
+    /// zero-duration run).
     #[must_use]
     pub fn events_per_sec(&self) -> f64 {
-        self.events_in() as f64 / self.elapsed.as_secs_f64().max(1e-9)
+        rate(self.events_in(), self.elapsed)
     }
 
-    /// Aggregate frame throughput since start, frames/second.
+    /// Aggregate frame throughput since start, frames/second (0 for a
+    /// zero-duration run).
     #[must_use]
     pub fn frames_per_sec(&self) -> f64 {
-        self.frames_out() as f64 / self.elapsed.as_secs_f64().max(1e-9)
+        rate(self.frames_out(), self.elapsed)
+    }
+
+    /// Total queue wait across streams, nanoseconds.
+    #[must_use]
+    pub fn queue_wait_ns(&self) -> u64 {
+        self.streams.iter().map(|s| s.queue_wait_ns).sum()
     }
 
     /// Deepest queue high-water mark across streams.
@@ -177,6 +227,8 @@ struct StreamState {
     /// Signalled when `counters.finished` or `counters.failed` flips.
     progress: Condvar,
     results: Mutex<Vec<FrameResult>>,
+    /// Queue-wait and producer-block counters, labelled by camera.
+    telemetry: StreamTelemetry,
 }
 
 /// Growable, append-only registry of stream slots. Slots are only ever
@@ -203,7 +255,9 @@ impl StreamTable {
 
 enum Job<T: Tracker> {
     Attach(usize, Box<Pipeline<T>>),
-    Chunk(usize, Vec<Event>),
+    /// A chunk plus its enqueue instant, stamped by the router so the
+    /// worker can measure enqueue→dequeue latency.
+    Chunk(usize, Vec<Event>, Instant),
     Finish(usize, Micros),
     Detach(usize),
 }
@@ -245,6 +299,10 @@ pub struct Engine<T: Tracker + Send + 'static = BoxedTracker> {
     /// Serialises `attach` so slot allocation and the attach job reach
     /// the worker in a consistent order.
     attach_lock: Mutex<()>,
+    /// Engine-wide contention instruments (always on — per-chunk cost).
+    telemetry: EngineTelemetry,
+    /// Per-worker counters, indexed by worker; shared with the threads.
+    worker_stats: Vec<WorkerTelemetry>,
 }
 
 impl<T: Tracker + Send + 'static> Engine<T> {
@@ -258,6 +316,22 @@ impl<T: Tracker + Send + 'static> Engine<T> {
     /// is zero.
     #[must_use]
     pub fn new(config: EngineConfig, pipelines: Vec<Pipeline<T>>) -> Self {
+        Self::with_registry(config, pipelines, Arc::new(Registry::new()))
+    }
+
+    /// Like [`Self::new`], but registers the engine's contention metrics
+    /// in a caller-provided [`Registry`] — so one registry can aggregate
+    /// engine, pipeline and server metrics for a single STATS exposition.
+    ///
+    /// # Panics
+    ///
+    /// Panics like [`Self::new`].
+    #[must_use]
+    pub fn with_registry(
+        config: EngineConfig,
+        pipelines: Vec<Pipeline<T>>,
+        registry: Arc<Registry>,
+    ) -> Self {
         assert!(config.workers > 0, "engine needs at least one worker");
         // More workers than initial streams would only idle in `recv()`
         // (pinning is `stream % workers`) unless sessions attach later;
@@ -267,15 +341,20 @@ impl<T: Tracker + Send + 'static> Engine<T> {
             if pipelines.is_empty() { config.workers } else { config.workers.min(pipelines.len()) };
         let config = EngineConfig { workers, ..config };
         let streams: Arc<StreamTable> = Arc::new(StreamTable::default());
+        let telemetry = EngineTelemetry::register(registry);
 
         let mut senders = Vec::with_capacity(config.workers);
         let mut worker_handles = Vec::with_capacity(config.workers);
+        let mut worker_stats = Vec::with_capacity(config.workers);
         for w in 0..config.workers {
             let (tx, rx) = mpsc::channel::<Job<T>>();
             let streams = Arc::clone(&streams);
+            let stats = WorkerTelemetry::register(telemetry.registry(), w);
+            worker_stats.push(stats.clone());
+            let shared = telemetry.clone();
             let handle = std::thread::Builder::new()
                 .name(format!("ebbiot-worker-{w}"))
-                .spawn(move || worker_loop(&rx, &streams))
+                .spawn(move || worker_loop(&rx, &streams, &shared, &stats))
                 .expect("spawn engine worker");
             senders.push(tx);
             worker_handles.push(handle);
@@ -288,11 +367,25 @@ impl<T: Tracker + Send + 'static> Engine<T> {
             config,
             started: Instant::now(),
             attach_lock: Mutex::new(()),
+            telemetry,
+            worker_stats,
         };
         for pipeline in pipelines {
             let _ = engine.attach(pipeline);
         }
         engine
+    }
+
+    /// The engine's contention instruments (histograms readable live).
+    #[must_use]
+    pub const fn telemetry(&self) -> &EngineTelemetry {
+        &self.telemetry
+    }
+
+    /// The registry the engine's metrics live in.
+    #[must_use]
+    pub fn registry(&self) -> &Arc<Registry> {
+        self.telemetry.registry()
     }
 
     /// Number of stream slots ever allocated (attached streams are
@@ -323,11 +416,13 @@ impl<T: Tracker + Send + 'static> Engine<T> {
         let _guard = lock(&self.attach_lock);
         let id = {
             let mut slots = self.streams.slots.write().unwrap_or_else(PoisonError::into_inner);
+            let name = StreamId(slots.len()).to_string();
             slots.push(Arc::new(StreamState {
                 gate: ChunkGate::new(self.config.queue_capacity),
                 counters: Mutex::new(StreamCounters::default()),
                 progress: Condvar::new(),
                 results: Mutex::new(Vec::new()),
+                telemetry: StreamTelemetry::register(self.telemetry.registry(), &name),
             }));
             slots.len() - 1
         };
@@ -352,7 +447,7 @@ impl<T: Tracker + Send + 'static> Engine<T> {
             counters.events_in += chunk.len() as u64;
         }
         self.senders[stream.0 % self.config.workers]
-            .send(Job::Chunk(stream.0, chunk))
+            .send(Job::Chunk(stream.0, chunk, Instant::now()))
             .expect("engine worker hung up");
     }
 
@@ -366,7 +461,11 @@ impl<T: Tracker + Send + 'static> Engine<T> {
     /// Panics on an unknown stream, after [`Self::finish_stream`], or
     /// when a worker has failed.
     pub fn push(&self, stream: StreamId, chunk: Vec<Event>) {
-        self.state(stream).gate.acquire();
+        let state = self.state(stream);
+        let admission = Instant::now();
+        let depth = state.gate.acquire();
+        state.telemetry.producer_block.add_duration(admission.elapsed());
+        self.telemetry.queue_depth.record(depth as u64);
         self.submit(stream, chunk);
     }
 
@@ -382,7 +481,8 @@ impl<T: Tracker + Send + 'static> Engine<T> {
     /// Panics on an unknown stream, after [`Self::finish_stream`], or
     /// when a worker has failed.
     pub fn try_push(&self, stream: StreamId, chunk: Vec<Event>) -> Result<(), RejectedChunk> {
-        if self.state(stream).gate.try_acquire() {
+        if let Some(depth) = self.state(stream).gate.try_acquire() {
+            self.telemetry.queue_depth.record(depth as u64);
             self.submit(stream, chunk);
             Ok(())
         } else {
@@ -511,9 +611,24 @@ impl<T: Tracker + Send + 'static> Engine<T> {
                         active_trackers: counters.active_trackers,
                         queue_depth: state.gate.depth(),
                         queue_high_water: state.gate.high_water(),
+                        queue_wait_ns: state.telemetry.queue_wait.get(),
+                        producer_block_ns: state.telemetry.producer_block.get(),
                         finished: counters.finished,
                         detached: counters.detached,
                     }
+                })
+                .collect(),
+            workers: self
+                .worker_stats
+                .iter()
+                .enumerate()
+                .map(|(id, stats)| WorkerSnapshot {
+                    id,
+                    busy_ns: stats.busy.get(),
+                    idle_ns: stats.idle.get(),
+                    queue_wait_ns: stats.queue_wait.get(),
+                    wall_ns: stats.wall.get(),
+                    chunks: stats.chunks.get(),
                 })
                 .collect(),
         }
@@ -543,49 +658,83 @@ impl<T: Tracker + Send + 'static> Engine<T> {
     }
 }
 
-fn worker_loop<T: Tracker>(jobs: &Receiver<Job<T>>, streams: &Arc<StreamTable>) {
+fn worker_loop<T: Tracker>(
+    jobs: &Receiver<Job<T>>,
+    streams: &Arc<StreamTable>,
+    telemetry: &EngineTelemetry,
+    stats: &WorkerTelemetry,
+) {
     let _poison_guard = PoisonOnPanic(Arc::clone(streams));
     let mut pipelines: HashMap<usize, Pipeline<T>> = HashMap::new();
-    while let Ok(job) = jobs.recv() {
-        let (id, frames, finished) = match job {
+    // Telescoping time accounting: every nanosecond between `started`
+    // and exit is attributed to exactly one of idle (blocked in `recv`)
+    // or busy (processing a job), so busy + idle == wall *exactly*.
+    let started = Instant::now();
+    let mut mark = started;
+    loop {
+        let Ok(job) = jobs.recv() else {
+            let now = Instant::now();
+            stats.idle.add_duration(now - mark);
+            stats.wall.add_duration(now - started);
+            break;
+        };
+        let received = Instant::now();
+        stats.idle.add_duration(received - mark);
+        let outcome = match job {
             Job::Attach(id, pipeline) => {
                 let previous = pipelines.insert(id, *pipeline);
                 assert!(previous.is_none(), "stream {id} attached twice");
-                continue;
+                None
             }
             Job::Detach(id) => {
                 pipelines.remove(&id).expect("detached stream pinned to this worker");
-                continue;
+                None
             }
-            Job::Chunk(id, chunk) => {
+            Job::Chunk(id, chunk, enqueued) => {
+                let wait = received.saturating_duration_since(enqueued);
+                telemetry.queue_wait.record_duration(wait);
+                stats.queue_wait.add_duration(wait);
+                stats.chunks.inc();
                 let pipeline = pipelines.get_mut(&id).expect("stream pinned to this worker");
-                (id, pipeline.push(&chunk), false)
+                Some((id, pipeline.push(&chunk), false, Some(wait)))
             }
             Job::Finish(id, span_us) => {
                 let pipeline = pipelines.get_mut(&id).expect("stream pinned to this worker");
-                (id, pipeline.finish(span_us), true)
+                Some((id, pipeline.finish(span_us), true, None))
             }
         };
-        let state = streams.get(id).expect("job for unknown stream");
-        let (frame_count, track_count) =
-            (frames.len() as u64, frames.iter().map(|f| f.tracks.len() as u64).sum::<u64>());
-        // Publish the frames *before* flipping `finished`: a waiter in
-        // `wait_finished` may observe the flag without ever blocking on
-        // the condvar, and its follow-up `take_results`/`detach` must
-        // already see every frame the stream will ever emit.
-        lock(&state.results).extend(frames);
-        {
-            let mut counters = lock(&state.counters);
-            counters.frames_out += frame_count;
-            counters.tracks_out += track_count;
-            counters.active_trackers = pipelines[&id].active_trackers();
-            counters.finished |= finished;
+        if let Some((id, frames, finished, wait)) = outcome {
+            let state = streams.get(id).expect("job for unknown stream");
+            if let Some(wait) = wait {
+                state.telemetry.queue_wait.add_duration(wait);
+            }
+            let (frame_count, track_count) =
+                (frames.len() as u64, frames.iter().map(|f| f.tracks.len() as u64).sum::<u64>());
+            // Publish the frames *before* flipping `finished`: a waiter in
+            // `wait_finished` may observe the flag without ever blocking on
+            // the condvar, and its follow-up `take_results`/`detach` must
+            // already see every frame the stream will ever emit.
+            {
+                let mut results = lock(&state.results);
+                results.extend(frames);
+                telemetry.collector_buffered.record(results.len() as u64);
+            }
+            {
+                let mut counters = lock(&state.counters);
+                counters.frames_out += frame_count;
+                counters.tracks_out += track_count;
+                counters.active_trackers = pipelines[&id].active_trackers();
+                counters.finished |= finished;
+            }
+            if finished {
+                state.progress.notify_all();
+            } else {
+                state.gate.release();
+            }
         }
-        if finished {
-            state.progress.notify_all();
-        } else {
-            state.gate.release();
-        }
+        let done = Instant::now();
+        stats.busy.add_duration(done - received);
+        mark = done;
     }
 }
 
@@ -710,6 +859,73 @@ mod tests {
         engine.push(StreamId(0), vec![Event::on(10, 10, 70_000)]);
         engine.push(StreamId(0), vec![Event::on(10, 10, 0)]); // out of order
         let _ = engine.join();
+    }
+
+    #[test]
+    fn zero_duration_snapshot_rates_are_zero_not_nan() {
+        let engine = Engine::new(EngineConfig::with_workers(1), pipelines(1));
+        engine.push(StreamId(0), block_events(40, 0));
+        let mut snap = engine.snapshot();
+        snap.elapsed = Duration::ZERO;
+        assert!(snap.events_in() > 0, "events were accepted");
+        assert_eq!(snap.events_per_sec(), 0.0, "zero-duration rate is 0, not inf/NaN");
+        assert_eq!(snap.frames_per_sec(), 0.0);
+        assert!(snap.events_per_sec().is_finite() && snap.frames_per_sec().is_finite());
+        engine.finish_stream(StreamId(0), 66_000);
+        let _ = engine.join();
+    }
+
+    #[test]
+    fn worker_time_accounting_is_exact_after_join() {
+        let engine = Engine::new(EngineConfig::with_workers(2), pipelines(2));
+        for k in 0..4u64 {
+            engine.push(StreamId(0), block_events(40 + 3 * k as u16, k * 66_000));
+            engine.push(StreamId(1), block_events(60 + 3 * k as u16, k * 66_000));
+        }
+        engine.finish_stream(StreamId(0), 5 * 66_000);
+        engine.finish_stream(StreamId(1), 5 * 66_000);
+        let out = engine.join();
+        assert_eq!(out.snapshot.workers.len(), 2);
+        for worker in &out.snapshot.workers {
+            assert!(worker.wall_ns > 0, "wall stamped at worker exit");
+            assert_eq!(
+                worker.busy_ns + worker.idle_ns,
+                worker.wall_ns,
+                "telescoping accounting: busy + idle == wall for worker {}",
+                worker.id
+            );
+            assert_eq!(worker.chunks, 4, "each worker drained its stream's chunks");
+        }
+        // Chunk bookkeeping lines up across views: per-worker chunk
+        // counts equal router accepts.
+        let accepted: u64 = out.snapshot.streams.iter().map(|s| s.chunks_in).sum();
+        let drained: u64 = out.snapshot.workers.iter().map(|w| w.chunks).sum();
+        assert_eq!(drained, accepted);
+    }
+
+    #[test]
+    fn stream_queue_wait_counters_accumulate() {
+        let registry = Arc::new(Registry::new());
+        let engine = Engine::with_registry(
+            EngineConfig::with_workers(1),
+            pipelines(1),
+            Arc::clone(&registry),
+        );
+        let telemetry = engine.telemetry().clone();
+        for k in 0..3u64 {
+            engine.push(StreamId(0), block_events(40 + 3 * k as u16, k * 66_000));
+        }
+        engine.finish_stream(StreamId(0), 4 * 66_000);
+        let out = engine.join();
+        let stream = &out.snapshot.streams[0];
+        assert!(stream.queue_wait_ns > 0, "every chunk waits at least a little");
+        assert_eq!(telemetry.queue_wait.count(), 3, "one sample per chunk");
+        assert_eq!(telemetry.queue_depth.count(), 3, "one depth sample per push");
+        let text = registry.render();
+        assert!(
+            text.contains("ebbiot_engine_stream_queue_wait_nanoseconds_total{stream=\"cam00\"}")
+        );
+        assert!(text.contains("ebbiot_engine_worker_chunks_total{worker=\"0\"} 3"));
     }
 
     #[test]

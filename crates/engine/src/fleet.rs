@@ -1,10 +1,12 @@
 //! Fleet driving: feed K recorded/simulated streams through an engine
 //! and measure aggregate throughput.
 
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use ebbiot_core::{Pipeline, Tracker};
 use ebbiot_events::{Event, Micros};
+use ebbiot_telemetry::Registry;
 
 use crate::engine::{Engine, EngineConfig, EngineOutput, StreamId};
 
@@ -59,16 +61,28 @@ impl FleetRun {
         self.output.snapshot.frames_out()
     }
 
-    /// Aggregate event throughput over the run, events/second.
+    /// Aggregate event throughput over the run, events/second (0 for a
+    /// zero-duration run rather than NaN or a bogus near-infinite rate).
     #[must_use]
     pub fn events_per_sec(&self) -> f64 {
-        self.events() as f64 / self.elapsed.as_secs_f64().max(1e-9)
+        let secs = self.elapsed.as_secs_f64();
+        if secs > 0.0 {
+            self.events() as f64 / secs
+        } else {
+            0.0
+        }
     }
 
-    /// Aggregate frame throughput over the run, frames/second.
+    /// Aggregate frame throughput over the run, frames/second (0 for a
+    /// zero-duration run).
     #[must_use]
     pub fn frames_per_sec(&self) -> f64 {
-        self.frames() as f64 / self.elapsed.as_secs_f64().max(1e-9)
+        let secs = self.elapsed.as_secs_f64();
+        if secs > 0.0 {
+            self.frames() as f64 / secs
+        } else {
+            0.0
+        }
     }
 }
 
@@ -121,13 +135,31 @@ impl<T: Tracker + Send + 'static> Engine<T> {
         streams: &[FleetStream<'_>],
         options: &FleetOptions,
     ) -> FleetRun {
+        Self::run_fleet_with_registry(pipelines, streams, options, Arc::new(Registry::new()))
+    }
+
+    /// Like [`Self::run_fleet`], but registers the engine's contention
+    /// metrics in a caller-provided [`Registry`] so the experiment
+    /// harness can read queue-wait / queue-depth / collector histograms
+    /// (and any stage telemetry the pipelines carry) after the run.
+    ///
+    /// # Panics
+    ///
+    /// Panics like [`Self::run_fleet`].
+    #[must_use]
+    pub fn run_fleet_with_registry(
+        pipelines: Vec<Pipeline<T>>,
+        streams: &[FleetStream<'_>],
+        options: &FleetOptions,
+        registry: Arc<Registry>,
+    ) -> FleetRun {
         assert_eq!(pipelines.len(), streams.len(), "one pipeline per fleet stream");
         let config =
             EngineConfig { workers: options.workers, queue_capacity: options.queue_capacity };
         let chunk = options.chunk_events.max(1);
 
         let started = Instant::now();
-        let engine = Engine::new(config, pipelines);
+        let engine = Engine::with_registry(config, pipelines, registry);
         let mut offsets = vec![0usize; streams.len()];
         loop {
             let mut progressed = false;

@@ -82,9 +82,12 @@
 pub mod backpressure;
 pub mod engine;
 pub mod fleet;
+pub mod telemetry;
 
 pub use backpressure::ChunkGate;
 pub use engine::{
     Engine, EngineConfig, EngineOutput, RejectedChunk, Snapshot, StreamId, StreamSnapshot,
+    WorkerSnapshot,
 };
 pub use fleet::{FleetOptions, FleetRun, FleetStream};
+pub use telemetry::{EngineTelemetry, StreamTelemetry, WorkerTelemetry};

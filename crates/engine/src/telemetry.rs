@@ -1,0 +1,163 @@
+//! Engine contention telemetry — the instruments that explain where
+//! parallel speedup goes.
+//!
+//! The engine always carries an [`EngineTelemetry`] (share one across
+//! components with [`crate::Engine::with_registry`]): a handful of
+//! relaxed atomic adds per *chunk* is noise next to the kernel work a
+//! chunk performs, so unlike the per-stage pipeline telemetry there is
+//! no off switch. Three views cover the contention story
+//! (ARCHITECTURE.md §7):
+//!
+//! * **per worker** ([`WorkerTelemetry`]) — busy / idle / wall time and
+//!   chunk counts, accounted with telescoping timestamps so that
+//!   `busy + idle == wall` holds *exactly* at worker exit (the
+//!   determinism suite asserts equality, not a tolerance);
+//! * **per chunk** — enqueue→dequeue latency and queue-depth
+//!   distributions, plus collector reorder-buffer occupancy;
+//! * **per stream** ([`StreamTelemetry`]) — cumulative queue wait and
+//!   producer back-pressure blocking, labelled by camera.
+
+use std::sync::Arc;
+
+use ebbiot_telemetry::{Counter, Histogram, Registry};
+
+/// Chunk enqueue→dequeue latency histogram (nanoseconds).
+pub const CHUNK_QUEUE_WAIT_METRIC: &str = "ebbiot_engine_chunk_queue_wait_nanoseconds";
+/// Queue depth observed at each admission (chunks in flight).
+pub const QUEUE_DEPTH_METRIC: &str = "ebbiot_engine_queue_depth_chunks";
+/// Collector buffer occupancy after each append (frames awaiting drain).
+pub const COLLECTOR_BUFFERED_METRIC: &str = "ebbiot_engine_collector_buffered_frames";
+
+/// Engine-wide instruments plus the registry they live in.
+#[derive(Debug, Clone)]
+pub struct EngineTelemetry {
+    registry: Arc<Registry>,
+    /// Chunk enqueue→dequeue latency (nanoseconds).
+    pub queue_wait: Arc<Histogram>,
+    /// Stream queue depth sampled at each admission.
+    pub queue_depth: Arc<Histogram>,
+    /// Collector buffer occupancy sampled after each append.
+    pub collector_buffered: Arc<Histogram>,
+}
+
+impl EngineTelemetry {
+    /// Registers (or retrieves) the engine-wide instruments in `registry`.
+    #[must_use]
+    pub fn register(registry: Arc<Registry>) -> Self {
+        Self {
+            queue_wait: registry.histogram(CHUNK_QUEUE_WAIT_METRIC, &[]),
+            queue_depth: registry.histogram(QUEUE_DEPTH_METRIC, &[]),
+            collector_buffered: registry.histogram(COLLECTOR_BUFFERED_METRIC, &[]),
+            registry,
+        }
+    }
+
+    /// The registry the engine's metrics are registered in.
+    #[must_use]
+    pub fn registry(&self) -> &Arc<Registry> {
+        &self.registry
+    }
+}
+
+/// One worker thread's time accounting.
+///
+/// Every nanosecond of the worker's life is attributed to exactly one of
+/// `busy` (processing a job) or `idle` (blocked in `recv`), and `wall`
+/// is stamped once at exit — so after [`crate::Engine::join`],
+/// `busy + idle == wall` exactly.
+#[derive(Debug, Clone)]
+pub struct WorkerTelemetry {
+    /// Nanoseconds spent processing jobs.
+    pub busy: Arc<Counter>,
+    /// Nanoseconds spent blocked waiting for jobs.
+    pub idle: Arc<Counter>,
+    /// Sum of the queue waits of the chunks this worker dequeued.
+    pub queue_wait: Arc<Counter>,
+    /// Worker lifetime in nanoseconds (written once, at exit).
+    pub wall: Arc<Counter>,
+    /// Chunks processed (finish jobs excluded).
+    pub chunks: Arc<Counter>,
+}
+
+impl WorkerTelemetry {
+    /// Registers (or retrieves) worker `index`'s counters.
+    #[must_use]
+    pub fn register(registry: &Registry, index: usize) -> Self {
+        let worker = index.to_string();
+        let labels: &[(&str, &str)] = &[("worker", &worker)];
+        Self {
+            busy: registry.counter("ebbiot_engine_worker_busy_nanoseconds_total", labels),
+            idle: registry.counter("ebbiot_engine_worker_idle_nanoseconds_total", labels),
+            queue_wait: registry
+                .counter("ebbiot_engine_worker_queue_wait_nanoseconds_total", labels),
+            wall: registry.counter("ebbiot_engine_worker_wall_nanoseconds_total", labels),
+            chunks: registry.counter("ebbiot_engine_worker_chunks_total", labels),
+        }
+    }
+}
+
+/// One stream's cumulative contention counters, labelled by camera
+/// (`stream="cam03"`).
+#[derive(Debug, Clone)]
+pub struct StreamTelemetry {
+    /// Total nanoseconds this stream's chunks sat queued.
+    pub queue_wait: Arc<Counter>,
+    /// Total nanoseconds producers spent blocked on the stream's gate.
+    pub producer_block: Arc<Counter>,
+}
+
+impl StreamTelemetry {
+    /// Registers (or retrieves) the counters for the stream labelled
+    /// `name` (use the [`crate::StreamId`] display form).
+    #[must_use]
+    pub fn register(registry: &Registry, name: &str) -> Self {
+        let labels: &[(&str, &str)] = &[("stream", name)];
+        Self {
+            queue_wait: registry
+                .counter("ebbiot_engine_stream_queue_wait_nanoseconds_total", labels),
+            producer_block: registry
+                .counter("ebbiot_engine_stream_producer_block_nanoseconds_total", labels),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn engine_families_render_in_the_exposition() {
+        let telemetry = EngineTelemetry::register(Arc::new(Registry::new()));
+        telemetry.queue_wait.record(1_000);
+        telemetry.queue_depth.record(3);
+        telemetry.collector_buffered.record(16);
+        let text = telemetry.registry().render();
+        for family in [CHUNK_QUEUE_WAIT_METRIC, QUEUE_DEPTH_METRIC, COLLECTOR_BUFFERED_METRIC] {
+            assert!(text.contains(&format!("# TYPE {family} histogram")), "missing {family}");
+        }
+    }
+
+    #[test]
+    fn worker_and_stream_series_are_labelled() {
+        let registry = Registry::new();
+        let w1 = WorkerTelemetry::register(&registry, 1);
+        w1.busy.add(5);
+        w1.chunks.inc();
+        StreamTelemetry::register(&registry, "cam02").queue_wait.add(9);
+        let text = registry.render();
+        assert!(text.contains("ebbiot_engine_worker_busy_nanoseconds_total{worker=\"1\"} 5"));
+        assert!(text.contains("ebbiot_engine_worker_chunks_total{worker=\"1\"} 1"));
+        assert!(
+            text.contains("ebbiot_engine_stream_queue_wait_nanoseconds_total{stream=\"cam02\"} 9")
+        );
+    }
+
+    #[test]
+    fn register_is_idempotent_per_worker() {
+        let registry = Registry::new();
+        let a = WorkerTelemetry::register(&registry, 0);
+        let b = WorkerTelemetry::register(&registry, 0);
+        a.chunks.inc();
+        assert_eq!(b.chunks.get(), 1);
+    }
+}

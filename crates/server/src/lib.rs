@@ -16,7 +16,12 @@
 //! * [`server`] — the TCP accept loop, one reader thread per
 //!   connection, back-pressure via bounded engine queues + TCP flow
 //!   control, optional archival tee into an
-//!   [`ebbiot_store::FleetArchiver`].
+//!   [`ebbiot_store::FleetArchiver`];
+//! * [`stats`] — the STATS surface: an optional second listener
+//!   ([`StatsServer`], enabled via `ServerConfig::stats_addr`) serving
+//!   the server's whole metrics registry — engine contention,
+//!   per-stage pipeline timings, session counters — as the text
+//!   exposition of `ARCHITECTURE.md` §7.
 //!
 //! Server output is **bit-for-bit identical** to processing the same
 //! events in-process with `Engine::run_fleet` — enforced by
@@ -92,6 +97,7 @@
 pub mod protocol;
 pub mod server;
 pub mod session;
+pub mod stats;
 
 pub use protocol::{
     read_frame, write_frame, EventsChunk, EventsRef, Finished, Frame, FrameReader, FrameRef, Hello,
@@ -99,3 +105,4 @@ pub use protocol::{
 };
 pub use server::{IngestServer, ServerConfig, ServerReport, SessionReport};
 pub use session::{PipelineFactory, Session, SessionSummary};
+pub use stats::{scrape_stats, ServerTelemetry, StatsServer};

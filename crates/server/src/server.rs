@@ -8,11 +8,14 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 use std::thread::JoinHandle;
 
+use ebbiot_core::StageTelemetry;
 use ebbiot_engine::{Engine, EngineConfig, Snapshot};
 use ebbiot_store::{FleetArchiver, StoreOptions};
+use ebbiot_telemetry::Registry;
 
 use crate::protocol::{write_frame, Frame, FrameReader, FrameRef, WireError};
 use crate::session::{PipelineFactory, Session, SessionSummary};
+use crate::stats::{ServerTelemetry, StatsServer};
 
 fn lock<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
     mutex.lock().unwrap_or_else(PoisonError::into_inner)
@@ -32,6 +35,11 @@ pub struct ServerConfig {
     pub archive_dir: Option<PathBuf>,
     /// Chunking of the archival tee's `EBST` files.
     pub archive_options: StoreOptions,
+    /// When set, a [`StatsServer`] is bound here (use port 0 for an
+    /// ephemeral port) serving the server's full metrics registry —
+    /// engine contention, per-stage pipeline timings and session
+    /// counters — as the text exposition of ARCHITECTURE.md §7.
+    pub stats_addr: Option<SocketAddr>,
 }
 
 impl Default for ServerConfig {
@@ -42,6 +50,7 @@ impl Default for ServerConfig {
             queue_capacity,
             archive_dir: None,
             archive_options: StoreOptions::default(),
+            stats_addr: None,
         }
     }
 }
@@ -104,6 +113,8 @@ pub struct IngestServer {
     accept: Option<JoinHandle<()>>,
     stop: Arc<AtomicBool>,
     shared: Arc<ServerShared>,
+    registry: Arc<Registry>,
+    stats: Option<StatsServer>,
 }
 
 impl IngestServer {
@@ -125,10 +136,23 @@ impl IngestServer {
             Some(dir) => Some(FleetArchiver::create(dir, config.archive_options)?),
             None => None,
         };
-        let engine = Arc::new(Engine::new(
+        // One registry aggregates everything the server knows: engine
+        // contention, per-stage pipeline timings (shared across all
+        // sessions) and connection/session counters.
+        let registry = Arc::new(Registry::new());
+        let engine = Arc::new(Engine::with_registry(
             EngineConfig { workers: config.workers, queue_capacity: config.queue_capacity },
             Vec::new(),
+            Arc::clone(&registry),
         ));
+        let telemetry = ServerTelemetry::register(&registry);
+        let stage = StageTelemetry::register(&registry);
+        let stats = match config.stats_addr {
+            Some(stats_addr) => {
+                Some(StatsServer::bind(stats_addr, Arc::clone(&registry)).map_err(WireError::Io)?)
+            }
+            None => None,
+        };
         let stop = Arc::new(AtomicBool::new(false));
         let shared = Arc::new(ServerShared::default());
 
@@ -139,17 +163,39 @@ impl IngestServer {
             std::thread::Builder::new()
                 .name("ebwp-accept".into())
                 .spawn(move || {
-                    accept_loop(&listener, &engine, &factory, archiver.as_ref(), &stop, &shared);
+                    accept_loop(
+                        &listener,
+                        &engine,
+                        &factory,
+                        archiver.as_ref(),
+                        &stop,
+                        &shared,
+                        &telemetry,
+                        &stage,
+                    );
                 })
                 .expect("spawn accept loop")
         };
-        Ok(Self { engine, local_addr, accept: Some(accept), stop, shared })
+        Ok(Self { engine, local_addr, accept: Some(accept), stop, shared, registry, stats })
     }
 
     /// The bound address (with the actual port when bound to port 0).
     #[must_use]
     pub const fn local_addr(&self) -> SocketAddr {
         self.local_addr
+    }
+
+    /// The STATS listener's address, when `config.stats_addr` was set.
+    #[must_use]
+    pub fn stats_addr(&self) -> Option<SocketAddr> {
+        self.stats.as_ref().map(StatsServer::local_addr)
+    }
+
+    /// The server's metrics registry (engine, pipeline stages, server
+    /// counters) — what the STATS listener renders.
+    #[must_use]
+    pub const fn registry(&self) -> &Arc<Registry> {
+        &self.registry
     }
 
     /// Live engine statistics: one stream per session ever attached.
@@ -182,12 +228,16 @@ impl IngestServer {
         for handle in lock(&self.shared.handles).drain(..) {
             handle.join().expect("session thread panicked");
         }
+        if let Some(stats) = self.stats.take() {
+            stats.shutdown();
+        }
         let engine = Arc::into_inner(self.engine).expect("sessions all ended");
         let output = engine.join();
         ServerReport { snapshot: output.snapshot, sessions: lock(&self.shared.reports).clone() }
     }
 }
 
+#[allow(clippy::too_many_arguments)] // one call site, spawned by `bind`
 fn accept_loop(
     listener: &TcpListener,
     engine: &Arc<Engine>,
@@ -195,18 +245,28 @@ fn accept_loop(
     archiver: Option<&FleetArchiver>,
     stop: &Arc<AtomicBool>,
     shared: &Arc<ServerShared>,
+    telemetry: &ServerTelemetry,
+    stage: &StageTelemetry,
 ) {
     for connection in listener.incoming() {
         if stop.load(Ordering::SeqCst) {
             return; // the waking connection (or a raced client) is dropped
         }
         let Ok(connection) = connection else { continue };
-        let session = Session::new(Arc::clone(engine), Arc::clone(factory), archiver.cloned());
+        telemetry.connections.inc();
+        let session = Session::new(Arc::clone(engine), Arc::clone(factory), archiver.cloned())
+            .with_stage_telemetry(stage.clone());
         let shared_for_session = Arc::clone(shared);
+        let telemetry_for_session = telemetry.clone();
         let handle = std::thread::Builder::new()
             .name("ebwp-session".into())
             .spawn(move || {
+                telemetry_for_session.sessions_active.inc();
                 let report = serve_connection(connection, session);
+                if report.error.is_some() {
+                    telemetry_for_session.session_errors.inc();
+                }
+                telemetry_for_session.sessions_active.dec();
                 lock(&shared_for_session.reports).push(report);
             })
             .expect("spawn session thread");

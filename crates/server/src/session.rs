@@ -10,7 +10,7 @@
 
 use std::sync::Arc;
 
-use ebbiot_core::{DynPipeline, FrameResult};
+use ebbiot_core::{DynPipeline, FrameResult, StageTelemetry};
 use ebbiot_engine::{Engine, StreamId};
 use ebbiot_store::{ArchiveStream, FleetArchiver};
 
@@ -83,6 +83,7 @@ pub struct Session {
     engine: Arc<Engine>,
     factory: Arc<PipelineFactory>,
     archiver: Option<FleetArchiver>,
+    stage: Option<StageTelemetry>,
     state: State,
     summary: SessionSummary,
 }
@@ -117,9 +118,21 @@ impl Session {
             engine,
             factory,
             archiver,
+            stage: None,
             state: State::AwaitingHello,
             summary: SessionSummary { name: String::new(), stream: None, events: 0, frames: 0 },
         }
+    }
+
+    /// Attaches per-stage duration telemetry to the session's pipeline
+    /// once it is built (on HELLO). The server shares one
+    /// [`StageTelemetry`] across all sessions, so the histograms
+    /// aggregate over the whole fleet. Observation-only: output is
+    /// bit-identical with or without it.
+    #[must_use]
+    pub fn with_stage_telemetry(mut self, stage: StageTelemetry) -> Self {
+        self.stage = Some(stage);
+        self
     }
 
     /// Whether the session completed a full HELLO → FINISH exchange.
@@ -155,7 +168,8 @@ impl Session {
     fn step(&mut self, frame: Frame) -> Result<Vec<Frame>, WireError> {
         match (&mut self.state, frame) {
             (State::AwaitingHello, Frame::Hello(hello)) => {
-                let pipeline = (self.factory)(&hello).map_err(WireError::Remote)?;
+                let mut pipeline = (self.factory)(&hello).map_err(WireError::Remote)?;
+                pipeline.set_stage_telemetry(self.stage.clone());
                 let archive = match &self.archiver {
                     Some(archiver) => {
                         Some(archiver.begin(&hello.name, hello.geometry, hello.span_us)?)

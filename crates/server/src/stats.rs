@@ -1,0 +1,151 @@
+//! The STATS surface: a plain-TCP metrics listener.
+//!
+//! [`StatsServer`] serves the server's whole [`Registry`] as the
+//! Prometheus-style text exposition, on a listener *separate* from the
+//! EBWP ingest port. The protocol is deliberately trivial (spec in
+//! ARCHITECTURE.md §7): the client connects and sends nothing; the
+//! server writes one full exposition, flushes, and closes. Any TCP
+//! client works — `nc host port`, a Prometheus scraper with the text
+//! format, or [`scrape_stats`] below.
+
+use std::io::{Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use ebbiot_telemetry::{Counter, Gauge, Registry};
+
+/// The server-level metrics (connection and session accounting).
+#[derive(Debug, Clone)]
+pub struct ServerTelemetry {
+    /// EBWP connections accepted since start.
+    pub connections: Arc<Counter>,
+    /// Sessions currently being served.
+    pub sessions_active: Arc<Gauge>,
+    /// Sessions that ended with an error.
+    pub session_errors: Arc<Counter>,
+}
+
+impl ServerTelemetry {
+    /// Registers (or retrieves) the server metric family.
+    #[must_use]
+    pub fn register(registry: &Registry) -> Self {
+        Self {
+            connections: registry.counter("ebbiot_server_connections_total", &[]),
+            sessions_active: registry.gauge("ebbiot_server_sessions_active", &[]),
+            session_errors: registry.counter("ebbiot_server_session_errors_total", &[]),
+        }
+    }
+}
+
+/// A metrics listener: one exposition per connection, then close.
+#[derive(Debug)]
+pub struct StatsServer {
+    local_addr: SocketAddr,
+    accept: Option<JoinHandle<()>>,
+    stop: Arc<AtomicBool>,
+}
+
+impl StatsServer {
+    /// Binds the listener (port 0 for ephemeral) and starts serving
+    /// `registry`'s exposition to every connection.
+    ///
+    /// # Errors
+    ///
+    /// Returns the bind/listen I/O error.
+    pub fn bind<A: ToSocketAddrs>(addr: A, registry: Arc<Registry>) -> std::io::Result<Self> {
+        let listener = TcpListener::bind(addr)?;
+        let local_addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let accept = {
+            let stop = Arc::clone(&stop);
+            std::thread::Builder::new()
+                .name("ebbiot-stats".into())
+                .spawn(move || {
+                    for connection in listener.incoming() {
+                        if stop.load(Ordering::SeqCst) {
+                            return;
+                        }
+                        let Ok(mut connection) = connection else { continue };
+                        // Rendering is a lock-free read of every
+                        // instrument; serving inline keeps this a single
+                        // thread no matter how many scrapers poll.
+                        let text = registry.render();
+                        let _ = connection.write_all(text.as_bytes());
+                        let _ = connection.flush();
+                        let _ = connection.shutdown(Shutdown::Both);
+                    }
+                })
+                .expect("spawn stats listener")
+        };
+        Ok(Self { local_addr, accept: Some(accept), stop })
+    }
+
+    /// The bound address (with the actual port when bound to port 0).
+    #[must_use]
+    pub const fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Stops the listener and joins its thread.
+    pub fn shutdown(mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        let _ = TcpStream::connect(self.local_addr); // poke a blocked accept
+        if let Some(accept) = self.accept.take() {
+            accept.join().expect("stats listener panicked");
+        }
+    }
+}
+
+/// Scrapes one exposition from a [`StatsServer`] (connect, read to EOF).
+///
+/// # Errors
+///
+/// Returns the connect/read I/O error, or `InvalidData` for a
+/// non-UTF-8 response.
+pub fn scrape_stats<A: ToSocketAddrs>(addr: A) -> std::io::Result<String> {
+    let mut connection = TcpStream::connect(addr)?;
+    let mut bytes = Vec::new();
+    connection.read_to_end(&mut bytes)?;
+    String::from_utf8(bytes)
+        .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ebbiot_telemetry::validate_exposition;
+
+    #[test]
+    fn stats_server_serves_the_exposition_per_connection() {
+        let registry = Arc::new(Registry::new());
+        registry.counter("ebbiot_test_total", &[]).add(42);
+        let server = StatsServer::bind("127.0.0.1:0", Arc::clone(&registry)).unwrap();
+        let addr = server.local_addr();
+
+        let first = scrape_stats(addr).unwrap();
+        assert!(first.contains("ebbiot_test_total 42"));
+        assert!(validate_exposition(&first).unwrap() >= 1);
+
+        // A later scrape sees updated values — it is live, not a dump.
+        registry.counter("ebbiot_test_total", &[]).add(1);
+        let second = scrape_stats(addr).unwrap();
+        assert!(second.contains("ebbiot_test_total 43"));
+
+        server.shutdown();
+        assert!(scrape_stats(addr).is_err(), "listener is gone after shutdown");
+    }
+
+    #[test]
+    fn server_telemetry_registers_the_families() {
+        let registry = Registry::new();
+        let telemetry = ServerTelemetry::register(&registry);
+        telemetry.connections.inc();
+        telemetry.sessions_active.inc();
+        let text = registry.render();
+        assert!(text.contains("# TYPE ebbiot_server_connections_total counter"));
+        assert!(text.contains("ebbiot_server_sessions_active 1"));
+        assert!(text.contains("# TYPE ebbiot_server_session_errors_total counter"));
+    }
+}

@@ -1,0 +1,132 @@
+//! [`SpanTimer`]: scope-based duration recording.
+//!
+//! A span starts a [`Instant`] when created and records the elapsed
+//! nanoseconds into its target — a [`Histogram`] sample and/or a
+//! [`Counter`] total — when dropped. Instrumenting a stage is then one
+//! line: bind a span at the top of the scope and let drop order do the
+//! bookkeeping.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use crate::metrics::{Counter, Histogram};
+
+/// Records the lifetime of a scope into a histogram and/or counter.
+///
+/// Dropping the timer records `start.elapsed()` once; [`SpanTimer::stop`]
+/// does the same explicitly and returns the duration for callers that
+/// want the number too.
+#[derive(Debug)]
+pub struct SpanTimer {
+    start: Instant,
+    histogram: Option<Arc<Histogram>>,
+    counter: Option<Arc<Counter>>,
+    done: bool,
+}
+
+impl SpanTimer {
+    /// Starts a span recording into `histogram` on drop.
+    #[must_use]
+    pub fn histogram(histogram: Arc<Histogram>) -> Self {
+        Self { start: Instant::now(), histogram: Some(histogram), counter: None, done: false }
+    }
+
+    /// Starts a span recording into `counter` (as nanoseconds) on drop.
+    #[must_use]
+    pub fn counter(counter: Arc<Counter>) -> Self {
+        Self { start: Instant::now(), histogram: None, counter: Some(counter), done: false }
+    }
+
+    /// Starts a span recording into both a histogram and a counter.
+    #[must_use]
+    pub fn both(histogram: Arc<Histogram>, counter: Arc<Counter>) -> Self {
+        Self {
+            start: Instant::now(),
+            histogram: Some(histogram),
+            counter: Some(counter),
+            done: false,
+        }
+    }
+
+    fn record(&mut self) -> std::time::Duration {
+        let elapsed = self.start.elapsed();
+        if !self.done {
+            self.done = true;
+            if let Some(histogram) = &self.histogram {
+                histogram.record_duration(elapsed);
+            }
+            if let Some(counter) = &self.counter {
+                counter.add_duration(elapsed);
+            }
+        }
+        elapsed
+    }
+
+    /// Stops the span now, records once, and returns the elapsed time.
+    pub fn stop(mut self) -> std::time::Duration {
+        self.record()
+    }
+
+    /// Abandons the span: nothing is recorded on drop.
+    pub fn cancel(mut self) {
+        self.done = true;
+    }
+}
+
+impl Drop for SpanTimer {
+    fn drop(&mut self) {
+        let _ = self.record();
+    }
+}
+
+/// Times `f` and records its duration into `histogram`; returns `f`'s
+/// result. The function-call shape (rather than a guard) keeps borrowck
+/// happy when the timed expression borrows fields the caller also holds.
+pub fn timed<T>(histogram: &Histogram, f: impl FnOnce() -> T) -> T {
+    let start = Instant::now();
+    let result = f();
+    histogram.record_duration(start.elapsed());
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn span_records_once_on_drop() {
+        let h = Arc::new(Histogram::new());
+        {
+            let _span = SpanTimer::histogram(Arc::clone(&h));
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
+        assert_eq!(h.count(), 1);
+        assert!(h.sum() >= 1_000_000, "at least the 1ms sleep, got {}ns", h.sum());
+    }
+
+    #[test]
+    fn stop_records_and_drop_does_not_double_count() {
+        let h = Arc::new(Histogram::new());
+        let c = Arc::new(Counter::new());
+        let span = SpanTimer::both(Arc::clone(&h), Arc::clone(&c));
+        let elapsed = span.stop();
+        assert_eq!(h.count(), 1);
+        assert_eq!(h.sum(), c.get());
+        assert!(elapsed.as_nanos() > 0);
+    }
+
+    #[test]
+    fn cancel_records_nothing() {
+        let h = Arc::new(Histogram::new());
+        SpanTimer::histogram(Arc::clone(&h)).cancel();
+        assert_eq!(h.count(), 0);
+    }
+
+    #[test]
+    fn timed_returns_the_closure_result() {
+        let h = Histogram::new();
+        let out = timed(&h, || 6 * 7);
+        assert_eq!(out, 42);
+        assert_eq!(h.count(), 1);
+    }
+}

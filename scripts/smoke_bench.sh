@@ -7,7 +7,10 @@
 # == in-process run_fleet (exp_server), disk replay == in-memory plus
 # EBST compression > EAER (exp_replay), word-parallel kernel parity
 # plus the >= 3x median speedup floor (exp_hotpath), and the
-# scenario-matrix accuracy floors (exp_accuracy).
+# scenario-matrix accuracy floors (exp_accuracy). A final
+# `exp_fleet --overhead` pass gates the telemetry cost: instrumented
+# sequential throughput must stay within 3% (or 10 ms absolute) of the
+# uninstrumented twin, best-of-3.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -17,5 +20,8 @@ for exp in exp_fleet exp_server exp_replay exp_hotpath exp_accuracy; do
     echo "== smoke: ${exp} =="
     cargo run --release -p ebbiot_bench --bin "${exp}" -- --smoke
 done
+
+echo "== smoke: telemetry overhead gate =="
+cargo run --release -p ebbiot_bench --bin exp_fleet -- --overhead --cameras 4 --seconds 1
 
 echo "smoke_bench: all experiments passed"

@@ -20,6 +20,8 @@
 //!   spool layout and paced replay ([`ebbiot_store`])
 //! * [`server`] — the TCP ingestion server speaking the framed `EBWP`
 //!   wire protocol ([`ebbiot_server`])
+//! * [`telemetry`] — lock-free metrics: counters, gauges, log2-bucket
+//!   histograms, registry and text exposition ([`ebbiot_telemetry`])
 //! * [`eval`] — IoU precision/recall evaluation ([`ebbiot_eval`])
 //! * [`resource`] — the paper's analytic cost models ([`ebbiot_resource`])
 //! * [`linalg`] — the small dense linear algebra used by the KF
@@ -70,6 +72,7 @@ pub use ebbiot_resource as resource;
 pub use ebbiot_server as server;
 pub use ebbiot_sim as sim;
 pub use ebbiot_store as store;
+pub use ebbiot_telemetry as telemetry;
 
 /// The most common imports in one place.
 pub mod prelude {
@@ -80,8 +83,8 @@ pub mod prelude {
     pub use ebbiot_core::{
         BoxedTracker, DutyCycleModel, DynPipeline, EbbiotConfig, EbbiotPipeline, FrameInput,
         FrameResult, FrontEnd, OtConfig, OverlapTracker, Pipeline, PipelineOps, ProcessorModel,
-        RegionOfExclusion, RegionProposalNetwork, RpnMode, TrackBox, Tracker, TrackerInput,
-        TwoTimescaleConfig, TwoTimescalePipeline,
+        RegionOfExclusion, RegionProposalNetwork, RpnMode, StageTelemetry, TrackBox, Tracker,
+        TrackerInput, TwoTimescaleConfig, TwoTimescalePipeline,
     };
     pub use ebbiot_engine::{
         Engine, EngineConfig, EngineOutput, FleetOptions, FleetRun, FleetStream, Snapshot, StreamId,
@@ -95,7 +98,8 @@ pub mod prelude {
     pub use ebbiot_frame::{BinaryImage, BoundingBox, EbbiAccumulator, MedianFilter, PixelBox};
     pub use ebbiot_resource::{fig5_comparison, PaperParams, PipelineCost};
     pub use ebbiot_server::{
-        Frame, Hello, IngestServer, ServerConfig, Session, SessionSummary, WireError,
+        scrape_stats, Frame, Hello, IngestServer, ServerConfig, Session, SessionSummary,
+        StatsServer, WireError,
     };
     pub use ebbiot_sim::{
         spool_fleet, spool_recording, BackgroundNoise, DatasetPreset, DavisConfig, DavisSimulator,
@@ -106,4 +110,5 @@ pub mod prelude {
         ChunkReader, EngineReplay, FleetArchiver, FleetStore, PipelineReplay, RecordingWriter,
         ReplayMode, Replayer, StoreError, StoreOptions, StoreSummary, StoredCamera,
     };
+    pub use ebbiot_telemetry::{validate_exposition, Counter, Gauge, Histogram, Registry};
 }

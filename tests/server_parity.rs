@@ -114,6 +114,7 @@ fn archival_tee_round_trips_the_ingested_fleet() {
             queue_capacity: 8,
             archive_dir: Some(dir.clone()),
             archive_options: StoreOptions { chunk_events: 1024 },
+            ..ServerConfig::default()
         },
         server_factory(spec, config),
     )
@@ -186,5 +187,71 @@ fn malformed_sessions_fail_cleanly_and_leave_the_server_serving() {
     assert!(
         report.snapshot.streams.iter().all(|s| s.detached || s.finished),
         "no abandoned engine streams"
+    );
+}
+
+#[test]
+fn stats_endpoint_serves_live_metrics_during_ingestion() {
+    let fleet = fleet();
+    let config = serving_config(&fleet);
+    let spec = registry::find_backend("ebbiot").unwrap();
+    let server = IngestServer::bind(
+        "127.0.0.1:0",
+        ServerConfig {
+            workers: 2,
+            queue_capacity: 8,
+            stats_addr: Some("127.0.0.1:0".parse().unwrap()),
+            ..ServerConfig::default()
+        },
+        server_factory(spec, config),
+    )
+    .expect("bind server");
+    let stats_addr = server.stats_addr().expect("stats listener was requested");
+
+    // A scrape before any session: parseable, server families present.
+    let idle = ebbiot_server::scrape_stats(stats_addr).expect("scrape idle server");
+    assert!(validate_exposition(&idle).unwrap() > 0, "exposition must parse");
+    assert!(idle.contains("ebbiot_server_connections_total 0"));
+
+    stream_fleet(server.local_addr(), &fleet, 2048).expect("stream fleet");
+
+    // A live scrape after the fleet: every layer's families carry real
+    // observations. (Counter *values* are checked post-shutdown — the
+    // clients got FINISHED before the server-side session threads
+    // finished their bookkeeping, so live values may still move.)
+    let text = ebbiot_server::scrape_stats(stats_addr).expect("scrape busy server");
+    assert!(validate_exposition(&text).unwrap() > 0, "exposition must parse");
+    assert!(text.contains(&format!("ebbiot_server_connections_total {CAMERAS}")));
+    for family in [
+        "ebbiot_stage_duration_nanoseconds_count{stage=\"tracker\"}",
+        "ebbiot_engine_worker_busy_nanoseconds_total{worker=\"0\"}",
+        "ebbiot_engine_chunk_queue_wait_nanoseconds_count",
+        "ebbiot_engine_queue_depth_chunks_count",
+        "ebbiot_engine_collector_buffered_frames_count",
+    ] {
+        assert!(text.contains(family), "missing {family} in exposition:\n{text}");
+    }
+
+    // After shutdown all session threads have joined: the registry (the
+    // same Arc the listener rendered) now shows the settled totals.
+    let metrics = std::sync::Arc::clone(server.registry());
+    let report = server.shutdown();
+    let settled = metrics.render();
+    assert!(settled.contains("ebbiot_server_sessions_active 0"), "all sessions drained");
+    assert!(settled.contains("ebbiot_server_session_errors_total 0"));
+    // Stage telemetry aggregates across sessions: the tracker ran once
+    // per emitted frame, fleet-wide.
+    let frames: u64 = report.sessions.iter().map(|s| s.summary.frames).sum();
+    let needle = "ebbiot_stage_duration_nanoseconds_count{stage=\"tracker\"} ";
+    let count: u64 = settled
+        .lines()
+        .find_map(|l| l.strip_prefix(needle))
+        .expect("tracker stage count present")
+        .parse()
+        .unwrap();
+    assert_eq!(count, frames, "one tracker-stage observation per frame");
+    assert!(
+        ebbiot_server::scrape_stats(stats_addr).is_err(),
+        "stats listener is down after shutdown"
     );
 }
