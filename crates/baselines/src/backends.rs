@@ -9,8 +9,10 @@
 //! [`TrackerInput::Events`] back-ends) and the registry treat it exactly
 //! like the proposal-driven trackers.
 
-use ebbiot_core::{FrameInput, TrackBox, Tracker, TrackerInput};
-use ebbiot_events::{OpsCounter, SensorGeometry};
+use ebbiot_core::{
+    FrameInput, StateError, StateReader, StateWriter, TrackBox, Tracker, TrackerInput,
+};
+use ebbiot_events::{OpsCounter, SensorGeometry, Timestamp};
 use ebbiot_filters::{EventFilter, NnFilter};
 
 use crate::ebms::{EbmsConfig, EbmsTracker};
@@ -129,6 +131,75 @@ impl Tracker for NnEbmsTracker {
     fn reset_ops(&mut self) {
         self.filter.reset_ops();
         self.tracker.reset_ops();
+    }
+
+    fn save_state(&self) -> Vec<u8> {
+        let mut w = StateWriter::new();
+        w.put_u64(self.frames_processed as u64);
+        w.put_u64(self.events_seen);
+        w.put_u64(self.events_kept);
+        // NN-filter: ops plus the last-fire map, sparse-encoded (the map
+        // is almost entirely the "never fired" sentinel between bursts).
+        w.put_ops(self.filter.ops());
+        let last_fire = self.filter.last_fire();
+        w.put_u32(last_fire.len() as u32);
+        let fired = last_fire.iter().filter(|&&t| t != Timestamp::MAX).count();
+        w.put_u32(fired as u32);
+        for (index, &t) in last_fire.iter().enumerate() {
+            if t != Timestamp::MAX {
+                w.put_u32(index as u32);
+                w.put_u64(t);
+            }
+        }
+        // EBMS cluster pool, as an embedded blob.
+        w.put_bytes(&self.tracker.save_state());
+        w.finish()
+    }
+
+    fn load_state(&mut self, bytes: &[u8]) -> Result<(), StateError> {
+        let mut r = StateReader::new(bytes);
+        let frames_processed = usize::try_from(r.get_u64()?)
+            .map_err(|_| StateError::Invalid("frame count exceeds the address space"))?;
+        let events_seen = r.get_u64()?;
+        let events_kept = r.get_u64()?;
+        let filter_ops = r.get_ops()?;
+        let total_pixels = r.get_u32()? as usize;
+        if total_pixels != self.filter.last_fire().len() {
+            return Err(StateError::Invalid("last-fire map sized for a different geometry"));
+        }
+        let fired = r.get_u32()? as usize;
+        if fired > total_pixels {
+            return Err(StateError::Invalid("more fired pixels than the array holds"));
+        }
+        let mut entries = Vec::new();
+        for _ in 0..fired {
+            let index = r.get_u32()? as usize;
+            let t = r.get_u64()?;
+            if index >= total_pixels {
+                return Err(StateError::Invalid("last-fire index outside the pixel array"));
+            }
+            if t == Timestamp::MAX {
+                return Err(StateError::Invalid("last-fire entry uses the never-fired sentinel"));
+            }
+            entries.push((index, t));
+        }
+        let ebms_blob = r.get_bytes()?;
+        // Parse the embedded blob into a scratch tracker before touching
+        // anything, so a bad EBMS section leaves the whole back-end as
+        // it was.
+        let mut ebms = self.tracker.clone();
+        ebms.load_state(ebms_blob)?;
+        r.finish()?;
+        self.frames_processed = frames_processed;
+        self.events_seen = events_seen;
+        self.events_kept = events_kept;
+        self.filter.reset();
+        for (index, t) in entries {
+            self.filter.set_last_fire(index, t);
+        }
+        self.filter.restore_ops(filter_ops);
+        self.tracker = ebms;
+        Ok(())
     }
 }
 

@@ -273,6 +273,92 @@ impl EbmsTracker {
     pub fn memory_bits(&self) -> u64 {
         408 * self.config.max_clusters as u64 + 56
     }
+
+    /// Serializes the cluster pool with the session-checkpoint codec.
+    /// The composite `nn-ebms` back-end embeds this blob in its own
+    /// [`Tracker::save_state`](ebbiot_core::Tracker::save_state) payload.
+    #[must_use]
+    pub fn save_state(&self) -> Vec<u8> {
+        let mut w = ebbiot_core::StateWriter::new();
+        w.put_ops(&self.ops);
+        w.put_u64(self.next_id);
+        w.put_u32(self.clusters.len() as u32);
+        for c in &self.clusters {
+            w.put_u64(c.id);
+            w.put_f32(c.cx);
+            w.put_f32(c.cy);
+            w.put_u32(c.events);
+            w.put_u64(c.last_event_t);
+            w.put_u32(c.positions.len() as u32);
+            for &(t, x, y) in &c.positions {
+                w.put_u64(t);
+                w.put_f32(x);
+                w.put_f32(y);
+            }
+            w.put_u64(c.last_history_t);
+            w.put_f32(c.vx);
+            w.put_f32(c.vy);
+        }
+        w.finish()
+    }
+
+    /// Restores a pool serialized by [`Self::save_state`]. Parses fully
+    /// before committing: on any error the tracker is untouched.
+    ///
+    /// # Errors
+    ///
+    /// [`ebbiot_core::StateError`] on truncated, trailing, or
+    /// structurally impossible bytes (cluster or history counts above
+    /// the configured capacities).
+    pub fn load_state(&mut self, bytes: &[u8]) -> Result<(), ebbiot_core::StateError> {
+        let mut r = ebbiot_core::StateReader::new(bytes);
+        let ops = r.get_ops()?;
+        let next_id = r.get_u64()?;
+        let count = r.get_u32()? as usize;
+        if count > self.config.max_clusters {
+            return Err(ebbiot_core::StateError::Invalid("more clusters than the pool capacity"));
+        }
+        let mut clusters = Vec::new();
+        for _ in 0..count {
+            let id = r.get_u64()?;
+            let cx = r.get_f32()?;
+            let cy = r.get_f32()?;
+            let events = r.get_u32()?;
+            let last_event_t = r.get_u64()?;
+            let n_positions = r.get_u32()? as usize;
+            if n_positions > self.config.history {
+                return Err(ebbiot_core::StateError::Invalid(
+                    "more history positions than the configured window",
+                ));
+            }
+            let mut positions = Vec::new();
+            for _ in 0..n_positions {
+                let t = r.get_u64()?;
+                let x = r.get_f32()?;
+                let y = r.get_f32()?;
+                positions.push((t, x, y));
+            }
+            let last_history_t = r.get_u64()?;
+            let vx = r.get_f32()?;
+            let vy = r.get_f32()?;
+            clusters.push(Cluster {
+                id,
+                cx,
+                cy,
+                events,
+                last_event_t,
+                positions,
+                last_history_t,
+                vx,
+                vy,
+            });
+        }
+        r.finish()?;
+        self.ops = ops;
+        self.next_id = next_id;
+        self.clusters = clusters;
+        Ok(())
+    }
 }
 
 /// Least-squares linear regression of position on time, in pixels/second.

@@ -323,6 +323,65 @@ impl ebbiot_core::Tracker for KalmanTracker {
     fn reset_ops(&mut self) {
         self.ops.reset();
     }
+
+    fn save_state(&self) -> Vec<u8> {
+        let mut w = ebbiot_core::StateWriter::new();
+        w.put_ops(&self.ops);
+        w.put_u64(self.next_id);
+        w.put_u32(self.tracks.len() as u32);
+        for t in &self.tracks {
+            w.put_u64(t.id);
+            for i in 0..4 {
+                w.put_f64(t.x[i]);
+            }
+            for r in 0..4 {
+                for c in 0..4 {
+                    w.put_f64(t.p[(r, c)]);
+                }
+            }
+            w.put_f32(t.w);
+            w.put_f32(t.h);
+            w.put_u32(t.hits);
+            w.put_u32(t.misses);
+        }
+        w.finish()
+    }
+
+    fn load_state(&mut self, bytes: &[u8]) -> Result<(), ebbiot_core::StateError> {
+        // The model matrices (f, q, r, h_mat) are functions of the config
+        // and are not serialized — only the per-track filter state is.
+        let mut r = ebbiot_core::StateReader::new(bytes);
+        let ops = r.get_ops()?;
+        let next_id = r.get_u64()?;
+        let count = r.get_u32()? as usize;
+        if count > self.config.max_tracks {
+            return Err(ebbiot_core::StateError::Invalid("more tracks than the pool capacity"));
+        }
+        let mut tracks = Vec::new();
+        for _ in 0..count {
+            let id = r.get_u64()?;
+            let mut x = Vector::<4>::zeros();
+            for i in 0..4 {
+                x[i] = r.get_f64()?;
+            }
+            let mut p = Matrix::<4, 4>::zeros();
+            for row in 0..4 {
+                for col in 0..4 {
+                    p[(row, col)] = r.get_f64()?;
+                }
+            }
+            let w = r.get_f32()?;
+            let h = r.get_f32()?;
+            let hits = r.get_u32()?;
+            let misses = r.get_u32()?;
+            tracks.push(KfTrack { id, x, p, w, h, hits, misses });
+        }
+        r.finish()?;
+        self.ops = ops;
+        self.next_id = next_id;
+        self.tracks = tracks;
+        Ok(())
+    }
 }
 
 #[cfg(test)]

@@ -32,4 +32,6 @@ pub use backends::NnEbmsTracker;
 pub use ebms::{EbmsConfig, EbmsTracker};
 pub use kalman::{KalmanConfig, KalmanTracker};
 pub use pipelines::{EbbiKfPipeline, NnEbmsPipeline};
-pub use registry::{backend_names, build_pipeline, find_backend, BackendSpec, BACKENDS};
+pub use registry::{
+    backend_names, build_pipeline, find_backend, restore_pipeline, BackendSpec, BACKENDS,
+};

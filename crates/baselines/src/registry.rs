@@ -7,7 +7,9 @@
 //! a tracker to the comparison set means adding one entry here — the
 //! eval and bench layers pick it up automatically.
 
-use ebbiot_core::{BoxedTracker, DynPipeline, EbbiotConfig, OverlapTracker, Pipeline};
+use ebbiot_core::{
+    BoxedTracker, DynPipeline, EbbiotConfig, OverlapTracker, Pipeline, SessionState, StateError,
+};
 
 use crate::{
     backends::NnEbmsTracker,
@@ -85,6 +87,25 @@ pub fn build_pipeline(name: &str, config: EbbiotConfig) -> Option<DynPipeline> {
 #[must_use]
 pub fn backend_names() -> Vec<&'static str> {
     BACKENDS.iter().map(|spec| spec.name).collect()
+}
+
+/// Rebuilds a type-erased pipeline from a [`SessionState`] checkpoint,
+/// resolving the back-end by the name recorded in the state. The restored
+/// pipeline resumes bit-identically to the uninterrupted session.
+///
+/// # Errors
+///
+/// [`StateError::UnknownBackend`] when the state names a back-end not in
+/// [`BACKENDS`], or any [`StateError`] from
+/// [`Pipeline::restore`] on corrupt tracker bytes.
+pub fn restore_pipeline(
+    config: EbbiotConfig,
+    state: &SessionState,
+) -> Result<DynPipeline, StateError> {
+    let spec = find_backend(&state.backend)
+        .ok_or_else(|| StateError::UnknownBackend(state.backend.clone()))?;
+    let tracker = (spec.build)(&config);
+    Pipeline::restore(config, tracker, state)
 }
 
 #[cfg(test)]

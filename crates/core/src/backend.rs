@@ -79,6 +79,29 @@ pub trait Tracker {
 
     /// Resets the op counter.
     fn reset_ops(&mut self);
+
+    /// Serializes the back-end's complete mutable state (track set,
+    /// per-track dynamics, id allocator, ops tallies) into an opaque
+    /// byte blob [`load_state`](Tracker::save_state) restores exactly.
+    /// Floats are encoded as IEEE-754 bit patterns, so a save → load
+    /// round trip is bit-identical — the checkpoint/restore parity
+    /// suite drives every back-end through this pair.
+    fn save_state(&self) -> Vec<u8>;
+
+    /// Restores state previously produced by
+    /// [`save_state`](Tracker::save_state) on a tracker of the same
+    /// back-end and geometry.
+    ///
+    /// Implementations parse `bytes` fully before committing anything:
+    /// on error the tracker is left exactly as it was (never
+    /// partially restored), and hostile bytes must surface as a
+    /// [`StateError`](crate::StateError), never a panic.
+    ///
+    /// # Errors
+    ///
+    /// [`StateError`](crate::StateError) on truncated, trailing or
+    /// structurally invalid bytes.
+    fn load_state(&mut self, bytes: &[u8]) -> Result<(), crate::StateError>;
 }
 
 /// Owned, type-erased back-end — what the pipeline registry hands out.
@@ -111,5 +134,13 @@ impl Tracker for BoxedTracker {
 
     fn reset_ops(&mut self) {
         (**self).reset_ops();
+    }
+
+    fn save_state(&self) -> Vec<u8> {
+        (**self).save_state()
+    }
+
+    fn load_state(&mut self, bytes: &[u8]) -> Result<(), crate::StateError> {
+        (**self).load_state(bytes)
     }
 }

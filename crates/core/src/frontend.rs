@@ -135,6 +135,24 @@ impl FrontEnd {
         FrontEndOps { ebbi: *self.accumulator.ops(), median: *self.median.ops(), rpn }
     }
 
+    /// The four raw per-block op counters `[ebbi, median, rpn, roe]`,
+    /// **before** the ROE tally is absorbed into the RPN's — the exact
+    /// form a checkpoint must preserve so a restored front end reports
+    /// identical [`Self::ops`] forever after.
+    #[must_use]
+    pub fn raw_ops(&self) -> [OpsCounter; crate::state::FRONTEND_OPS_COUNTERS] {
+        [*self.accumulator.ops(), *self.median.ops(), *self.rpn.ops(), self.roe_ops]
+    }
+
+    /// Restores the four raw per-block op counters saved by
+    /// [`Self::raw_ops`].
+    pub fn restore_raw_ops(&mut self, ops: &[OpsCounter; crate::state::FRONTEND_OPS_COUNTERS]) {
+        self.accumulator.restore_ops(ops[0]);
+        self.median.restore_ops(ops[1]);
+        self.rpn.restore_ops(ops[2]);
+        self.roe_ops = ops[3];
+    }
+
     /// Resets all op counters.
     pub fn reset_ops(&mut self) {
         self.accumulator.reset_ops();

@@ -25,6 +25,10 @@
 //!   (processor sleeps between `tF` interrupts; the sensor is the memory).
 //! * [`two_timescale`] — the conclusion's future-work extension: a second
 //!   long-exposure frame stream for slow, small objects (humans).
+//! * [`state`] — session checkpoint state ([`SessionState`]) and the
+//!   byte codec behind [`Tracker::save_state`] /
+//!   [`Tracker::load_state`]; `ebbiot_store` frames it on disk as the
+//!   versioned `EBSS` snapshot format (ARCHITECTURE.md §8).
 //!
 //! # Example
 //!
@@ -52,6 +56,7 @@ pub mod frontend;
 pub mod pipeline;
 pub mod roe;
 pub mod rpn;
+pub mod state;
 pub mod telemetry;
 pub mod tracker;
 pub mod two_timescale;
@@ -63,6 +68,9 @@ pub use frontend::{FrontEnd, FrontEndOps};
 pub use pipeline::{DynPipeline, EbbiotPipeline, FrameResult, Pipeline, PipelineOps, TrackBox};
 pub use roe::RegionOfExclusion;
 pub use rpn::{RegionProposalNetwork, RpnMode};
+pub use state::{
+    SessionState, StateError, StateReader, StateWriter, TwoTimescaleState, FRONTEND_OPS_COUNTERS,
+};
 pub use telemetry::{StageTelemetry, STAGES, STAGE_DURATION_METRIC};
 pub use tracker::{OtConfig, OverlapTracker, Track};
 pub use two_timescale::{TwoTimescaleConfig, TwoTimescalePipeline};

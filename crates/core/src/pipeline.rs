@@ -65,6 +65,35 @@ pub struct FrameResult {
     pub num_events: usize,
 }
 
+impl FrameResult {
+    /// Bit-exact equality: every float is compared as its IEEE-754 bit
+    /// pattern (`f32::to_bits`), not approximately and not via `==`
+    /// (which would equate `0.0`/`-0.0` and never match NaN). This is
+    /// the comparison the checkpoint/restore parity suites use, so
+    /// "restored output equals uninterrupted output" means identical
+    /// bytes, not merely close values.
+    #[must_use]
+    pub fn bits_eq(&self, other: &Self) -> bool {
+        let track_eq = |a: &TrackBox, b: &TrackBox| {
+            a.track_id == b.track_id
+                && a.bbox.x.to_bits() == b.bbox.x.to_bits()
+                && a.bbox.y.to_bits() == b.bbox.y.to_bits()
+                && a.bbox.w.to_bits() == b.bbox.w.to_bits()
+                && a.bbox.h.to_bits() == b.bbox.h.to_bits()
+                && a.velocity.0.to_bits() == b.velocity.0.to_bits()
+                && a.velocity.1.to_bits() == b.velocity.1.to_bits()
+                && a.occluded == b.occluded
+        };
+        self.index == other.index
+            && self.t_start == other.t_start
+            && self.duration == other.duration
+            && self.num_proposals == other.num_proposals
+            && self.num_events == other.num_events
+            && self.tracks.len() == other.tracks.len()
+            && self.tracks.iter().zip(&other.tracks).all(|(a, b)| track_eq(a, b))
+    }
+}
+
 /// Aggregated per-block operation counts.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct PipelineOps {
@@ -415,6 +444,71 @@ impl<T: Tracker> Pipeline<T> {
         }
     }
 
+    /// Captures the session's complete mutable state between two `push`
+    /// calls: frame cursors, the buffered (not yet flushed) window
+    /// events, the push watermark, the raw front-end ops counters and
+    /// the tracker's serialized state.
+    ///
+    /// The front end carries no frame state *between* frames (every
+    /// readout clears the accumulator), so this checkpoint is total:
+    /// [`Pipeline::restore`] followed by pushing the remaining events
+    /// yields output bit-identical to the uninterrupted run —
+    /// `tests/checkpoint_parity.rs` proves it for every registered
+    /// back-end, chunk size and checkpoint position. Telemetry handles
+    /// are observation-only and deliberately not captured.
+    #[must_use]
+    pub fn checkpoint(&self) -> crate::SessionState {
+        crate::SessionState {
+            backend: self.tracker.name().to_string(),
+            frames_processed: self.frames_processed as u64,
+            next_index: self.next_index as u64,
+            active_tracker_sum: self.active_tracker_sum,
+            pending: self.pending.clone(),
+            last_pushed_t: self.last_pushed_t,
+            frontend_ops: self.frontend.as_ref().map(FrontEnd::raw_ops),
+            tracker: self.tracker.save_state(),
+        }
+    }
+
+    /// Rebuilds a pipeline from a configuration, a freshly constructed
+    /// tracker of the same back-end, and a [`checkpoint`](Self::checkpoint)
+    /// (possibly round-tripped through the on-disk `EBSS` form). The
+    /// registry offers `restore_pipeline` for the type-erased case where
+    /// the back-end is looked up from `state.backend`.
+    ///
+    /// # Errors
+    ///
+    /// [`StateError::BackendMismatch`](crate::StateError) when `tracker`
+    /// is not the back-end that saved the state, or any
+    /// [`StateError`](crate::StateError) from decoding the tracker blob.
+    pub fn restore(
+        config: EbbiotConfig,
+        tracker: T,
+        state: &crate::SessionState,
+    ) -> Result<Self, crate::StateError> {
+        if tracker.name() != state.backend {
+            return Err(crate::StateError::BackendMismatch {
+                expected: tracker.name().to_string(),
+                found: state.backend.clone(),
+            });
+        }
+        let mut pipeline = Self::with_tracker(config, tracker);
+        pipeline.tracker.load_state(&state.tracker)?;
+        match (&mut pipeline.frontend, &state.frontend_ops) {
+            (Some(frontend), Some(ops)) => frontend.restore_raw_ops(ops),
+            (None, None) => {}
+            _ => return Err(crate::StateError::Invalid("front-end presence mismatch")),
+        }
+        pipeline.frames_processed = usize::try_from(state.frames_processed)
+            .map_err(|_| crate::StateError::Invalid("frame counter exceeds usize"))?;
+        pipeline.next_index = usize::try_from(state.next_index)
+            .map_err(|_| crate::StateError::Invalid("window cursor exceeds usize"))?;
+        pipeline.active_tracker_sum = state.active_tracker_sum;
+        pipeline.pending = state.pending.clone();
+        pipeline.last_pushed_t = state.last_pushed_t;
+        Ok(pipeline)
+    }
+
     /// Resets tracker state, streaming state and counters for a new
     /// recording (keeps the configuration).
     pub fn reset(&mut self) {
@@ -673,6 +767,57 @@ mod tests {
         let mut p = pipeline();
         let _ = p.push(&[Event::on(10, 10, 70_000)]);
         let _ = p.push(&[Event::on(10, 10, 69_000)]);
+    }
+
+    #[test]
+    fn checkpoint_restore_resumes_bit_identically() {
+        let events = streaming_fixture();
+        let span = 8 * 66_000;
+        let expected = pipeline().process_recording(&events, span);
+
+        // Cut at an arbitrary event index (not a frame boundary): the
+        // pending window rides along in the checkpoint.
+        for cut in [0, 1, events.len() / 3, events.len() - 1, events.len()] {
+            let mut first = pipeline();
+            let mut got = first.push(&events[..cut]);
+            let state = first.checkpoint();
+            drop(first);
+
+            let tracker = OverlapTracker::new(
+                SensorGeometry::davis240(),
+                EbbiotConfig::paper_default(SensorGeometry::davis240()).ot,
+            );
+            let mut resumed = Pipeline::restore(
+                EbbiotConfig::paper_default(SensorGeometry::davis240()),
+                tracker,
+                &state,
+            )
+            .unwrap();
+            got.extend(resumed.push(&events[cut..]));
+            got.extend(resumed.finish(span));
+            assert_eq!(got, expected, "cut at event {cut}");
+            assert!(
+                got.iter().zip(&expected).all(|(a, b)| a.bits_eq(b)),
+                "bit-pattern divergence at cut {cut}"
+            );
+        }
+    }
+
+    #[test]
+    fn restore_rejects_wrong_backend_and_hostile_tracker_bytes() {
+        let state = pipeline().checkpoint();
+        let mut wrong = state.clone();
+        wrong.backend = "ebbi-kf".into();
+        let cfg = EbbiotConfig::paper_default(SensorGeometry::davis240());
+        let tracker = OverlapTracker::new(SensorGeometry::davis240(), cfg.ot);
+        let err = Pipeline::restore(cfg.clone(), tracker, &wrong).unwrap_err();
+        assert!(matches!(err, crate::StateError::BackendMismatch { .. }), "{err}");
+
+        let mut truncated = state.clone();
+        truncated.tracker.pop();
+        let tracker = OverlapTracker::new(SensorGeometry::davis240(), cfg.ot);
+        let err = Pipeline::restore(cfg, tracker, &truncated).unwrap_err();
+        assert_eq!(err, crate::StateError::Truncated);
     }
 
     #[test]

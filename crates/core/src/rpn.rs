@@ -287,6 +287,12 @@ impl RegionProposalNetwork {
         &self.ops
     }
 
+    /// Overwrites the op counter with a previously saved tally — the
+    /// session-checkpoint restore path.
+    pub fn restore_ops(&mut self, ops: OpsCounter) {
+        self.ops = ops;
+    }
+
     /// Resets the op counter.
     pub fn reset_ops(&mut self) {
         self.ops.reset();

@@ -437,6 +437,57 @@ impl crate::backend::Tracker for OverlapTracker {
     fn reset_ops(&mut self) {
         self.ops.reset();
     }
+
+    fn save_state(&self) -> Vec<u8> {
+        let mut w = crate::StateWriter::new();
+        w.put_ops(&self.ops);
+        w.put_u64(self.next_id);
+        w.put_u32(self.tracks.len() as u32);
+        for t in &self.tracks {
+            w.put_u64(t.id);
+            w.put_f32(t.bbox.x);
+            w.put_f32(t.bbox.y);
+            w.put_f32(t.bbox.w);
+            w.put_f32(t.bbox.h);
+            w.put_f32(t.vx);
+            w.put_f32(t.vy);
+            w.put_u32(t.age);
+            w.put_u32(t.hits);
+            w.put_u32(t.misses);
+            w.put_bool(t.occluded);
+        }
+        w.finish()
+    }
+
+    fn load_state(&mut self, bytes: &[u8]) -> Result<(), crate::StateError> {
+        // Parse everything into temporaries first so a hostile blob can
+        // never leave this tracker half-restored.
+        let mut r = crate::StateReader::new(bytes);
+        let ops = r.get_ops()?;
+        let next_id = r.get_u64()?;
+        let count = r.get_u32()?;
+        let mut tracks = Vec::new();
+        for _ in 0..count {
+            tracks.push(Track {
+                id: r.get_u64()?,
+                bbox: BoundingBox::new(r.get_f32()?, r.get_f32()?, r.get_f32()?, r.get_f32()?),
+                vx: r.get_f32()?,
+                vy: r.get_f32()?,
+                age: r.get_u32()?,
+                hits: r.get_u32()?,
+                misses: r.get_u32()?,
+                occluded: r.get_bool()?,
+            });
+        }
+        r.finish()?;
+        if tracks.len() > self.config.max_trackers {
+            return Err(crate::StateError::Invalid("more tracks than the pool capacity"));
+        }
+        self.ops = ops;
+        self.next_id = next_id;
+        self.tracks = tracks;
+        Ok(())
+    }
 }
 
 #[cfg(test)]

@@ -20,7 +20,8 @@ use ebbiot_events::{Event, Micros, Timestamp};
 
 use crate::{
     config::EbbiotConfig,
-    pipeline::{EbbiotPipeline, FrameResult, TrackBox},
+    pipeline::{EbbiotPipeline, FrameResult, Pipeline, TrackBox},
+    tracker::OverlapTracker,
 };
 
 /// Configuration of the two-timescale extension.
@@ -226,6 +227,82 @@ impl TwoTimescalePipeline {
     pub const fn slow_pipeline(&self) -> &EbbiotPipeline {
         &self.slow
     }
+
+    /// Captures the composite's complete mutable state: both
+    /// sub-pipeline checkpoints plus the slow-path phase (window ring,
+    /// stride position, held slow tracks) and the composite's own push
+    /// buffer. [`Self::restore`] + pushing the remaining events is
+    /// bit-identical to the uninterrupted run, even for checkpoints
+    /// landing between a fast and a slow frame boundary — the
+    /// two-timescale proptests in `crates/core/tests/proptests.rs`
+    /// cover exactly that.
+    #[must_use]
+    pub fn checkpoint(&self) -> crate::TwoTimescaleState {
+        crate::TwoTimescaleState {
+            fast: self.fast.checkpoint(),
+            slow: self.slow.checkpoint(),
+            recent_windows: self.recent_windows.iter().cloned().collect(),
+            frames_since_slow: self.frames_since_slow as u64,
+            held_slow_tracks: self.held_slow_tracks.clone(),
+            pending: self.pending.clone(),
+            last_pushed_t: self.last_pushed_t,
+        }
+    }
+
+    /// Rebuilds a two-timescale pipeline from a configuration and a
+    /// [`checkpoint`](Self::checkpoint).
+    ///
+    /// # Errors
+    ///
+    /// Any [`StateError`](crate::StateError) from restoring either
+    /// sub-pipeline, or [`StateError::Invalid`](crate::StateError) when
+    /// the window ring exceeds `slow_factor`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an invalid `config` (see [`Self::new`]).
+    pub fn restore(
+        config: TwoTimescaleConfig,
+        state: &crate::TwoTimescaleState,
+    ) -> Result<Self, crate::StateError> {
+        let mut pipeline = Self::new(config);
+        if state.recent_windows.len() > pipeline.config.slow_factor {
+            return Err(crate::StateError::Invalid("window ring exceeds slow_factor"));
+        }
+        let fast_cfg = pipeline.fast.config().clone();
+        let slow_cfg = pipeline.slow.config().clone();
+        pipeline.fast = Pipeline::restore(
+            fast_cfg,
+            OverlapTracker::new(pipeline.config.fast.geometry, pipeline.config.fast.ot),
+            &state.fast,
+        )?;
+        pipeline.slow = Pipeline::restore(
+            slow_cfg,
+            OverlapTracker::new(pipeline.config.fast.geometry, pipeline.config.fast.ot),
+            &state.slow,
+        )?;
+        pipeline.recent_windows = state.recent_windows.iter().cloned().collect();
+        pipeline.frames_since_slow = usize::try_from(state.frames_since_slow)
+            .map_err(|_| crate::StateError::Invalid("stride phase exceeds usize"))?;
+        pipeline.held_slow_tracks = state.held_slow_tracks.clone();
+        pipeline.pending = state.pending.clone();
+        pipeline.last_pushed_t = state.last_pushed_t;
+        Ok(pipeline)
+    }
+
+    /// Resets both sub-pipelines and all composite state (window ring,
+    /// stride phase, held tracks, push buffer) for a new recording,
+    /// keeping the configuration — the composite counterpart of
+    /// [`Pipeline::reset`](crate::Pipeline::reset).
+    pub fn reset(&mut self) {
+        self.fast.reset();
+        self.slow.reset();
+        self.recent_windows.clear();
+        self.frames_since_slow = 0;
+        self.held_slow_tracks.clear();
+        self.pending.clear();
+        self.last_pushed_t = None;
+    }
 }
 
 #[cfg(test)]
@@ -352,6 +429,41 @@ mod tests {
         assert_eq!(rest.len(), 1);
         assert_eq!(rest[0].fast.index, 1);
         assert_eq!(rest[0].fast.num_events, walker_strip(1).len());
+    }
+
+    #[test]
+    fn checkpoint_between_fast_and_slow_boundaries_resumes_bit_identically() {
+        let mut events: Vec<Event> = (0..16).flat_map(walker_strip).collect();
+        ebbiot_events::stream::sort_by_time(&mut events);
+        let span = 16 * 66_000;
+        let expected = TwoTimescalePipeline::new(config()).process_recording(&events, span);
+
+        // Cut mid-stride: after 5 fast frames' events (stride 4), the
+        // slow phase is 1 frame into its next stride.
+        let cut = events.iter().position(|e| e.t >= 5 * 66_000).unwrap();
+        let mut first = TwoTimescalePipeline::new(config());
+        let mut got = first.push(&events[..cut]);
+        let state = first.checkpoint();
+        drop(first);
+
+        let mut resumed = TwoTimescalePipeline::restore(config(), &state).unwrap();
+        got.extend(resumed.push(&events[cut..]));
+        got.extend(resumed.finish(span));
+        assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn reset_matches_a_fresh_composite() {
+        let mut events: Vec<Event> = (0..12).flat_map(walker_strip).collect();
+        ebbiot_events::stream::sort_by_time(&mut events);
+        let span = 12 * 66_000;
+
+        let mut reused = TwoTimescalePipeline::new(config());
+        let _ = reused.process_recording(&events, span);
+        reused.reset();
+        let after_reset = reused.process_recording(&events, span);
+        let fresh = TwoTimescalePipeline::new(config()).process_recording(&events, span);
+        assert_eq!(after_reset, fresh);
     }
 
     #[test]

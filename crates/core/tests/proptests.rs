@@ -5,7 +5,7 @@
 use ebbiot_core::{
     rpn::{RegionProposalNetwork, RpnConfig},
     tracker::{OtConfig, OverlapTracker},
-    EbbiotConfig, EbbiotPipeline, RpnMode,
+    EbbiotConfig, EbbiotPipeline, RpnMode, TwoTimescaleConfig, TwoTimescalePipeline,
 };
 use ebbiot_events::{Event, SensorGeometry};
 use ebbiot_frame::{BinaryImage, BoundingBox, PixelBox};
@@ -92,6 +92,16 @@ fn stream_in_chunks(
     out.extend(pipeline.push(&events[offset..]));
     out.extend(pipeline.finish(span_us));
     out
+}
+
+/// Paper-extension two-timescale composite over the same small
+/// geometry: slow exposure = 8 fast frames, re-proposed every 4.
+fn two_timescale_config() -> TwoTimescaleConfig {
+    TwoTimescaleConfig::paper_extension(EbbiotConfig::paper_default(SensorGeometry::new(SW, SH)))
+}
+
+fn two_timescale_pipeline() -> TwoTimescalePipeline {
+    TwoTimescalePipeline::new(two_timescale_config())
 }
 
 fn arb_proposals() -> impl Strategy<Value = Vec<BoundingBox>> {
@@ -258,6 +268,63 @@ proptest! {
         } else {
             prop_assert_eq!(streamed.len(), 1, "empty stream pads to the span");
         }
+    }
+
+    // -- two-timescale composite: chunking and checkpoint invariance --
+
+    #[test]
+    fn two_timescale_chunked_push_matches_batch(
+        events in arb_stream_events(),
+        sizes in proptest::collection::vec(0usize..40, 0..24),
+        span_sel in 0u64..3,
+    ) {
+        // Same chunking-invariance contract as the plain pipeline, for
+        // the fast/slow composite: arbitrary chunk sizes (empty pushes
+        // included) never change the output.
+        let span_us = match span_sel {
+            0 => 0,
+            1 => 2 * FRAME_US,
+            _ => MAX_FRAMES * FRAME_US + FRAME_US / 2,
+        };
+        let expected = two_timescale_pipeline().process_recording(&events, span_us);
+        let mut pipeline = two_timescale_pipeline();
+        let mut streamed = Vec::new();
+        let mut offset = 0;
+        for &size in &sizes {
+            let take = size.min(events.len() - offset);
+            streamed.extend(pipeline.push(&events[offset..offset + take]));
+            offset += take;
+        }
+        streamed.extend(pipeline.push(&events[offset..]));
+        streamed.extend(pipeline.finish(span_us));
+        prop_assert_eq!(streamed, expected);
+    }
+
+    #[test]
+    fn two_timescale_checkpoint_anywhere_matches_uninterrupted(
+        events in arb_stream_events(),
+        cut_seed in any::<usize>(),
+    ) {
+        // Checkpoint at an arbitrary event position — in particular
+        // between a fast frame boundary and the next slow exposure
+        // boundary (slow_factor = 8 fast frames, restarted every
+        // slow_stride = 4), where the composite holds both a partial
+        // fast window and a partial slow accumulation — and resume from
+        // the restored state: output must equal the uninterrupted run,
+        // and re-checkpointing must reproduce the state exactly.
+        let span_us = MAX_FRAMES * FRAME_US;
+        let expected = two_timescale_pipeline().process_recording(&events, span_us);
+        let cut = cut_seed % (events.len() + 1);
+        let mut severed = two_timescale_pipeline();
+        let mut streamed = severed.push(&events[..cut]);
+        let state = severed.checkpoint();
+        drop(severed);
+        let mut resumed = TwoTimescalePipeline::restore(two_timescale_config(), &state)
+            .expect("checkpoint restores");
+        prop_assert_eq!(resumed.checkpoint(), state, "double checkpoint diverged at {}", cut);
+        streamed.extend(resumed.push(&events[cut..]));
+        streamed.extend(resumed.finish(span_us));
+        prop_assert_eq!(streamed, expected);
     }
 
     #[test]

@@ -260,6 +260,41 @@ enum Job<T: Tracker> {
     Chunk(usize, Vec<Event>, Instant),
     Finish(usize, Micros),
     Detach(usize),
+    /// Checkpoint the stream's pipeline and send its [`SessionState`]
+    /// back through the channel — the worker half of
+    /// [`Engine::detach_with_state`].
+    DetachWithState(usize, Sender<ebbiot_core::SessionState>),
+}
+
+/// Per-stream router/collector totals, carried across an
+/// [`Engine::detach_with_state`] → [`Engine::attach_with_state`]
+/// hand-off so a resumed session's statistics continue from where the
+/// severed one stopped instead of restarting at zero.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StreamTotals {
+    /// Events accepted by the router.
+    pub events_in: u64,
+    /// Chunks accepted by the router.
+    pub chunks_in: u64,
+    /// Frames emitted by the pipeline.
+    pub frames_out: u64,
+    /// Confirmed track boxes reported.
+    pub tracks_out: u64,
+}
+
+/// Everything [`Engine::detach_with_state`] hands back: the checkpoint,
+/// the stream's running totals, and any frames not yet drained with
+/// [`Engine::take_results`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct SessionHandoff {
+    /// The pipeline's checkpoint, ready for
+    /// [`Engine::attach_with_state`] (same or another engine) or an
+    /// `EBSS` snapshot on disk.
+    pub state: ebbiot_core::SessionState,
+    /// The stream's router/collector totals at hand-off.
+    pub totals: StreamTotals,
+    /// Frames emitted but not yet drained, in emission order.
+    pub frames: Vec<FrameResult>,
 }
 
 /// Poisons every stream gate when a worker thread unwinds, so producers
@@ -413,13 +448,35 @@ impl<T: Tracker + Send + 'static> Engine<T> {
     /// stream per accepted connection and detaches it when the session
     /// ends.
     pub fn attach(&self, pipeline: Pipeline<T>) -> StreamId {
+        self.attach_inner(pipeline, StreamTotals::default())
+    }
+
+    /// Like [`Self::attach`], but resumes a checkpointed session: the
+    /// pipeline (restored via `Pipeline::restore` or handed over live
+    /// by [`Self::detach_with_state`]) picks up at its checkpoint, and
+    /// the new stream's counters continue from `totals` instead of
+    /// zero — so fleet statistics survive the hand-off. The same FIFO
+    /// argument as `attach` makes this safe on a running engine.
+    pub fn attach_with_state(&self, pipeline: Pipeline<T>, totals: StreamTotals) -> StreamId {
+        self.attach_inner(pipeline, totals)
+    }
+
+    fn attach_inner(&self, pipeline: Pipeline<T>, totals: StreamTotals) -> StreamId {
         let _guard = lock(&self.attach_lock);
+        let active_trackers = pipeline.active_trackers();
         let id = {
             let mut slots = self.streams.slots.write().unwrap_or_else(PoisonError::into_inner);
             let name = StreamId(slots.len()).to_string();
             slots.push(Arc::new(StreamState {
                 gate: ChunkGate::new(self.config.queue_capacity),
-                counters: Mutex::new(StreamCounters::default()),
+                counters: Mutex::new(StreamCounters {
+                    events_in: totals.events_in,
+                    chunks_in: totals.chunks_in,
+                    frames_out: totals.frames_out,
+                    tracks_out: totals.tracks_out,
+                    active_trackers,
+                    ..StreamCounters::default()
+                }),
                 progress: Condvar::new(),
                 results: Mutex::new(Vec::new()),
                 telemetry: StreamTelemetry::register(self.telemetry.registry(), &name),
@@ -590,6 +647,54 @@ impl<T: Tracker + Send + 'static> Engine<T> {
         remaining
     }
 
+    /// Checkpoints and retires a **running** stream: blocks until the
+    /// pinned worker has drained every chunk already pushed, then
+    /// freezes the pipeline into a
+    /// [`SessionState`](ebbiot_core::SessionState) and returns it with
+    /// the stream's totals and undrained frames. No `finish_stream`
+    /// happens — the open window rides along inside the state, so a
+    /// later [`Self::attach_with_state`] (same engine, another engine,
+    /// or another process via an `EBSS` snapshot) resumes bit-
+    /// identically to a never-interrupted run.
+    ///
+    /// Race-freedom comes from the FIFO worker queues: the hand-off job
+    /// is enqueued behind every accepted chunk on the stream's pinned
+    /// worker, so the checkpoint observes all of them and no chunk can
+    /// arrive after it (the slot is closed to producers first).
+    ///
+    /// # Panics
+    ///
+    /// Panics on an unknown stream, after [`Self::finish_stream`] (a
+    /// finished stream has nothing live to hand over — use
+    /// [`Self::detach`]), on a second detach, or when a worker has
+    /// failed.
+    pub fn detach_with_state(&self, stream: StreamId) -> SessionHandoff {
+        let state = self.state(stream);
+        {
+            let mut counters = lock(&state.counters);
+            assert!(!counters.closed, "detach_with_state of {stream} after finish_stream");
+            assert!(!counters.detached, "detach called twice for {stream}");
+            counters.closed = true;
+            counters.detached = true;
+        }
+        let (tx, rx) = mpsc::channel();
+        self.senders[stream.0 % self.config.workers]
+            .send(Job::DetachWithState(stream.0, tx))
+            .expect("engine worker hung up");
+        let session = rx.recv().expect("engine worker failed during the state hand-off");
+        let frames = std::mem::take(&mut *lock(&state.results));
+        let totals = {
+            let counters = lock(&state.counters);
+            StreamTotals {
+                events_in: counters.events_in,
+                chunks_in: counters.chunks_in,
+                frames_out: counters.frames_out,
+                tracks_out: counters.tracks_out,
+            }
+        };
+        SessionHandoff { state: session, totals, frames }
+    }
+
     /// Current per-stream and aggregate statistics.
     #[must_use]
     pub fn snapshot(&self) -> Snapshot {
@@ -688,6 +793,14 @@ fn worker_loop<T: Tracker>(
             }
             Job::Detach(id) => {
                 pipelines.remove(&id).expect("detached stream pinned to this worker");
+                None
+            }
+            Job::DetachWithState(id, reply) => {
+                let pipeline =
+                    pipelines.remove(&id).expect("detached stream pinned to this worker");
+                // A dropped receiver means the detaching thread gave up
+                // (e.g. panicked); nothing to do but discard the state.
+                let _ = reply.send(pipeline.checkpoint());
                 None
             }
             Job::Chunk(id, chunk, enqueued) => {
@@ -1011,6 +1124,64 @@ mod tests {
     fn detach_before_finish_panics() {
         let engine = Engine::new(EngineConfig::with_workers(1), pipelines(1));
         engine.detach(StreamId(0));
+    }
+
+    #[test]
+    fn detach_with_state_resumes_bit_identically_and_keeps_totals() {
+        let chunks: Vec<Vec<Event>> =
+            (0..6u64).map(|k| block_events(40 + 3 * k as u16, k * 66_000)).collect();
+        let span = 8 * 66_000;
+
+        let mut reference = pipelines(1).pop().unwrap();
+        let mut expected = Vec::new();
+        for chunk in &chunks {
+            expected.extend(reference.push(chunk));
+        }
+        expected.extend(reference.finish(span));
+
+        // Stream 0 is severed mid-stream; stream 1 runs uninterrupted on
+        // the same engine, proving the hand-off does not disturb peers.
+        let engine = Engine::new(EngineConfig::with_workers(2), pipelines(2));
+        for chunk in &chunks[..3] {
+            engine.push(StreamId(0), chunk.clone());
+        }
+        for chunk in &chunks {
+            engine.push(StreamId(1), chunk.clone());
+        }
+        let handoff = engine.detach_with_state(StreamId(0));
+        assert_eq!(handoff.totals.chunks_in, 3);
+        assert_eq!(handoff.state.backend, "ebbiot");
+
+        // Rebuild the pipeline from the checkpoint (as a cross-process
+        // recovery would) and resume it as a new stream.
+        let config = EbbiotConfig::paper_default(SensorGeometry::davis240());
+        let tracker = ebbiot_core::OverlapTracker::new(config.geometry, config.ot);
+        let restored = Pipeline::restore(config, tracker, &handoff.state).unwrap();
+        let resumed = engine.attach_with_state(restored, handoff.totals);
+        for chunk in &chunks[3..] {
+            engine.push(resumed, chunk.clone());
+        }
+        engine.finish_stream(resumed, span);
+        engine.finish_stream(StreamId(1), span);
+        let out = engine.join();
+
+        let mut combined = handoff.frames.clone();
+        combined.extend(out.streams[resumed.0].iter().cloned());
+        assert_eq!(combined, expected, "severed + resumed equals uninterrupted");
+        assert_eq!(out.streams[1], expected, "peer stream is undisturbed");
+        let resumed_snap = &out.snapshot.streams[resumed.0];
+        assert_eq!(resumed_snap.chunks_in, 6, "totals carried across the hand-off");
+        assert_eq!(resumed_snap.events_in, chunks.iter().map(|c| c.len() as u64).sum::<u64>());
+        assert_eq!(resumed_snap.frames_out, expected.len() as u64);
+        assert!(out.snapshot.streams[0].detached);
+    }
+
+    #[test]
+    #[should_panic(expected = "after finish_stream")]
+    fn detach_with_state_after_finish_panics() {
+        let engine = Engine::new(EngineConfig::with_workers(1), pipelines(1));
+        engine.finish_stream(StreamId(0), 66_000);
+        let _ = engine.detach_with_state(StreamId(0));
     }
 
     #[test]

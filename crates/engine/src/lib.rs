@@ -27,8 +27,13 @@
 //! [`Engine::detach`] streams on the *running* engine as TCP
 //! connections come and go — `tests/store_replay_parity.rs` and
 //! `tests/server_parity.rs` prove all paths produce bit-for-bit
-//! identical output. `ARCHITECTURE.md` at the workspace root diagrams
-//! the fan-out.
+//! identical output. A stream can also hand its *state* across:
+//! [`Engine::detach_with_state`] returns a [`SessionHandoff`]
+//! (checkpoint + totals + frames) and
+//! [`Engine::attach_with_state`] resumes it on a running engine,
+//! bit-identically — the `EBSS` snapshot story of ARCHITECTURE.md §8,
+//! pinned by `tests/checkpoint_parity.rs`. `ARCHITECTURE.md` at the
+//! workspace root diagrams the fan-out.
 //!
 //! # Determinism guarantee
 //!
@@ -86,8 +91,8 @@ pub mod telemetry;
 
 pub use backpressure::ChunkGate;
 pub use engine::{
-    Engine, EngineConfig, EngineOutput, RejectedChunk, Snapshot, StreamId, StreamSnapshot,
-    WorkerSnapshot,
+    Engine, EngineConfig, EngineOutput, RejectedChunk, SessionHandoff, Snapshot, StreamId,
+    StreamSnapshot, StreamTotals, WorkerSnapshot,
 };
 pub use fleet::{FleetOptions, FleetRun, FleetStream};
 pub use telemetry::{EngineTelemetry, StreamTelemetry, WorkerTelemetry};

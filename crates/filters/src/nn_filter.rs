@@ -85,6 +85,32 @@ impl NnFilter {
     pub fn memory_bits(&self) -> u64 {
         u64::from(self.timestamp_bits) * self.geometry.num_pixels() as u64
     }
+
+    /// The per-pixel last-fire map, row-major; entries equal to
+    /// [`Timestamp::MAX`] mean "never fired". Exposed (with
+    /// [`Self::set_last_fire`]) so the session-checkpoint layer can
+    /// serialize the filter without the byte codec leaking in here.
+    #[must_use]
+    pub fn last_fire(&self) -> &[Timestamp] {
+        &self.last_fire
+    }
+
+    /// Overwrites one last-fire entry — the checkpoint-restore path,
+    /// used after [`EventFilter::reset`] has cleared the map.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `index` is outside the pixel array; restore code must
+    /// bounds-check untrusted indices first.
+    pub fn set_last_fire(&mut self, index: usize, t: Timestamp) {
+        self.last_fire[index] = t;
+    }
+
+    /// Overwrites the op counter with a previously saved tally — the
+    /// session-checkpoint restore path.
+    pub fn restore_ops(&mut self, ops: OpsCounter) {
+        self.ops = ops;
+    }
 }
 
 impl EventFilter for NnFilter {

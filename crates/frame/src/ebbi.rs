@@ -130,6 +130,12 @@ impl EbbiAccumulator {
         &self.ops
     }
 
+    /// Overwrites the op counter with a previously saved tally — the
+    /// session-checkpoint restore path.
+    pub fn restore_ops(&mut self, ops: OpsCounter) {
+        self.ops = ops;
+    }
+
     /// Resets the op counter (typically once per frame, after reporting).
     pub fn reset_ops(&mut self) {
         self.ops.reset();

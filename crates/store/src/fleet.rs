@@ -264,6 +264,83 @@ impl FleetStore {
     pub fn mapped_readers(&self) -> Result<Vec<ChunkReader<Cursor<Vec<u8>>>>, StoreError> {
         (0..self.entries.len()).map(|k| self.mapped_reader(k)).collect()
     }
+
+    /// The fleet's session-snapshot area (`<dir>/snapshots`), holding
+    /// `EBSS` files named `cam{k:02}-f{frame:08}.ebss`.
+    #[must_use]
+    pub fn snapshot_dir(&self) -> PathBuf {
+        self.dir.join("snapshots")
+    }
+
+    /// Writes one camera's session checkpoint into the snapshot area
+    /// and returns the file's path. The file name encodes the camera
+    /// and the checkpoint's frame count, so later checkpoints of the
+    /// same camera sort after earlier ones and
+    /// [`Self::latest_snapshot`] finds the newest without parsing.
+    ///
+    /// # Errors
+    ///
+    /// Returns an I/O or encoding error.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `camera` is out of range.
+    pub fn write_camera_snapshot(
+        &self,
+        camera: usize,
+        checkpoint_t: Micros,
+        state: &ebbiot_core::SessionState,
+    ) -> Result<PathBuf, crate::SnapshotError> {
+        let entry = &self.entries[camera];
+        let dir = self.snapshot_dir();
+        fs::create_dir_all(&dir)?;
+        let path = dir.join(format!("cam{camera:02}-f{:08}.ebss", state.frames_processed));
+        let mut out = Vec::new();
+        crate::snapshot::write_snapshot(
+            &mut out,
+            &entry.name,
+            entry.geometry,
+            checkpoint_t,
+            state,
+        )?;
+        fs::write(&path, out)?;
+        Ok(path)
+    }
+
+    /// Loads one camera's most recent snapshot (highest frame count in
+    /// the file name), or `None` when the camera has never been
+    /// checkpointed.
+    ///
+    /// # Errors
+    ///
+    /// Returns an I/O error scanning the area or any
+    /// [`crate::SnapshotError`] decoding the newest file.
+    pub fn latest_snapshot(
+        &self,
+        camera: usize,
+    ) -> Result<Option<(crate::SnapshotHeader, ebbiot_core::SessionState)>, crate::SnapshotError>
+    {
+        let dir = self.snapshot_dir();
+        if !dir.is_dir() {
+            return Ok(None);
+        }
+        let prefix = format!("cam{camera:02}-");
+        let mut newest: Option<String> = None;
+        for entry in fs::read_dir(&dir)? {
+            let file_name = entry?.file_name();
+            let Some(name) = file_name.to_str() else { continue };
+            if name.starts_with(&prefix)
+                && name.ends_with(".ebss")
+                && newest.as_deref().is_none_or(|best| name > best)
+            {
+                newest = Some(name.to_string());
+            }
+        }
+        match newest {
+            Some(name) => crate::snapshot::read_snapshot_file(&dir.join(name)).map(Some),
+            None => Ok(None),
+        }
+    }
 }
 
 #[cfg(test)]

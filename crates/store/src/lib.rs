@@ -22,7 +22,13 @@
 //!   layout `ebbiot_sim`'s fleet generator writes;
 //! * [`FleetArchiver`] — the streaming counterpart of
 //!   [`FleetStore::write`] for concurrently arriving streams, used as
-//!   `ebbiot_server`'s archival tee.
+//!   `ebbiot_server`'s archival tee;
+//! * [`snapshot`](mod@snapshot) — the versioned **`EBSS`** session
+//!   snapshot format (checkpoint/restore of a live pipeline, see
+//!   ARCHITECTURE.md §8), written into a fleet's `snapshots/` area by
+//!   [`FleetStore::write_camera_snapshot`]. A snapshot plus the
+//!   archived `EBST` tail from its `checkpoint_t` recovers a severed
+//!   session bit-identically.
 //!
 //! The byte-level `EBST` specification also lives in
 //! `ARCHITECTURE.md` at the workspace root, next to the `EBWP` wire
@@ -138,6 +144,7 @@ pub mod fleet;
 pub mod format;
 pub mod reader;
 pub mod replay;
+pub mod snapshot;
 pub mod writer;
 
 pub use archive::{ArchiveStream, FleetArchiver};
@@ -145,6 +152,9 @@ pub use fleet::{FleetEntry, FleetStore, StoredCamera, MANIFEST_FILE};
 pub use format::{ChunkMeta, StoreError, StoreHeader};
 pub use reader::{ChunkReader, ChunkSource};
 pub use replay::{EngineReplay, PipelineReplay, ReplayMode, ReplayStats, Replayer};
+pub use snapshot::{
+    read_snapshot, read_snapshot_file, write_snapshot, SnapshotError, SnapshotHeader,
+};
 pub use writer::{encode_recording, RecordingWriter, StoreOptions, StoreSummary};
 
 use ebbiot_events::codec::Recording;

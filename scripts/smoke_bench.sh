@@ -6,8 +6,10 @@
 # invariants internally: engine == sequential (exp_fleet), TCP ingestion
 # == in-process run_fleet (exp_server), disk replay == in-memory plus
 # EBST compression > EAER (exp_replay), word-parallel kernel parity
-# plus the >= 3x median speedup floor (exp_hotpath), and the
-# scenario-matrix accuracy floors (exp_accuracy). A final
+# plus the >= 3x median speedup floor (exp_hotpath), the
+# scenario-matrix accuracy floors (exp_accuracy), and bit-exact EBSS
+# checkpoint resume plus the crash-recovery drill (exp_checkpoint). A
+# final
 # `exp_fleet --overhead` pass gates the telemetry cost: instrumented
 # sequential throughput must stay within 3% (or 10 ms absolute) of the
 # uninstrumented twin, best-of-3.
@@ -16,7 +18,7 @@ cd "$(dirname "$0")/.."
 
 cargo build --release -p ebbiot_bench --bins
 
-for exp in exp_fleet exp_server exp_replay exp_hotpath exp_accuracy; do
+for exp in exp_fleet exp_server exp_replay exp_hotpath exp_accuracy exp_checkpoint; do
     echo "== smoke: ${exp} =="
     cargo run --release -p ebbiot_bench --bin "${exp}" -- --smoke
 done

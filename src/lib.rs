@@ -17,7 +17,8 @@
 //! * [`engine`] — the multi-camera concurrent tracking engine with
 //!   deterministic fan-out ([`ebbiot_engine`])
 //! * [`store`] — the chunked `EBST` on-disk recording store, fleet
-//!   spool layout and paced replay ([`ebbiot_store`])
+//!   spool layout, paced replay and `EBSS` session snapshots
+//!   ([`ebbiot_store`])
 //! * [`server`] — the TCP ingestion server speaking the framed `EBWP`
 //!   wire protocol ([`ebbiot_server`])
 //! * [`telemetry`] — lock-free metrics: counters, gauges, log2-bucket
@@ -83,11 +84,13 @@ pub mod prelude {
     pub use ebbiot_core::{
         BoxedTracker, DutyCycleModel, DynPipeline, EbbiotConfig, EbbiotPipeline, FrameInput,
         FrameResult, FrontEnd, OtConfig, OverlapTracker, Pipeline, PipelineOps, ProcessorModel,
-        RegionOfExclusion, RegionProposalNetwork, RpnMode, StageTelemetry, TrackBox, Tracker,
-        TrackerInput, TwoTimescaleConfig, TwoTimescalePipeline,
+        RegionOfExclusion, RegionProposalNetwork, RpnMode, SessionState, StageTelemetry,
+        StateError, TrackBox, Tracker, TrackerInput, TwoTimescaleConfig, TwoTimescalePipeline,
+        TwoTimescaleState,
     };
     pub use ebbiot_engine::{
-        Engine, EngineConfig, EngineOutput, FleetOptions, FleetRun, FleetStream, Snapshot, StreamId,
+        Engine, EngineConfig, EngineOutput, FleetOptions, FleetRun, FleetStream, SessionHandoff,
+        Snapshot, StreamId, StreamTotals,
     };
     pub use ebbiot_eval::{
         evaluate_frames, sweep_thresholds, weighted_average, EvalAccumulator, PrecisionRecall,
@@ -107,8 +110,9 @@ pub mod prelude {
         TrafficGenerator,
     };
     pub use ebbiot_store::{
-        ChunkReader, EngineReplay, FleetArchiver, FleetStore, PipelineReplay, RecordingWriter,
-        ReplayMode, Replayer, StoreError, StoreOptions, StoreSummary, StoredCamera,
+        read_snapshot, read_snapshot_file, write_snapshot, ChunkReader, EngineReplay,
+        FleetArchiver, FleetStore, PipelineReplay, RecordingWriter, ReplayMode, Replayer,
+        SnapshotError, SnapshotHeader, StoreError, StoreOptions, StoreSummary, StoredCamera,
     };
     pub use ebbiot_telemetry::{validate_exposition, Counter, Gauge, Histogram, Registry};
 }

@@ -1,0 +1,222 @@
+//! Checkpoint/restore parity — the headline invariant of the `EBSS`
+//! snapshot subsystem: a session checkpointed at **any** frame boundary
+//! and restored — in this process, through serialized `EBSS` bytes (a
+//! different process), on a running engine via
+//! `detach_with_state`/`attach_with_state`, or against an archived
+//! `EBST` tail via `ChunkReader::seek_to_time` — produces output
+//! **bit-identical** (IEEE-754 bit patterns, not approximate equality)
+//! to the uninterrupted run. For every registered back-end, any worker
+//! count, any chunk granularity.
+
+use std::sync::OnceLock;
+
+use ebbiot::prelude::*;
+use proptest::prelude::*;
+
+const SECONDS: f64 = 0.6;
+const CHUNK_SIZES: [usize; 2] = [997, 10_000];
+
+fn recording() -> &'static SimulatedRecording {
+    static REC: OnceLock<SimulatedRecording> = OnceLock::new();
+    REC.get_or_init(|| DatasetPreset::Lt4.config().with_duration_s(SECONDS).generate(11))
+}
+
+fn config() -> EbbiotConfig {
+    let rec = recording();
+    EbbiotConfig::paper_default(rec.geometry).with_frame_us(rec.frame_us)
+}
+
+/// The uninterrupted batch reference per back-end, computed once.
+fn reference(backend: usize) -> &'static Vec<FrameResult> {
+    static REFS: OnceLock<Vec<Vec<FrameResult>>> = OnceLock::new();
+    &REFS.get_or_init(|| {
+        let rec = recording();
+        BACKENDS
+            .iter()
+            .map(|spec| spec.build(config()).process_recording(&rec.events, rec.duration_us))
+            .collect()
+    })[backend]
+}
+
+fn assert_bits_eq(got: &[FrameResult], expect: &[FrameResult], context: &str) {
+    assert_eq!(got.len(), expect.len(), "{context}: frame count diverged");
+    for (g, e) in got.iter().zip(expect) {
+        assert!(g.bits_eq(e), "{context}: frame {} diverged bit-wise", e.index);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    // Checkpoint at a random chunk boundary, round-trip the state
+    // through EBSS bytes (standing in for a different process), resume
+    // from the decoded snapshot: the stitched output equals the
+    // uninterrupted run bit-for-bit, and a second checkpoint of the
+    // restored pipeline reproduces the first one exactly.
+    #[test]
+    fn checkpoint_restore_is_bit_identical_at_any_boundary(
+        chunk_choice in 0usize..2,
+        cut_seed in any::<usize>(),
+    ) {
+        let rec = recording();
+        let chunk = CHUNK_SIZES[chunk_choice];
+        let n_chunks = rec.events.chunks(chunk).count();
+        let cut = cut_seed % (n_chunks + 1);
+
+        for (backend, spec) in BACKENDS.iter().enumerate() {
+            let mut severed = spec.build(config());
+            let mut frames = Vec::new();
+            for c in rec.events.chunks(chunk).take(cut) {
+                frames.extend(severed.push(c));
+            }
+            let state = severed.checkpoint();
+
+            // Through the on-disk format and back: what a crashed
+            // process leaves behind is bytes, not a live object.
+            let mut bytes = Vec::new();
+            write_snapshot(&mut bytes, "cam00", rec.geometry, 0, &state)
+                .expect("snapshot encodes");
+            let (_, decoded) = read_snapshot(&bytes).expect("snapshot decodes");
+            prop_assert_eq!(&decoded, &state, "EBSS round-trip must be lossless");
+
+            let mut resumed = registry::restore_pipeline(config(), &decoded)
+                .expect("state restores");
+            prop_assert_eq!(
+                resumed.checkpoint(),
+                state,
+                "{} double checkpoint diverged at cut {cut}",
+                spec.name
+            );
+
+            for c in rec.events.chunks(chunk).skip(cut) {
+                frames.extend(resumed.push(c));
+            }
+            frames.extend(resumed.finish(rec.duration_us));
+            assert_bits_eq(
+                &frames,
+                reference(backend),
+                &format!("{} cut {cut}/{n_chunks} chunk {chunk}", spec.name),
+            );
+        }
+    }
+}
+
+// Hand-off on a RUNNING engine: detach_with_state mid-stream, restore
+// the checkpoint into a fresh pipeline, attach_with_state, feed the
+// tail — bit-identical for every back-end and worker count, with the
+// stream's totals carried across and a peer stream undisturbed.
+#[test]
+fn engine_detach_attach_is_bit_identical_for_every_backend_and_worker_count() {
+    let rec = recording();
+    let chunks: Vec<&[Event]> = rec.events.chunks(997).collect();
+    let cut = chunks.len() / 2;
+
+    for (backend, spec) in BACKENDS.iter().enumerate() {
+        let expect = reference(backend);
+        for workers in [1usize, 2, 8] {
+            let engine = Engine::new(EngineConfig::with_workers(workers), Vec::new());
+            let severed = engine.attach(spec.build(config()));
+            let peer = engine.attach(spec.build(config()));
+
+            for c in &chunks[..cut] {
+                engine.push(severed, c.to_vec());
+                engine.push(peer, c.to_vec());
+            }
+            let handoff = engine.detach_with_state(severed);
+            assert_eq!(handoff.totals.chunks_in, cut as u64, "{}", spec.name);
+
+            let restored = registry::restore_pipeline(config(), &handoff.state)
+                .expect("hand-off state restores");
+            let resumed = engine.attach_with_state(restored, handoff.totals);
+
+            for c in &chunks[cut..] {
+                engine.push(resumed, c.to_vec());
+                engine.push(peer, c.to_vec());
+            }
+            engine.finish_stream(resumed, rec.duration_us);
+            engine.finish_stream(peer, rec.duration_us);
+            let output = engine.join();
+
+            let mut stitched = handoff.frames.clone();
+            stitched.extend(output.streams[resumed.0].iter().cloned());
+            let context = format!("{} on {workers} workers", spec.name);
+            assert_bits_eq(&stitched, expect, &format!("{context} (severed+resumed)"));
+            assert_bits_eq(&output.streams[peer.0], expect, &format!("{context} (peer)"));
+        }
+    }
+}
+
+// Crash recovery against the archive: spool the recording to EBST, run
+// until a cut, snapshot to an .ebss file, then — as a recovery process
+// would — read the snapshot back, seek the archived recording to the
+// header's checkpoint instant and replay the tail. Bit-identical for
+// every back-end.
+#[test]
+fn crash_recovery_from_snapshot_and_archived_tail_is_bit_identical() {
+    let rec = recording();
+    let dir =
+        std::env::temp_dir().join(format!("ebbiot_ckpt_test_{}_recovery", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let ebst = dir.join("cam00.ebst");
+    spool_recording(&ebst, rec, StoreOptions::default().with_chunk_events(1024)).expect("spool");
+
+    // Collect the archive's own chunking, then pick a cut between two
+    // chunks where time strictly advances — `seek_to_time(T)` resumes
+    // at exactly the events with `t >= T`, so `T` must separate the
+    // consumed prefix from the tail.
+    let mut reader = ChunkReader::open_mapped(&ebst).expect("open");
+    let mut chunks: Vec<Vec<Event>> = Vec::new();
+    while let Some(chunk) = reader.next_chunk().expect("read") {
+        chunks.push(chunk.to_vec());
+    }
+    let cut = ((chunks.len() / 2).max(1)..chunks.len())
+        .find(|&k| chunks[k - 1].last().unwrap().t < chunks[k][0].t)
+        .expect("a strictly advancing chunk boundary exists");
+    let checkpoint_t = chunks[cut][0].t;
+
+    for (backend, spec) in BACKENDS.iter().enumerate() {
+        let mut severed = spec.build(config());
+        let mut frames = Vec::new();
+        for chunk in &chunks[..cut] {
+            frames.extend(severed.push(chunk));
+        }
+        let snapshot_path = dir.join(format!("{}.ebss", spec.name));
+        let mut file = std::fs::File::create(&snapshot_path).expect("create");
+        write_snapshot(&mut file, "cam00", rec.geometry, checkpoint_t, &severed.checkpoint())
+            .expect("snapshot");
+        drop((severed, file)); // the "crash": only disk state survives
+
+        let (header, state) = read_snapshot_file(&snapshot_path).expect("read snapshot");
+        assert_eq!(header.checkpoint_t, checkpoint_t);
+        let mut recovered = registry::restore_pipeline(config(), &state).expect("state restores");
+        let mut tail = ChunkReader::open_mapped(&ebst).expect("reopen archive");
+        tail.seek_to_time(header.checkpoint_t);
+        while let Some(chunk) = tail.next_chunk().expect("read tail") {
+            frames.extend(recovered.push(chunk));
+        }
+        frames.extend(recovered.finish(rec.duration_us));
+        assert_bits_eq(&frames, reference(backend), &format!("{} recovery", spec.name));
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+// Satellite invariant: `Pipeline::reset` must leave the pipeline
+// bit-equal to a freshly constructed one — same checkpoint bytes, and
+// same output on the next recording — for every back-end.
+#[test]
+fn reset_equals_freshly_constructed_for_every_backend() {
+    let rec = recording();
+    for (backend, spec) in BACKENDS.iter().enumerate() {
+        let mut reused = spec.build(config());
+        let _ = reused.process_recording(&rec.events, rec.duration_us);
+        reused.reset();
+        assert_eq!(
+            reused.checkpoint(),
+            spec.build(config()).checkpoint(),
+            "{}: reset pipeline's state differs from a fresh one",
+            spec.name
+        );
+        let rerun = reused.process_recording(&rec.events, rec.duration_us);
+        assert_bits_eq(&rerun, reference(backend), &format!("{} after reset", spec.name));
+    }
+}
