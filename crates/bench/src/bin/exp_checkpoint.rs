@@ -243,7 +243,10 @@ fn main() {
             chunks
         })
         .collect();
-    let engine = Engine::new(EngineConfig { workers, queue_capacity: 32 }, Vec::new());
+    let engine = Engine::new(
+        EngineConfig { workers, queue_capacity: 32, ..EngineConfig::default() },
+        Vec::new(),
+    );
     let streams: Vec<_> =
         (0..fleet.len()).map(|k| engine.attach(backend_of(k).build(config.clone()))).collect();
     for (k, chunks) in chunks_of.iter().enumerate() {
@@ -262,7 +265,10 @@ fn main() {
 
     // Recovery from disk alone.
     let recovery_started = Instant::now();
-    let engine = Engine::new(EngineConfig { workers, queue_capacity: 32 }, Vec::new());
+    let engine = Engine::new(
+        EngineConfig { workers, queue_capacity: 32, ..EngineConfig::default() },
+        Vec::new(),
+    );
     let mut tail_events = 0u64;
     let resumed: Vec<_> = (0..fleet.len())
         .map(|k| {

@@ -185,7 +185,7 @@ fn main() {
     let config = ebbiot_config_for(args.preset, &fleet[0]).with_frame_us(fleet[0].frame_us);
     let mut readers = store.mapped_readers().expect("open fleet readers");
     let engine = Engine::new(
-        EngineConfig { workers, queue_capacity: 32 },
+        EngineConfig { workers, queue_capacity: 32, ..EngineConfig::default() },
         spec.build_fleet(&config, fleet.len()),
     );
     let replay =

@@ -15,8 +15,8 @@ use ebbiot_telemetry::{Histogram, Registry};
 use crate::{ebbiot_config_for, JsonReport};
 
 /// Column headers of [`worker_rows`].
-pub const WORKER_HEADER: [&str; 6] =
-    ["Worker", "Busy ms", "Idle ms", "Queue-wait ms", "Busy %", "Chunks"];
+pub const WORKER_HEADER: [&str; 8] =
+    ["Worker", "Busy ms", "Acquire ms", "Idle ms", "Queue-wait ms", "Busy %", "Chunks", "Steals"];
 
 /// Column headers of [`stage_rows`].
 pub const STAGE_HEADER: [&str; 5] = ["Stage", "Calls", "Total ms", "Mean µs", "Max ≤ µs"];
@@ -75,24 +75,28 @@ fn ms(ns: u64) -> String {
 }
 
 /// Per-worker contention table: where each worker's wall clock went.
-/// Headers in [`WORKER_HEADER`]. After `join`, Busy + Idle == wall
-/// exactly; a low busy share with high queue waits is the contention
-/// signature of an over-subscribed core.
+/// Headers in [`WORKER_HEADER`]. After `join`,
+/// Busy + Acquire + Idle == wall exactly; a low busy share with high
+/// queue waits is the contention signature of an over-subscribed core,
+/// while a high acquire share means batching is too fine
+/// (`EngineConfig::batch_chunks`).
 #[must_use]
 pub fn worker_rows(snapshot: &Snapshot) -> Vec<Vec<String>> {
     snapshot
         .workers
         .iter()
         .map(|w| {
-            let wall = w.busy_ns + w.idle_ns;
+            let wall = w.busy_ns + w.acquire_ns + w.idle_ns;
             let busy_pct = if wall > 0 { 100.0 * w.busy_ns as f64 / wall as f64 } else { 0.0 };
             vec![
                 w.id.to_string(),
                 ms(w.busy_ns),
+                ms(w.acquire_ns),
                 ms(w.idle_ns),
                 ms(w.queue_wait_ns),
                 format!("{busy_pct:.1}"),
                 w.chunks.to_string(),
+                w.steals.to_string(),
             ]
         })
         .collect()
@@ -126,8 +130,9 @@ pub fn histogram_summary(hist: &Histogram, unit: &str) -> String {
 }
 
 /// Appends the contention breakdown to a `BENCH_*.json` report as flat
-/// keys: per-worker busy/idle/queue-wait, per-stream queue high-water
-/// and wait totals, per-stage means, and the chunk-latency / queue-depth
+/// keys: per-worker busy/acquire/idle/queue-wait and steals, per-stream
+/// queue high-water, wait totals and migrations, scheduler steal/batch
+/// statistics, per-stage means, and the chunk-latency / queue-depth
 /// / collector-occupancy distributions' count+mean.
 #[must_use]
 pub fn append_contention_fields(
@@ -140,17 +145,27 @@ pub fn append_contention_fields(
         let key = |suffix: &str| format!("worker{:02}_{suffix}", w.id);
         report = report
             .u64(&key("busy_ns"), w.busy_ns)
+            .u64(&key("acquire_ns"), w.acquire_ns)
             .u64(&key("idle_ns"), w.idle_ns)
             .u64(&key("queue_wait_ns"), w.queue_wait_ns)
-            .u64(&key("chunks"), w.chunks);
+            .u64(&key("chunks"), w.chunks)
+            .u64(&key("steals"), w.steals);
     }
     for s in &snapshot.streams {
         let key = |suffix: &str| format!("{}_{suffix}", s.id);
         report = report
             .u64(&key("queue_high_water"), s.queue_high_water as u64)
             .u64(&key("queue_wait_ns"), s.queue_wait_ns)
-            .u64(&key("producer_block_ns"), s.producer_block_ns);
+            .u64(&key("producer_block_ns"), s.producer_block_ns)
+            .u64(&key("migrations"), s.migrations);
     }
+    let sched = snapshot.scheduler;
+    report = report
+        .u64("sched_steals", sched.steals)
+        .u64("sched_batches", sched.batches)
+        .f64("sched_batch_mean_chunks", sched.batch_mean)
+        .u64("sched_batch_max_le_chunks", sched.batch_max_le)
+        .u64("sched_ready_high_water", sched.ready_high_water as u64);
     for (label, hist) in stage.stages() {
         report = report
             .u64(&format!("stage_{label}_calls"), hist.count())
@@ -203,8 +218,13 @@ mod tests {
         )
         .render();
         assert!(json.contains("\"worker00_busy_ns\""));
+        assert!(json.contains("\"worker00_acquire_ns\""));
+        assert!(json.contains("\"worker01_steals\""));
         assert!(json.contains("\"cam00_queue_high_water\""));
         assert!(json.contains("\"cam01_queue_wait_ns\""));
+        assert!(json.contains("\"cam00_migrations\""));
+        assert!(json.contains("\"sched_steals\""));
+        assert!(json.contains("\"sched_batches\""));
         assert!(json.contains("\"stage_tracker_calls\""));
         assert!(json.contains("\"chunk_queue_wait_count\""));
     }

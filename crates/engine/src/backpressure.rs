@@ -8,6 +8,14 @@
 //! rejects, and neither ever drops or reorders work. The gate also
 //! records the queue-depth high-water mark surfaced by the engine's
 //! `Snapshot`.
+//!
+//! The gate is purely the back-pressure *ledger*: it bounds how much a
+//! producer may run ahead, independent of scheduling. Queued chunks
+//! live in the stream's own FIFO job queue, the work-stealing
+//! scheduler decides which worker drains them (a whole batch per
+//! acquisition), and the owning worker releases one slot per chunk as
+//! it completes — so the admission contract is identical whether the
+//! stream migrates between workers or not.
 
 use std::sync::{Condvar, Mutex, MutexGuard, PoisonError};
 

@@ -1,14 +1,26 @@
-//! The multi-stream engine: router, worker pool and output collector.
+//! The multi-stream engine: router, batched work-stealing scheduler and
+//! output collector.
+//!
+//! Scheduling granularity is the *stream*, not the chunk: a stream with
+//! queued work is a schedulable unit that exactly one worker owns at a
+//! time. A worker acquiring a stream drains a **batch** of queued jobs
+//! in one go (amortizing the wake/hand-off cost that used to dominate
+//! per-chunk dispatch) and a stream may migrate to whichever worker is
+//! free next — a global injector plus per-worker deques with stealing
+//! replaces the old `stream % workers` pinning that load-imbalanced
+//! heterogeneous cameras. Determinism is structural and survives any
+//! steal schedule: jobs sit in one FIFO queue per stream, ownership is
+//! exclusive, and results land in the stream's own ordered buffer.
 
-use std::collections::HashMap;
-use std::sync::mpsc::{self, Receiver, Sender};
+use std::collections::VecDeque;
+use std::sync::mpsc::{self, Sender};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError, RwLock};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use ebbiot_core::{BoxedTracker, FrameResult, Pipeline, Tracker};
 use ebbiot_events::{Event, Micros};
-use ebbiot_telemetry::Registry;
+use ebbiot_telemetry::{Gauge, Registry};
 
 use crate::backpressure::ChunkGate;
 use crate::telemetry::{EngineTelemetry, StreamTelemetry, WorkerTelemetry};
@@ -35,18 +47,27 @@ impl core::fmt::Display for StreamId {
 /// Engine sizing knobs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct EngineConfig {
-    /// Worker threads draining stream queues. Streams are pinned to
-    /// workers (`stream % workers`), which is what makes the output
-    /// independent of scheduling: one stream is only ever advanced by
-    /// one thread, in submission order.
+    /// Worker threads draining stream queues. Streams are *not* pinned:
+    /// any worker may acquire any ready stream (exactly one at a time),
+    /// so heterogeneous cameras balance across the pool.
     pub workers: usize,
     /// Per-stream bound on chunks in flight (queued + processing); the
     /// router blocks or rejects producers beyond it.
     pub queue_capacity: usize,
+    /// Maximum queued jobs a worker drains per stream acquisition
+    /// (clamped to at least 1). Larger batches amortize scheduler
+    /// hand-off cost; the queue capacity still bounds latency.
+    pub batch_chunks: usize,
+    /// Test-only scheduling perturbation: a seed that makes workers
+    /// randomly yield, micro-sleep and skip their local deque (forcing
+    /// steals and migrations). Output is bit-identical regardless —
+    /// the determinism proptests drive this. `None` (the default)
+    /// costs nothing.
+    pub schedule_jitter: Option<u64>,
 }
 
 impl EngineConfig {
-    /// `workers` threads with the default queue capacity.
+    /// `workers` threads with the default queue capacity and batching.
     #[must_use]
     pub fn with_workers(workers: usize) -> Self {
         Self { workers, ..Self::default() }
@@ -56,7 +77,7 @@ impl EngineConfig {
 impl Default for EngineConfig {
     fn default() -> Self {
         let workers = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
-        Self { workers, queue_capacity: 32 }
+        Self { workers, queue_capacity: 32, batch_chunks: 16, schedule_jitter: None }
     }
 }
 
@@ -91,6 +112,13 @@ pub struct StreamSnapshot {
     /// Total nanoseconds producers spent blocked on this stream's
     /// admission gate (back-pressure).
     pub producer_block_ns: u64,
+    /// The worker that most recently owned the stream (`None` until the
+    /// first acquisition). Ownership is exclusive but **not** static:
+    /// streams migrate to whichever worker is free.
+    pub last_owner: Option<usize>,
+    /// Times the stream's ownership moved to a *different* worker than
+    /// its previous acquisition (0 means it never changed hands).
+    pub migrations: u64,
     /// Whether the stream's `finish` has been processed.
     pub finished: bool,
     /// Whether the stream was detached (its pipeline dropped and its
@@ -102,14 +130,19 @@ pub struct StreamSnapshot {
 ///
 /// Time is attributed with telescoping timestamps inside the worker
 /// loop, so after [`Engine::join`] the identity
-/// `busy_ns + idle_ns == wall_ns` holds exactly.
+/// `busy_ns + acquire_ns + idle_ns == wall_ns` holds exactly.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct WorkerSnapshot {
-    /// Worker index (streams are pinned `stream % workers`).
+    /// Worker index (any worker may own any ready stream; nothing is
+    /// pinned).
     pub id: usize,
     /// Nanoseconds spent processing jobs.
     pub busy_ns: u64,
-    /// Nanoseconds spent blocked waiting for jobs.
+    /// Nanoseconds spent taking stream ownership and draining batches
+    /// (the scheduler hand-off cost batching amortizes).
+    pub acquire_ns: u64,
+    /// Nanoseconds spent waiting for a ready stream (includes steal
+    /// scans that came up empty).
     pub idle_ns: u64,
     /// Summed queue wait of the chunks this worker dequeued.
     pub queue_wait_ns: u64,
@@ -117,6 +150,24 @@ pub struct WorkerSnapshot {
     pub wall_ns: u64,
     /// Chunks processed.
     pub chunks: u64,
+    /// Stream acquisitions taken from another worker's deque.
+    pub steals: u64,
+}
+
+/// Scheduler-level statistics: how often streams changed hands and how
+/// well batching amortized the hand-off cost.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SchedulerSnapshot {
+    /// Stream acquisitions stolen from another worker's deque.
+    pub steals: u64,
+    /// Total stream acquisitions (each drains one batch).
+    pub batches: u64,
+    /// Mean jobs drained per acquisition (0 when no batches yet).
+    pub batch_mean: f64,
+    /// Upper bound of the largest observed batch (log2 bucket bound).
+    pub batch_max_le: u64,
+    /// Most streams ever simultaneously ready and awaiting a worker.
+    pub ready_high_water: usize,
 }
 
 /// Point-in-time view of the whole engine, from [`Engine::snapshot`] or
@@ -129,6 +180,8 @@ pub struct Snapshot {
     pub streams: Vec<StreamSnapshot>,
     /// Per-worker time accounting, indexed by worker.
     pub workers: Vec<WorkerSnapshot>,
+    /// Work-stealing scheduler statistics.
+    pub scheduler: SchedulerSnapshot,
 }
 
 /// `count / elapsed`, with a zero-duration run reported as 0 instead of
@@ -218,10 +271,64 @@ struct StreamCounters {
     failed: bool,
 }
 
-/// Shared per-stream state: admission gate, counters and the collector's
-/// ordered output buffer.
+/// Scheduling state of one stream: where its ownership currently is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Sched {
+    /// No queued jobs; in no scheduler queue, owned by nobody.
+    Idle,
+    /// Has queued jobs; sits in the injector or one worker's deque.
+    Queued,
+    /// Exactly one worker holds the stream (and its pipeline).
+    Running,
+}
+
+/// One unit of per-stream work, queued in submission order. The queue
+/// itself is the FIFO that makes the schedule invisible: whichever
+/// worker owns the stream drains jobs in exactly this order.
+enum WorkItem {
+    /// A chunk plus its enqueue instant, stamped by the router so the
+    /// owning worker can measure enqueue→dequeue latency.
+    Chunk(Vec<Event>, Instant),
+    Finish(Micros),
+    Detach,
+    /// Checkpoint the stream's pipeline and send its `SessionState`
+    /// back through the channel — the worker half of
+    /// [`Engine::detach_with_state`].
+    DetachWithState(Sender<ebbiot_core::SessionState>),
+}
+
+/// The schedulable half of a stream: its FIFO job queue, ownership
+/// state and (between acquisitions) its pipeline. Exactly one worker
+/// may hold `Running` — and thus the pipeline — at a time.
+struct StreamWork<T: Tracker> {
+    jobs: VecDeque<WorkItem>,
+    sched: Sched,
+    /// `Some` whenever no worker is running the stream; the owning
+    /// worker takes it for the duration of a batch.
+    pipeline: Option<Pipeline<T>>,
+    /// Worker of the most recent acquisition (also the injection
+    /// affinity hint: new work prefers the deque of the last owner).
+    last_owner: Option<usize>,
+    /// Acquisitions whose worker differed from the previous one.
+    migrations: u64,
+}
+
+impl<T: Tracker> core::fmt::Debug for StreamWork<T> {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("StreamWork")
+            .field("jobs", &self.jobs.len())
+            .field("sched", &self.sched)
+            .field("pipeline", &self.pipeline.is_some())
+            .field("last_owner", &self.last_owner)
+            .field("migrations", &self.migrations)
+            .finish()
+    }
+}
+
+/// Shared per-stream state: admission gate, counters, the collector's
+/// ordered output buffer and the schedulable work queue.
 #[derive(Debug)]
-struct StreamState {
+struct StreamState<T: Tracker> {
     gate: ChunkGate,
     counters: Mutex<StreamCounters>,
     /// Signalled when `counters.finished` or `counters.failed` flips.
@@ -229,18 +336,26 @@ struct StreamState {
     results: Mutex<Vec<FrameResult>>,
     /// Queue-wait and producer-block counters, labelled by camera.
     telemetry: StreamTelemetry,
+    /// Job queue + ownership state + parked pipeline.
+    work: Mutex<StreamWork<T>>,
 }
 
 /// Growable, append-only registry of stream slots. Slots are only ever
 /// appended (never removed or reordered), so a [`StreamId`] stays valid
 /// for the engine's whole lifetime.
-#[derive(Debug, Default)]
-struct StreamTable {
-    slots: RwLock<Vec<Arc<StreamState>>>,
+#[derive(Debug)]
+struct StreamTable<T: Tracker> {
+    slots: RwLock<Vec<Arc<StreamState<T>>>>,
 }
 
-impl StreamTable {
-    fn get(&self, id: usize) -> Option<Arc<StreamState>> {
+impl<T: Tracker> Default for StreamTable<T> {
+    fn default() -> Self {
+        Self { slots: RwLock::new(Vec::new()) }
+    }
+}
+
+impl<T: Tracker> StreamTable<T> {
+    fn get(&self, id: usize) -> Option<Arc<StreamState<T>>> {
         self.slots.read().unwrap_or_else(PoisonError::into_inner).get(id).cloned()
     }
 
@@ -248,22 +363,126 @@ impl StreamTable {
         self.slots.read().unwrap_or_else(PoisonError::into_inner).len()
     }
 
-    fn all(&self) -> Vec<Arc<StreamState>> {
+    fn all(&self) -> Vec<Arc<StreamState<T>>> {
         self.slots.read().unwrap_or_else(PoisonError::into_inner).clone()
     }
 }
 
-enum Job<T: Tracker> {
-    Attach(usize, Box<Pipeline<T>>),
-    /// A chunk plus its enqueue instant, stamped by the router so the
-    /// worker can measure enqueue→dequeue latency.
-    Chunk(usize, Vec<Event>, Instant),
-    Finish(usize, Micros),
-    Detach(usize),
-    /// Checkpoint the stream's pipeline and send its [`SessionState`]
-    /// back through the channel — the worker half of
-    /// [`Engine::detach_with_state`].
-    DetachWithState(usize, Sender<ebbiot_core::SessionState>),
+/// The ready set: stream ids with queued work, awaiting a worker. A
+/// global injector receives streams with no affinity; per-worker deques
+/// hold streams the worker last owned (re-queued there after a batch,
+/// or injected there by producers for locality). Idle workers steal
+/// from other deques, oldest first, so load balances without pinning.
+///
+/// Everything lives under one mutex: scheduling operations are a
+/// handful of `usize` pushes/pops, and batching means workers take the
+/// lock once per *batch*, not once per chunk — correctness (no lost
+/// wakeups, no stream in two queues) is worth far more here than a
+/// lock-free deque.
+#[derive(Debug)]
+struct SchedQueues {
+    injector: VecDeque<usize>,
+    locals: Vec<VecDeque<usize>>,
+    /// Streams currently ready (in the injector or any deque).
+    ready: usize,
+    ready_high_water: usize,
+    shutdown: bool,
+}
+
+#[derive(Debug)]
+struct Scheduler {
+    state: Mutex<SchedQueues>,
+    available: Condvar,
+    /// Live ready-set size for the exposition.
+    ready_gauge: Arc<Gauge>,
+}
+
+/// One successful stream acquisition from the scheduler.
+struct Acquired {
+    stream: usize,
+    /// Taken from another worker's deque.
+    stolen: bool,
+}
+
+impl Scheduler {
+    fn new(workers: usize, ready_gauge: Arc<Gauge>) -> Self {
+        Self {
+            state: Mutex::new(SchedQueues {
+                injector: VecDeque::new(),
+                locals: (0..workers).map(|_| VecDeque::new()).collect(),
+                ready: 0,
+                ready_high_water: 0,
+                shutdown: false,
+            }),
+            available: Condvar::new(),
+            ready_gauge,
+        }
+    }
+
+    /// Marks `stream` ready: into `prefer`'s deque when the last owner
+    /// is known (locality), the global injector otherwise.
+    fn inject(&self, stream: usize, prefer: Option<usize>) {
+        let mut state = lock(&self.state);
+        match prefer {
+            Some(w) if w < state.locals.len() => state.locals[w].push_back(stream),
+            _ => state.injector.push_back(stream),
+        }
+        state.ready += 1;
+        state.ready_high_water = state.ready_high_water.max(state.ready);
+        self.ready_gauge.set(state.ready as i64);
+        drop(state);
+        self.available.notify_one();
+    }
+
+    /// Blocks until a ready stream is available and claims it: own
+    /// deque first (newest first — locality), then the injector, then a
+    /// steal from another worker's deque (oldest first). `skip_local`
+    /// (jitter only) demotes the own-deque check behind the steal scan,
+    /// forcing migrations. Returns `None` once the engine shut down and
+    /// every queue is empty.
+    fn next(&self, worker: usize, skip_local: bool) -> Option<Acquired> {
+        let mut state = lock(&self.state);
+        loop {
+            if !skip_local {
+                if let Some(stream) = state.locals[worker].pop_back() {
+                    return Some(self.claim(&mut state, stream, false));
+                }
+            }
+            if let Some(stream) = state.injector.pop_front() {
+                return Some(self.claim(&mut state, stream, false));
+            }
+            let workers = state.locals.len();
+            for victim in (worker + 1..workers).chain(0..worker) {
+                if let Some(stream) = state.locals[victim].pop_front() {
+                    return Some(self.claim(&mut state, stream, true));
+                }
+            }
+            // Jitter demoted the own deque; it must still drain.
+            if let Some(stream) = state.locals[worker].pop_back() {
+                return Some(self.claim(&mut state, stream, false));
+            }
+            if state.shutdown {
+                return None;
+            }
+            state = self.available.wait(state).unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+
+    fn claim(&self, state: &mut SchedQueues, stream: usize, stolen: bool) -> Acquired {
+        state.ready -= 1;
+        self.ready_gauge.set(state.ready as i64);
+        Acquired { stream, stolen }
+    }
+
+    /// Lets workers exit once every queue is drained. Idempotent.
+    fn shutdown(&self) {
+        lock(&self.state).shutdown = true;
+        self.available.notify_all();
+    }
+
+    fn ready_high_water(&self) -> usize {
+        lock(&self.state).ready_high_water
+    }
 }
 
 /// Per-stream router/collector totals, carried across an
@@ -300,9 +519,9 @@ pub struct SessionHandoff {
 /// Poisons every stream gate when a worker thread unwinds, so producers
 /// blocked on a full queue (and sessions blocked in
 /// [`Engine::wait_finished`]) fail fast instead of hanging forever.
-struct PoisonOnPanic(Arc<StreamTable>);
+struct PoisonOnPanic<T: Tracker>(Arc<StreamTable<T>>);
 
-impl Drop for PoisonOnPanic {
+impl<T: Tracker> Drop for PoisonOnPanic<T> {
     fn drop(&mut self) {
         if std::thread::panicking() {
             for stream in self.0.all() {
@@ -314,8 +533,22 @@ impl Drop for PoisonOnPanic {
     }
 }
 
+/// SplitMix64 — the jitter source for schedule perturbation (test-only;
+/// deterministic per seed so failures reproduce).
+struct SplitMix(u64);
+
+impl SplitMix {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
 /// A multi-camera tracking engine: owns one [`Pipeline`] per stream and
-/// drives them on a fixed pool of worker threads.
+/// drives them on a fixed pool of work-stealing worker threads.
 ///
 /// Streams are either handed over at construction ([`Engine::new`]) or
 /// attached to the *running* engine one at a time ([`Engine::attach`]) —
@@ -326,13 +559,12 @@ impl Drop for PoisonOnPanic {
 /// example.
 #[derive(Debug)]
 pub struct Engine<T: Tracker + Send + 'static = BoxedTracker> {
-    senders: Vec<Sender<Job<T>>>,
+    scheduler: Arc<Scheduler>,
     workers: Vec<JoinHandle<()>>,
-    streams: Arc<StreamTable>,
+    streams: Arc<StreamTable<T>>,
     config: EngineConfig,
     started: Instant,
-    /// Serialises `attach` so slot allocation and the attach job reach
-    /// the worker in a consistent order.
+    /// Serialises `attach` so slot allocation stays ordered.
     attach_lock: Mutex<()>,
     /// Engine-wide contention instruments (always on — per-chunk cost).
     telemetry: EngineTelemetry,
@@ -342,8 +574,8 @@ pub struct Engine<T: Tracker + Send + 'static = BoxedTracker> {
 
 impl<T: Tracker + Send + 'static> Engine<T> {
     /// Spawns the worker pool, taking ownership of one pipeline per
-    /// stream. Stream `i` gets [`StreamId`]`(i)` and is pinned to worker
-    /// `i % workers`.
+    /// stream. Stream `i` gets [`StreamId`]`(i)`; any worker may drive
+    /// any stream (ownership migrates, one worker at a time).
     ///
     /// # Panics
     ///
@@ -368,35 +600,38 @@ impl<T: Tracker + Send + 'static> Engine<T> {
         registry: Arc<Registry>,
     ) -> Self {
         assert!(config.workers > 0, "engine needs at least one worker");
-        // More workers than initial streams would only idle in `recv()`
-        // (pinning is `stream % workers`) unless sessions attach later;
-        // clamp to the construction-time stream count as the historical
-        // behaviour. Determinism never depended on the worker count.
+        // More workers than initial streams can never all run at once
+        // (a stream is owned by one worker at a time) unless sessions
+        // attach later; clamp to the construction-time stream count as
+        // the historical behaviour. Determinism never depended on the
+        // worker count — and the scheduler drains fine oversubscribed.
         let workers =
             if pipelines.is_empty() { config.workers } else { config.workers.min(pipelines.len()) };
         let config = EngineConfig { workers, ..config };
-        let streams: Arc<StreamTable> = Arc::new(StreamTable::default());
+        let streams: Arc<StreamTable<T>> = Arc::new(StreamTable::default());
         let telemetry = EngineTelemetry::register(registry);
+        let scheduler =
+            Arc::new(Scheduler::new(config.workers, Arc::clone(&telemetry.ready_streams)));
 
-        let mut senders = Vec::with_capacity(config.workers);
         let mut worker_handles = Vec::with_capacity(config.workers);
         let mut worker_stats = Vec::with_capacity(config.workers);
         for w in 0..config.workers {
-            let (tx, rx) = mpsc::channel::<Job<T>>();
             let streams = Arc::clone(&streams);
+            let scheduler = Arc::clone(&scheduler);
             let stats = WorkerTelemetry::register(telemetry.registry(), w);
             worker_stats.push(stats.clone());
             let shared = telemetry.clone();
+            let batch = config.batch_chunks.max(1);
+            let jitter = config.schedule_jitter;
             let handle = std::thread::Builder::new()
                 .name(format!("ebbiot-worker-{w}"))
-                .spawn(move || worker_loop(&rx, &streams, &shared, &stats))
+                .spawn(move || worker_loop(w, &scheduler, &streams, &shared, &stats, batch, jitter))
                 .expect("spawn engine worker");
-            senders.push(tx);
             worker_handles.push(handle);
         }
 
         let engine = Self {
-            senders,
+            scheduler,
             workers: worker_handles,
             streams,
             config,
@@ -439,10 +674,10 @@ impl<T: Tracker + Send + 'static> Engine<T> {
     }
 
     /// Adds a stream to the *running* engine: allocates the next
-    /// [`StreamId`], hands `pipeline` to the id's pinned worker and
-    /// returns the id. Chunks may be pushed immediately — worker job
-    /// queues are FIFO, so the pipeline is guaranteed to arrive at the
-    /// worker before any chunk pushed after `attach` returned.
+    /// [`StreamId`], parks `pipeline` in the stream's slot and returns
+    /// the id. Chunks may be pushed immediately — the pipeline is
+    /// installed before `attach` returns, so the first worker to
+    /// acquire the stream finds it in place (no hand-off race).
     ///
     /// This is how network sessions join: `ebbiot_server` attaches one
     /// stream per accepted connection and detaches it when the session
@@ -455,8 +690,9 @@ impl<T: Tracker + Send + 'static> Engine<T> {
     /// pipeline (restored via `Pipeline::restore` or handed over live
     /// by [`Self::detach_with_state`]) picks up at its checkpoint, and
     /// the new stream's counters continue from `totals` instead of
-    /// zero — so fleet statistics survive the hand-off. The same FIFO
-    /// argument as `attach` makes this safe on a running engine.
+    /// zero — so fleet statistics survive the hand-off. Installation
+    /// before return makes this safe on a running engine, like
+    /// `attach`.
     pub fn attach_with_state(&self, pipeline: Pipeline<T>, totals: StreamTotals) -> StreamId {
         self.attach_inner(pipeline, totals)
     }
@@ -480,19 +716,43 @@ impl<T: Tracker + Send + 'static> Engine<T> {
                 progress: Condvar::new(),
                 results: Mutex::new(Vec::new()),
                 telemetry: StreamTelemetry::register(self.telemetry.registry(), &name),
+                work: Mutex::new(StreamWork {
+                    jobs: VecDeque::new(),
+                    sched: Sched::Idle,
+                    pipeline: Some(pipeline),
+                    last_owner: None,
+                    migrations: 0,
+                }),
             }));
             slots.len() - 1
         };
-        self.senders[id % self.config.workers]
-            .send(Job::Attach(id, Box::new(pipeline)))
-            .expect("engine worker hung up");
         StreamId(id)
     }
 
-    fn state(&self, stream: StreamId) -> Arc<StreamState> {
+    fn state(&self, stream: StreamId) -> Arc<StreamState<T>> {
         self.streams.get(stream.0).unwrap_or_else(|| {
             panic!("unknown stream {stream}: engine has {} streams", self.streams.len())
         })
+    }
+
+    /// Appends a job to the stream's FIFO queue, marking the stream
+    /// ready (and waking a worker) when it was idle. A stream already
+    /// queued or running will see the job when its owner re-checks the
+    /// queue after the current batch.
+    fn enqueue(&self, state: &StreamState<T>, id: usize, item: WorkItem) {
+        let inject = {
+            let mut work = lock(&state.work);
+            work.jobs.push_back(item);
+            if work.sched == Sched::Idle {
+                work.sched = Sched::Queued;
+                Some(work.last_owner)
+            } else {
+                None
+            }
+        };
+        if let Some(prefer) = inject {
+            self.scheduler.inject(id, prefer);
+        }
     }
 
     fn submit(&self, stream: StreamId, chunk: Vec<Event>) {
@@ -503,9 +763,7 @@ impl<T: Tracker + Send + 'static> Engine<T> {
             counters.chunks_in += 1;
             counters.events_in += chunk.len() as u64;
         }
-        self.senders[stream.0 % self.config.workers]
-            .send(Job::Chunk(stream.0, chunk, Instant::now()))
-            .expect("engine worker hung up");
+        self.enqueue(&state, stream.0, WorkItem::Chunk(chunk, Instant::now()));
     }
 
     /// Routes a time-ordered chunk of events to `stream`, blocking while
@@ -557,15 +815,13 @@ impl<T: Tracker + Send + 'static> Engine<T> {
     /// Panics on an unknown stream, on a second `finish_stream` for the
     /// same stream, or when a worker has failed.
     pub fn finish_stream(&self, stream: StreamId, span_us: Micros) {
+        let state = self.state(stream);
         {
-            let state = self.state(stream);
             let mut counters = lock(&state.counters);
             assert!(!counters.closed, "finish_stream called twice for {stream}");
             counters.closed = true;
         }
-        self.senders[stream.0 % self.config.workers]
-            .send(Job::Finish(stream.0, span_us))
-            .expect("engine worker hung up");
+        self.enqueue(&state, stream.0, WorkItem::Finish(span_us));
     }
 
     /// Blocks until the worker has processed `stream`'s finish job, so
@@ -616,10 +872,10 @@ impl<T: Tracker + Send + 'static> Engine<T> {
         self.state(stream).gate.high_water()
     }
 
-    /// Retires a finished stream from the running engine: drops its
-    /// pipeline on the pinned worker and returns any frames not yet
-    /// drained by [`Self::take_results`]. The [`StreamId`] stays
-    /// allocated (ids are never reused) but accepts no further pushes.
+    /// Retires a finished stream from the running engine: queues a job
+    /// that drops its pipeline and returns any frames not yet drained
+    /// by [`Self::take_results`]. The [`StreamId`] stays allocated (ids
+    /// are never reused) but accepts no further pushes.
     ///
     /// A detached slot is retained as a small tombstone so ids stay
     /// stable and its final counters remain visible to
@@ -640,15 +896,13 @@ impl<T: Tracker + Send + 'static> Engine<T> {
             assert!(!counters.detached, "detach called twice for {stream}");
             counters.detached = true;
         }
-        self.senders[stream.0 % self.config.workers]
-            .send(Job::Detach(stream.0))
-            .expect("engine worker hung up");
+        self.enqueue(&state, stream.0, WorkItem::Detach);
         let remaining = std::mem::take(&mut *lock(&state.results));
         remaining
     }
 
     /// Checkpoints and retires a **running** stream: blocks until the
-    /// pinned worker has drained every chunk already pushed, then
+    /// owning worker has drained every chunk already pushed, then
     /// freezes the pipeline into a
     /// [`SessionState`](ebbiot_core::SessionState) and returns it with
     /// the stream's totals and undrained frames. No `finish_stream`
@@ -657,10 +911,11 @@ impl<T: Tracker + Send + 'static> Engine<T> {
     /// or another process via an `EBSS` snapshot) resumes bit-
     /// identically to a never-interrupted run.
     ///
-    /// Race-freedom comes from the FIFO worker queues: the hand-off job
-    /// is enqueued behind every accepted chunk on the stream's pinned
-    /// worker, so the checkpoint observes all of them and no chunk can
-    /// arrive after it (the slot is closed to producers first).
+    /// Race-freedom comes from the per-stream FIFO job queue: the
+    /// hand-off job is enqueued behind every accepted chunk, so
+    /// whichever worker owns the stream checkpoints only after all of
+    /// them — and no chunk can arrive after it (the slot is closed to
+    /// producers first). Which worker that is doesn't matter.
     ///
     /// # Panics
     ///
@@ -678,9 +933,7 @@ impl<T: Tracker + Send + 'static> Engine<T> {
             counters.detached = true;
         }
         let (tx, rx) = mpsc::channel();
-        self.senders[stream.0 % self.config.workers]
-            .send(Job::DetachWithState(stream.0, tx))
-            .expect("engine worker hung up");
+        self.enqueue(&state, stream.0, WorkItem::DetachWithState(tx));
         let session = rx.recv().expect("engine worker failed during the state hand-off");
         let frames = std::mem::take(&mut *lock(&state.results));
         let totals = {
@@ -695,7 +948,7 @@ impl<T: Tracker + Send + 'static> Engine<T> {
         SessionHandoff { state: session, totals, frames }
     }
 
-    /// Current per-stream and aggregate statistics.
+    /// Current per-stream, per-worker and scheduler statistics.
     #[must_use]
     pub fn snapshot(&self) -> Snapshot {
         Snapshot {
@@ -707,6 +960,10 @@ impl<T: Tracker + Send + 'static> Engine<T> {
                 .enumerate()
                 .map(|(i, state)| {
                     let counters = lock(&state.counters);
+                    let (last_owner, migrations) = {
+                        let work = lock(&state.work);
+                        (work.last_owner, work.migrations)
+                    };
                     StreamSnapshot {
                         id: StreamId(i),
                         events_in: counters.events_in,
@@ -718,6 +975,8 @@ impl<T: Tracker + Send + 'static> Engine<T> {
                         queue_high_water: state.gate.high_water(),
                         queue_wait_ns: state.telemetry.queue_wait.get(),
                         producer_block_ns: state.telemetry.producer_block.get(),
+                        last_owner,
+                        migrations,
                         finished: counters.finished,
                         detached: counters.detached,
                     }
@@ -730,20 +989,30 @@ impl<T: Tracker + Send + 'static> Engine<T> {
                 .map(|(id, stats)| WorkerSnapshot {
                     id,
                     busy_ns: stats.busy.get(),
+                    acquire_ns: stats.acquire.get(),
                     idle_ns: stats.idle.get(),
                     queue_wait_ns: stats.queue_wait.get(),
                     wall_ns: stats.wall.get(),
                     chunks: stats.chunks.get(),
+                    steals: stats.steals.get(),
                 })
                 .collect(),
+            scheduler: SchedulerSnapshot {
+                steals: self.telemetry.steals.get(),
+                batches: self.telemetry.batch_size.count(),
+                batch_mean: self.telemetry.batch_size.mean(),
+                batch_max_le: self.telemetry.batch_size.max_bound(),
+                ready_high_water: self.scheduler.ready_high_water(),
+            },
         }
     }
 
-    /// Shuts the engine down: closes the job queues, waits for the
-    /// workers to drain, and returns every stream's re-sequenced frame
-    /// output plus a final [`Snapshot`]. Streams already drained through
-    /// [`Self::take_results`] / [`Self::detach`] contribute only their
-    /// untaken frames (usually none).
+    /// Shuts the engine down: signals the scheduler, waits for the
+    /// workers to drain every queued job, and returns every stream's
+    /// re-sequenced frame output plus a final [`Snapshot`]. Streams
+    /// already drained through [`Self::take_results`] /
+    /// [`Self::detach`] contribute only their untaken frames (usually
+    /// none).
     ///
     /// # Panics
     ///
@@ -751,7 +1020,7 @@ impl<T: Tracker + Send + 'static> Engine<T> {
     /// stream) on the caller.
     #[must_use]
     pub fn join(mut self) -> EngineOutput {
-        self.senders.clear(); // hang up: workers exit once drained
+        self.scheduler.shutdown();
         for worker in self.workers.drain(..) {
             if let Err(panic) = worker.join() {
                 std::panic::resume_unwind(panic);
@@ -763,90 +1032,166 @@ impl<T: Tracker + Send + 'static> Engine<T> {
     }
 }
 
+impl<T: Tracker + Send + 'static> Drop for Engine<T> {
+    /// An engine dropped without [`Engine::join`] (e.g. a replay error
+    /// path) must not strand its workers in the scheduler wait: signal
+    /// shutdown so they drain whatever is queued and exit detached.
+    fn drop(&mut self) {
+        self.scheduler.shutdown();
+    }
+}
+
+/// Appends one job's frames to the stream's ordered results and folds
+/// its counts into the stream counters. Frames are published *before*
+/// `finished` flips: a waiter in `wait_finished` may observe the flag
+/// without ever blocking on the condvar, and its follow-up
+/// `take_results`/`detach` must already see every frame the stream will
+/// ever emit.
+fn publish<T: Tracker>(
+    state: &StreamState<T>,
+    telemetry: &EngineTelemetry,
+    frames: Vec<FrameResult>,
+    active_trackers: usize,
+    finished: bool,
+) {
+    let (frame_count, track_count) =
+        (frames.len() as u64, frames.iter().map(|f| f.tracks.len() as u64).sum::<u64>());
+    {
+        let mut results = lock(&state.results);
+        results.extend(frames);
+        telemetry.collector_buffered.record(results.len() as u64);
+    }
+    {
+        let mut counters = lock(&state.counters);
+        counters.frames_out += frame_count;
+        counters.tracks_out += track_count;
+        counters.active_trackers = active_trackers;
+        counters.finished |= finished;
+    }
+    if finished {
+        state.progress.notify_all();
+    }
+}
+
 fn worker_loop<T: Tracker>(
-    jobs: &Receiver<Job<T>>,
-    streams: &Arc<StreamTable>,
+    worker: usize,
+    scheduler: &Scheduler,
+    streams: &Arc<StreamTable<T>>,
     telemetry: &EngineTelemetry,
     stats: &WorkerTelemetry,
+    batch_chunks: usize,
+    jitter: Option<u64>,
 ) {
     let _poison_guard = PoisonOnPanic(Arc::clone(streams));
-    let mut pipelines: HashMap<usize, Pipeline<T>> = HashMap::new();
+    let mut rng =
+        jitter.map(|seed| SplitMix(seed ^ (worker as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ 1));
+    // Worker-local scratch, reused across every batch drain: the job
+    // buffer never reallocates once grown to the batch limit.
+    let mut batch: Vec<WorkItem> = Vec::with_capacity(batch_chunks);
     // Telescoping time accounting: every nanosecond between `started`
-    // and exit is attributed to exactly one of idle (blocked in `recv`)
-    // or busy (processing a job), so busy + idle == wall *exactly*.
+    // and exit is attributed to exactly one of idle (waiting for a
+    // ready stream), acquire (claiming ownership + draining the batch)
+    // or busy (processing jobs), so busy + acquire + idle == wall
+    // *exactly*.
     let started = Instant::now();
     let mut mark = started;
     loop {
-        let Ok(job) = jobs.recv() else {
+        // Jitter (tests only): perturb the schedule so the determinism
+        // proptests explore many steal/migration interleavings.
+        let mut skip_local = false;
+        if let Some(rng) = rng.as_mut() {
+            let roll = rng.next();
+            skip_local = roll % 3 == 0;
+            if roll % 4 == 0 {
+                std::thread::yield_now();
+            } else if roll % 5 == 0 {
+                std::thread::sleep(Duration::from_micros(roll % 200));
+            }
+        }
+        let Some(acquired) = scheduler.next(worker, skip_local) else {
             let now = Instant::now();
             stats.idle.add_duration(now - mark);
             stats.wall.add_duration(now - started);
             break;
         };
-        let received = Instant::now();
-        stats.idle.add_duration(received - mark);
-        let outcome = match job {
-            Job::Attach(id, pipeline) => {
-                let previous = pipelines.insert(id, *pipeline);
-                assert!(previous.is_none(), "stream {id} attached twice");
-                None
+        let picked = Instant::now();
+        stats.idle.add_duration(picked - mark);
+        if acquired.stolen {
+            stats.steals.inc();
+            telemetry.steals.inc();
+        }
+        let state = streams.get(acquired.stream).expect("scheduled stream exists");
+
+        // Acquire: take exclusive ownership, drain one batch of jobs
+        // and lift the pipeline out (it travels with the batch).
+        let mut pipeline = {
+            let mut work = lock(&state.work);
+            debug_assert_eq!(work.sched, Sched::Queued, "acquired stream must be queued");
+            work.sched = Sched::Running;
+            if work.last_owner != Some(worker) {
+                if work.last_owner.is_some() {
+                    work.migrations += 1;
+                }
+                work.last_owner = Some(worker);
             }
-            Job::Detach(id) => {
-                pipelines.remove(&id).expect("detached stream pinned to this worker");
-                None
-            }
-            Job::DetachWithState(id, reply) => {
-                let pipeline =
-                    pipelines.remove(&id).expect("detached stream pinned to this worker");
-                // A dropped receiver means the detaching thread gave up
-                // (e.g. panicked); nothing to do but discard the state.
-                let _ = reply.send(pipeline.checkpoint());
-                None
-            }
-            Job::Chunk(id, chunk, enqueued) => {
-                let wait = received.saturating_duration_since(enqueued);
-                telemetry.queue_wait.record_duration(wait);
-                stats.queue_wait.add_duration(wait);
-                stats.chunks.inc();
-                let pipeline = pipelines.get_mut(&id).expect("stream pinned to this worker");
-                Some((id, pipeline.push(&chunk), false, Some(wait)))
-            }
-            Job::Finish(id, span_us) => {
-                let pipeline = pipelines.get_mut(&id).expect("stream pinned to this worker");
-                Some((id, pipeline.finish(span_us), true, None))
-            }
+            let take = work.jobs.len().min(batch_chunks);
+            batch.extend(work.jobs.drain(..take));
+            work.pipeline.take()
         };
-        if let Some((id, frames, finished, wait)) = outcome {
-            let state = streams.get(id).expect("job for unknown stream");
-            if let Some(wait) = wait {
-                state.telemetry.queue_wait.add_duration(wait);
-            }
-            let (frame_count, track_count) =
-                (frames.len() as u64, frames.iter().map(|f| f.tracks.len() as u64).sum::<u64>());
-            // Publish the frames *before* flipping `finished`: a waiter in
-            // `wait_finished` may observe the flag without ever blocking on
-            // the condvar, and its follow-up `take_results`/`detach` must
-            // already see every frame the stream will ever emit.
-            {
-                let mut results = lock(&state.results);
-                results.extend(frames);
-                telemetry.collector_buffered.record(results.len() as u64);
-            }
-            {
-                let mut counters = lock(&state.counters);
-                counters.frames_out += frame_count;
-                counters.tracks_out += track_count;
-                counters.active_trackers = pipelines[&id].active_trackers();
-                counters.finished |= finished;
-            }
-            if finished {
-                state.progress.notify_all();
-            } else {
-                state.gate.release();
+        telemetry.batch_size.record(batch.len() as u64);
+        let dequeued = Instant::now();
+        stats.acquire.add_duration(dequeued - picked);
+
+        for job in batch.drain(..) {
+            match job {
+                WorkItem::Chunk(chunk, enqueued) => {
+                    let wait = dequeued.saturating_duration_since(enqueued);
+                    telemetry.queue_wait.record_duration(wait);
+                    stats.queue_wait.add_duration(wait);
+                    state.telemetry.queue_wait.add_duration(wait);
+                    stats.chunks.inc();
+                    let p = pipeline.as_mut().expect("owned stream has a pipeline");
+                    let frames = p.push(&chunk);
+                    publish(&state, telemetry, frames, p.active_trackers(), false);
+                    state.gate.release();
+                }
+                WorkItem::Finish(span_us) => {
+                    let p = pipeline.as_mut().expect("owned stream has a pipeline");
+                    let frames = p.finish(span_us);
+                    let active = p.active_trackers();
+                    publish(&state, telemetry, frames, active, true);
+                }
+                WorkItem::Detach => {
+                    pipeline = None;
+                }
+                WorkItem::DetachWithState(reply) => {
+                    let p = pipeline.take().expect("owned stream has a pipeline");
+                    // A dropped receiver means the detaching thread gave
+                    // up (e.g. panicked); discard the state.
+                    let _ = reply.send(p.checkpoint());
+                }
             }
         }
+
+        // Release: park the pipeline and, if more jobs arrived while
+        // this batch ran, mark the stream ready again (own deque, for
+        // locality — idle peers can still steal it).
+        let requeue = {
+            let mut work = lock(&state.work);
+            work.pipeline = pipeline.take();
+            if work.jobs.is_empty() {
+                work.sched = Sched::Idle;
+                false
+            } else {
+                work.sched = Sched::Queued;
+                true
+            }
+        };
+        if requeue {
+            scheduler.inject(acquired.stream, Some(worker));
+        }
         let done = Instant::now();
-        stats.busy.add_duration(done - received);
+        stats.busy.add_duration(done - dequeued);
         mark = done;
     }
 }
@@ -879,6 +1224,7 @@ mod tests {
         let out = engine.join();
         assert!(out.streams.is_empty());
         assert_eq!(out.snapshot.events_in(), 0);
+        assert_eq!(out.snapshot.scheduler.batches, 0);
     }
 
     #[test]
@@ -912,6 +1258,37 @@ mod tests {
             assert_eq!(out.snapshot.frames_out(), 3 * expected.len() as u64);
             assert!(out.snapshot.streams.iter().all(|s| s.finished));
         }
+    }
+
+    #[test]
+    fn batching_amortizes_acquisitions_below_chunk_count() {
+        // One worker, one stream, tiny batch limit: acquisitions are
+        // counted per batch, not per chunk, and respect the limit.
+        let config = EngineConfig {
+            workers: 1,
+            batch_chunks: 2,
+            queue_capacity: 32,
+            ..EngineConfig::default()
+        };
+        let engine = Engine::new(config, pipelines(1));
+        for k in 0..6u64 {
+            engine.push(StreamId(0), block_events(40 + 3 * k as u16, k * 66_000));
+        }
+        engine.finish_stream(StreamId(0), 7 * 66_000);
+        let out = engine.join();
+        let sched = out.snapshot.scheduler;
+        assert!(sched.batches >= 1, "at least one acquisition");
+        assert!(
+            sched.batches <= 7,
+            "never more acquisitions than jobs (6 chunks + finish): {}",
+            sched.batches
+        );
+        assert!(sched.batch_mean >= 1.0);
+        assert!(sched.batch_max_le >= 1);
+        assert_eq!(sched.steals, 0, "one worker cannot steal from itself");
+        assert!(sched.ready_high_water >= 1);
+        assert_eq!(out.snapshot.streams[0].last_owner, Some(0));
+        assert_eq!(out.snapshot.streams[0].migrations, 0, "one worker, no migrations");
     }
 
     #[test]
@@ -1002,18 +1379,26 @@ mod tests {
         for worker in &out.snapshot.workers {
             assert!(worker.wall_ns > 0, "wall stamped at worker exit");
             assert_eq!(
-                worker.busy_ns + worker.idle_ns,
+                worker.busy_ns + worker.acquire_ns + worker.idle_ns,
                 worker.wall_ns,
-                "telescoping accounting: busy + idle == wall for worker {}",
+                "telescoping accounting: busy + acquire + idle == wall for worker {}",
                 worker.id
             );
-            assert_eq!(worker.chunks, 4, "each worker drained its stream's chunks");
         }
         // Chunk bookkeeping lines up across views: per-worker chunk
-        // counts equal router accepts.
+        // counts equal router accepts (which worker drained which chunk
+        // is the scheduler's business — only the total is invariant).
         let accepted: u64 = out.snapshot.streams.iter().map(|s| s.chunks_in).sum();
         let drained: u64 = out.snapshot.workers.iter().map(|w| w.chunks).sum();
         assert_eq!(drained, accepted);
+        // Every drained chunk was part of exactly one batch.
+        let sched = out.snapshot.scheduler;
+        assert!(sched.batches >= 2, "each stream needs at least one acquisition");
+        assert_eq!(
+            out.snapshot.workers.iter().map(|w| w.steals).sum::<u64>(),
+            sched.steals,
+            "per-worker steals sum to the scheduler total"
+        );
     }
 
     #[test]
@@ -1039,6 +1424,8 @@ mod tests {
             text.contains("ebbiot_engine_stream_queue_wait_nanoseconds_total{stream=\"cam00\"}")
         );
         assert!(text.contains("ebbiot_engine_worker_chunks_total{worker=\"0\"} 3"));
+        assert!(text.contains("ebbiot_engine_steals_total"));
+        assert!(text.contains("ebbiot_engine_batch_chunks"));
     }
 
     #[test]
@@ -1189,5 +1576,54 @@ mod tests {
     fn wait_finished_without_finish_panics() {
         let engine = Engine::new(EngineConfig::with_workers(1), pipelines(1));
         engine.wait_finished(StreamId(0));
+    }
+
+    #[test]
+    fn jittered_schedule_is_still_bit_identical() {
+        // The jitter knob perturbs worker acquisition order (yields,
+        // micro-sleeps, forced steals) — output must not move.
+        let chunks: Vec<Vec<Event>> =
+            (0..6u64).map(|k| block_events(40 + 4 * k as u16, k * 66_000)).collect();
+        let span = 8 * 66_000;
+        let mut reference = pipelines(1).pop().unwrap();
+        let mut expected = Vec::new();
+        for chunk in &chunks {
+            expected.extend(reference.push(chunk));
+        }
+        expected.extend(reference.finish(span));
+
+        for seed in [1u64, 42, 0xDEAD_BEEF] {
+            let config = EngineConfig {
+                workers: 3,
+                queue_capacity: 2,
+                batch_chunks: 2,
+                schedule_jitter: Some(seed),
+            };
+            let engine = Engine::new(config, pipelines(3));
+            for chunk in &chunks {
+                for s in 0..3 {
+                    engine.push(StreamId(s), chunk.clone());
+                }
+            }
+            for s in 0..3 {
+                engine.finish_stream(StreamId(s), span);
+            }
+            let out = engine.join();
+            for (s, frames) in out.streams.iter().enumerate() {
+                assert_eq!(frames, &expected, "seed {seed} stream {s}");
+            }
+        }
+    }
+
+    #[test]
+    fn dropping_an_unjoined_engine_does_not_hang_workers() {
+        // The replay error path drops the engine without join(); the
+        // Drop impl must signal shutdown so workers exit. If they did
+        // not, this test would leak threads (and under a worker-panic
+        // regime, hang a later join) — success here is simply that the
+        // drop returns and the process stays healthy.
+        let engine = Engine::new(EngineConfig::with_workers(2), pipelines(2));
+        engine.push(StreamId(0), block_events(40, 0));
+        drop(engine);
     }
 }

@@ -34,7 +34,7 @@ pub struct FleetOptions {
 
 impl Default for FleetOptions {
     fn default() -> Self {
-        let EngineConfig { workers, queue_capacity } = EngineConfig::default();
+        let EngineConfig { workers, queue_capacity, .. } = EngineConfig::default();
         Self { workers, queue_capacity, chunk_events: 4096 }
     }
 }
@@ -154,8 +154,11 @@ impl<T: Tracker + Send + 'static> Engine<T> {
         registry: Arc<Registry>,
     ) -> FleetRun {
         assert_eq!(pipelines.len(), streams.len(), "one pipeline per fleet stream");
-        let config =
-            EngineConfig { workers: options.workers, queue_capacity: options.queue_capacity };
+        let config = EngineConfig {
+            workers: options.workers,
+            queue_capacity: options.queue_capacity,
+            ..EngineConfig::default()
+        };
         let chunk = options.chunk_events.max(1);
 
         let started = Instant::now();

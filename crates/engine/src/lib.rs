@@ -5,14 +5,19 @@
 //! camera streams concurrently over the streaming
 //! [`Pipeline::push`](ebbiot_core::Pipeline::push) /
 //! [`finish`](ebbiot_core::Pipeline::finish) API from `ebbiot_core`,
-//! using nothing but `std` (threads, `mpsc`, `Mutex`/`Condvar` — the
+//! using nothing but `std` (threads, `Mutex`/`Condvar` — the
 //! workspace is offline/vendored):
 //!
-//! * a [`StreamId`]-keyed **router** that shards incoming event chunks
-//!   to per-stream bounded queues, with blocking ([`Engine::push`]) or
-//!   rejecting ([`Engine::try_push`]) back-pressure via [`ChunkGate`];
-//! * a **worker pool** that drains the queues and drives each stream's
-//!   own [`Pipeline`](ebbiot_core::Pipeline);
+//! * a [`StreamId`]-keyed **router** that appends incoming event chunks
+//!   to per-stream bounded FIFO queues, with blocking ([`Engine::push`])
+//!   or rejecting ([`Engine::try_push`]) back-pressure via
+//!   [`ChunkGate`];
+//! * a **work-stealing scheduler** (global injector + per-worker
+//!   deques) over *stream* granularity: a ready stream is a schedulable
+//!   unit exactly one worker owns at a time, drains a *batch* of queued
+//!   chunks per acquisition, and migrates to whichever worker is free;
+//! * a **worker pool** that acquires ready streams and drives each
+//!   stream's own [`Pipeline`](ebbiot_core::Pipeline);
 //! * an **output collector** that keeps every stream's `FrameResult`s in
 //!   emission order, indexed by stream;
 //! * per-stream and aggregate **stats** (events/s, frames/s, active
@@ -38,25 +43,30 @@
 //! # Determinism guarantee
 //!
 //! Engine output is **bit-for-bit identical to running each stream's
-//! pipeline sequentially**, for any worker count and any chunk
-//! granularity. Three properties combine to give this:
+//! pipeline sequentially**, for any worker count, any chunk granularity
+//! and any steal schedule. Three properties combine to give this:
 //!
-//! 1. **Stream pinning** — stream `i` is owned by worker
-//!    `i % workers`, so exactly one thread ever advances a given
-//!    pipeline; there is no intra-stream racing to be ordered.
-//! 2. **FIFO routing** — each worker drains one FIFO job queue, so a
-//!    stream's chunks are processed in submission order, and the
-//!    chunked streaming `Pipeline` is itself proven chunking-invariant
-//!    (`push`/`finish` ≡ `process_recording`, see the core crate's
-//!    parity tests).
+//! 1. **Exclusive ownership** — a ready stream is acquired by exactly
+//!    one worker at a time; ownership may *migrate* between
+//!    acquisitions, but only one thread ever advances a given pipeline,
+//!    so there is no intra-stream racing to be ordered.
+//! 2. **Per-stream FIFO queues** — each stream's jobs sit in one FIFO
+//!    queue drained in submission order by whichever worker owns the
+//!    stream, and the chunked streaming `Pipeline` is itself proven
+//!    chunking-invariant (`push`/`finish` ≡ `process_recording`, see
+//!    the core crate's parity tests).
 //! 3. **Per-stream collection** — results are appended to the stream's
 //!    own ordered buffer and returned indexed by [`StreamId`], so
 //!    cross-stream completion order (the only thing scheduling can
 //!    affect) never shows up in the output.
 //!
-//! `tests/engine_determinism.rs` at the workspace root checks exactly
-//! this: a 16-camera fleet on 1, 2 and 8 workers against sequential
-//! `process_recording`, for every registered back-end.
+//! Which worker drains which batch, and how often streams change hands,
+//! is therefore invisible — `tests/engine_determinism.rs` at the
+//! workspace root checks exactly this: a 16-camera fleet on 1, 2 and 8
+//! workers against sequential `process_recording`, for every registered
+//! back-end, plus a proptest that perturbs the schedule with
+//! [`EngineConfig::schedule_jitter`] (random yields, micro-sleeps and
+//! forced steals) and random attach/detach interleavings.
 //!
 //! # Example
 //!
@@ -91,8 +101,8 @@ pub mod telemetry;
 
 pub use backpressure::ChunkGate;
 pub use engine::{
-    Engine, EngineConfig, EngineOutput, RejectedChunk, SessionHandoff, Snapshot, StreamId,
-    StreamSnapshot, StreamTotals, WorkerSnapshot,
+    Engine, EngineConfig, EngineOutput, RejectedChunk, SchedulerSnapshot, SessionHandoff, Snapshot,
+    StreamId, StreamSnapshot, StreamTotals, WorkerSnapshot,
 };
 pub use fleet::{FleetOptions, FleetRun, FleetStream};
 pub use telemetry::{EngineTelemetry, StreamTelemetry, WorkerTelemetry};

@@ -5,21 +5,25 @@
 //! components with [`crate::Engine::with_registry`]): a handful of
 //! relaxed atomic adds per *chunk* is noise next to the kernel work a
 //! chunk performs, so unlike the per-stage pipeline telemetry there is
-//! no off switch. Three views cover the contention story
+//! no off switch. Four views cover the contention story
 //! (ARCHITECTURE.md §7):
 //!
-//! * **per worker** ([`WorkerTelemetry`]) — busy / idle / wall time and
-//!   chunk counts, accounted with telescoping timestamps so that
-//!   `busy + idle == wall` holds *exactly* at worker exit (the
-//!   determinism suite asserts equality, not a tolerance);
+//! * **per worker** ([`WorkerTelemetry`]) — busy / acquire / idle /
+//!   wall time, chunk counts and steals, accounted with telescoping
+//!   timestamps so that `busy + acquire + idle == wall` holds *exactly*
+//!   at worker exit (the determinism suite asserts equality, not a
+//!   tolerance);
 //! * **per chunk** — enqueue→dequeue latency and queue-depth
 //!   distributions, plus collector reorder-buffer occupancy;
 //! * **per stream** ([`StreamTelemetry`]) — cumulative queue wait and
-//!   producer back-pressure blocking, labelled by camera.
+//!   producer back-pressure blocking, labelled by camera;
+//! * **scheduler** — steal counts, the jobs-per-acquisition batch-size
+//!   histogram (how well batching amortizes hand-off), and a live
+//!   ready-streams gauge.
 
 use std::sync::Arc;
 
-use ebbiot_telemetry::{Counter, Histogram, Registry};
+use ebbiot_telemetry::{Counter, Gauge, Histogram, Registry};
 
 /// Chunk enqueue→dequeue latency histogram (nanoseconds).
 pub const CHUNK_QUEUE_WAIT_METRIC: &str = "ebbiot_engine_chunk_queue_wait_nanoseconds";
@@ -27,6 +31,12 @@ pub const CHUNK_QUEUE_WAIT_METRIC: &str = "ebbiot_engine_chunk_queue_wait_nanose
 pub const QUEUE_DEPTH_METRIC: &str = "ebbiot_engine_queue_depth_chunks";
 /// Collector buffer occupancy after each append (frames awaiting drain).
 pub const COLLECTOR_BUFFERED_METRIC: &str = "ebbiot_engine_collector_buffered_frames";
+/// Stream acquisitions taken from another worker's deque.
+pub const STEALS_METRIC: &str = "ebbiot_engine_steals_total";
+/// Jobs drained per stream acquisition (batching effectiveness).
+pub const BATCH_SIZE_METRIC: &str = "ebbiot_engine_batch_chunks";
+/// Streams currently ready and awaiting a worker.
+pub const READY_STREAMS_METRIC: &str = "ebbiot_engine_ready_streams";
 
 /// Engine-wide instruments plus the registry they live in.
 #[derive(Debug, Clone)]
@@ -38,6 +48,12 @@ pub struct EngineTelemetry {
     pub queue_depth: Arc<Histogram>,
     /// Collector buffer occupancy sampled after each append.
     pub collector_buffered: Arc<Histogram>,
+    /// Stream acquisitions stolen from another worker's deque.
+    pub steals: Arc<Counter>,
+    /// Jobs drained per stream acquisition.
+    pub batch_size: Arc<Histogram>,
+    /// Streams ready and awaiting a worker, live.
+    pub ready_streams: Arc<Gauge>,
 }
 
 impl EngineTelemetry {
@@ -48,6 +64,9 @@ impl EngineTelemetry {
             queue_wait: registry.histogram(CHUNK_QUEUE_WAIT_METRIC, &[]),
             queue_depth: registry.histogram(QUEUE_DEPTH_METRIC, &[]),
             collector_buffered: registry.histogram(COLLECTOR_BUFFERED_METRIC, &[]),
+            steals: registry.counter(STEALS_METRIC, &[]),
+            batch_size: registry.histogram(BATCH_SIZE_METRIC, &[]),
+            ready_streams: registry.gauge(READY_STREAMS_METRIC, &[]),
             registry,
         }
     }
@@ -62,14 +81,17 @@ impl EngineTelemetry {
 /// One worker thread's time accounting.
 ///
 /// Every nanosecond of the worker's life is attributed to exactly one of
-/// `busy` (processing a job) or `idle` (blocked in `recv`), and `wall`
+/// `busy` (processing jobs), `acquire` (claiming stream ownership and
+/// draining a batch) or `idle` (waiting for a ready stream), and `wall`
 /// is stamped once at exit — so after [`crate::Engine::join`],
-/// `busy + idle == wall` exactly.
+/// `busy + acquire + idle == wall` exactly.
 #[derive(Debug, Clone)]
 pub struct WorkerTelemetry {
     /// Nanoseconds spent processing jobs.
     pub busy: Arc<Counter>,
-    /// Nanoseconds spent blocked waiting for jobs.
+    /// Nanoseconds spent acquiring stream ownership and draining batches.
+    pub acquire: Arc<Counter>,
+    /// Nanoseconds spent waiting for a ready stream.
     pub idle: Arc<Counter>,
     /// Sum of the queue waits of the chunks this worker dequeued.
     pub queue_wait: Arc<Counter>,
@@ -77,6 +99,8 @@ pub struct WorkerTelemetry {
     pub wall: Arc<Counter>,
     /// Chunks processed (finish jobs excluded).
     pub chunks: Arc<Counter>,
+    /// Stream acquisitions taken from another worker's deque.
+    pub steals: Arc<Counter>,
 }
 
 impl WorkerTelemetry {
@@ -87,11 +111,13 @@ impl WorkerTelemetry {
         let labels: &[(&str, &str)] = &[("worker", &worker)];
         Self {
             busy: registry.counter("ebbiot_engine_worker_busy_nanoseconds_total", labels),
+            acquire: registry.counter("ebbiot_engine_worker_acquire_nanoseconds_total", labels),
             idle: registry.counter("ebbiot_engine_worker_idle_nanoseconds_total", labels),
             queue_wait: registry
                 .counter("ebbiot_engine_worker_queue_wait_nanoseconds_total", labels),
             wall: registry.counter("ebbiot_engine_worker_wall_nanoseconds_total", labels),
             chunks: registry.counter("ebbiot_engine_worker_chunks_total", labels),
+            steals: registry.counter("ebbiot_engine_worker_steals_total", labels),
         }
     }
 }
@@ -131,10 +157,20 @@ mod tests {
         telemetry.queue_wait.record(1_000);
         telemetry.queue_depth.record(3);
         telemetry.collector_buffered.record(16);
+        telemetry.steals.inc();
+        telemetry.batch_size.record(4);
+        telemetry.ready_streams.set(2);
         let text = telemetry.registry().render();
-        for family in [CHUNK_QUEUE_WAIT_METRIC, QUEUE_DEPTH_METRIC, COLLECTOR_BUFFERED_METRIC] {
+        for family in [
+            CHUNK_QUEUE_WAIT_METRIC,
+            QUEUE_DEPTH_METRIC,
+            COLLECTOR_BUFFERED_METRIC,
+            BATCH_SIZE_METRIC,
+        ] {
             assert!(text.contains(&format!("# TYPE {family} histogram")), "missing {family}");
         }
+        assert!(text.contains(&format!("{STEALS_METRIC} 1")));
+        assert!(text.contains(&format!("{READY_STREAMS_METRIC} 2")));
     }
 
     #[test]
@@ -142,11 +178,15 @@ mod tests {
         let registry = Registry::new();
         let w1 = WorkerTelemetry::register(&registry, 1);
         w1.busy.add(5);
+        w1.acquire.add(2);
         w1.chunks.inc();
+        w1.steals.inc();
         StreamTelemetry::register(&registry, "cam02").queue_wait.add(9);
         let text = registry.render();
         assert!(text.contains("ebbiot_engine_worker_busy_nanoseconds_total{worker=\"1\"} 5"));
+        assert!(text.contains("ebbiot_engine_worker_acquire_nanoseconds_total{worker=\"1\"} 2"));
         assert!(text.contains("ebbiot_engine_worker_chunks_total{worker=\"1\"} 1"));
+        assert!(text.contains("ebbiot_engine_worker_steals_total{worker=\"1\"} 1"));
         assert!(
             text.contains("ebbiot_engine_stream_queue_wait_nanoseconds_total{stream=\"cam02\"} 9")
         );

@@ -39,9 +39,12 @@ fn expected() -> Vec<ebbiot_core::FrameResult> {
 #[test]
 fn blocking_push_under_full_queue_drops_and_reorders_nothing() {
     let expected = expected();
-    // Two streams pinned to ONE worker with capacity-1 queues: while the
+    // Two streams sharing ONE worker with capacity-1 queues: while the
     // worker chews on one stream the other's producer must block.
-    let engine = Engine::new(EngineConfig { workers: 1, queue_capacity: 1 }, pipelines(2));
+    let engine = Engine::new(
+        EngineConfig { workers: 1, queue_capacity: 1, ..EngineConfig::default() },
+        pipelines(2),
+    );
     std::thread::scope(|scope| {
         for s in 0..2 {
             let engine = &engine;
@@ -68,7 +71,10 @@ fn blocking_push_under_full_queue_drops_and_reorders_nothing() {
 #[test]
 fn try_push_rejects_when_full_and_rejected_chunks_can_be_retried() {
     let expected = expected();
-    let engine = Engine::new(EngineConfig { workers: 1, queue_capacity: 1 }, pipelines(1));
+    let engine = Engine::new(
+        EngineConfig { workers: 1, queue_capacity: 1, ..EngineConfig::default() },
+        pipelines(1),
+    );
     let mut rejections = 0u64;
     for f in 0..FRAMES {
         let mut chunk = frame_chunk(f);
@@ -94,7 +100,10 @@ fn try_push_rejects_when_full_and_rejected_chunks_can_be_retried() {
 
 #[test]
 fn snapshot_high_water_stays_within_configured_capacity() {
-    let engine = Engine::new(EngineConfig { workers: 2, queue_capacity: 3 }, pipelines(4));
+    let engine = Engine::new(
+        EngineConfig { workers: 2, queue_capacity: 3, ..EngineConfig::default() },
+        pipelines(4),
+    );
     for f in 0..FRAMES {
         for s in 0..4 {
             engine.push(StreamId(s), frame_chunk(f));

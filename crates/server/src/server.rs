@@ -44,7 +44,7 @@ pub struct ServerConfig {
 
 impl Default for ServerConfig {
     fn default() -> Self {
-        let EngineConfig { workers, queue_capacity } = EngineConfig::default();
+        let EngineConfig { workers, queue_capacity, .. } = EngineConfig::default();
         Self {
             workers,
             queue_capacity,
@@ -141,7 +141,11 @@ impl IngestServer {
         // sessions) and connection/session counters.
         let registry = Arc::new(Registry::new());
         let engine = Arc::new(Engine::with_registry(
-            EngineConfig { workers: config.workers, queue_capacity: config.queue_capacity },
+            EngineConfig {
+                workers: config.workers,
+                queue_capacity: config.queue_capacity,
+                ..EngineConfig::default()
+            },
             Vec::new(),
             Arc::clone(&registry),
         ));

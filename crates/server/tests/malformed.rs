@@ -42,7 +42,10 @@ fn encode_frames(frames: &[Frame]) -> Vec<u8> {
 }
 
 fn engine() -> Arc<Engine> {
-    Arc::new(Engine::new(EngineConfig { workers: 1, queue_capacity: 4 }, Vec::new()))
+    Arc::new(Engine::new(
+        EngineConfig { workers: 1, queue_capacity: 4, ..EngineConfig::default() },
+        Vec::new(),
+    ))
 }
 
 fn factory() -> Arc<PipelineFactory> {

@@ -191,8 +191,8 @@ impl Replayer {
     /// # Errors
     ///
     /// Returns the first read/decode error. The engine is dropped
-    /// without joining in that case; its workers exit as their queues
-    /// close.
+    /// without joining in that case; its `Drop` signals the scheduler
+    /// shutdown, so the workers drain what was queued and exit.
     ///
     /// # Panics
     ///
@@ -250,8 +250,8 @@ impl Replayer {
     /// # Errors
     ///
     /// Returns the first read/decode error. The engine is dropped
-    /// without joining in that case; its workers exit as their queues
-    /// close.
+    /// without joining in that case; its `Drop` signals the scheduler
+    /// shutdown, so the workers drain what was queued and exit.
     ///
     /// # Panics
     ///

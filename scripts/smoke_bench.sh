@@ -12,7 +12,8 @@
 # final
 # `exp_fleet --overhead` pass gates the telemetry cost: instrumented
 # sequential throughput must stay within 3% (or 10 ms absolute) of the
-# uninstrumented twin, best-of-3.
+# uninstrumented twin, best-of-3 — and a scheduler pass reruns the
+# jitter determinism proptest plus the oversubscription smokes.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -25,5 +26,9 @@ done
 
 echo "== smoke: telemetry overhead gate =="
 cargo run --release -p ebbiot_bench --bin exp_fleet -- --overhead --cameras 4 --seconds 1
+
+echo "== smoke: scheduler (jitter determinism + oversubscription) =="
+cargo test --release --test engine_determinism jittered_work_stealing_schedule_is_bit_identical
+cargo test --release -p ebbiot_engine --test scheduler
 
 echo "smoke_bench: all experiments passed"

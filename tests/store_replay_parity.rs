@@ -53,7 +53,7 @@ fn spooled_fleet_replay_is_bit_identical_to_in_memory_for_all_backends() {
         // fed from chunked readers instead of in-memory vectors.
         let mut readers = store.readers().expect("open readers");
         let engine = Engine::new(
-            EngineConfig { workers: 4, queue_capacity: 8 },
+            EngineConfig { workers: 4, queue_capacity: 8, ..EngineConfig::default() },
             spec.build_fleet(&config, CAMERAS),
         );
         let replay = Replayer::new(ReplayMode::MaxSpeed)

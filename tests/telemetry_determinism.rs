@@ -4,8 +4,8 @@
 //! baseline — and the metrics themselves obey exact accounting
 //! invariants, not tolerances:
 //!
-//! * per worker, `busy_ns + idle_ns == wall_ns` (telescoping timestamps
-//!   attribute every nanosecond exactly once);
+//! * per worker, `busy_ns + acquire_ns + idle_ns == wall_ns`
+//!   (telescoping timestamps attribute every nanosecond exactly once);
 //! * the chunk-latency histogram counts exactly the chunks routed;
 //! * each stage histogram counts exactly the frames emitted.
 //!
@@ -47,9 +47,9 @@ fn instrumented_sixteen_camera_fleet_is_bit_identical_with_exact_metric_accounti
         for w in &snapshot.workers {
             assert!(w.wall_ns > 0, "worker {} wall clock stamped at exit", w.id);
             assert_eq!(
-                w.busy_ns + w.idle_ns,
+                w.busy_ns + w.acquire_ns + w.idle_ns,
                 w.wall_ns,
-                "worker {}: busy + idle must equal wall exactly",
+                "worker {}: busy + acquire + idle must equal wall exactly",
                 w.id
             );
             worker_chunks += w.chunks;
